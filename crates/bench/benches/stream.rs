@@ -1,0 +1,29 @@
+//! STREAM kernel microbenchmarks (the calibration substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tb_grid::AlignedVec;
+use tb_membench::kernels;
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream");
+    for elems in [1usize << 14, 1 << 18] {
+        let a = AlignedVec::<f64>::filled(elems, 1.0);
+        let b = AlignedVec::<f64>::filled(elems, 2.0);
+        let mut out = AlignedVec::<f64>::zeroed(elems);
+        group.throughput(Throughput::Bytes((elems * 16) as u64));
+        group.bench_with_input(BenchmarkId::new("copy", elems), &elems, |bch, _| {
+            bch.iter(|| kernels::copy(&a, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("copy_nt", elems), &elems, |bch, _| {
+            bch.iter(|| kernels::copy_nt(&a, &mut out));
+        });
+        group.throughput(Throughput::Bytes((elems * 24) as u64));
+        group.bench_with_input(BenchmarkId::new("triad", elems), &elems, |bch, _| {
+            bch.iter(|| kernels::triad(&b, &a, &mut out, 3.0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

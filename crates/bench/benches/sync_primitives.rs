@@ -1,0 +1,50 @@
+//! Synchronization cost microbenchmarks: the spin barrier crossing that
+//! the "pipeline w/ barrier" variant pays per block update, versus one
+//! relaxed wait/complete round (Eq. 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_sync::{PipelineSync, SpinBarrier};
+
+fn bench_barrier(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+    c.bench_function(&format!("spin_barrier_{threads}_threads"), |b| {
+        b.iter_custom(|iters| {
+            let barrier = SpinBarrier::new(threads);
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        for _ in 0..iters {
+                            barrier.wait();
+                        }
+                    });
+                }
+            });
+            start.elapsed() / threads as u32
+        });
+    });
+}
+
+fn bench_relaxed(c: &mut Criterion) {
+    c.bench_function("relaxed_sync_2_threads_roundtrip", |b| {
+        b.iter_custom(|iters| {
+            let p = PipelineSync::new(2, 2, 1, 4, 0);
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for tid in 0..2 {
+                    let p = &p;
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            p.wait_for_turn(tid, iters + 8);
+                            p.complete_block(tid);
+                        }
+                    });
+                }
+            });
+            start.elapsed() / 2
+        });
+    });
+}
+
+criterion_group!(benches, bench_barrier, bench_relaxed);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! # tb-bench — the experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md §3):
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `fig3_left` | Fig. 3 (left): socket/node MLUP/s, standard vs pipelined variants + model |
+//! | `fig3_right` | Fig. 3 (right): performance vs pipeline looseness `d_u - d_l` |
+//! | `fig5` | Fig. 5: multi-layer halo advantage + efficiency inset |
+//! | `fig6` | Fig. 6: strong/weak scaling 1..64 nodes, 4 configurations + ideal lines |
+//! | `roofline` | Eq. 2: STREAM-calibrated baseline expectation vs measurement |
+//! | `model_table` | §1.4 numbers: Eq. 4/5 table, 16T/(7+4T), limits |
+//! | `ablation_t` | §1.5: updates-per-thread sweep (optimum T=2) |
+//! | `ablation_block` | §1.5: inner block length sweep (optimum b_x≈120) |
+//! | `ablation_delay` | §1.5: team delay sweep (~3% at d_t=8) |
+//! | `halo_profile` | §2.2: buffer-copy vs transfer overhead, message aggregation |
+//!
+//! Each binary accepts `--mode host` (measure on this machine) and, where
+//! the paper's hardware matters, `--mode nehalem` (analytic reproduction
+//! with the paper's machine parameters). Criterion microbenches live in
+//! `benches/`.
+
+use std::time::Duration;
+
+use tb_grid::{init, Dims3, Grid3};
+use tb_stencil::stats::RunStats;
+
+/// Minimal CLI: `--key value` pairs and bare flags.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        Self { raw: std::env::args().skip(1).collect() }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn mode(&self) -> &str {
+        self.get("--mode").unwrap_or("host")
+    }
+}
+
+/// Repeat a measured run, keeping the best (STREAM convention: the best
+/// repetition is the least-disturbed one).
+pub fn best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> RunStats {
+    assert!(reps >= 1);
+    let mut best: Option<RunStats> = None;
+    for _ in 0..reps {
+        let s = f();
+        if best.map(|b| s.mlups() > b.mlups()).unwrap_or(true) {
+            best = Some(s);
+        }
+    }
+    best.unwrap()
+}
+
+/// The standard random problem used by all measurement binaries.
+pub fn problem(edge: usize, seed: u64) -> Grid3<f64> {
+    init::random(Dims3::cube(edge), seed)
+}
+
+/// A host-appropriate default problem edge: big enough to spill the last-
+/// level cache, small enough to finish quickly. Overridable with
+/// `--size`.
+pub fn default_edge() -> usize {
+    let mach = tb_topology::detect::detect();
+    let cache = mach.shared_cache().map(|c| c.size_bytes).unwrap_or(8 << 20);
+    // Two grids should exceed ~4x the shared cache.
+    let bytes = 4 * cache;
+    (((bytes / 16) as f64).cbrt() as usize).clamp(64, 256)
+}
+
+/// Pretty-print one table row of label + columns.
+pub fn row(label: &str, cols: &[String]) {
+    print!("{label:<34}");
+    for c in cols {
+        print!(" {c:>14}");
+    }
+    println!();
+}
+
+pub fn fmt_mlups(s: &RunStats) -> String {
+    format!("{:.1}", s.mlups())
+}
+
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_picks_max_rate() {
+        let mut times = [3, 1, 2].iter().copied();
+        let s = best_of(3, move || {
+            RunStats::new(1000, Duration::from_millis(times.next().unwrap()))
+        });
+        assert_eq!(s.elapsed, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn default_edge_in_range() {
+        let e = default_edge();
+        assert!((64..=256).contains(&e));
+    }
+
+    #[test]
+    fn args_lookup() {
+        let a = Args { raw: vec!["--size".into(), "128".into(), "--mode".into(), "nehalem".into()] };
+        assert_eq!(a.get_usize("--size", 64), 128);
+        assert_eq!(a.get_usize("--sweeps", 10), 10);
+        assert_eq!(a.mode(), "nehalem");
+    }
+}

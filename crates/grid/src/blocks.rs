@@ -1,0 +1,186 @@
+//! Spatial block decomposition of a region.
+//!
+//! The pipelined temporal blocking scheme (paper §1.3) streams *blocks* of
+//! the domain through the team pipeline. [`BlockPartition`] tiles a region
+//! with blocks of a requested size; the last block in each dimension absorbs
+//! the remainder. Blocks are enumerated **x-fastest** (linear index
+//! `bx + kx*(by + ky*bz)`), which is the traversal order assumed by the
+//! race-freedom proof in `tb-stencil::pipeline::plan`.
+
+use crate::Region3;
+
+/// 3D block coordinates within a partition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BlockIdx {
+    pub bx: usize,
+    pub by: usize,
+    pub bz: usize,
+}
+
+/// A tiling of a region into blocks of approximately `block` size.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockPartition {
+    domain: Region3,
+    block: [usize; 3],
+    counts: [usize; 3],
+}
+
+impl BlockPartition {
+    /// Tile `domain` with blocks of size `block` (clamped to the domain
+    /// extent). The final block per dimension absorbs the remainder, so it
+    /// can be up to `2*block-1` long.
+    ///
+    /// # Panics
+    /// Panics if `domain` is empty or any requested block edge is zero.
+    pub fn new(domain: Region3, block: [usize; 3]) -> Self {
+        assert!(!domain.is_empty(), "cannot partition an empty domain");
+        assert!(block.iter().all(|&b| b > 0), "block edges must be positive");
+        let mut counts = [0usize; 3];
+        let mut clamped = block;
+        for d in 0..3 {
+            let ext = domain.extent(d);
+            clamped[d] = block[d].min(ext);
+            counts[d] = (ext / clamped[d]).max(1);
+        }
+        Self { domain, block: clamped, counts }
+    }
+
+    pub fn domain(&self) -> Region3 {
+        self.domain
+    }
+
+    /// Block edge lengths actually in use (after clamping).
+    pub fn block_size(&self) -> [usize; 3] {
+        self.block
+    }
+
+    /// Number of blocks along each dimension.
+    pub fn counts(&self) -> [usize; 3] {
+        self.counts
+    }
+
+    /// Total number of blocks.
+    pub fn len(&self) -> usize {
+        self.counts.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Convert a linear block index (x fastest) to 3D block coordinates.
+    #[inline]
+    pub fn block_idx(&self, linear: usize) -> BlockIdx {
+        debug_assert!(linear < self.len());
+        let bx = linear % self.counts[0];
+        let by = (linear / self.counts[0]) % self.counts[1];
+        let bz = linear / (self.counts[0] * self.counts[1]);
+        BlockIdx { bx, by, bz }
+    }
+
+    /// Inverse of [`Self::block_idx`].
+    #[inline]
+    pub fn linear(&self, b: BlockIdx) -> usize {
+        b.bx + self.counts[0] * (b.by + self.counts[1] * b.bz)
+    }
+
+    /// The unshifted region of block `b`: `[lo + i*B, lo + (i+1)*B)` per
+    /// dimension, with the last block extended to the domain edge.
+    pub fn region(&self, b: BlockIdx) -> Region3 {
+        let idx = [b.bx, b.by, b.bz];
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for d in 0..3 {
+            lo[d] = self.domain.lo[d] + idx[d] * self.block[d];
+            hi[d] = if idx[d] + 1 == self.counts[d] {
+                self.domain.hi[d]
+            } else {
+                self.domain.lo[d] + (idx[d] + 1) * self.block[d]
+            };
+        }
+        Region3 { lo, hi }
+    }
+
+    /// Iterate over all blocks in linear (x-fastest) order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, BlockIdx, Region3)> + '_ {
+        (0..self.len()).map(move |l| {
+            let b = self.block_idx(l);
+            (l, b, self.region(b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts_of(dom: Region3, blk: [usize; 3]) -> [usize; 3] {
+        BlockPartition::new(dom, blk).counts()
+    }
+
+    #[test]
+    fn exact_tiling() {
+        let dom = Region3::new([1, 1, 1], [13, 9, 5]); // 12 x 8 x 4
+        let p = BlockPartition::new(dom, [4, 4, 2]);
+        assert_eq!(p.counts(), [3, 2, 2]);
+        assert_eq!(p.len(), 12);
+        // Blocks must exactly cover the domain with no overlap.
+        let total: usize = p.iter().map(|(_, _, r)| r.count()).sum();
+        assert_eq!(total, dom.count());
+        for (i, _, ri) in p.iter() {
+            for (j, _, rj) in p.iter() {
+                if i != j {
+                    assert!(!ri.intersects(&rj), "blocks {i} and {j} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_last_block() {
+        let dom = Region3::new([0, 0, 0], [10, 10, 10]);
+        let p = BlockPartition::new(dom, [4, 4, 4]);
+        assert_eq!(p.counts(), [2, 2, 2]);
+        let last = p.region(BlockIdx { bx: 1, by: 1, bz: 1 });
+        assert_eq!(last, Region3::new([4, 4, 4], [10, 10, 10]));
+        let total: usize = p.iter().map(|(_, _, r)| r.count()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn oversized_block_clamps() {
+        let dom = Region3::new([1, 1, 1], [5, 5, 5]);
+        let p = BlockPartition::new(dom, [100, 100, 100]);
+        assert_eq!(p.counts(), [1, 1, 1]);
+        assert_eq!(p.region(BlockIdx { bx: 0, by: 0, bz: 0 }), dom);
+    }
+
+    #[test]
+    fn linear_roundtrip_is_x_fastest() {
+        let dom = Region3::new([0, 0, 0], [12, 12, 12]);
+        let p = BlockPartition::new(dom, [4, 6, 3]);
+        assert_eq!(p.counts(), [3, 2, 4]);
+        for l in 0..p.len() {
+            assert_eq!(p.linear(p.block_idx(l)), l);
+        }
+        assert_eq!(p.block_idx(1), BlockIdx { bx: 1, by: 0, bz: 0 });
+        assert_eq!(p.block_idx(3), BlockIdx { bx: 0, by: 1, bz: 0 });
+        assert_eq!(p.block_idx(6), BlockIdx { bx: 0, by: 0, bz: 1 });
+    }
+
+    #[test]
+    fn paper_geometry_600_cube() {
+        // 600^3 grid, interior 598^3, blocks ~120x20x20 as in §1.5.
+        let dom = Region3::new([1, 1, 1], [599, 599, 599]);
+        let p = BlockPartition::new(dom, [120, 20, 20]);
+        assert_eq!(p.counts(), [4, 29, 29]); // 598/120 = 4, 598/20 = 29
+        let total: usize = p.iter().map(|(_, _, r)| r.count()).sum();
+        assert_eq!(total, 598 * 598 * 598);
+    }
+
+    #[test]
+    fn counts_never_zero() {
+        assert_eq!(counts_of(Region3::new([0, 0, 0], [1, 1, 1]), [5, 5, 5]), [1, 1, 1]);
+        assert_eq!(counts_of(Region3::new([0, 0, 0], [7, 3, 2]), [2, 2, 2]), [3, 1, 1]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Grid extents and linear index arithmetic.
+//!
+//! Layout convention throughout the workspace: **x is the unit-stride
+//! (innermost) dimension**, matching the paper's `b_x` inner loop length
+//! discussion (§1.5); y has stride `nx`, z has stride `nx*ny`.
+
+/// Extents of a 3D array, including any boundary/ghost layers it carries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Dims3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Dims3 {
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+
+    /// Cubic extents, `n` in each direction.
+    pub const fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(x, y, z)`; x is unit stride.
+    #[inline(always)]
+    pub const fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Inverse of [`Self::idx`].
+    #[inline]
+    pub const fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let x = idx % self.nx;
+        let y = (idx / self.nx) % self.ny;
+        let z = idx / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// Stride (in elements) of a step in y.
+    pub const fn stride_y(&self) -> usize {
+        self.nx
+    }
+
+    /// Stride (in elements) of a step in z.
+    pub const fn stride_z(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Extent along dimension `d` (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub const fn extent(&self, d: usize) -> usize {
+        match d {
+            0 => self.nx,
+            1 => self.ny,
+            _ => self.nz,
+        }
+    }
+
+    pub const fn as_array(&self) -> [usize; 3] {
+        [self.nx, self.ny, self.nz]
+    }
+
+    pub const fn from_array(a: [usize; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+
+    /// True if `(x, y, z)` lies strictly inside (i.e. not on the outermost
+    /// layer). The outermost layer of a Jacobi grid holds the Dirichlet
+    /// boundary and is never updated.
+    #[inline]
+    pub const fn is_interior(&self, x: usize, y: usize, z: usize) -> bool {
+        x >= 1 && y >= 1 && z >= 1 && x + 1 < self.nx && y + 1 < self.ny && z + 1 < self.nz
+    }
+
+    /// Number of interior (updatable) cells.
+    pub const fn interior_len(&self) -> usize {
+        if self.nx < 3 || self.ny < 3 || self.nz < 3 {
+            return 0;
+        }
+        (self.nx - 2) * (self.ny - 2) * (self.nz - 2)
+    }
+
+    /// Memory footprint in bytes for elements of size `elem_bytes`.
+    pub const fn bytes(&self, elem_bytes: usize) -> usize {
+        self.len() * elem_bytes
+    }
+}
+
+impl std::fmt::Display for Dims3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_x_fastest() {
+        let d = Dims3::new(4, 3, 2);
+        assert_eq!(d.idx(0, 0, 0), 0);
+        assert_eq!(d.idx(1, 0, 0), 1);
+        assert_eq!(d.idx(0, 1, 0), 4);
+        assert_eq!(d.idx(0, 0, 1), 12);
+        assert_eq!(d.idx(3, 2, 1), 23);
+        assert_eq!(d.len(), 24);
+    }
+
+    #[test]
+    fn coords_inverts_idx() {
+        let d = Dims3::new(5, 7, 3);
+        for i in 0..d.len() {
+            let (x, y, z) = d.coords(i);
+            assert_eq!(d.idx(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn strides() {
+        let d = Dims3::new(10, 20, 30);
+        assert_eq!(d.stride_y(), 10);
+        assert_eq!(d.stride_z(), 200);
+        assert_eq!(d.extent(0), 10);
+        assert_eq!(d.extent(1), 20);
+        assert_eq!(d.extent(2), 30);
+    }
+
+    #[test]
+    fn interior_classification() {
+        let d = Dims3::cube(4);
+        assert!(d.is_interior(1, 1, 1));
+        assert!(d.is_interior(2, 2, 2));
+        assert!(!d.is_interior(0, 1, 1));
+        assert!(!d.is_interior(3, 1, 1));
+        assert!(!d.is_interior(1, 0, 1));
+        assert!(!d.is_interior(1, 1, 3));
+        assert_eq!(d.interior_len(), 8);
+    }
+
+    #[test]
+    fn degenerate_interior_is_zero() {
+        assert_eq!(Dims3::new(2, 5, 5).interior_len(), 0);
+        assert_eq!(Dims3::new(1, 1, 1).interior_len(), 0);
+    }
+
+    #[test]
+    fn display_and_bytes() {
+        let d = Dims3::new(600, 600, 600);
+        assert_eq!(format!("{d}"), "600x600x600");
+        assert_eq!(d.bytes(8), 600 * 600 * 600 * 8);
+    }
+}

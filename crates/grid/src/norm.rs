@@ -1,0 +1,177 @@
+//! Norms, differences and exact comparisons for verification.
+//!
+//! Every solver in this workspace evaluates the Jacobi 6-point average in
+//! the same fixed operand order, so two correct solvers must agree
+//! **bitwise** after the same number of sweeps. `assert_grids_identical`
+//! is therefore the standard verification oracle; the tolerance-based
+//! helpers exist for cross-kernel comparisons (e.g. `* (1/6)` vs `/ 6`).
+
+use crate::{Grid3, Real, Region3};
+
+/// Maximum absolute difference over `region`.
+pub fn max_abs_diff<T: Real>(a: &Grid3<T>, b: &Grid3<T>, region: &Region3) -> f64 {
+    assert_eq!(a.dims(), b.dims());
+    let r = region.intersect(&Region3::whole(a.dims()));
+    let mut m = 0.0f64;
+    for z in r.lo[2]..r.hi[2] {
+        for y in r.lo[1]..r.hi[1] {
+            let ra = &a.row(y, z)[r.lo[0]..r.hi[0]];
+            let rb = &b.row(y, z)[r.lo[0]..r.hi[0]];
+            for (va, vb) in ra.iter().zip(rb) {
+                let d = (va.to_f64() - vb.to_f64()).abs();
+                if d > m {
+                    m = d;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// L2 norm of the difference over `region`.
+pub fn l2_diff<T: Real>(a: &Grid3<T>, b: &Grid3<T>, region: &Region3) -> f64 {
+    assert_eq!(a.dims(), b.dims());
+    let r = region.intersect(&Region3::whole(a.dims()));
+    let mut acc = 0.0f64;
+    for z in r.lo[2]..r.hi[2] {
+        for y in r.lo[1]..r.hi[1] {
+            let ra = &a.row(y, z)[r.lo[0]..r.hi[0]];
+            let rb = &b.row(y, z)[r.lo[0]..r.hi[0]];
+            for (va, vb) in ra.iter().zip(rb) {
+                let d = va.to_f64() - vb.to_f64();
+                acc += d * d;
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+/// First cell (x-fastest order) where the two grids differ bitwise, with
+/// both values; `None` if identical over `region`.
+pub fn first_mismatch<T: Real>(
+    a: &Grid3<T>,
+    b: &Grid3<T>,
+    region: &Region3,
+) -> Option<((usize, usize, usize), T, T)> {
+    assert_eq!(a.dims(), b.dims());
+    let r = region.intersect(&Region3::whole(a.dims()));
+    for z in r.lo[2]..r.hi[2] {
+        for y in r.lo[1]..r.hi[1] {
+            let ra = &a.row(y, z)[r.lo[0]..r.hi[0]];
+            let rb = &b.row(y, z)[r.lo[0]..r.hi[0]];
+            for (i, (va, vb)) in ra.iter().zip(rb).enumerate() {
+                if va.to_f64().to_bits() != vb.to_f64().to_bits() {
+                    return Some(((r.lo[0] + i, y, z), *va, *vb));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Panic with a precise location unless the grids match bitwise on `region`.
+#[track_caller]
+pub fn assert_grids_identical<T: Real>(a: &Grid3<T>, b: &Grid3<T>, region: &Region3, ctx: &str) {
+    if let Some(((x, y, z), va, vb)) = first_mismatch(a, b, region) {
+        let n = count_mismatches(a, b, region);
+        panic!(
+            "{ctx}: grids differ at ({x},{y},{z}): {va} vs {vb} \
+             ({n} mismatching cells of {})",
+            region.count()
+        );
+    }
+}
+
+/// Number of bitwise-mismatching cells over `region`.
+pub fn count_mismatches<T: Real>(a: &Grid3<T>, b: &Grid3<T>, region: &Region3) -> usize {
+    let r = region.intersect(&Region3::whole(a.dims()));
+    let mut n = 0;
+    for z in r.lo[2]..r.hi[2] {
+        for y in r.lo[1]..r.hi[1] {
+            let ra = &a.row(y, z)[r.lo[0]..r.hi[0]];
+            let rb = &b.row(y, z)[r.lo[0]..r.hi[0]];
+            n += ra
+                .iter()
+                .zip(rb)
+                .filter(|(va, vb)| va.to_f64().to_bits() != vb.to_f64().to_bits())
+                .count();
+        }
+    }
+    n
+}
+
+/// Order-independent checksum (sum of bit patterns); useful as a cheap
+/// fingerprint in benchmark logs.
+pub fn fingerprint<T: Real>(g: &Grid3<T>, region: &Region3) -> u64 {
+    let r = region.intersect(&Region3::whole(g.dims()));
+    let mut acc = 0u64;
+    for z in r.lo[2]..r.hi[2] {
+        for y in r.lo[1]..r.hi[1] {
+            for v in &g.row(y, z)[r.lo[0]..r.hi[0]] {
+                acc = acc.wrapping_add(v.to_f64().to_bits());
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Dims3};
+
+    #[test]
+    fn identical_grids_have_zero_norms() {
+        let a: Grid3<f64> = init::random(Dims3::cube(6), 1);
+        let b = a.clone();
+        let r = Region3::whole(a.dims());
+        assert_eq!(max_abs_diff(&a, &b, &r), 0.0);
+        assert_eq!(l2_diff(&a, &b, &r), 0.0);
+        assert!(first_mismatch(&a, &b, &r).is_none());
+        assert_eq!(count_mismatches(&a, &b, &r), 0);
+        assert_grids_identical(&a, &b, &r, "clone");
+    }
+
+    #[test]
+    fn single_difference_is_located() {
+        let mut a: Grid3<f64> = init::random(Dims3::cube(5), 7);
+        a.set(2, 3, 1, 0.25);
+        let mut b = a.clone();
+        b.set(2, 3, 1, 1.25);
+        let r = Region3::whole(a.dims());
+        let ((x, y, z), _, _) = first_mismatch(&a, &b, &r).unwrap();
+        assert_eq!((x, y, z), (2, 3, 1));
+        assert_eq!(count_mismatches(&a, &b, &r), 1);
+        assert_eq!(max_abs_diff(&a, &b, &r), 1.0);
+        assert!((l2_diff(&a, &b, &r) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "grids differ at (1,1,1)")]
+    fn assert_identical_panics_with_location() {
+        let a: Grid3<f64> = Grid3::zeroed(Dims3::cube(4));
+        let mut b = a.clone();
+        b.set(1, 1, 1, 1.0);
+        assert_grids_identical(&a, &b, &Region3::whole(a.dims()), "test");
+    }
+
+    #[test]
+    fn fingerprint_detects_changes_and_is_order_free() {
+        let a: Grid3<f64> = init::random(Dims3::cube(6), 3);
+        let r = Region3::whole(a.dims());
+        let f1 = fingerprint(&a, &r);
+        let mut b = a.clone();
+        b.set(1, 1, 1, 0.123);
+        assert_ne!(f1, fingerprint(&b, &r));
+    }
+
+    #[test]
+    fn region_restriction_ignores_outside_cells() {
+        let a: Grid3<f64> = Grid3::zeroed(Dims3::cube(5));
+        let mut b = a.clone();
+        b.set(0, 0, 0, 9.0); // on the boundary
+        let interior = Region3::interior_of(a.dims());
+        assert_eq!(count_mismatches(&a, &b, &interior), 0);
+        assert_grids_identical(&a, &b, &interior, "interior only");
+    }
+}

@@ -1,0 +1,108 @@
+//! Floating-point element abstraction.
+//!
+//! The paper works in double precision; `f32` support is provided because
+//! lattice-Boltzmann-style descendants of the code (the paper's outlook)
+//! commonly use single precision. Only the tiny set of operations needed by
+//! the Jacobi kernel and the verification helpers is abstracted.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Element type of grids and stencil kernels.
+pub trait Real:
+    Copy
+    + Send
+    + Sync
+    + Default
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+    /// 1/6, the Jacobi weight. Stored as a constant so every code path
+    /// multiplies by the exact same bit pattern (bitwise reproducibility).
+    const SIXTH: Self;
+
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn abs(self) -> Self;
+    /// Size of one element in bytes (used for bandwidth accounting).
+    fn bytes() -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const SIXTH: Self = 1.0 / 6.0;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const SIXTH: Self = 1.0 / 6.0;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_exact() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(f64::ONE, 1.0);
+        assert_eq!(f64::SIXTH, 1.0 / 6.0);
+        assert_eq!(f32::SIXTH, 1.0f32 / 6.0f32);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(f64::from_f64(3.25).to_f64(), 3.25);
+        assert_eq!(f32::from_f64(3.25).to_f64(), 3.25);
+        assert_eq!((-2.0f64).abs(), 2.0);
+        assert_eq!((-2.0f32).abs(), 2.0);
+    }
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(<f64 as Real>::bytes(), 8);
+        assert_eq!(<f32 as Real>::bytes(), 4);
+    }
+}

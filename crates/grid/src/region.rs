@@ -1,0 +1,249 @@
+//! Axis-aligned boxes ("regions") of grid cells.
+//!
+//! A [`Region3`] is half-open: it covers cells with `lo[d] <= c[d] < hi[d]`.
+//! Regions are the currency of the pipelined temporal blocking plan: every
+//! stage of the pipeline updates one region, and the race-freedom argument
+//! is phrased entirely in terms of region disjointness.
+
+/// Half-open axis-aligned box of cells.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Region3 {
+    pub lo: [usize; 3],
+    pub hi: [usize; 3],
+}
+
+impl Region3 {
+    pub const fn new(lo: [usize; 3], hi: [usize; 3]) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The empty region.
+    pub const fn empty() -> Self {
+        Self { lo: [0; 3], hi: [0; 3] }
+    }
+
+    /// Region covering `[1, n-1)` in each dimension of `dims` — the interior
+    /// (non-boundary) cells of a Jacobi grid.
+    pub fn interior_of(dims: crate::Dims3) -> Self {
+        let a = dims.as_array();
+        Self {
+            lo: [1, 1, 1],
+            hi: [a[0].saturating_sub(1), a[1].saturating_sub(1), a[2].saturating_sub(1)],
+        }
+    }
+
+    /// Region covering the whole of `dims`.
+    pub fn whole(dims: crate::Dims3) -> Self {
+        Self { lo: [0; 3], hi: dims.as_array() }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..3).any(|d| self.hi[d] <= self.lo[d])
+    }
+
+    /// Number of cells covered.
+    pub fn count(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            (0..3).map(|d| self.hi[d] - self.lo[d]).product()
+        }
+    }
+
+    /// Extent along dimension `d`; zero if empty in that dimension.
+    pub fn extent(&self, d: usize) -> usize {
+        self.hi[d].saturating_sub(self.lo[d])
+    }
+
+    #[inline]
+    pub fn contains(&self, x: usize, y: usize, z: usize) -> bool {
+        let c = [x, y, z];
+        (0..3).all(|d| c[d] >= self.lo[d] && c[d] < self.hi[d])
+    }
+
+    /// True if `other` is fully inside `self`.
+    pub fn contains_region(&self, other: &Region3) -> bool {
+        other.is_empty()
+            || (0..3).all(|d| other.lo[d] >= self.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// Intersection (may be empty).
+    pub fn intersect(&self, other: &Region3) -> Region3 {
+        let mut lo = [0; 3];
+        let mut hi = [0; 3];
+        for d in 0..3 {
+            lo[d] = self.lo[d].max(other.lo[d]);
+            hi[d] = self.hi[d].min(other.hi[d]);
+            if hi[d] < lo[d] {
+                return Region3::empty();
+            }
+        }
+        Region3 { lo, hi }
+    }
+
+    pub fn intersects(&self, other: &Region3) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && (0..3).all(|d| self.lo[d] < other.hi[d] && other.lo[d] < self.hi[d])
+    }
+
+    /// Grow by `g` cells on every side, clamped so coordinates stay
+    /// non-negative.
+    pub fn expand(&self, g: usize) -> Region3 {
+        if self.is_empty() {
+            return *self;
+        }
+        let mut r = *self;
+        for d in 0..3 {
+            r.lo[d] = r.lo[d].saturating_sub(g);
+            r.hi[d] += g;
+        }
+        r
+    }
+
+    /// Shrink by `g` cells on every side (may become empty).
+    pub fn shrink(&self, g: usize) -> Region3 {
+        let mut r = *self;
+        for d in 0..3 {
+            r.lo[d] += g;
+            r.hi[d] = r.hi[d].saturating_sub(g);
+        }
+        r
+    }
+
+    /// Translate by a signed offset, clamping below at zero. Cells that
+    /// would move to negative coordinates are dropped.
+    pub fn shifted(&self, offset: [i64; 3]) -> Region3 {
+        if self.is_empty() {
+            return Region3::empty();
+        }
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for d in 0..3 {
+            let l = self.lo[d] as i64 + offset[d];
+            let h = self.hi[d] as i64 + offset[d];
+            if h <= 0 {
+                return Region3::empty();
+            }
+            lo[d] = l.max(0) as usize;
+            hi[d] = h as usize;
+        }
+        Region3 { lo, hi }
+    }
+
+    /// Iterate over all `(x, y, z)` cells, x fastest.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let r = *self;
+        (r.lo[2]..r.hi[2]).flat_map(move |z| {
+            (r.lo[1]..r.hi[1])
+                .flat_map(move |y| (r.lo[0]..r.hi[0]).map(move |x| (x, y, z)))
+        })
+    }
+
+    /// The face of thickness `w` on the low side of dimension `d`.
+    pub fn low_face(&self, d: usize, w: usize) -> Region3 {
+        let mut r = *self;
+        r.hi[d] = (r.lo[d] + w).min(r.hi[d]);
+        r
+    }
+
+    /// The face of thickness `w` on the high side of dimension `d`.
+    pub fn high_face(&self, d: usize, w: usize) -> Region3 {
+        let mut r = *self;
+        r.lo[d] = r.hi[d].saturating_sub(w).max(r.lo[d]);
+        r
+    }
+}
+
+impl std::fmt::Display for Region3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{},{})x[{},{})x[{},{})",
+            self.lo[0], self.hi[0], self.lo[1], self.hi[1], self.lo[2], self.hi[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dims3;
+
+    #[test]
+    fn count_and_empty() {
+        let r = Region3::new([1, 1, 1], [4, 3, 2]);
+        assert_eq!(r.count(), 3 * 2 * 1);
+        assert!(!r.is_empty());
+        assert!(Region3::empty().is_empty());
+        assert_eq!(Region3::empty().count(), 0);
+        assert!(Region3::new([2, 0, 0], [2, 5, 5]).is_empty());
+    }
+
+    #[test]
+    fn interior_of_dims() {
+        let r = Region3::interior_of(Dims3::cube(6));
+        assert_eq!(r, Region3::new([1, 1, 1], [5, 5, 5]));
+        assert_eq!(r.count(), 64);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Region3::new([0, 0, 0], [4, 4, 4]);
+        let b = Region3::new([2, 2, 2], [6, 6, 6]);
+        let i = a.intersect(&b);
+        assert_eq!(i, Region3::new([2, 2, 2], [4, 4, 4]));
+        assert!(a.intersects(&b));
+        let c = Region3::new([4, 0, 0], [5, 4, 4]);
+        assert!(!a.intersects(&c));
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn expand_shrink_roundtrip() {
+        let r = Region3::new([2, 3, 4], [6, 7, 8]);
+        assert_eq!(r.expand(1).shrink(1), r);
+        assert_eq!(r.expand(2).lo, [0, 1, 2]);
+        assert_eq!(Region3::new([0, 0, 0], [2, 2, 2]).expand(1).lo, [0, 0, 0]);
+        assert!(r.shrink(2).is_empty());
+    }
+
+    #[test]
+    fn shifted_clamps_at_zero() {
+        let r = Region3::new([1, 1, 1], [4, 4, 4]);
+        assert_eq!(r.shifted([-1, 0, 2]), Region3::new([0, 1, 3], [3, 4, 6]));
+        assert_eq!(r.shifted([-2, -2, -2]).lo, [0, 0, 0]);
+        assert!(r.shifted([-4, 0, 0]).is_empty());
+    }
+
+    #[test]
+    fn iter_visits_all_cells_x_fastest() {
+        let r = Region3::new([1, 2, 3], [3, 4, 4]);
+        let cells: Vec<_> = r.iter().collect();
+        assert_eq!(cells.len(), r.count());
+        assert_eq!(cells[0], (1, 2, 3));
+        assert_eq!(cells[1], (2, 2, 3));
+        assert_eq!(cells[2], (1, 3, 3));
+        assert!(cells.iter().all(|&(x, y, z)| r.contains(x, y, z)));
+    }
+
+    #[test]
+    fn faces() {
+        let r = Region3::new([0, 0, 0], [10, 10, 10]);
+        let lf = r.low_face(0, 2);
+        assert_eq!(lf, Region3::new([0, 0, 0], [2, 10, 10]));
+        let hf = r.high_face(2, 3);
+        assert_eq!(hf, Region3::new([0, 0, 7], [10, 10, 10]));
+        // Thickness larger than the region degenerates to the region itself.
+        assert_eq!(r.low_face(1, 99), r);
+    }
+
+    #[test]
+    fn contains_region_edge_cases() {
+        let a = Region3::new([0, 0, 0], [4, 4, 4]);
+        assert!(a.contains_region(&Region3::new([1, 1, 1], [4, 4, 4])));
+        assert!(!a.contains_region(&Region3::new([1, 1, 1], [5, 4, 4])));
+        assert!(a.contains_region(&Region3::empty()));
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared mutable grid views for multi-threaded executors.
+//!
+//! The pipelined temporal blocking executors update *one pair of grids from
+//! many threads at once*. Rust's aliasing rules cannot express the
+//! scheme's invariant ("concurrently active stage regions are disjoint"),
+//! so this module provides a raw-pointer view with the invariant documented
+//! and — in debug builds and in the test-suite — *checked* by
+//! [`crate::RegionAuditor`].
+//!
+//! # Safety contract
+//!
+//! A [`SharedGrid`] may be freely copied across threads. Callers of the
+//! `unsafe` accessors must guarantee:
+//!
+//! 1. the underlying allocation outlives every copy of the view (enforced
+//!    structurally by the executors: they only hand views to scoped
+//!    threads borrowing the grids);
+//! 2. no cell is written by one thread while any other thread reads or
+//!    writes it. For the pipeline this follows from the plan geometry: see
+//!    `tb-stencil::pipeline::plan` for the proof, and the auditor for the
+//!    runtime check.
+
+use crate::{Dims3, Region3};
+
+/// An unsynchronized, shareable view of a `Grid3`'s storage.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedGrid<T> {
+    ptr: *mut T,
+    dims: Dims3,
+}
+
+// SAFETY: see module-level contract; all dereferences are `unsafe fn`s whose
+// callers take on the disjointness obligation.
+unsafe impl<T: Send> Send for SharedGrid<T> {}
+unsafe impl<T: Send> Sync for SharedGrid<T> {}
+
+impl<T: Copy> SharedGrid<T> {
+    /// Create a view over `ptr`, which must point at `dims.len()` elements.
+    ///
+    /// Not `unsafe` by itself: constructing the view is harmless; only the
+    /// accessors dereference.
+    pub fn from_raw(ptr: *mut T, dims: Dims3) -> Self {
+        Self { ptr, dims }
+    }
+
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Read one cell.
+    ///
+    /// # Safety
+    /// Caller must uphold the module-level contract (no concurrent writer
+    /// of this cell) and `(x,y,z)` must be in bounds.
+    #[inline(always)]
+    pub unsafe fn get(&self, x: usize, y: usize, z: usize) -> T {
+        debug_assert!(x < self.dims.nx && y < self.dims.ny && z < self.dims.nz);
+        *self.ptr.add(self.dims.idx(x, y, z))
+    }
+
+    /// Write one cell.
+    ///
+    /// # Safety
+    /// Caller must uphold the module-level contract (exclusive access to
+    /// this cell) and `(x,y,z)` must be in bounds.
+    #[inline(always)]
+    pub unsafe fn set(&self, x: usize, y: usize, z: usize, v: T) {
+        debug_assert!(x < self.dims.nx && y < self.dims.ny && z < self.dims.nz);
+        *self.ptr.add(self.dims.idx(x, y, z)) = v;
+    }
+
+    /// Immutable slice over the x-range `[x0, x1)` of row `(y, z)`.
+    ///
+    /// # Safety
+    /// No concurrent writer may touch these cells; range must be in bounds.
+    #[inline(always)]
+    pub unsafe fn row(&self, x0: usize, x1: usize, y: usize, z: usize) -> &[T] {
+        debug_assert!(x0 <= x1 && x1 <= self.dims.nx && y < self.dims.ny && z < self.dims.nz);
+        std::slice::from_raw_parts(self.ptr.add(self.dims.idx(x0, y, z)), x1 - x0)
+    }
+
+    /// Mutable slice over the x-range `[x0, x1)` of row `(y, z)`.
+    ///
+    /// # Safety
+    /// Caller must have exclusive access to these cells; range must be in
+    /// bounds.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)] // the whole point of this type
+    pub unsafe fn row_mut(&self, x0: usize, x1: usize, y: usize, z: usize) -> &mut [T] {
+        debug_assert!(x0 <= x1 && x1 <= self.dims.nx && y < self.dims.ny && z < self.dims.nz);
+        std::slice::from_raw_parts_mut(self.ptr.add(self.dims.idx(x0, y, z)), x1 - x0)
+    }
+
+    /// Copy `region` out into a `Vec` (x fastest). Test/debug helper.
+    ///
+    /// # Safety
+    /// No concurrent writer may touch `region`.
+    pub unsafe fn read_region(&self, region: &Region3) -> Vec<T> {
+        let mut out = Vec::with_capacity(region.count());
+        for z in region.lo[2]..region.hi[2] {
+            for y in region.lo[1]..region.hi[1] {
+                out.extend_from_slice(self.row(region.lo[0], region.hi[0], y, z));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Grid3, Real};
+
+    #[test]
+    fn view_reads_and_writes_through() {
+        let mut g: Grid3<f64> = Grid3::zeroed(Dims3::cube(4));
+        let v = SharedGrid::from_raw(g.as_mut_ptr(), g.dims());
+        unsafe {
+            v.set(1, 2, 3, 8.0);
+            assert_eq!(v.get(1, 2, 3), 8.0);
+        }
+        assert_eq!(g.get(1, 2, 3), 8.0);
+    }
+
+    #[test]
+    fn rows_alias_grid_rows() {
+        let mut g: Grid3<f64> = Grid3::from_fn(Dims3::new(6, 3, 3), |x, _, _| x as f64);
+        let v = SharedGrid::from_raw(g.as_mut_ptr(), g.dims());
+        unsafe {
+            assert_eq!(v.row(1, 4, 2, 2), &[1.0, 2.0, 3.0]);
+            v.row_mut(0, 6, 1, 1).fill(5.0);
+        }
+        assert_eq!(g.row(1, 1), &[5.0; 6]);
+    }
+
+    #[test]
+    fn read_region_is_x_fastest() {
+        let mut g: Grid3<f64> =
+            Grid3::from_fn(Dims3::cube(3), |x, y, z| (x + 10 * y + 100 * z) as f64);
+        let v = SharedGrid::from_raw(g.as_mut_ptr(), g.dims());
+        let r = Region3::new([0, 0, 0], [2, 2, 1]);
+        let vals = unsafe { v.read_region(&r) };
+        assert_eq!(vals, vec![0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_race_free() {
+        // Two threads write disjoint halves through the same view; the
+        // result must be deterministic. (This is the pattern the pipeline
+        // executors rely on.)
+        let dims = Dims3::new(64, 8, 8);
+        let mut g: Grid3<f64> = Grid3::zeroed(dims);
+        let v = SharedGrid::from_raw(g.as_mut_ptr(), dims);
+        std::thread::scope(|s| {
+            for half in 0..2usize {
+                s.spawn(move || {
+                    let z0 = half * 4;
+                    for z in z0..z0 + 4 {
+                        for y in 0..8 {
+                            // SAFETY: z-ranges of the two threads are disjoint.
+                            unsafe { v.row_mut(0, 64, y, z).fill(half as f64 + 1.0) };
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(0, 0, 0), 1.0);
+        assert_eq!(g.get(0, 0, 7), 2.0);
+        let s = g.sum_region(&Region3::whole(dims));
+        assert_eq!(s, (64 * 8 * 4) as f64 * (1.0 + 2.0));
+        let _ = f64::ZERO; // keep Real in scope for doc parity
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the grid substrate.
+
+use proptest::prelude::*;
+use tb_grid::{init, AlignedVec, BlockPartition, CompressedGrid, Dims3, Grid3, Region3};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// idx/coords are inverse bijections over the whole index space.
+    #[test]
+    fn index_bijection(ext in prop::array::uniform3(1usize..12)) {
+        let d = Dims3::new(ext[0], ext[1], ext[2]);
+        let mut seen = vec![false; d.len()];
+        for z in 0..d.nz {
+            for y in 0..d.ny {
+                for x in 0..d.nx {
+                    let i = d.idx(x, y, z);
+                    prop_assert!(!seen[i], "index collision at ({x},{y},{z})");
+                    seen[i] = true;
+                    prop_assert_eq!(d.coords(i), (x, y, z));
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    /// Aligned allocations are always 64-byte aligned and zeroed.
+    #[test]
+    fn aligned_vec_properties(len in 1usize..10_000) {
+        let v: AlignedVec<f64> = AlignedVec::zeroed(len);
+        prop_assert_eq!(v.as_ptr() as usize % 64, 0);
+        prop_assert_eq!(v.len(), len);
+        prop_assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    /// region.count() equals the number of iterated cells, and iteration
+    /// respects containment.
+    #[test]
+    fn region_iteration_consistency(
+        lo in prop::array::uniform3(0usize..8),
+        ext in prop::array::uniform3(0usize..6),
+    ) {
+        let r = Region3::new(lo, [lo[0]+ext[0], lo[1]+ext[1], lo[2]+ext[2]]);
+        let cells: Vec<_> = r.iter().collect();
+        prop_assert_eq!(cells.len(), r.count());
+        for (x, y, z) in cells {
+            prop_assert!(r.contains(x, y, z));
+        }
+    }
+
+    /// Any partition's blocks, expanded by one, stay within the domain
+    /// expanded by one (the read-halo property executors rely on).
+    #[test]
+    fn block_expansion_stays_in_expanded_domain(
+        ext in prop::array::uniform3(4usize..20),
+        blk in prop::array::uniform3(2usize..8),
+    ) {
+        let dom = Region3::new([1, 1, 1], [1+ext[0], 1+ext[1], 1+ext[2]]);
+        let p = BlockPartition::new(dom, blk);
+        let fence = dom.expand(1);
+        for (_, _, r) in p.iter() {
+            prop_assert!(fence.contains_region(&r.expand(1)));
+        }
+    }
+
+    /// Compressed-grid round trip at any legal displacement preserves the
+    /// logical contents written at that displacement.
+    #[test]
+    fn compressed_roundtrip(n in 3usize..10, margin in 1usize..5, disp in 0i64..5) {
+        prop_assume!(disp <= margin as i64);
+        let dims = Dims3::cube(n);
+        let mut cg: CompressedGrid<f64> = CompressedGrid::zeroed(dims, margin);
+        cg.set_displacement(-disp);
+        for (i, (x, y, z)) in Region3::whole(dims).iter().enumerate() {
+            cg.set(x, y, z, i as f64);
+        }
+        let g = cg.to_grid();
+        for (i, (x, y, z)) in Region3::whole(dims).iter().enumerate() {
+            prop_assert_eq!(g.get(x, y, z), i as f64);
+        }
+    }
+
+    /// Deterministic initializers: same seed same bits, different seeds
+    /// differ somewhere (overwhelmingly likely).
+    #[test]
+    fn random_init_determinism(n in 4usize..12, seed in 0u64..1_000_000) {
+        let a: Grid3<f64> = init::random(Dims3::cube(n), seed);
+        let b: Grid3<f64> = init::random(Dims3::cube(n), seed);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        let c: Grid3<f64> = init::random(Dims3::cube(n), seed ^ 0xdeadbeef);
+        prop_assert!(a.as_slice() != c.as_slice());
+    }
+}

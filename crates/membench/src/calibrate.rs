@@ -1,0 +1,102 @@
+//! Derive a [`tb_model::MachineParams`] for the *host* machine.
+//!
+//! * `M_{s,1}`: single-thread COPY over a memory-sized working set,
+//! * `M_s`: COPY with all cores of one cache group over the same set,
+//! * `M_c`: COPY with the cache group's threads over a set fitting the
+//!   shared cache.
+//!
+//! The result feeds the §1.4 diagnostic model so its predictions refer to
+//! the machine actually running the benchmarks (experiments E1/E5).
+
+use tb_model::MachineParams;
+use tb_topology::Machine;
+
+use crate::runner::{measure_bandwidth, StreamKind};
+
+/// Calibration effort: quick (CI-friendly) or thorough.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibrationProfile {
+    pub mem_elems: usize,
+    pub cache_elems: usize,
+    pub reps: usize,
+    pub pin: bool,
+}
+
+impl CalibrationProfile {
+    /// ~48 MB working set in memory, ~1.5 MB in cache, 3 reps.
+    pub fn quick() -> Self {
+        Self { mem_elems: 2 << 20, cache_elems: 1 << 16, reps: 3, pin: false }
+    }
+
+    /// ~384 MB / ~3 MB, 5 reps, pinned.
+    pub fn thorough() -> Self {
+        Self { mem_elems: 16 << 20, cache_elems: 1 << 17, reps: 5, pin: true }
+    }
+}
+
+/// Measure the host and fill in a parameter set. The `machine` topology
+/// supplies team geometry and cache capacity.
+pub fn calibrate_host(machine: &Machine, profile: CalibrationProfile) -> MachineParams {
+    let group = machine.cores_per_socket().max(1);
+    // Size the cache set to (at most) half the shared cache per the
+    // paper's "block small enough to stay resident" requirement.
+    let cache_bytes = machine
+        .shared_cache()
+        .map(|c| c.size_bytes)
+        .unwrap_or(8 * 1024 * 1024);
+    let cache_elems = profile.cache_elems.min(cache_bytes / (3 * 8) / 2).max(1024);
+
+    let ms1 = measure_bandwidth(StreamKind::Copy, 1, profile.mem_elems, profile.reps, profile.pin)
+        .bytes_per_sec;
+    let ms = measure_bandwidth(
+        StreamKind::Copy,
+        group,
+        profile.mem_elems / group.max(1),
+        profile.reps,
+        profile.pin,
+    )
+    .bytes_per_sec;
+    let mc = measure_bandwidth(StreamKind::Copy, group, cache_elems, profile.reps + 2, profile.pin)
+        .bytes_per_sec;
+
+    MachineParams {
+        // Guard against measurement inversion on noisy/virtualized hosts:
+        // the model requires Ms >= Ms,1 and Mc >= Ms.
+        ms: ms.max(ms1),
+        ms1,
+        mc: mc.max(ms.max(ms1)),
+        cores_per_socket: group,
+        sockets: machine.num_sockets(),
+        cache_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_calibration_is_sane() {
+        let machine = tb_topology::detect::detect();
+        let p = CalibrationProfile {
+            mem_elems: 1 << 18, // keep the unit test fast
+            cache_elems: 1 << 14,
+            reps: 2,
+            pin: false,
+        };
+        let m = calibrate_host(&machine, p);
+        assert!(m.ms1 > 0.0 && m.ms1.is_finite());
+        assert!(m.ms >= m.ms1);
+        assert!(m.mc >= m.ms);
+        assert!(m.cores_per_socket >= 1);
+        assert!(m.sockets >= 1);
+    }
+
+    #[test]
+    fn profiles_have_reasonable_defaults() {
+        let q = CalibrationProfile::quick();
+        let t = CalibrationProfile::thorough();
+        assert!(t.mem_elems > q.mem_elems);
+        assert!(t.reps > q.reps);
+    }
+}

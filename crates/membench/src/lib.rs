@@ -1,0 +1,20 @@
+//! # tb-membench — STREAM-style memory benchmarks and calibration
+//!
+//! The paper's models are parameterized by three bandwidths measured with
+//! STREAM COPY-class kernels (§1.1, §1.4): the saturated socket bandwidth
+//! `M_s`, the single-thread bandwidth `M_{s,1}`, and the shared-cache
+//! bandwidth `M_c`. This crate reimplements those measurements:
+//!
+//! * [`kernels`] — COPY/SCALE/ADD/TRIAD loops (with a non-temporal COPY
+//!   on x86-64),
+//! * [`runner`] — timed single-/multi-threaded sweeps over working-set
+//!   sizes,
+//! * [`calibrate`] — turn host measurements into a
+//!   [`tb_model::MachineParams`] for the analytic models.
+
+pub mod calibrate;
+pub mod kernels;
+pub mod runner;
+
+pub use calibrate::{calibrate_host, CalibrationProfile};
+pub use runner::{measure_bandwidth, working_set_sweep, BandwidthSample, StreamKind};

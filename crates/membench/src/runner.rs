@@ -1,0 +1,158 @@
+//! Timed bandwidth measurements.
+
+use std::time::Instant;
+
+use tb_grid::AlignedVec;
+use tb_sync::SpinBarrier;
+use tb_topology::affinity;
+
+use crate::kernels;
+
+/// Which STREAM kernel to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamKind {
+    Copy,
+    CopyNt,
+    Scale,
+    Add,
+    Triad,
+}
+
+impl StreamKind {
+    /// Bytes moved per element (McCalpin accounting; NT stores avoid the
+    /// write-allocate, plain stores' RFO is conventionally not counted).
+    pub fn bytes_per_elem(self) -> usize {
+        match self {
+            StreamKind::Copy | StreamKind::CopyNt | StreamKind::Scale => 16,
+            StreamKind::Add | StreamKind::Triad => 24,
+        }
+    }
+}
+
+/// One measurement result.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthSample {
+    pub kind: StreamKind,
+    pub threads: usize,
+    /// Working set per thread in bytes (all arrays combined).
+    pub working_set: usize,
+    /// Best-of-repetitions bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+/// Measure kernel bandwidth with `threads` threads, each on its own
+/// arrays of `elems` elements, `reps` repetitions (best rep wins, as in
+/// STREAM). Threads are optionally pinned to consecutive CPUs.
+pub fn measure_bandwidth(
+    kind: StreamKind,
+    threads: usize,
+    elems: usize,
+    reps: usize,
+    pin: bool,
+) -> BandwidthSample {
+    assert!(threads >= 1 && elems >= 2 && reps >= 1);
+    let barrier = SpinBarrier::new(threads);
+    // Per-rep wall time = max over threads (a rep is as slow as its
+    // slowest participant); best rep = min over non-warmup reps.
+    let mut rep_times = vec![0.0f64; reps];
+    let times = parking_lot::Mutex::new(&mut rep_times);
+
+    std::thread::scope(|scope| {
+        for k in 0..threads {
+            let barrier = &barrier;
+            let times = &times;
+            scope.spawn(move || {
+                if pin {
+                    let _ = affinity::pin_current_thread(k);
+                }
+                let a = AlignedVec::<f64>::filled(elems, 1.0);
+                let mut b = AlignedVec::<f64>::filled(elems, 2.0);
+                let mut c = AlignedVec::<f64>::zeroed(elems);
+                for rep in 0..reps {
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    match kind {
+                        StreamKind::Copy => kernels::copy(&a, &mut c),
+                        StreamKind::CopyNt => kernels::copy_nt(&a, &mut c),
+                        StreamKind::Scale => kernels::scale(&a, &mut b, 3.0),
+                        StreamKind::Add => kernels::add(&a, &b, &mut c),
+                        StreamKind::Triad => kernels::triad(&a, &b, &mut c, 3.0),
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    barrier.wait();
+                    let mut guard = times.lock();
+                    if dt > guard[rep] {
+                        guard[rep] = dt;
+                    }
+                }
+                std::hint::black_box(c[0]);
+            });
+        }
+    });
+
+    // First rep is warm-up when reps > 1.
+    let usable = if rep_times.len() > 1 { &rep_times[1..] } else { &rep_times[..] };
+    let best = usable.iter().cloned().fold(f64::INFINITY, f64::min);
+    let bytes = (threads * elems * kind.bytes_per_elem()) as f64;
+    BandwidthSample {
+        kind,
+        threads,
+        working_set: elems * 3 * 8,
+        bytes_per_sec: bytes / best.max(1e-12),
+    }
+}
+
+/// Sweep working-set sizes to expose the cache hierarchy: returns
+/// `(working_set_bytes, bandwidth)` pairs for the given kernel/threads.
+pub fn working_set_sweep(
+    kind: StreamKind,
+    threads: usize,
+    sizes: &[usize],
+    reps: usize,
+) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&elems| {
+            let s = measure_bandwidth(kind, threads, elems, reps, false);
+            (s.working_set, s.bytes_per_sec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_accounting() {
+        assert_eq!(StreamKind::Copy.bytes_per_elem(), 16);
+        assert_eq!(StreamKind::Triad.bytes_per_elem(), 24);
+    }
+
+    #[test]
+    fn measures_positive_bandwidth() {
+        let s = measure_bandwidth(StreamKind::Copy, 1, 1 << 16, 3, false);
+        assert!(s.bytes_per_sec > 1e6, "absurdly low bandwidth {}", s.bytes_per_sec);
+        assert_eq!(s.threads, 1);
+    }
+
+    #[test]
+    fn multithreaded_run_completes() {
+        let s = measure_bandwidth(StreamKind::Triad, 2, 1 << 14, 2, false);
+        assert!(s.bytes_per_sec.is_finite());
+        assert!(s.bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn nt_copy_reports_bandwidth() {
+        let s = measure_bandwidth(StreamKind::CopyNt, 1, 1 << 16, 2, false);
+        assert!(s.bytes_per_sec > 1e6);
+    }
+
+    #[test]
+    fn sweep_returns_one_sample_per_size() {
+        let out = working_set_sweep(StreamKind::Copy, 1, &[1 << 10, 1 << 12], 2);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].0 < out[1].0);
+    }
+}

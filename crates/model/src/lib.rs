@@ -1,0 +1,29 @@
+//! # tb-model — the paper's analytic performance models
+//!
+//! Pure functions, no I/O, reproducing every quantitative model in the
+//! paper:
+//!
+//! * [`machine`] — bandwidth/latency parameter sets ([`MachineParams`]),
+//!   with the Nehalem EP preset used throughout the paper;
+//! * [`roofline`] — the memory-bound baseline estimate `P0 = M_s / 16 B`
+//!   (Eq. 2);
+//! * [`pipeline`] — the single-cache diagnostic model of §1.4 (Eqs. 4–5)
+//!   predicting the speedup of pipelined temporal blocking;
+//! * [`network`] — the latency/bandwidth message time model;
+//! * [`halo`] — the multi-layer halo advantage model behind Fig. 5;
+//! * [`scaling`] — strong/weak scaling predictions and ideal lines for
+//!   Fig. 6.
+
+pub mod halo;
+pub mod machine;
+pub mod network;
+pub mod pipeline;
+pub mod roofline;
+pub mod scaling;
+
+pub use halo::{computational_efficiency, fig5_network, halo_advantage, halo_cycle_time, HaloWorkload};
+pub use machine::MachineParams;
+pub use network::NetworkParams;
+pub use pipeline::{pipeline_speedup, team_block_time};
+pub use roofline::jacobi_roofline_lups;
+pub use scaling::{ScalingConfig, ScalingMode, ScalingPoint};

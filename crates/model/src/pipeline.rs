@@ -1,0 +1,119 @@
+//! The single-cache diagnostic performance model (paper §1.4, Eqs. 4–5).
+//!
+//! Assumptions (quoted from the paper): the shared cache holds `(t-1)·d_u`
+//! blocks; the block size makes the shared cache supply exactly one load
+//! and one store per stencil update; all upper cache levels are infinitely
+//! fast; code execution is purely bandwidth-bound and the memory bus is
+//! saturated. The model is *diagnostic*: the paper shows it matches
+//! measurements at `T = 1` and fails at larger `T` once execution
+//! decouples from memory bandwidth — reproducing that failure is part of
+//! experiment E6.
+
+use crate::machine::MachineParams;
+
+/// Eq. 4: wall time (seconds per lattice site) for the `t·T` block updates
+/// a team performs while a block travels its pipeline:
+///
+/// `T_b = 16B/M_{s,1} + 2(tT - 1) · 8B/M_c`
+pub fn team_block_time(machine: &MachineParams, t: usize, updates: usize) -> f64 {
+    let tt = (t * updates) as f64;
+    assert!(tt >= 1.0);
+    16.0 / machine.ms1 + 2.0 * (tt - 1.0) * 8.0 / machine.mc
+}
+
+/// Eq. 5: expected speedup of pipelined temporal blocking over the
+/// standard Jacobi:
+///
+/// `T_0/T_b = (M_{s,1}/M_s) · tT / (1 + (tT-1)·M_{s,1}/M_c)`
+pub fn pipeline_speedup(machine: &MachineParams, t: usize, updates: usize) -> f64 {
+    let tt = (t * updates) as f64;
+    assert!(tt >= 1.0);
+    let r = machine.ms1 / machine.mc;
+    (machine.ms1 / machine.ms) * tt / (1.0 + (tt - 1.0) * r)
+}
+
+/// Predicted socket performance in LUP/s: Eq. 2 baseline times Eq. 5.
+pub fn predicted_socket_lups(machine: &MachineParams, t: usize, updates: usize) -> f64 {
+    crate::roofline::jacobi_roofline_default(machine) * pipeline_speedup(machine, t, updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §1.4: "leading to an expected speedup of 16T/(7+4T) at t = 4, or
+    /// 1.45 at T = 1".
+    #[test]
+    fn nehalem_t4_formula() {
+        let m = MachineParams::nehalem_ep();
+        for updates in 1..=8 {
+            let tt = updates as f64;
+            // Derive the paper's closed form with Ms/Ms,1 = 2 and
+            // Mc/Ms,1 = 8 exactly: speedup = (1/2)·4T/(1+(4T-1)/8)
+            //                              = 16T/(7+4T).
+            let paper = 16.0 * tt / (7.0 + 4.0 * tt);
+            // Our params use Ms = 18.5 (ratio 1.85, not exactly 2); use a
+            // machine with the paper's idealized ratios for the check.
+            let ideal = MachineParams { ms: 20.0e9, ms1: 10.0e9, mc: 80.0e9, ..m };
+            let got = pipeline_speedup(&ideal, 4, updates);
+            assert!((got - paper).abs() < 1e-12, "T={updates}: {got} vs {paper}");
+        }
+    }
+
+    #[test]
+    fn t1_speedup_is_about_1_45() {
+        let ideal = MachineParams { ms: 20.0e9, ms1: 10.0e9, mc: 80.0e9, ..MachineParams::nehalem_ep() };
+        let s = pipeline_speedup(&ideal, 4, 1);
+        assert!((s - 16.0 / 11.0).abs() < 1e-12);
+        assert!((s - 1.4545).abs() < 1e-3);
+    }
+
+    #[test]
+    fn limit_is_mc_over_ms() {
+        // "In the limit of very large t·T, this ratio becomes Mc/Ms."
+        let m = MachineParams::nehalem_ep();
+        let s = pipeline_speedup(&m, 4, 100_000);
+        assert!((s - m.max_speedup()).abs() / m.max_speedup() < 1e-3);
+    }
+
+    #[test]
+    fn bandwidth_scaling_machine_gains_nothing() {
+        // "if the memory bandwidth scales with core count, the factor of t
+        // in the numerator is canceled".
+        let m = MachineParams::bandwidth_scaling(4);
+        let s = pipeline_speedup(&m, 4, 1);
+        assert!(s <= 1.0 + 1e-12, "speedup {s} should not exceed 1");
+    }
+
+    #[test]
+    fn speedup_increases_with_saturation() {
+        // More bandwidth-starved designs profit more (paper §3).
+        let nehalem = MachineParams::nehalem_ep();
+        let core2 = MachineParams::core2_like();
+        assert!(
+            pipeline_speedup(&core2, 2, 2) / (core2.mc / core2.ms)
+                > pipeline_speedup(&nehalem, 4, 1) / (nehalem.mc / nehalem.ms) - 1.0
+        );
+        // Direct check: core2-like saturation ratio is closer to 1 so its
+        // relative gain at equal tT is larger.
+        assert!(pipeline_speedup(&core2, 4, 1) > pipeline_speedup(&nehalem, 4, 1));
+    }
+
+    #[test]
+    fn block_time_monotone_in_depth() {
+        let m = MachineParams::nehalem_ep();
+        assert!(team_block_time(&m, 4, 2) > team_block_time(&m, 4, 1));
+        // First update costs the memory fetch; extra updates only cache BW.
+        let base = team_block_time(&m, 1, 1);
+        assert!((base - 16.0 / m.ms1).abs() < 1e-18);
+    }
+
+    #[test]
+    fn predicted_socket_lups_reasonable() {
+        // At T=1 the paper measures ~1600 MLUP/s on one socket; prediction
+        // with the idealized ratios is P0 * 1.45 ≈ 1.45-1.7 GLUP/s.
+        let m = MachineParams::nehalem_ep();
+        let p = predicted_socket_lups(&m, 4, 1);
+        assert!(p > 1.4e9 && p < 2.0e9, "{p}");
+    }
+}

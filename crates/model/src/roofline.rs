@@ -1,0 +1,63 @@
+//! Bandwidth roofline for the standard Jacobi sweep (Eq. 2).
+//!
+//! With spatial blocking and non-temporal stores the kernel moves 16 bytes
+//! per lattice-site update over the memory bus (one 8-byte read + one
+//! 8-byte write), so a "perfect" baseline runs at `P0 = M_s / 16 B`
+//! LUP/s per socket. The paper quotes 2.3 GLUP/s for its 18.5 GB/s
+//! Nehalem socket.
+
+use crate::machine::MachineParams;
+
+/// Expected memory-bound LUP/s for the baseline Jacobi on one socket,
+/// given the per-update traffic `bytes_per_lup` (16 with streaming
+/// stores, 24 with read-for-ownership).
+pub fn jacobi_roofline_lups(machine: &MachineParams, bytes_per_lup: f64) -> f64 {
+    assert!(bytes_per_lup > 0.0);
+    machine.ms / bytes_per_lup
+}
+
+/// Eq. 2 with the paper's default 16 B/LUP.
+pub fn jacobi_roofline_default(machine: &MachineParams) -> f64 {
+    jacobi_roofline_lups(machine, 16.0)
+}
+
+/// Naive code balance of the unblocked kernel in words/flop (paper §1.1:
+/// `B_c = 8/6 W/F` counting the RFO).
+pub fn naive_code_balance_words_per_flop() -> f64 {
+    8.0 / 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_expectation_matches_paper() {
+        // "leading to an expectation of 2.3 GLUP/s for a standard Jacobi
+        // algorithm in main memory" (§1.1) — per node (2 sockets x
+        // 18.5 GB/s / 16 B = 2.31 GLUP/s... the paper's 2.3 GLUP/s is the
+        // two-socket figure: 2 * 18.5e9/16 = 2.3125e9).
+        let m = MachineParams::nehalem_ep();
+        let node = 2.0 * jacobi_roofline_default(&m);
+        assert!((node / 1e9 - 2.3125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rfo_lowers_the_roofline() {
+        let m = MachineParams::nehalem_ep();
+        let with_nt = jacobi_roofline_lups(&m, 16.0);
+        let with_rfo = jacobi_roofline_lups(&m, 24.0);
+        assert!((with_nt / with_rfo - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn code_balance_value() {
+        assert!((naive_code_balance_words_per_flop() - 1.333).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_traffic_rejected() {
+        let _ = jacobi_roofline_lups(&MachineParams::nehalem_ep(), 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The communicator: blocking point-to-point with tag matching, plus the
+//! handful of collectives the solvers use.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::simnet::SimNet;
+
+/// A message in flight.
+#[derive(Clone, Debug)]
+pub(crate) struct Msg {
+    pub tag: u64,
+    pub data: Bytes,
+    /// Virtual arrival time at the receiver (0 when simulation is off).
+    pub arrival: f64,
+}
+
+/// Reduction operators for [`Comm::allreduce_f64`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Per-rank communication endpoint. Created by [`crate::Universe`]; one
+/// per rank thread, used mutably (the virtual clock and the tag-matching
+/// buffers are rank-local state).
+pub struct Comm {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    /// `to[d]` sends to rank `d`.
+    pub(crate) to: Vec<Sender<Msg>>,
+    /// `from[s]` receives from rank `s`.
+    pub(crate) from: Vec<Receiver<Msg>>,
+    /// Out-of-order messages per source awaiting a matching tag.
+    pub(crate) pending: Vec<VecDeque<Msg>>,
+    /// Virtual clock in seconds (stays 0 when `net` is `None`).
+    pub(crate) clock: f64,
+    pub(crate) net: Option<SimNet>,
+}
+
+impl Comm {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time (seconds). Only meaningful in simulation
+    /// mode; real runs use wall clocks instead.
+    pub fn time(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advance the virtual clock by `dt` seconds of (modeled) computation.
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.clock += dt;
+    }
+
+    /// Blocking send (buffered — returns once the message is queued; the
+    /// virtual clock pays the pack cost).
+    pub fn send(&mut self, dst: usize, tag: u64, data: Bytes) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        assert_ne!(dst, self.rank, "self-send unsupported (use local state)");
+        let arrival = if let Some(net) = &self.net {
+            self.clock += net.pack_time(data.len());
+            self.clock + net.wire_time(data.len())
+        } else {
+            0.0
+        };
+        self.to[dst]
+            .send(Msg { tag, data, arrival })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive of the next message from `src` carrying `tag`.
+    /// Messages with other tags are buffered for later receives.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Bytes {
+        assert!(src < self.size);
+        assert_ne!(src, self.rank);
+        // Check the reorder buffer first.
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            let msg = self.pending[src].remove(pos).unwrap();
+            return self.finish_recv(msg);
+        }
+        loop {
+            let msg = self.from[src].recv().expect("peer rank hung up");
+            if msg.tag == tag {
+                return self.finish_recv(msg);
+            }
+            self.pending[src].push_back(msg);
+        }
+    }
+
+    fn finish_recv(&mut self, msg: Msg) -> Bytes {
+        if let Some(net) = &self.net {
+            self.clock = self.clock.max(msg.arrival) + net.unpack_time(msg.data.len());
+        }
+        msg.data
+    }
+
+    /// Paired exchange with one neighbor (the halo pattern). Send first,
+    /// then receive — safe because sends are buffered.
+    pub fn sendrecv(&mut self, peer: usize, tag: u64, data: Bytes) -> Bytes {
+        self.send(peer, tag, data);
+        self.recv(peer, tag)
+    }
+
+    /// Synchronize all ranks; in simulation mode every clock is set to
+    /// the maximum *entry* time (a barrier is as slow as its last
+    /// arrival; the barrier's own messages are not charged, mirroring
+    /// the paper's model which has no collectives in the inner loop).
+    pub fn barrier(&mut self) {
+        let entry = self.clock;
+        let t = self.allreduce_f64(entry, ReduceOp::Max);
+        if self.net.is_some() {
+            self.clock = t;
+        }
+    }
+
+    /// Allreduce one f64 (gather to rank 0, reduce, broadcast).
+    pub fn allreduce_f64(&mut self, value: f64, op: ReduceOp) -> f64 {
+        const TAG: u64 = u64::MAX - 1;
+        if self.size == 1 {
+            return value;
+        }
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                let b = self.recv(src, TAG);
+                acc = op.apply(acc, f64_from_bytes(&b));
+            }
+            for dst in 1..self.size {
+                self.send(dst, TAG, f64_to_bytes(acc));
+            }
+            acc
+        } else {
+            self.send(0, TAG, f64_to_bytes(value));
+            f64_from_bytes(&self.recv(0, TAG))
+        }
+    }
+
+    /// Gather one f64 per rank to rank 0 (others get an empty vec).
+    pub fn gather_f64(&mut self, value: f64) -> Vec<f64> {
+        const TAG: u64 = u64::MAX - 2;
+        if self.rank == 0 {
+            let mut out = vec![value];
+            for src in 1..self.size {
+                out.push(f64_from_bytes(&self.recv(src, TAG)));
+            }
+            out
+        } else {
+            self.send(0, TAG, f64_to_bytes(value));
+            Vec::new()
+        }
+    }
+}
+
+pub(crate) fn f64_to_bytes(v: f64) -> Bytes {
+    Bytes::copy_from_slice(&v.to_ne_bytes())
+}
+
+pub(crate) fn f64_from_bytes(b: &Bytes) -> f64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&b[..8]);
+    f64::from_ne_bytes(buf)
+}
+
+/// Pack an `f64` slice into `Bytes` (native endianness; the mesh never
+/// leaves the process).
+pub fn pack_f64s(v: &[f64]) -> Bytes {
+    // SAFETY: f64 and u8 have no invalid bit patterns; alignment of u8 is
+    // 1; the byte length is exact.
+    let bytes: &[u8] =
+        unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 8) };
+    Bytes::copy_from_slice(bytes)
+}
+
+/// Unpack [`pack_f64s`] output into a caller-provided buffer.
+pub fn unpack_f64s(b: &Bytes, out: &mut [f64]) {
+    assert_eq!(b.len(), out.len() * 8, "payload length mismatch");
+    for (i, chunk) in b.chunks_exact(8).enumerate() {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        out[i] = f64::from_ne_bytes(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let results = Universe::run(3, None, |comm| {
+            let next = (comm.rank() + 1) % 3;
+            let prev = (comm.rank() + 3 - 1) % 3;
+            for round in 0..5u64 {
+                comm.send(next, round, f64_to_bytes(comm.rank() as f64 + round as f64));
+                let got = f64_from_bytes(&comm.recv(prev, round));
+                assert_eq!(got, prev as f64 + round as f64);
+            }
+            comm.rank()
+        });
+        assert_eq!(results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        Universe::run(2, None, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, f64_to_bytes(7.0));
+                comm.send(1, 8, f64_to_bytes(8.0));
+            } else {
+                // Receive in the opposite order of sending.
+                assert_eq!(f64_from_bytes(&comm.recv(0, 8)), 8.0);
+                assert_eq!(f64_from_bytes(&comm.recv(0, 7)), 7.0);
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let r = Universe::run(4, None, |comm| {
+            let v = comm.rank() as f64 + 1.0; // 1,2,3,4
+            (
+                comm.allreduce_f64(v, ReduceOp::Sum),
+                comm.allreduce_f64(v, ReduceOp::Min),
+                comm.allreduce_f64(v, ReduceOp::Max),
+            )
+        });
+        for (s, mn, mx) in r {
+            assert_eq!(s, 10.0);
+            assert_eq!(mn, 1.0);
+            assert_eq!(mx, 4.0);
+        }
+    }
+
+    #[test]
+    fn gather_collects_on_root() {
+        let r = Universe::run(3, None, |comm| comm.gather_f64(comm.rank() as f64 * 2.0));
+        assert_eq!(r[0], vec![0.0, 2.0, 4.0]);
+        assert!(r[1].is_empty() && r[2].is_empty());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v: Vec<f64> = (0..17).map(|i| (i as f64).sin()).collect();
+        let b = pack_f64s(&v);
+        assert_eq!(b.len(), 17 * 8);
+        let mut out = vec![0.0; 17];
+        unpack_f64s(&b, &mut out);
+        assert_eq!(v, out);
+    }
+
+    #[test]
+    fn virtual_clock_advances_through_messages() {
+        let net = SimNet { latency: 1e-3, bandwidth: 1e6, copy_bandwidth: f64::INFINITY };
+        let times = Universe::run(2, Some(net), |comm| {
+            if comm.rank() == 0 {
+                comm.advance(5e-3); // compute 5 ms
+                comm.send(1, 0, pack_f64s(&vec![0.0; 125])); // 1000 B -> 1 ms wire
+            } else {
+                let _ = comm.recv(0, 0);
+            }
+            comm.time()
+        });
+        // Receiver: max(0, 5ms + 1ms latency + 1ms wire) = 7 ms.
+        assert!((times[1] - 7e-3).abs() < 1e-9, "rank1 time {}", times[1]);
+        // Sender paid no wire time (buffered send) and no pack cost.
+        assert!((times[0] - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let net = SimNet::ideal();
+        let times = Universe::run(3, Some(net), |comm| {
+            comm.advance(comm.rank() as f64 * 1e-3);
+            comm.barrier();
+            comm.time()
+        });
+        for t in times {
+            assert!((t - 2e-3).abs() < 1e-12, "clock {t}");
+        }
+    }
+
+    #[test]
+    fn sendrecv_pairs() {
+        Universe::run(2, None, |comm| {
+            let peer = 1 - comm.rank();
+            let got = comm.sendrecv(peer, 3, f64_to_bytes(comm.rank() as f64));
+            assert_eq!(f64_from_bytes(&got), peer as f64);
+            0
+        });
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn same_tag_messages_arrive_in_fifo_order() {
+        Universe::run(2, None, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..50u64 {
+                    comm.send(1, 9, f64_to_bytes(i as f64));
+                }
+            } else {
+                for i in 0..50u64 {
+                    assert_eq!(f64_from_bytes(&comm.recv(0, 9)), i as f64);
+                }
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let n = 1 << 18; // 2 MiB of f64
+        Universe::run(2, None, move |comm| {
+            if comm.rank() == 0 {
+                let v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                comm.send(1, 0, pack_f64s(&v));
+            } else {
+                let b = comm.recv(0, 0);
+                let mut out = vec![0.0f64; n];
+                unpack_f64s(&b, &mut out);
+                assert_eq!(out[0], 0.0);
+                assert_eq!(out[n - 1], (n - 1) as f64);
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn interleaved_tags_across_many_rounds() {
+        // Both tags flow continuously; receiving them out of order per
+        // round must never mix payloads up.
+        Universe::run(2, None, |comm| {
+            let peer = 1 - comm.rank();
+            for round in 0..20u64 {
+                comm.send(peer, 1, f64_to_bytes(round as f64));
+                comm.send(peer, 2, f64_to_bytes(-(round as f64)));
+                assert_eq!(f64_from_bytes(&comm.recv(peer, 2)), -(round as f64));
+                assert_eq!(f64_from_bytes(&comm.recv(peer, 1)), round as f64);
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn pack_cost_charged_to_sender_clock() {
+        let net = crate::SimNet { latency: 0.0, bandwidth: f64::INFINITY, copy_bandwidth: 1e6 };
+        let times = Universe::run(2, Some(net), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, pack_f64s(&vec![0.0; 125])); // 1000 B -> 1 ms pack
+            } else {
+                let _ = comm.recv(0, 0);
+            }
+            comm.time()
+        });
+        assert!((times[0] - 1e-3).abs() < 1e-9, "sender {}", times[0]);
+        // Receiver: arrival at 1 ms (pack) + unpack 1 ms = 2 ms.
+        assert!((times[1] - 2e-3).abs() < 1e-9, "receiver {}", times[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length mismatch")]
+    fn unpack_length_mismatch_panics() {
+        let b = pack_f64s(&[1.0, 2.0]);
+        let mut out = vec![0.0; 3];
+        unpack_f64s(&b, &mut out);
+    }
+}

@@ -1,0 +1,32 @@
+//! # tb-net — in-process message passing with virtual-time simulation
+//!
+//! The paper's distributed experiments use plain blocking MPI point-to-
+//! point halo exchanges ("no explicit or implicit overlapping of
+//! communication and computation", §2.2). This crate provides the same
+//! semantics without an MPI installation:
+//!
+//! * [`Universe`] — spawns `n` ranks as threads and wires a full mesh of
+//!   lossless FIFO channels,
+//! * [`Comm`] — blocking send/recv with tag matching, barrier,
+//!   allreduce, gather — the subset of MPI the solver needs,
+//! * [`CartComm`] — 3D Cartesian rank topology (our `MPI_Cart_create`),
+//! * [`SimNet`] — an optional **virtual clock** per rank: sends stamp
+//!   messages with a latency/bandwidth/copy-cost model and receives
+//!   advance the local clock to the message arrival time. This is a
+//!   conservative discrete-event simulation adequate for bulk-
+//!   synchronous codes, and is what lets a 2-core host reproduce the
+//!   shape of the paper's 64-node Fig. 6.
+//!
+//! Real data always flows — simulation only affects *clocks* — so
+//! protocol bugs (mismatched tags, wrong neighbors, deadlocks) surface in
+//! tests exactly as they would on a real cluster.
+
+pub mod cart;
+pub mod comm;
+pub mod simnet;
+pub mod universe;
+
+pub use cart::CartComm;
+pub use comm::{Comm, ReduceOp};
+pub use simnet::SimNet;
+pub use universe::Universe;

@@ -1,0 +1,73 @@
+//! Virtual-time network cost model.
+
+/// Latency/bandwidth/copy parameters for the virtual clock. Mirrors the
+//  paper's QDR-IB model (§2.1) plus the buffer-copy overhead observed in
+//  §2.2 profiling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimNet {
+    /// One-way message latency (seconds).
+    pub latency: f64,
+    /// Wire bandwidth (bytes/second).
+    pub bandwidth: f64,
+    /// Pack/unpack memory bandwidth (bytes/second); `INFINITY` disables.
+    pub copy_bandwidth: f64,
+}
+
+impl SimNet {
+    /// The paper's QDR InfiniBand numbers; copy bandwidth calibrated so
+    /// that pack + unpack together cost one wire transfer (§2.2: buffer
+    /// copies cost "about the same" as the transfer).
+    pub fn qdr_infiniband() -> Self {
+        Self { latency: 1.8e-6, bandwidth: 3.2e9, copy_bandwidth: 6.4e9 }
+    }
+
+    /// Zero-cost network: virtual clocks still advance through compute.
+    pub fn ideal() -> Self {
+        Self { latency: 0.0, bandwidth: f64::INFINITY, copy_bandwidth: f64::INFINITY }
+    }
+
+    /// Sender-side cost before the message is on the wire (packing).
+    pub fn pack_time(&self, bytes: usize) -> f64 {
+        if self.copy_bandwidth.is_infinite() { 0.0 } else { bytes as f64 / self.copy_bandwidth }
+    }
+
+    /// Receiver-side cost after arrival (unpacking).
+    pub fn unpack_time(&self, bytes: usize) -> f64 {
+        self.pack_time(bytes)
+    }
+
+    /// Wire time from send to arrival.
+    pub fn wire_time(&self, bytes: usize) -> f64 {
+        if self.bandwidth.is_infinite() {
+            self.latency
+        } else {
+            self.latency + bytes as f64 / self.bandwidth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdr_matches_paper() {
+        let n = SimNet::qdr_infiniband();
+        assert_eq!(n.latency, 1.8e-6);
+        assert_eq!(n.bandwidth, 3.2e9);
+    }
+
+    #[test]
+    fn ideal_is_free() {
+        let n = SimNet::ideal();
+        assert_eq!(n.wire_time(1 << 20), 0.0);
+        assert_eq!(n.pack_time(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn costs_scale_with_bytes() {
+        let n = SimNet::qdr_infiniband();
+        assert!(n.wire_time(2 << 20) > n.wire_time(1 << 20));
+        assert!((n.wire_time(3_200_000) - (1.8e-6 + 1e-3)).abs() < 1e-9);
+    }
+}

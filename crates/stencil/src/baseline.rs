@@ -1,0 +1,255 @@
+//! The "standard Jacobi" baseline solvers (paper §1.1).
+//!
+//! These implement the paper's baseline: out-of-place sweeps over two
+//! grids with spatial blocking and (optionally) non-temporal stores,
+//! parallelized by splitting the outer (z) dimension across threads with
+//! a barrier per sweep — structurally the OpenMP code of the paper.
+//! They double as the *reference oracle*: every temporally blocked solver
+//! is verified bitwise against [`seq_sweeps`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tb_grid::{BlockPartition, GridPair, Real, Region3, SharedGrid};
+use tb_sync::SpinBarrier;
+use tb_topology::affinity;
+
+use crate::kernel::{self, StoreMode};
+use crate::stats::RunStats;
+
+/// Sequential reference: plain full-interior sweeps.
+pub fn seq_sweeps<T: Real>(pair: &mut GridPair<T>, sweeps: usize) -> RunStats {
+    let interior = Region3::interior_of(pair.dims());
+    let t0 = Instant::now();
+    for s in 0..sweeps {
+        let (src, dst) = pair.src_dst(s);
+        kernel::update_region(src, dst, &interior);
+    }
+    RunStats::new((sweeps * interior.count()) as u64, t0.elapsed())
+}
+
+/// Sequential sweeps with spatial blocking: each sweep visits the interior
+/// block by block (better cache behaviour for large grids). Bitwise equal
+/// to [`seq_sweeps`] because blocks are disjoint within a sweep.
+pub fn seq_blocked_sweeps<T: Real>(
+    pair: &mut GridPair<T>,
+    sweeps: usize,
+    block: [usize; 3],
+) -> RunStats {
+    let interior = Region3::interior_of(pair.dims());
+    let partition = BlockPartition::new(interior, block);
+    let t0 = Instant::now();
+    for s in 0..sweeps {
+        let (src, dst) = pair.src_dst(s);
+        for (_, _, region) in partition.iter() {
+            kernel::update_region(src, dst, &region);
+        }
+    }
+    RunStats::new((sweeps * interior.count()) as u64, t0.elapsed())
+}
+
+/// Thread-parallel standard Jacobi: the interior is split into contiguous
+/// z-slabs, one per thread; every thread sweeps its slab with the spatial
+/// block's x/y extents and a barrier separates sweeps. `store` selects
+/// plain or non-temporal stores (the paper's baseline uses the latter).
+///
+/// `cpus` optionally pins thread `k` to `cpus[k]`.
+pub fn par_sweeps<T: Real>(
+    pair: &mut GridPair<T>,
+    sweeps: usize,
+    threads: usize,
+    store: StoreMode,
+    cpus: Option<&[usize]>,
+) -> RunStats {
+    assert!(threads >= 1);
+    let dims = pair.dims();
+    let interior = Region3::interior_of(dims);
+    if interior.is_empty() || sweeps == 0 {
+        return RunStats::new(0, std::time::Duration::ZERO);
+    }
+    let barrier = SpinBarrier::new(threads);
+    let total = AtomicU64::new(0);
+    let ptrs = pair.base_ptrs();
+    let views = [SharedGrid::from_raw(ptrs[0], dims), SharedGrid::from_raw(ptrs[1], dims)];
+
+    // Contiguous z-slabs, remainder spread over the first slabs.
+    let nz = interior.extent(2);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for k in 0..threads {
+            let barrier = &barrier;
+            let total = &total;
+            scope.spawn(move || {
+                if let Some(cpus) = cpus {
+                    if let Some(&c) = cpus.get(k) {
+                        let _ = affinity::pin_current_thread(c);
+                    }
+                }
+                let (z0, z1) = slab(nz, threads, k);
+                let mut slab_region = interior;
+                slab_region.lo[2] = interior.lo[2] + z0;
+                slab_region.hi[2] = interior.lo[2] + z1;
+                let mut cells = 0u64;
+                for s in 0..sweeps {
+                    let (sg, dg) = (s % 2, (s + 1) % 2);
+                    if !slab_region.is_empty() {
+                        // SAFETY: slabs are disjoint between threads and
+                        // the barrier separates sweeps, so no cell is
+                        // concurrently written while read: reads of
+                        // sweep s come from the grid written in sweep
+                        // s-1, sealed by the barrier below.
+                        unsafe {
+                            update_slab(&views[sg], &views[dg], &slab_region, store);
+                        }
+                        cells += slab_region.count() as u64;
+                    }
+                    barrier.wait();
+                }
+                total.fetch_add(cells, Ordering::Relaxed);
+            });
+        }
+    });
+    RunStats::new(total.load(Ordering::Relaxed), t0.elapsed())
+}
+
+/// Split `n` items into `threads` contiguous chunks; chunk `k` gets the
+/// half-open range returned.
+pub fn slab(n: usize, threads: usize, k: usize) -> (usize, usize) {
+    let base = n / threads;
+    let rem = n % threads;
+    let lo = k * base + k.min(rem);
+    let hi = lo + base + usize::from(k < rem);
+    (lo, hi.min(n))
+}
+
+/// One sweep over `region` through shared views, honoring the store mode.
+///
+/// # Safety
+/// Caller guarantees no concurrent access conflicts on `region` (see
+/// `par_sweeps`).
+unsafe fn update_slab<T: Real>(
+    src: &SharedGrid<T>,
+    dst: &SharedGrid<T>,
+    region: &Region3,
+    store: StoreMode,
+) {
+    if store == StoreMode::Normal || !is_f64::<T>() {
+        kernel::update_region_shared(src, dst, region);
+        return;
+    }
+    // Streaming-store path (f64 only).
+    let (x0, x1) = (region.lo[0], region.hi[0]);
+    for z in region.lo[2]..region.hi[2] {
+        for y in region.lo[1]..region.hi[1] {
+            let c = src.row(x0 - 1, x1 + 1, y, z);
+            let ym = src.row(x0, x1, y - 1, z);
+            let yp = src.row(x0, x1, y + 1, z);
+            let zm = src.row(x0, x1, y, z - 1);
+            let zp = src.row(x0, x1, y, z + 1);
+            let d = dst.row_mut(x0, x1, y, z);
+            // SAFETY of transmutes: guarded by is_f64.
+            kernel::jacobi_row_nt_f64(
+                std::mem::transmute::<&mut [T], &mut [f64]>(d),
+                std::mem::transmute::<&[T], &[f64]>(c),
+                std::mem::transmute::<&[T], &[f64]>(ym),
+                std::mem::transmute::<&[T], &[f64]>(yp),
+                std::mem::transmute::<&[T], &[f64]>(zm),
+                std::mem::transmute::<&[T], &[f64]>(zp),
+            );
+        }
+    }
+}
+
+fn is_f64<T: 'static>() -> bool {
+    std::any::TypeId::of::<T>() == std::any::TypeId::of::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_grid::{init, norm, Dims3};
+
+    fn reference(dims: Dims3, seed: u64, sweeps: usize) -> tb_grid::Grid3<f64> {
+        let mut pair = GridPair::from_initial(init::random(dims, seed));
+        seq_sweeps(&mut pair, sweeps);
+        pair.current(sweeps).clone()
+    }
+
+    #[test]
+    fn slab_partition_covers_exactly() {
+        for n in [1usize, 2, 7, 16, 33] {
+            for threads in [1usize, 2, 3, 5, 8] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for k in 0..threads {
+                    let (lo, hi) = slab(n, threads, k);
+                    assert_eq!(lo, prev_hi, "gap at chunk {k}");
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_equals_plain_sequential() {
+        let dims = Dims3::new(14, 11, 9);
+        let want = reference(dims, 5, 4);
+        let mut pair = GridPair::from_initial(init::random(dims, 5));
+        seq_blocked_sweeps(&mut pair, 4, [5, 4, 3]);
+        norm::assert_grids_identical(&want, pair.current(4), &Region3::whole(dims), "blocked");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_various_thread_counts() {
+        let dims = Dims3::cube(16);
+        let want = reference(dims, 8, 5);
+        for threads in [1, 2, 3, 4, 7] {
+            let mut pair = GridPair::from_initial(init::random(dims, 8));
+            par_sweeps(&mut pair, 5, threads, StoreMode::Normal, None);
+            norm::assert_grids_identical(
+                &want,
+                pair.current(5),
+                &Region3::whole(dims),
+                &format!("par {threads} threads"),
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_stores_bitwise_equal() {
+        let dims = Dims3::cube(18);
+        let want = reference(dims, 2, 3);
+        let mut pair = GridPair::from_initial(init::random(dims, 2));
+        par_sweeps(&mut pair, 3, 2, StoreMode::Streaming, None);
+        norm::assert_grids_identical(&want, pair.current(3), &Region3::whole(dims), "nt");
+    }
+
+    #[test]
+    fn more_threads_than_slabs_is_safe() {
+        let dims = Dims3::new(10, 10, 5); // interior nz = 3 < 6 threads
+        let want = reference(dims, 4, 2);
+        let mut pair = GridPair::from_initial(init::random(dims, 4));
+        par_sweeps(&mut pair, 2, 6, StoreMode::Normal, None);
+        norm::assert_grids_identical(&want, pair.current(2), &Region3::whole(dims), "thin");
+    }
+
+    #[test]
+    fn stats_account_updates() {
+        let dims = Dims3::cube(10);
+        let mut pair: GridPair<f64> = GridPair::from_initial(init::random(dims, 1));
+        let s = par_sweeps(&mut pair, 3, 2, StoreMode::Normal, None);
+        assert_eq!(s.cell_updates, (3 * dims.interior_len()) as u64);
+    }
+
+    #[test]
+    fn f32_grids_work_too() {
+        let dims = Dims3::cube(12);
+        let mut a: GridPair<f32> = GridPair::from_initial(init::random(dims, 9));
+        let mut b: GridPair<f32> = GridPair::from_initial(init::random(dims, 9));
+        seq_sweeps(&mut a, 3);
+        par_sweeps(&mut b, 3, 2, StoreMode::Streaming, None); // falls back to normal path? no: f32 => Normal
+        norm::assert_grids_identical(a.current(3), b.current(3), &Region3::whole(dims), "f32");
+    }
+}

@@ -1,0 +1,36 @@
+//! # tb-stencil — pipelined temporal blocking of Jacobi stencils
+//!
+//! This crate is the paper's primary contribution. It contains:
+//!
+//! * [`kernel`] — the 3D Jacobi 6-point kernel (Eq. 1), in safe slice form,
+//!   in unsafe [`tb_grid::SharedGrid`] form for the multi-threaded
+//!   executors, and with x86-64 non-temporal-store variants;
+//! * [`baseline`] — the "standard Jacobi" solvers: sequential, spatially
+//!   blocked, and thread-parallel with streaming stores (§1.1);
+//! * [`pipeline`] — **pipelined temporal blocking** (§1.3): the block
+//!   schedule ([`pipeline::plan`]), the global-barrier executor, the
+//!   relaxed-synchronization executor (Eq. 3), and the compressed-grid
+//!   executor;
+//! * [`wavefront`] — the wavefront method of Wellein et al. (ref. [2]),
+//!   implemented as a comparator;
+//! * [`stats`] — LUP/s accounting shared by examples and benches.
+//!
+//! # Determinism
+//!
+//! Every kernel evaluates `(west + east + south + north + bottom + top) *
+//! (1/6)` in exactly that operand order. Consequently all solvers in this
+//! crate — sequential, blocked, parallel, pipelined in any configuration,
+//! wavefront, compressed — produce **bitwise identical** results after the
+//! same number of sweeps, and the test-suite holds them to that.
+
+pub mod baseline;
+pub mod config;
+pub mod kernel;
+pub mod pipeline;
+pub mod residual;
+pub mod stats;
+pub mod wavefront;
+
+pub use config::PipelineConfig;
+pub use stats::RunStats;
+pub use tb_sync::SyncMode;

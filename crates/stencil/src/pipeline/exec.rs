@@ -1,0 +1,377 @@
+//! Two-grid pipelined temporal blocking executor (paper §1.3, Fig. 1).
+//!
+//! `n` teams of `t` threads form one pipeline of `n·t` threads; pipeline
+//! thread `i` applies updates (stages) `i·T … (i+1)·T - 1` to every block.
+//! Synchronization is either a global [`SpinBarrier`] after each block
+//! update, or the relaxed counter scheme ([`PipelineSync`], Eq. 3).
+//!
+//! Team sweeps (each advancing the whole grid by `n·t·T` Jacobi sweeps)
+//! are separated by barriers; a trailing partial team sweep handles sweep
+//! counts that are not multiples of the pipeline depth, so `run` performs
+//! *exactly* `sweeps` Jacobi sweeps for any request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tb_grid::{AccessKind, GridPair, Real, Region3, RegionAuditor};
+use tb_sync::{PipelineSync, SpinBarrier};
+use tb_topology::affinity;
+
+use crate::config::PipelineConfig;
+use crate::kernel;
+use crate::pipeline::plan::PipelinePlan;
+use crate::stats::RunStats;
+
+/// Run `sweeps` Jacobi sweeps over `pair` with pipelined temporal
+/// blocking. On return the result lives in `pair.current(sweeps)`.
+pub fn run<T: Real>(
+    pair: &mut GridPair<T>,
+    cfg: &PipelineConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    cfg.validate(pair.dims())?;
+    if sweeps == 0 {
+        return Ok(RunStats::new(0, std::time::Duration::ZERO));
+    }
+    let dims = pair.dims();
+    let interior = Region3::interior_of(dims);
+    let depth = cfg.stages();
+    let plan = PipelinePlan::uniform(interior, cfg.block, depth);
+    let nblocks = plan.num_blocks();
+    let threads = cfg.threads();
+    let team_sweeps = sweeps.div_ceil(depth);
+
+    let barrier = SpinBarrier::new(threads);
+    let psync = PipelineSync::from_mode(threads, cfg.team_size, cfg.sync);
+    let auditor = cfg.audit.then(RegionAuditor::new);
+    let total_cells = AtomicU64::new(0);
+    let ptrs = pair.base_ptrs();
+    let views = [
+        tb_grid::SharedGrid::from_raw(ptrs[0], dims),
+        tb_grid::SharedGrid::from_raw(ptrs[1], dims),
+    ];
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let plan = &plan;
+            let barrier = &barrier;
+            let psync = psync.as_ref();
+            let auditor = auditor.as_ref();
+            let total_cells = &total_cells;
+            let cfg = cfg;
+            scope.spawn(move || {
+                if let Some(layout) = &cfg.layout {
+                    let _ = affinity::pin_opt(layout.cpus[tid]);
+                }
+                let upt = cfg.updates_per_thread;
+                let mut my_cells = 0u64;
+                for ts in 0..team_sweeps {
+                    let base = ts * depth;
+                    let stages_now = depth.min(sweeps - base);
+                    match psync {
+                        Some(psync) => {
+                            barrier.wait();
+                            if tid == 0 {
+                                psync.reset();
+                            }
+                            barrier.wait();
+                            if tid * upt >= stages_now {
+                                // All my stages fall outside this partial
+                                // sweep: report completion so neighbours
+                                // never wait for me.
+                                psync.mark_complete(tid, nblocks as u64);
+                                continue;
+                            }
+                            for j in 0..nblocks {
+                                psync.wait_for_turn(tid, nblocks as u64);
+                                my_cells += update_block(
+                                    &views, plan, auditor, tid, j, base, stages_now, upt,
+                                );
+                                psync.complete_block(tid);
+                            }
+                        }
+                        None => {
+                            // Global barrier after every block update:
+                            // lock-step rounds, thread `tid` handles block
+                            // `r - tid` in round `r`.
+                            let rounds = nblocks + threads - 1;
+                            for r in 0..rounds {
+                                if let Some(j) = r.checked_sub(tid) {
+                                    if j < nblocks && tid * upt < stages_now {
+                                        my_cells += update_block(
+                                            &views, plan, auditor, tid, j, base, stages_now,
+                                            upt,
+                                        );
+                                    }
+                                }
+                                barrier.wait();
+                            }
+                        }
+                    }
+                }
+                total_cells.fetch_add(my_cells, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    Ok(RunStats::new(total_cells.load(Ordering::Relaxed), elapsed))
+}
+
+/// One pipelined team sweep over an externally built plan — the entry
+/// point for the distributed solver, whose stage domains are shrinking
+/// ghost rings rather than the plain interior.
+///
+/// * `views` — the two grid buffers (`views[s % 2]` is read by sweep `s`),
+/// * `base_sweep` — global sweep number of stage 0 (fixes parity),
+/// * `stages_now` — how many of the plan's stages to execute (allows a
+///   trailing partial cycle).
+///
+/// Returns the number of cell updates performed.
+///
+/// # Safety
+/// The caller must guarantee `views` point at live allocations of the
+/// plan's grid extents and that no other thread accesses them during the
+/// call. The plan must satisfy the `pipeline::plan` geometry contract
+/// (construction via [`PipelinePlan::with_domains`] enforces it).
+pub unsafe fn run_team_sweep<T: Real>(
+    views: &[tb_grid::SharedGrid<T>; 2],
+    plan: &PipelinePlan,
+    cfg: &PipelineConfig,
+    base_sweep: usize,
+    stages_now: usize,
+) -> u64 {
+    let threads = cfg.threads();
+    let nblocks = plan.num_blocks();
+    let barrier = SpinBarrier::new(threads);
+    let psync = PipelineSync::from_mode(threads, cfg.team_size, cfg.sync);
+    let auditor = cfg.audit.then(RegionAuditor::new);
+    let total_cells = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let plan = &plan;
+            let barrier = &barrier;
+            let psync = psync.as_ref();
+            let auditor = auditor.as_ref();
+            let total_cells = &total_cells;
+            scope.spawn(move || {
+                if let Some(layout) = &cfg.layout {
+                    let _ = affinity::pin_opt(layout.cpus[tid]);
+                }
+                let upt = cfg.updates_per_thread;
+                let mut my_cells = 0u64;
+                match psync {
+                    Some(psync) => {
+                        barrier.wait();
+                        if tid == 0 {
+                            psync.reset();
+                        }
+                        barrier.wait();
+                        if tid * upt >= stages_now {
+                            psync.mark_complete(tid, nblocks as u64);
+                        } else {
+                            for j in 0..nblocks {
+                                psync.wait_for_turn(tid, nblocks as u64);
+                                my_cells += update_block(
+                                    views, plan, auditor, tid, j, base_sweep, stages_now, upt,
+                                );
+                                psync.complete_block(tid);
+                            }
+                        }
+                    }
+                    None => {
+                        let rounds = nblocks + threads - 1;
+                        for r in 0..rounds {
+                            if let Some(j) = r.checked_sub(tid) {
+                                if j < nblocks && tid * upt < stages_now {
+                                    my_cells += update_block(
+                                        views, plan, auditor, tid, j, base_sweep, stages_now,
+                                        upt,
+                                    );
+                                }
+                            }
+                            barrier.wait();
+                        }
+                    }
+                }
+                total_cells.fetch_add(my_cells, Ordering::Relaxed);
+            });
+        }
+    });
+    total_cells.load(Ordering::Relaxed)
+}
+
+/// Apply this thread's `T` consecutive stages to block `j` of the team
+/// sweep starting at global sweep `base`. Returns cells updated.
+#[allow(clippy::too_many_arguments)]
+fn update_block<T: Real>(
+    views: &[tb_grid::SharedGrid<T>; 2],
+    plan: &PipelinePlan,
+    auditor: Option<&RegionAuditor>,
+    tid: usize,
+    j: usize,
+    base: usize,
+    stages_now: usize,
+    updates_per_thread: usize,
+) -> u64 {
+    let mut cells = 0u64;
+    for u in 0..updates_per_thread {
+        let stage = tid * updates_per_thread + u;
+        if stage >= stages_now {
+            break;
+        }
+        let sweep = base + stage;
+        let region = plan.region(j, stage, -1);
+        if region.is_empty() {
+            continue;
+        }
+        let (sg, dg) = (sweep % 2, (sweep + 1) % 2);
+        let claims = auditor.map(|a| {
+            let read = a.claim(tid, sg, AccessKind::Read, region.expand(1));
+            let write = a.claim(tid, dg, AccessKind::Write, region);
+            (read, write)
+        });
+        // SAFETY: the plan geometry plus the synchronization distances
+        // guarantee the disjointness contract of `update_region_shared`
+        // (see plan module docs; re-checked here when auditing is on).
+        unsafe { kernel::update_region_shared(&views[sg], &views[dg], &region) };
+        if let (Some(a), Some((r, w))) = (auditor, claims) {
+            a.release(r);
+            a.release(w);
+        }
+        cells += region.count() as u64;
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use tb_grid::{init, norm, Dims3, GridPair};
+    use tb_sync::SyncMode;
+
+    fn reference(dims: Dims3, seed: u64, sweeps: usize) -> tb_grid::Grid3<f64> {
+        let mut pair = GridPair::from_initial(init::random(dims, seed));
+        baseline::seq_sweeps(&mut pair, sweeps);
+        pair.current(sweeps).clone()
+    }
+
+    fn run_cfg(dims: Dims3, seed: u64, sweeps: usize, cfg: &PipelineConfig) -> tb_grid::Grid3<f64> {
+        let mut pair = GridPair::from_initial(init::random(dims, seed));
+        run(&mut pair, cfg, sweeps).unwrap();
+        pair.current(sweeps).clone()
+    }
+
+    fn assert_matches_reference(dims: Dims3, sweeps: usize, cfg: &PipelineConfig) {
+        let want = reference(dims, 42, sweeps);
+        let got = run_cfg(dims, 42, sweeps, cfg);
+        norm::assert_grids_identical(
+            &want,
+            &got,
+            &Region3::whole(dims),
+            &format!("pipelined {sweeps} sweeps vs reference"),
+        );
+    }
+
+    fn audit_cfg(team: usize, teams: usize, upt: usize, sync: SyncMode, block: [usize; 3]) -> PipelineConfig {
+        PipelineConfig {
+            team_size: team,
+            n_teams: teams,
+            updates_per_thread: upt,
+            block,
+            sync,
+            scheme: crate::config::GridScheme::TwoGrid,
+            layout: None,
+            audit: true,
+        }
+    }
+
+    #[test]
+    fn exact_multiple_of_depth_relaxed() {
+        let cfg = audit_cfg(2, 1, 1, SyncMode::Relaxed { dl: 1, du: 2, dt: 0 }, [8, 8, 8]);
+        // depth = 2; 4 sweeps = 2 team sweeps.
+        assert_matches_reference(Dims3::cube(20), 4, &cfg);
+    }
+
+    #[test]
+    fn partial_final_team_sweep() {
+        let cfg = audit_cfg(2, 1, 2, SyncMode::relaxed_default(), [8, 8, 8]);
+        // depth = 4; 6 sweeps = one full + one partial (2 stages).
+        assert_matches_reference(Dims3::cube(20), 6, &cfg);
+    }
+
+    #[test]
+    fn barrier_mode_matches() {
+        let cfg = audit_cfg(3, 1, 1, SyncMode::Barrier, [8, 8, 8]);
+        assert_matches_reference(Dims3::cube(20), 5, &cfg);
+    }
+
+    #[test]
+    fn two_teams_with_team_delay() {
+        let cfg = audit_cfg(2, 2, 1, SyncMode::Relaxed { dl: 1, du: 4, dt: 2 }, [8, 8, 8]);
+        // depth = 4.
+        assert_matches_reference(Dims3::cube(22), 8, &cfg);
+    }
+
+    #[test]
+    fn deep_pipeline_multiple_updates() {
+        let cfg = audit_cfg(2, 2, 2, SyncMode::relaxed_default(), [10, 10, 10]);
+        // depth = 8 on a 24^3 grid (interior 22, blocks 10 >= 8).
+        assert_matches_reference(Dims3::cube(24), 11, &cfg);
+    }
+
+    #[test]
+    fn lockstep_du_equals_dl() {
+        let cfg = audit_cfg(4, 1, 1, SyncMode::Relaxed { dl: 1, du: 1, dt: 0 }, [8, 8, 8]);
+        assert_matches_reference(Dims3::cube(18), 4, &cfg);
+    }
+
+    #[test]
+    fn loose_pipeline_large_du() {
+        let cfg = audit_cfg(4, 1, 1, SyncMode::Relaxed { dl: 1, du: 16, dt: 0 }, [8, 8, 8]);
+        assert_matches_reference(Dims3::cube(18), 4, &cfg);
+    }
+
+    #[test]
+    fn asymmetric_paper_style_blocks() {
+        let cfg = audit_cfg(2, 1, 2, SyncMode::relaxed_default(), [16, 5, 5]);
+        assert_matches_reference(Dims3::new(20, 17, 13), 9, &cfg);
+    }
+
+    #[test]
+    fn single_thread_pipeline_degenerates_to_blocked_sweeps() {
+        let cfg = audit_cfg(1, 1, 3, SyncMode::relaxed_default(), [8, 8, 8]);
+        assert_matches_reference(Dims3::cube(16), 7, &cfg);
+    }
+
+    #[test]
+    fn zero_sweeps_is_noop() {
+        let dims = Dims3::cube(16);
+        let initial: tb_grid::Grid3<f64> = init::random(dims, 1);
+        let mut pair = GridPair::from_initial(initial.clone());
+        let cfg = PipelineConfig::small();
+        let stats = run(&mut pair, &cfg, 0).unwrap();
+        assert_eq!(stats.cell_updates, 0);
+        norm::assert_grids_identical(&initial, pair.current(0), &Region3::whole(dims), "noop");
+    }
+
+    #[test]
+    fn stats_count_matches_sweeps_times_interior() {
+        let dims = Dims3::cube(20);
+        let mut pair: GridPair<f64> = GridPair::from_initial(init::random(dims, 3));
+        let cfg = audit_cfg(2, 1, 1, SyncMode::relaxed_default(), [9, 9, 9]);
+        let sweeps = 6;
+        let stats = run(&mut pair, &cfg, sweeps).unwrap();
+        assert_eq!(stats.cell_updates, (sweeps * dims.interior_len()) as u64);
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let dims = Dims3::cube(10);
+        let mut pair: GridPair<f64> = GridPair::zeroed(dims);
+        let mut cfg = PipelineConfig::small();
+        cfg.updates_per_thread = 50;
+        assert!(run(&mut pair, &cfg, 2).is_err());
+    }
+}

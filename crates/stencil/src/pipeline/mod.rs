@@ -1,0 +1,14 @@
+//! Pipelined temporal blocking (the paper's §1.3).
+//!
+//! * [`plan`] — block schedule geometry and its safety proof,
+//! * [`exec`] — two-grid executor (barrier and relaxed sync),
+//! * [`compressed`] — single-grid "compressed" executor with alternating
+//!   ±(1,1,1) shifts and reversed sweeps.
+
+pub mod compressed;
+pub mod exec;
+pub mod plan;
+
+pub use compressed::run_compressed;
+pub use exec::run;
+pub use plan::PipelinePlan;

@@ -1,0 +1,143 @@
+//! Convergence diagnostics for the Jacobi iteration.
+//!
+//! The solvers themselves never look at values (they run a fixed sweep
+//! count, like the paper's benchmarks); applications iterating to
+//! convergence need a residual. For the Laplace problem the natural one
+//! is the defect of the averaging equation,
+//! `r(c) = (Σ neighbors)/6 − c`, whose maximum magnitude is also exactly
+//! the change the next Jacobi sweep would apply to `c`.
+
+use tb_grid::{Grid3, Real, Region3};
+
+/// Maximum |defect| over the interior (∞-norm of the next update step).
+pub fn max_residual<T: Real>(g: &Grid3<T>) -> f64 {
+    let dims = g.dims();
+    let interior = Region3::interior_of(dims);
+    let mut worst = 0.0f64;
+    for z in interior.lo[2]..interior.hi[2] {
+        for y in interior.lo[1]..interior.hi[1] {
+            let c = g.row(y, z);
+            let ym = g.row(y - 1, z);
+            let yp = g.row(y + 1, z);
+            let zm = g.row(y, z - 1);
+            let zp = g.row(y, z + 1);
+            for x in interior.lo[0]..interior.hi[0] {
+                let avg = (c[x - 1] + c[x + 1] + ym[x] + yp[x] + zm[x] + zp[x]) * T::SIXTH;
+                let d = (avg - c[x]).to_f64().abs();
+                if d > worst {
+                    worst = d;
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// L2 norm of the defect over the interior.
+pub fn l2_residual<T: Real>(g: &Grid3<T>) -> f64 {
+    let dims = g.dims();
+    let interior = Region3::interior_of(dims);
+    let mut acc = 0.0f64;
+    for z in interior.lo[2]..interior.hi[2] {
+        for y in interior.lo[1]..interior.hi[1] {
+            let c = g.row(y, z);
+            let ym = g.row(y - 1, z);
+            let yp = g.row(y + 1, z);
+            let zm = g.row(y, z - 1);
+            let zp = g.row(y, z + 1);
+            for x in interior.lo[0]..interior.hi[0] {
+                let avg = (c[x - 1] + c[x + 1] + ym[x] + yp[x] + zm[x] + zp[x]) * T::SIXTH;
+                let d = (avg - c[x]).to_f64();
+                acc += d * d;
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+/// Iterate `step` (a closure advancing the grid by `chunk` sweeps) until
+/// the max-residual drops below `tol` or `max_sweeps` is reached. Returns
+/// (sweeps executed, final residual, residual history).
+pub fn iterate_to_tolerance<T: Real>(
+    grid: &mut Grid3<T>,
+    chunk: usize,
+    tol: f64,
+    max_sweeps: usize,
+    mut step: impl FnMut(Grid3<T>, usize) -> Grid3<T>,
+) -> (usize, f64, Vec<f64>) {
+    assert!(chunk >= 1);
+    let mut done = 0usize;
+    let mut history = Vec::new();
+    let mut res = max_residual(grid);
+    history.push(res);
+    while res > tol && done < max_sweeps {
+        let n = chunk.min(max_sweeps - done);
+        let g = std::mem::replace(grid, Grid3::zeroed(grid.dims()));
+        *grid = step(g, n);
+        done += n;
+        res = max_residual(grid);
+        history.push(res);
+    }
+    (done, res, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use tb_grid::{init, Dims3, GridPair};
+
+    #[test]
+    fn linear_fields_have_tiny_residual() {
+        let g: Grid3<f64> = init::linear(Dims3::cube(12), 1.0, -2.0, 0.5, 4.0);
+        assert!(max_residual(&g) < 1e-12);
+        assert!(l2_residual(&g) < 1e-10);
+    }
+
+    #[test]
+    fn residual_decreases_under_sweeps() {
+        let dims = Dims3::cube(14);
+        let mut pair = GridPair::from_initial(init::hot_plate::<f64>(dims, 1.0, 0.0));
+        let r0 = max_residual(pair.current(0));
+        baseline::seq_sweeps(&mut pair, 30);
+        let r30 = max_residual(pair.current(30));
+        assert!(r30 < r0, "{r30} !< {r0}");
+        assert!(r30 < 0.5 * r0);
+    }
+
+    #[test]
+    fn max_residual_equals_next_step_change() {
+        // The defect IS the next Jacobi update, so after one sweep the
+        // max change equals the previous residual (up to the kernel's
+        // 1/6-multiplication rounding).
+        let dims = Dims3::cube(10);
+        let initial = init::random::<f64>(dims, 3);
+        let r = max_residual(&initial);
+        let mut pair = GridPair::from_initial(initial.clone());
+        baseline::seq_sweeps(&mut pair, 1);
+        let change =
+            tb_grid::norm::max_abs_diff(&initial, pair.current(1), &Region3::interior_of(dims));
+        assert!((r - change).abs() < 1e-12, "{r} vs {change}");
+    }
+
+    #[test]
+    fn iterate_to_tolerance_stops() {
+        let dims = Dims3::cube(10);
+        let mut g = init::hot_plate::<f64>(dims, 1.0, 0.0);
+        let (sweeps, res, history) = iterate_to_tolerance(&mut g, 5, 1e-4, 500, |g, n| {
+            let mut pair = GridPair::from_initial(g);
+            baseline::seq_sweeps(&mut pair, n);
+            pair.current(n).clone()
+        });
+        assert!(res <= 1e-4, "residual {res}");
+        assert!(sweeps <= 500);
+        assert!(history.len() >= 2);
+        assert!(history.windows(2).filter(|w| w[1] <= w[0]).count() >= history.len() / 2);
+    }
+
+    #[test]
+    fn l2_dominates_max_over_cells() {
+        let g = init::random::<f64>(Dims3::cube(10), 8);
+        assert!(l2_residual(&g) >= max_residual(&g));
+    }
+}

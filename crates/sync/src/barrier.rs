@@ -1,0 +1,129 @@
+//! Sense-reversing spin barrier.
+//!
+//! `std::sync::Barrier` parks threads through a mutex/condvar, which costs
+//! microseconds per crossing; the pipelined-with-barrier executor crosses a
+//! barrier after *every block update*, so a spinning implementation is
+//! required to reproduce the paper's "pipeline w/ barrier" data point
+//! faithfully. The barrier spins with backoff and yields when
+//! oversubscribed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::spin::spin_wait_until;
+
+/// A reusable spin barrier for a fixed set of `n` threads.
+pub struct SpinBarrier {
+    n: usize,
+    arrived: CachePadded<AtomicUsize>,
+    generation: CachePadded<AtomicUsize>,
+}
+
+impl SpinBarrier {
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Self {
+            n,
+            arrived: CachePadded::new(AtomicUsize::new(0)),
+            generation: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Block (spinning) until all `n` threads have called `wait` for this
+    /// generation. Returns `true` on exactly one thread per generation
+    /// (the "leader", the last to arrive).
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let prior = self.arrived.fetch_add(1, Ordering::AcqRel);
+        if prior + 1 == self.n {
+            // Last thread: reset and release everyone.
+            self.arrived.store(0, Ordering::Release);
+            self.generation.store(gen + 1, Ordering::Release);
+            true
+        } else {
+            spin_wait_until(|| self.generation.load(Ordering::Acquire) != gen);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_barrier_is_noop() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..100 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn counts_participants() {
+        assert_eq!(SpinBarrier::new(4).participants(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_panics() {
+        let _ = SpinBarrier::new(0);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 200;
+        let barrier = SpinBarrier::new(THREADS);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), ROUNDS);
+    }
+
+    #[test]
+    fn barrier_orders_phased_increments() {
+        // Each round, every thread increments a shared counter, then the
+        // barrier; after the barrier all THREADS increments of the round
+        // must be visible. A broken barrier shows partial sums.
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 100;
+        let barrier = SpinBarrier::new(THREADS);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for round in 1..=ROUNDS {
+                        counter.fetch_add(1, Ordering::AcqRel);
+                        barrier.wait();
+                        let seen = counter.load(Ordering::Acquire);
+                        assert!(
+                            seen >= round * THREADS,
+                            "round {round}: saw {seen}, expected >= {}",
+                            round * THREADS
+                        );
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS * ROUNDS);
+    }
+}

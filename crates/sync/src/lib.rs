@@ -1,0 +1,30 @@
+//! # tb-sync — synchronization substrate for pipelined temporal blocking
+//!
+//! The paper (§"Relaxed synchronization") observes that a global barrier
+//! after every block update costs hundreds to thousands of cycles and
+//! replaces it with per-thread progress counters and two "soft" distance
+//! conditions (Eq. 3):
+//!
+//! ```text
+//! c_{i-1} - c_i >= d_l   (averts data races: predecessor stays ahead)
+//! c_i - c_{i+1} <= d_u   (bounds the lead: blocks must stay in cache)
+//! ```
+//!
+//! This crate implements both synchronization styles:
+//!
+//! * [`SpinBarrier`] — a sense-reversing spin barrier (the "global
+//!   barrier" variant of the paper, and the team-sweep separator),
+//! * [`ProgressCounters`] — cache-line-padded per-thread counters (the
+//!   paper's `volatile` counters, here with release/acquire atomics),
+//! * [`PipelineSync`] — the full relaxed scheme with lower/upper distances
+//!   `d_l`/`d_u` and the team delay `d_t` applied at team boundaries.
+
+pub mod barrier;
+pub mod counter;
+pub mod pipeline;
+pub mod spin;
+
+pub use barrier::SpinBarrier;
+pub use counter::ProgressCounters;
+pub use pipeline::{PipelineSync, SyncMode};
+pub use spin::spin_wait_until;

@@ -1,0 +1,53 @@
+//! Bounded-backoff spin waiting.
+
+use crossbeam_utils::Backoff;
+
+/// Spin until `cond()` returns true, backing off progressively
+/// (`pause` instructions first, then `thread::yield_now`).
+///
+/// Yielding keeps the executors livelock-free when there are more worker
+/// threads than cores — the normal situation both in CI and on the
+/// oversubscribed cluster simulations.
+#[inline]
+pub fn spin_wait_until(mut cond: impl FnMut() -> bool) {
+    let backoff = Backoff::new();
+    while !cond() {
+        if backoff.is_completed() {
+            std::thread::yield_now();
+        } else {
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn returns_immediately_when_already_true() {
+        spin_wait_until(|| true);
+    }
+
+    #[test]
+    fn wakes_up_when_flag_flips() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            f2.store(true, Ordering::Release);
+        });
+        spin_wait_until(|| flag.load(Ordering::Acquire));
+        h.join().unwrap();
+        assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn condition_is_polled_multiple_times() {
+        let calls = AtomicUsize::new(0);
+        spin_wait_until(|| calls.fetch_add(1, Ordering::Relaxed) >= 3);
+        assert!(calls.load(Ordering::Relaxed) >= 4);
+    }
+}

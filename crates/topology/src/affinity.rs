@@ -1,0 +1,133 @@
+//! Best-effort thread pinning.
+//!
+//! The paper pins OpenMP threads to cores so that teams actually sit on
+//! their cache group. Rust has no portable affinity API and this workspace
+//! deliberately avoids extra dependencies, so we issue the raw
+//! `sched_setaffinity` syscall on Linux (x86-64 and aarch64) and fall back
+//! to a recorded no-op elsewhere. Pinning failures are reported, never
+//! fatal: affinity is a performance hint, not a correctness requirement.
+
+/// Outcome of a pin request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PinResult {
+    /// The calling thread is now restricted to the requested CPU.
+    Pinned,
+    /// The platform does not support pinning; execution continues unpinned.
+    Unsupported,
+    /// The syscall failed (e.g. CPU offline, cpuset restriction).
+    Failed(i64),
+}
+
+/// Pin the calling thread to logical CPU `cpu`.
+pub fn pin_current_thread(cpu: usize) -> PinResult {
+    pin_impl(cpu)
+}
+
+/// Pin according to a layout entry: `None` means "leave unpinned".
+pub fn pin_opt(cpu: Option<usize>) -> PinResult {
+    match cpu {
+        Some(c) => pin_current_thread(c),
+        None => PinResult::Unsupported,
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn pin_impl(cpu: usize) -> PinResult {
+    // CPU set: 1024 bits is the kernel's default CPU_SETSIZE.
+    let mut mask = [0u64; 16];
+    if cpu >= 1024 {
+        return PinResult::Failed(-22); // EINVAL
+    }
+    mask[cpu / 64] |= 1u64 << (cpu % 64);
+    let ret = unsafe {
+        syscall3(
+            SYS_SCHED_SETAFFINITY,
+            0, // pid 0 = current thread
+            std::mem::size_of_val(&mask) as u64,
+            mask.as_ptr() as u64,
+        )
+    };
+    if ret == 0 {
+        PinResult::Pinned
+    } else {
+        PinResult::Failed(ret)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+fn pin_impl(_cpu: usize) -> PinResult {
+    PinResult::Unsupported
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+const SYS_SCHED_SETAFFINITY: u64 = 203;
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+const SYS_SCHED_SETAFFINITY: u64 = 122;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> i64 {
+    let ret: i64;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") nr as i64 => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> i64 {
+    let ret: i64;
+    std::arch::asm!(
+        "svc 0",
+        in("x8") nr,
+        inlateout("x0") a1 as i64 => ret,
+        in("x1") a2,
+        in("x2") a3,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_to_cpu0_succeeds_or_is_unsupported() {
+        // CPU 0 always exists; on Linux this must succeed unless a cpuset
+        // forbids it, in which case Failed is acceptable.
+        let r = pin_current_thread(0);
+        assert!(matches!(r, PinResult::Pinned | PinResult::Unsupported | PinResult::Failed(_)));
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert_ne!(r, PinResult::Unsupported);
+    }
+
+    #[test]
+    fn pin_to_absurd_cpu_fails_gracefully() {
+        let r = pin_current_thread(100_000);
+        assert!(matches!(r, PinResult::Failed(_) | PinResult::Unsupported));
+    }
+
+    #[test]
+    fn pin_opt_none_is_noop() {
+        assert_eq!(pin_opt(None), PinResult::Unsupported);
+    }
+
+    #[test]
+    fn pinned_thread_still_computes() {
+        // Pin inside a scoped thread and do real work afterwards.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ = pin_current_thread(0);
+                let sum: u64 = (0..1000u64).sum();
+                assert_eq!(sum, 499500);
+            });
+        });
+    }
+}

@@ -1,0 +1,23 @@
+//! # tb-topology — machine topology, cache groups, team layout, affinity
+//!
+//! Pipelined temporal blocking is *multicore-aware*: thread teams must run
+//! on cores that share a cache ("cache groups", paper §1.3). This crate
+//! models the hardware:
+//!
+//! * [`Machine`] — sockets, cores, cache levels and sharing,
+//! * [`detect`] — best-effort Linux sysfs detection with a portable
+//!   fallback,
+//! * synthetic presets of the paper's testbeds ([`Machine::nehalem_ep`],
+//!   [`Machine::core2_quad`]) used by the models and the cluster
+//!   simulator,
+//! * [`TeamLayout`] — mapping pipeline threads onto cache groups,
+//! * [`affinity`] — best-effort thread pinning via a raw
+//!   `sched_setaffinity` syscall on Linux (no-op elsewhere).
+
+pub mod affinity;
+pub mod detect;
+pub mod machine;
+pub mod team;
+
+pub use machine::{CacheLevel, CacheScope, Machine, Socket};
+pub use team::TeamLayout;

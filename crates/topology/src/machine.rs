@@ -1,0 +1,166 @@
+//! Machine descriptions: sockets, cores, caches.
+
+/// Sharing scope of a cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheScope {
+    /// Private to one core (L1/L2 on Nehalem).
+    PerCore,
+    /// Shared by every core of a socket (Nehalem's L3) — the "cache
+    /// group" that hosts one pipeline team.
+    PerSocket,
+}
+
+/// One cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheLevel {
+    pub level: u8,
+    pub size_bytes: usize,
+    pub scope: CacheScope,
+}
+
+/// One socket (NUMA locality domain) with its logical CPU ids.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Socket {
+    pub id: usize,
+    pub cpus: Vec<usize>,
+}
+
+/// A shared-memory node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Machine {
+    pub name: String,
+    pub sockets: Vec<Socket>,
+    pub caches: Vec<CacheLevel>,
+}
+
+impl Machine {
+    /// Total number of logical CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.sockets.iter().map(|s| s.cpus.len()).sum()
+    }
+
+    pub fn num_sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Cores per socket (assumes homogeneous sockets, asserted).
+    pub fn cores_per_socket(&self) -> usize {
+        let n = self.sockets.first().map(|s| s.cpus.len()).unwrap_or(0);
+        debug_assert!(self.sockets.iter().all(|s| s.cpus.len() == n));
+        n
+    }
+
+    /// The outermost shared cache (the cache-group cache); `None` when the
+    /// machine has no shared cache (then teams degrade to size 1).
+    pub fn shared_cache(&self) -> Option<CacheLevel> {
+        self.caches
+            .iter()
+            .filter(|c| c.scope == CacheScope::PerSocket)
+            .max_by_key(|c| c.level)
+            .copied()
+    }
+
+    /// Cache groups: the sets of CPUs sharing the outermost shared cache.
+    /// With per-socket sharing this is one group per socket; without any
+    /// shared cache, each CPU is its own group.
+    pub fn cache_groups(&self) -> Vec<Vec<usize>> {
+        if self.shared_cache().is_some() {
+            self.sockets.iter().map(|s| s.cpus.clone()).collect()
+        } else {
+            self.sockets
+                .iter()
+                .flat_map(|s| s.cpus.iter().map(|&c| vec![c]))
+                .collect()
+        }
+    }
+
+    /// The paper's test system: dual-socket Intel Nehalem EP (Xeon 5550),
+    /// 4 cores/socket @ 2.66 GHz, shared 8 MB L3 per socket, 256 kB L2 and
+    /// 32 kB L1D per core (§1.1).
+    pub fn nehalem_ep() -> Machine {
+        Machine {
+            name: "Nehalem EP (Xeon 5550)".into(),
+            sockets: vec![
+                Socket { id: 0, cpus: (0..4).collect() },
+                Socket { id: 1, cpus: (4..8).collect() },
+            ],
+            caches: vec![
+                CacheLevel { level: 1, size_bytes: 32 * 1024, scope: CacheScope::PerCore },
+                CacheLevel { level: 2, size_bytes: 256 * 1024, scope: CacheScope::PerCore },
+                CacheLevel { level: 3, size_bytes: 8 * 1024 * 1024, scope: CacheScope::PerSocket },
+            ],
+        }
+    }
+
+    /// The older Core 2 quad design the paper contrasts against ([2], [10]):
+    /// two dual-core pairs, each pair sharing a 6 MB L2 — more
+    /// bandwidth-starved, hence more to gain from temporal blocking.
+    /// Modeled here as 2 "sockets" of 2 cores sharing L2.
+    pub fn core2_quad() -> Machine {
+        Machine {
+            name: "Core 2 Quad".into(),
+            sockets: vec![
+                Socket { id: 0, cpus: vec![0, 1] },
+                Socket { id: 1, cpus: vec![2, 3] },
+            ],
+            caches: vec![
+                CacheLevel { level: 1, size_bytes: 32 * 1024, scope: CacheScope::PerCore },
+                CacheLevel { level: 2, size_bytes: 6 * 1024 * 1024, scope: CacheScope::PerSocket },
+            ],
+        }
+    }
+
+    /// A flat fallback machine: `n` CPUs in one socket with a nominal
+    /// shared cache. Used when detection fails.
+    pub fn flat(n: usize) -> Machine {
+        Machine {
+            name: format!("flat-{n}"),
+            sockets: vec![Socket { id: 0, cpus: (0..n.max(1)).collect() }],
+            caches: vec![CacheLevel {
+                level: 3,
+                size_bytes: 8 * 1024 * 1024,
+                scope: CacheScope::PerSocket,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_matches_paper() {
+        let m = Machine::nehalem_ep();
+        assert_eq!(m.num_sockets(), 2);
+        assert_eq!(m.num_cpus(), 8);
+        assert_eq!(m.cores_per_socket(), 4);
+        let l3 = m.shared_cache().unwrap();
+        assert_eq!(l3.level, 3);
+        assert_eq!(l3.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(m.cache_groups(), vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+    }
+
+    #[test]
+    fn core2_has_shared_l2() {
+        let m = Machine::core2_quad();
+        let c = m.shared_cache().unwrap();
+        assert_eq!(c.level, 2);
+        assert_eq!(m.cache_groups().len(), 2);
+    }
+
+    #[test]
+    fn flat_machine_one_group() {
+        let m = Machine::flat(6);
+        assert_eq!(m.num_cpus(), 6);
+        assert_eq!(m.cache_groups(), vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn machine_without_shared_cache_splits_groups() {
+        let mut m = Machine::flat(3);
+        m.caches.clear();
+        assert!(m.shared_cache().is_none());
+        assert_eq!(m.cache_groups(), vec![vec![0], vec![1], vec![2]]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Mapping pipeline threads onto cache groups.
+//!
+//! A pipeline of `n_teams * team_size` threads is laid out so that team
+//! `k` occupies `team_size` CPUs of cache group `k` (paper §1.3: "a team
+//! runs on cores sharing a cache"). Teams may be smaller than the whole
+//! cache group (the paper mentions but does not explore this; we support
+//! it because hosts rarely look like the paper's testbed).
+
+use crate::machine::Machine;
+
+/// Thread-to-CPU assignment for a pipelined run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TeamLayout {
+    /// `cpus[i]` is the CPU suggested for pipeline thread `i`; `None` when
+    /// the machine has fewer distinct CPUs than threads (oversubscribed
+    /// test / simulation runs).
+    pub cpus: Vec<Option<usize>>,
+    pub team_size: usize,
+    pub n_teams: usize,
+}
+
+impl TeamLayout {
+    /// Lay out `n_teams` teams of `team_size` threads on `machine`.
+    ///
+    /// Teams are assigned to cache groups round-robin; threads within a
+    /// team take consecutive CPUs of their group. When a group is smaller
+    /// than `team_size` or there are more teams than groups, the layout
+    /// wraps around — still correct, just without the cache benefit —
+    /// and `oversubscribed()` reports it.
+    pub fn new(machine: &Machine, team_size: usize, n_teams: usize) -> Self {
+        assert!(team_size >= 1 && n_teams >= 1);
+        let groups = machine.cache_groups();
+        let mut cpus = Vec::with_capacity(team_size * n_teams);
+        for team in 0..n_teams {
+            let group = &groups[team % groups.len()];
+            for member in 0..team_size {
+                if groups.len() >= n_teams && group.len() >= team_size {
+                    cpus.push(Some(group[member % group.len()]));
+                } else if machine.num_cpus() >= team_size * n_teams {
+                    // Fall back to linear placement over all CPUs.
+                    let linear = team * team_size + member;
+                    let all: Vec<usize> = groups.iter().flatten().copied().collect();
+                    cpus.push(all.get(linear).copied());
+                } else {
+                    cpus.push(None);
+                }
+            }
+        }
+        Self { cpus, team_size, n_teams }
+    }
+
+    /// Total pipeline threads.
+    pub fn threads(&self) -> usize {
+        self.team_size * self.n_teams
+    }
+
+    /// Team index of pipeline thread `i`.
+    pub fn team_of(&self, i: usize) -> usize {
+        i / self.team_size
+    }
+
+    /// True if distinct threads had to share CPUs (or got no pin at all).
+    pub fn oversubscribed(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.cpus {
+            match c {
+                None => return true,
+                Some(c) => {
+                    if !seen.insert(*c) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_socket_team() {
+        // One team of 4 on the paper's machine: socket 0's CPUs.
+        let m = Machine::nehalem_ep();
+        let l = TeamLayout::new(&m, 4, 1);
+        assert_eq!(l.cpus, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert!(!l.oversubscribed());
+    }
+
+    #[test]
+    fn nehalem_node_two_teams() {
+        // Two teams of 4: one per socket — the paper's node configuration.
+        let m = Machine::nehalem_ep();
+        let l = TeamLayout::new(&m, 4, 2);
+        assert_eq!(l.threads(), 8);
+        assert_eq!(&l.cpus[0..4], &[Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(&l.cpus[4..8], &[Some(4), Some(5), Some(6), Some(7)]);
+        assert_eq!(l.team_of(0), 0);
+        assert_eq!(l.team_of(5), 1);
+        assert!(!l.oversubscribed());
+    }
+
+    #[test]
+    fn smaller_team_than_group() {
+        let m = Machine::nehalem_ep();
+        let l = TeamLayout::new(&m, 2, 2);
+        assert_eq!(l.cpus, vec![Some(0), Some(1), Some(4), Some(5)]);
+        assert!(!l.oversubscribed());
+    }
+
+    #[test]
+    fn oversubscription_detected() {
+        let m = Machine::flat(2);
+        let l = TeamLayout::new(&m, 4, 2);
+        assert_eq!(l.threads(), 8);
+        assert!(l.oversubscribed());
+    }
+
+    #[test]
+    fn more_teams_than_groups_linear_fallback() {
+        let m = Machine::flat(8);
+        let l = TeamLayout::new(&m, 2, 4);
+        // 8 threads on 8 cpus: all pinned, no sharing.
+        assert_eq!(l.threads(), 8);
+        assert!(!l.oversubscribed());
+    }
+}

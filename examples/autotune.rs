@@ -1,0 +1,73 @@
+//! Parameter auto-tuning, the way the paper found its optimal settings
+//! ("The optimal choices reported here have been obtained
+//! experimentally", §1.5): sweep T, the block size and d_u, measure each
+//! configuration, and report the winner alongside the §1.4 model's
+//! prediction.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use temporal_blocking::prelude::*;
+use temporal_blocking::{grid, membench, model, solve, Method};
+
+fn main() {
+    let dims = temporal_blocking::cube_for_memory_budget(48);
+    let sweeps = 8;
+    let machine = temporal_blocking::topology::detect::detect();
+    let base = PipelineConfig::for_machine(&machine, 1, 1);
+
+    println!("autotuning pipelined temporal blocking on {dims} ({sweeps} sweeps)");
+
+    // Calibrate the host so the diagnostic model has real bandwidths.
+    let params = membench::calibrate_host(&machine, membench::CalibrationProfile::quick());
+    println!(
+        "calibrated: Ms,1 = {:.1} GB/s, Ms = {:.1} GB/s, Mc = {:.1} GB/s",
+        params.ms1 / 1e9,
+        params.ms / 1e9,
+        params.mc / 1e9
+    );
+
+    let initial = grid::init::random::<f64>(dims, 1);
+    let mut best: Option<(f64, String)> = None;
+
+    println!(
+        "\n{:>3} {:>16} {:>6} {:>12} {:>14}",
+        "T", "block", "d_u", "MLUP/s", "model speedup"
+    );
+    for updates in [1usize, 2, 4] {
+        for block in [[dims.nx, 16, 16], [120, 20, 20], [64, 16, 16], [32, 8, 8]] {
+            for du in [1u64, 4] {
+                let mut cfg = base.clone();
+                cfg.updates_per_thread = updates;
+                cfg.block = block;
+                cfg.sync = SyncMode::Relaxed { dl: 1, du, dt: 0 };
+                if cfg.validate(dims).is_err() {
+                    continue;
+                }
+                let label = format!("T={updates} block={block:?} du={du}");
+                let (_, stats) =
+                    solve(initial.clone(), sweeps, Method::Pipelined(cfg.clone())).unwrap();
+                let predicted =
+                    model::pipeline_speedup(&params, cfg.team_size * cfg.n_teams, updates);
+                println!(
+                    "{:>3} {:>16} {:>6} {:>12.1} {:>14.2}",
+                    updates,
+                    format!("{:?}", block),
+                    du,
+                    stats.mlups(),
+                    predicted
+                );
+                if best.as_ref().map(|(m, _)| stats.mlups() > *m).unwrap_or(true) {
+                    best = Some((stats.mlups(), label));
+                }
+            }
+        }
+    }
+
+    let (mlups, label) = best.expect("at least one valid configuration");
+    println!("\nbest configuration: {label} at {mlups:.1} MLUP/s");
+    println!(
+        "(the paper's optimum on Nehalem EP was T=2, blocks ~120x20x20, d_u in 1..4 — §1.5)"
+    );
+}

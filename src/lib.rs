@@ -1,0 +1,188 @@
+//! # temporal-blocking
+//!
+//! A Rust reproduction of **"Multicore-aware parallel temporal blocking
+//! of stencil codes for shared and distributed memory"** (M. Wittmann,
+//! G. Hager, G. Wellein, IPPS/LSPP 2010, arXiv:0912.4506).
+//!
+//! The workspace implements the paper end to end:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`grid`] | aligned 3D grids, grid pairs, compressed grids, regions, blocks, race auditor |
+//! | [`sync`] | spin barrier, padded progress counters, relaxed pipeline sync (Eq. 3) |
+//! | [`topology`] | cache groups, Nehalem EP preset, team layout, affinity |
+//! | [`stencil`] | Jacobi kernel, baselines, **pipelined temporal blocking**, wavefront comparator |
+//! | [`model`] | Eq. 2 roofline, §1.4 diagnostic model, Fig. 5 halo model, Fig. 6 scaling model |
+//! | [`membench`] | STREAM COPY/SCALE/ADD/TRIAD + machine calibration |
+//! | [`net`] | in-process ranks, communicator, Cartesian topology, virtual-time network |
+//! | [`dist`] | domain decomposition, multi-layer halo exchange, distributed/hybrid solver, cluster sim |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use temporal_blocking::prelude::*;
+//!
+//! // A 3D heat problem: hot z=0 face, cold everywhere else.
+//! let dims = Dims3::cube(34);
+//! let initial = grid::init::hot_plate::<f64>(dims, 100.0, 0.0);
+//!
+//! // Solve 8 sweeps with pipelined temporal blocking...
+//! let cfg = PipelineConfig::small();
+//! let (solution, stats) = solve(initial.clone(), 8, Method::Pipelined(cfg)).unwrap();
+//!
+//! // ...and it is bitwise identical to the plain sequential solver.
+//! let (reference, _) = solve(initial, 8, Method::Sequential).unwrap();
+//! grid::norm::assert_grids_identical(
+//!     &reference,
+//!     &solution,
+//!     &Region3::whole(dims),
+//!     "pipelined vs sequential",
+//! );
+//! assert!(stats.mlups() > 0.0);
+//! ```
+
+pub use tb_dist as dist;
+pub use tb_grid as grid;
+pub use tb_membench as membench;
+pub use tb_model as model;
+pub use tb_net as net;
+pub use tb_stencil as stencil;
+pub use tb_sync as sync;
+pub use tb_topology as topology;
+
+pub use tb_stencil::{PipelineConfig, RunStats, SyncMode};
+
+use tb_grid::{CompressedGrid, Dims3, Grid3, GridPair, Real};
+use tb_stencil::config::GridScheme;
+use tb_stencil::kernel::StoreMode;
+use tb_stencil::{baseline, pipeline, wavefront};
+
+/// Everything an application typically needs.
+pub mod prelude {
+    pub use crate::{solve, Method};
+    pub use tb_grid::{self as grid, Dims3, Grid3, GridPair, Real, Region3};
+    pub use tb_model::MachineParams;
+    pub use tb_stencil::{PipelineConfig, RunStats, SyncMode};
+    pub use tb_topology::Machine;
+}
+
+/// Solver selection for [`solve`].
+#[derive(Clone, Debug)]
+pub enum Method {
+    /// Plain sequential sweeps (the verification oracle).
+    Sequential,
+    /// Sequential sweeps with spatial blocking.
+    Blocked { block: [usize; 3] },
+    /// Thread-parallel standard Jacobi (the paper's baseline).
+    Parallel { threads: usize, streaming_stores: bool },
+    /// Pipelined temporal blocking (the paper's contribution, §1.3).
+    Pipelined(PipelineConfig),
+    /// Pipelined temporal blocking on a compressed grid (§1.3).
+    PipelinedCompressed(PipelineConfig),
+    /// Wavefront temporal blocking (the paper's ref. [2], comparator).
+    Wavefront { threads: usize },
+}
+
+/// Run `sweeps` Jacobi sweeps on `initial` with the chosen method.
+/// Returns the final grid and the run statistics.
+///
+/// All methods produce bitwise identical results (see crate docs).
+pub fn solve<T: Real>(
+    initial: Grid3<T>,
+    sweeps: usize,
+    method: Method,
+) -> Result<(Grid3<T>, RunStats), String> {
+    match method {
+        Method::Sequential => {
+            let mut pair = GridPair::from_initial(initial);
+            let stats = baseline::seq_sweeps(&mut pair, sweeps);
+            Ok((pair.current(sweeps).clone(), stats))
+        }
+        Method::Blocked { block } => {
+            let mut pair = GridPair::from_initial(initial);
+            let stats = baseline::seq_blocked_sweeps(&mut pair, sweeps, block);
+            Ok((pair.current(sweeps).clone(), stats))
+        }
+        Method::Parallel { threads, streaming_stores } => {
+            if threads == 0 {
+                return Err("threads must be >= 1".into());
+            }
+            let store = if streaming_stores { StoreMode::Streaming } else { StoreMode::Normal };
+            let mut pair = GridPair::from_initial(initial);
+            let stats = baseline::par_sweeps(&mut pair, sweeps, threads, store, None);
+            Ok((pair.current(sweeps).clone(), stats))
+        }
+        Method::Pipelined(mut cfg) => {
+            cfg.scheme = GridScheme::TwoGrid;
+            let mut pair = GridPair::from_initial(initial);
+            let stats = pipeline::run(&mut pair, &cfg, sweeps)?;
+            Ok((pair.current(sweeps).clone(), stats))
+        }
+        Method::PipelinedCompressed(mut cfg) => {
+            cfg.scheme = GridScheme::Compressed;
+            let mut cg = CompressedGrid::from_grid(&initial, cfg.stages());
+            let stats = pipeline::run_compressed(&mut cg, &cfg, sweeps)?;
+            Ok((cg.to_grid(), stats))
+        }
+        Method::Wavefront { threads } => {
+            let mut pair = GridPair::from_initial(initial);
+            let stats = wavefront::run_wavefront(&mut pair, threads, sweeps)?;
+            Ok((pair.current(sweeps).clone(), stats))
+        }
+    }
+}
+
+/// Convenience: dims of a cubic problem sized to roughly `mib` MiB for a
+/// two-grid `f64` solver — used by examples to scale to the host.
+pub fn cube_for_memory_budget(mib: usize) -> Dims3 {
+    let bytes = mib * 1024 * 1024;
+    let cells = bytes / (2 * 8);
+    let edge = (cells as f64).cbrt() as usize;
+    Dims3::cube(edge.max(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_grid::{init, norm, Region3};
+
+    #[test]
+    fn all_methods_agree_bitwise() {
+        let dims = Dims3::cube(20);
+        let initial: Grid3<f64> = init::random(dims, 7);
+        let sweeps = 6;
+        let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
+        let methods: Vec<(&str, Method)> = vec![
+            ("blocked", Method::Blocked { block: [7, 7, 7] }),
+            ("par", Method::Parallel { threads: 3, streaming_stores: false }),
+            ("par-nt", Method::Parallel { threads: 2, streaming_stores: true }),
+            ("pipelined", Method::Pipelined(PipelineConfig::small())),
+            ("compressed", Method::PipelinedCompressed(PipelineConfig::small())),
+            ("wavefront", Method::Wavefront { threads: 2 }),
+        ];
+        for (name, m) in methods {
+            let (got, stats) = solve(initial.clone(), sweeps, m).unwrap();
+            norm::assert_grids_identical(&want, &got, &Region3::whole(dims), name);
+            assert_eq!(stats.cell_updates, (sweeps * dims.interior_len()) as u64, "{name}");
+        }
+    }
+
+    #[test]
+    fn memory_budget_helper() {
+        let d = cube_for_memory_budget(16);
+        // 2 f64 grids of edge^3 must fit in ~16 MiB.
+        assert!(2 * d.bytes(8) <= 17 * 1024 * 1024);
+        assert!(d.nx >= 8);
+    }
+
+    #[test]
+    fn errors_are_propagated() {
+        let dims = Dims3::cube(10);
+        let g: Grid3<f64> = init::random(dims, 1);
+        assert!(solve(g.clone(), 1, Method::Parallel { threads: 0, streaming_stores: false })
+            .is_err());
+        let mut cfg = PipelineConfig::small();
+        cfg.updates_per_thread = 100;
+        assert!(solve(g, 1, Method::Pipelined(cfg)).is_err());
+    }
+}

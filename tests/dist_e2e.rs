@@ -1,0 +1,115 @@
+//! Distributed end-to-end tests spanning tb-net, tb-dist and tb-stencil.
+
+use temporal_blocking::dist::{solver, Decomposition, DistJacobi, LocalExec};
+use temporal_blocking::grid::{init, norm, Dims3, Grid3, Region3};
+use temporal_blocking::net::{CartComm, SimNet, Universe};
+use temporal_blocking::stencil::config::GridScheme;
+use temporal_blocking::{PipelineConfig, SyncMode};
+
+fn run_and_verify(
+    dims: Dims3,
+    pgrid: [usize; 3],
+    h: usize,
+    sweeps: usize,
+    exec: impl Fn() -> LocalExec + Send + Sync,
+) {
+    let global: Grid3<f64> = init::random(dims, 2024);
+    let want = solver::serial_reference(&global, sweeps);
+    let dec = Decomposition::new(dims, pgrid, h);
+    let ranks = dec.ranks();
+    let (global_ref, want_ref, exec_ref) = (&global, &want, &exec);
+    Universe::run(ranks, None, move |comm| {
+        let mut cart = CartComm::new(comm, pgrid);
+        let mut s =
+            DistJacobi::from_global(&dec, cart.coords(), global_ref, exec_ref()).unwrap();
+        s.run_sweeps(&mut cart, sweeps);
+        if let Some(got) = s.gather_global(&mut cart, &dec, global_ref) {
+            norm::assert_grids_identical(
+                want_ref,
+                &got,
+                &Region3::interior_of(dims),
+                &format!("dist {pgrid:?} h={h}"),
+            );
+        }
+        0
+    });
+}
+
+#[test]
+fn twelve_ranks_anisotropic() {
+    run_and_verify(Dims3::new(26, 18, 14), [3, 2, 2], 2, 6, || LocalExec::Seq);
+}
+
+#[test]
+fn deep_halo_few_ranks() {
+    run_and_verify(Dims3::cube(24), [2, 1, 1], 5, 11, || LocalExec::Seq);
+}
+
+#[test]
+fn hybrid_eight_ranks_pipelined() {
+    let cfg = PipelineConfig {
+        team_size: 2,
+        n_teams: 1,
+        updates_per_thread: 1,
+        block: [8, 8, 8],
+        sync: SyncMode::relaxed_default(),
+        scheme: GridScheme::TwoGrid,
+        layout: None,
+        audit: true,
+    };
+    run_and_verify(Dims3::cube(22), [2, 2, 2], 2, 6, move || {
+        LocalExec::Pipelined(cfg.clone())
+    });
+}
+
+#[test]
+fn virtual_time_cluster_accumulates() {
+    // Virtual clocks must be monotone and identical across ranks after a
+    // final barrier, with real halo data flowing.
+    let dims = Dims3::cube(16);
+    let pgrid = [2, 2, 1];
+    let dec = Decomposition::new(dims, pgrid, 2);
+    let global: Grid3<f64> = init::random(dims, 5);
+    let global_ref = &global;
+    let net = SimNet::qdr_infiniband();
+    let times = Universe::run(4, Some(net), move |comm| {
+        let mut cart = CartComm::new(comm, pgrid);
+        let mut s =
+            DistJacobi::from_global(&dec, cart.coords(), global_ref, LocalExec::Seq).unwrap();
+        // Model compute: 1 us per sweep per rank (arbitrary, monotone).
+        for _ in 0..3 {
+            cart.comm.advance(1e-6);
+            s.run_sweeps(&mut cart, 2);
+        }
+        cart.comm.barrier();
+        cart.comm.time()
+    });
+    let t0 = times[0];
+    assert!(t0 > 0.0);
+    for t in times {
+        assert!((t - t0).abs() < 1e-12, "clocks diverged: {t} vs {t0}");
+    }
+}
+
+#[test]
+fn cluster_sim_spec_runs() {
+    use temporal_blocking::dist::sim::{simulate, SimSpec};
+    use temporal_blocking::model::{NetworkParams, ScalingConfig, ScalingMode};
+    let out = simulate(&SimSpec {
+        nodes: 8,
+        cfg: ScalingConfig {
+            ppn: 1,
+            node_lups: 2.9e9,
+            halo_h: 4,
+            net: NetworkParams::qdr_infiniband(),
+            mode: ScalingMode::Weak,
+            base_edge: 600,
+        },
+        exec_edge: 18,
+        exec_halo: 2,
+        exec_sweeps: 4,
+    });
+    assert!(out.verified);
+    assert_eq!(out.ranks, 8);
+    assert!(out.point.glups > 0.0 && out.point.efficiency <= 1.0);
+}

@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! pipelined executor.
+//!
+//! Strategy ranges are kept small enough for CI but cover the interesting
+//! degrees of freedom: grid anisotropy, block anisotropy, pipeline depth,
+//! sync parameters, sweep counts that are not multiples of the depth.
+
+use proptest::prelude::*;
+
+use temporal_blocking::grid::{init, norm, BlockPartition, Dims3, Grid3, Region3};
+use temporal_blocking::stencil::config::GridScheme;
+use temporal_blocking::stencil::pipeline::PipelinePlan;
+use temporal_blocking::{solve, Method, PipelineConfig, SyncMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Region algebra: intersection is commutative, contained in both
+    /// operands, and expanding then shrinking returns the original
+    /// (away from the origin).
+    #[test]
+    fn region_algebra(
+        lo in prop::array::uniform3(1usize..20),
+        ext in prop::array::uniform3(1usize..15),
+        lo2 in prop::array::uniform3(1usize..20),
+        ext2 in prop::array::uniform3(1usize..15),
+        g in 1usize..4,
+    ) {
+        let a = Region3::new(lo, [lo[0]+ext[0], lo[1]+ext[1], lo[2]+ext[2]]);
+        let b = Region3::new(lo2, [lo2[0]+ext2[0], lo2[1]+ext2[1], lo2[2]+ext2[2]]);
+        let i1 = a.intersect(&b);
+        let i2 = b.intersect(&a);
+        prop_assert_eq!(i1, i2);
+        prop_assert!(a.contains_region(&i1));
+        prop_assert!(b.contains_region(&i1));
+        // expand saturates at 0, so the roundtrip only holds when the
+        // region sits at least g cells away from the origin.
+        if lo.iter().all(|&l| l >= g) {
+            prop_assert_eq!(a.expand(g).shrink(g), a);
+        }
+        prop_assert_eq!(a.intersects(&b), i1.count() > 0);
+    }
+
+    /// Block partitions tile their domain exactly: full coverage, no
+    /// overlap, linear index roundtrips.
+    #[test]
+    fn block_partition_tiles(
+        dom_lo in prop::array::uniform3(0usize..5),
+        dom_ext in prop::array::uniform3(3usize..25),
+        blk in prop::array::uniform3(1usize..12),
+    ) {
+        let dom = Region3::new(dom_lo, [
+            dom_lo[0]+dom_ext[0], dom_lo[1]+dom_ext[1], dom_lo[2]+dom_ext[2],
+        ]);
+        let p = BlockPartition::new(dom, blk);
+        let total: usize = p.iter().map(|(_, _, r)| r.count()).sum();
+        prop_assert_eq!(total, dom.count());
+        for (l, b, r) in p.iter() {
+            prop_assert_eq!(p.linear(b), l);
+            prop_assert!(dom.contains_region(&r));
+        }
+    }
+
+    /// Every stage of any valid plan tiles its stage domain exactly.
+    #[test]
+    fn plan_stages_tile(
+        n in 10usize..26,
+        bx in 4usize..12,
+        stages in 1usize..4,
+        dir in prop::sample::select(vec![-1i64, 1]),
+    ) {
+        prop_assume!(bx >= stages);
+        let interior = Region3::new([1, 1, 1], [n - 1, n - 1, n - 1]);
+        let plan = PipelinePlan::uniform(interior, [bx, bx, bx], stages);
+        for s in 0..stages {
+            let total: usize = (0..plan.num_blocks())
+                .map(|j| plan.region(j, s, dir).count())
+                .sum();
+            prop_assert_eq!(total, interior.count());
+        }
+    }
+
+    /// Randomized pipelined configurations are bitwise equal to the
+    /// sequential solver (with the race auditor enabled).
+    #[test]
+    fn pipelined_equals_sequential(
+        seed in 0u64..1000,
+        team in 1usize..4,
+        upt in 1usize..3,
+        sweeps in 1usize..10,
+        du in 1u64..6,
+        barrier in any::<bool>(),
+    ) {
+        let dims = Dims3::cube(20);
+        let depth = team * upt;
+        prop_assume!(depth <= 6);
+        let sync = if barrier {
+            SyncMode::Barrier
+        } else {
+            SyncMode::Relaxed { dl: 1, du, dt: 0 }
+        };
+        let cfg = PipelineConfig {
+            team_size: team,
+            n_teams: 1,
+            updates_per_thread: upt,
+            block: [8, 8, 8],
+            sync,
+            scheme: GridScheme::TwoGrid,
+            layout: None,
+            audit: true,
+        };
+        prop_assume!(cfg.validate(dims).is_ok());
+        let initial: Grid3<f64> = init::random(dims, seed);
+        let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
+        let (got, _) = solve(initial, sweeps, Method::Pipelined(cfg)).unwrap();
+        prop_assert!(norm::first_mismatch(&want, &got, &Region3::whole(dims)).is_none());
+    }
+
+    /// Compressed-grid runs with random depths/sweeps match the
+    /// sequential solver too.
+    #[test]
+    fn compressed_equals_sequential(
+        seed in 0u64..1000,
+        team in 1usize..3,
+        upt in 1usize..3,
+        sweeps in 1usize..9,
+    ) {
+        let dims = Dims3::cube(20);
+        let depth = team * upt;
+        prop_assume!(depth <= 4);
+        let cfg = PipelineConfig {
+            team_size: team,
+            n_teams: 1,
+            updates_per_thread: upt,
+            block: [8, 8, 8],
+            sync: SyncMode::relaxed_default(),
+            scheme: GridScheme::Compressed,
+            layout: None,
+            audit: true,
+        };
+        prop_assume!(cfg.validate(dims).is_ok());
+        let initial: Grid3<f64> = init::random(dims, seed);
+        let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
+        let (got, _) = solve(initial, sweeps, Method::PipelinedCompressed(cfg)).unwrap();
+        prop_assert!(norm::first_mismatch(&want, &got, &Region3::whole(dims)).is_none());
+    }
+}
