@@ -33,10 +33,11 @@ fn bench_exchange_cycle(c: &mut Criterion) {
     c.bench_function("dist_cycle_2ranks_h4_64cube", |b| {
         b.iter_custom(|iters| {
             let global_ref = &global;
+            let dec_ref = &dec;
             let times = Universe::run(2, None, move |comm| {
                 let mut cart = CartComm::new(comm, [2, 1, 1]);
                 let mut s =
-                    DistJacobi::from_global(&dec, cart.coords(), global_ref, LocalExec::Seq)
+                    DistJacobi::from_global(dec_ref, cart.coords(), global_ref, LocalExec::Seq)
                         .unwrap();
                 let t0 = std::time::Instant::now();
                 for _ in 0..iters {

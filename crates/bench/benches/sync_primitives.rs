@@ -6,8 +6,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tb_sync::{PipelineSync, SpinBarrier};
 
 fn bench_barrier(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
-    c.bench_function(&format!("spin_barrier_{threads}_threads"), |b| {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
+    c.bench_function(format!("spin_barrier_{threads}_threads"), |b| {
         b.iter_custom(|iters| {
             let barrier = SpinBarrier::new(threads);
             let start = std::time::Instant::now();

@@ -21,8 +21,10 @@ fn main() {
 
     println!("ablation: inner block length b_x ({edge}^3, blocks b_x x 20 x 20)\n");
     println!("{:>6} {:>12} {:>18}", "b_x", "MLUP/s", "block KiB (f64)");
-    let mut sizes: Vec<usize> =
-        [16usize, 32, 64, 120, 180, 240, 600].iter().map(|&b| b.min(edge - 2)).collect();
+    let mut sizes: Vec<usize> = [16usize, 32, 64, 120, 180, 240, 600]
+        .iter()
+        .map(|&b| b.min(edge - 2))
+        .collect();
     sizes.dedup();
     for bx in sizes {
         let cfg = PipelineConfig {
@@ -42,7 +44,11 @@ fn main() {
             let mut pair = GridPair::from_initial(problem(edge, 42));
             pipeline::run(&mut pair, &cfg, sweeps).unwrap()
         });
-        println!("{bx:>6} {:>12.1} {:>18.0}", s.mlups(), (bx * 20 * 20 * 8) as f64 / 1024.0);
+        println!(
+            "{bx:>6} {:>12.1} {:>18.0}",
+            s.mlups(),
+            (bx * 20 * 20 * 8) as f64 / 1024.0
+        );
     }
     println!(
         "\npaper: best around b_x ~ 120 on the 600^3 problem; y/z block sizes\n\

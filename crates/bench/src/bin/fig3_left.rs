@@ -32,7 +32,10 @@ fn nehalem() {
     let p0 = roofline::jacobi_roofline_default(&m) / 1e6;
     println!("Fig. 3 (left) — analytic series, Nehalem EP parameters\n");
     row("series", &["socket MLUP/s".into(), "node MLUP/s".into()]);
-    row("standard Jacobi (Eq. 2 roofline)", &[format!("{p0:.0}"), format!("{:.0}", 2.0 * p0)]);
+    row(
+        "standard Jacobi (Eq. 2 roofline)",
+        &[format!("{p0:.0}"), format!("{:.0}", 2.0 * p0)],
+    );
     for t_updates in [1usize, 2, 4] {
         let s = pipeline_speedup(&m, m.cores_per_socket, t_updates);
         row(
@@ -60,8 +63,7 @@ fn host(args: &Args) {
     );
 
     // Calibrate the model for this host.
-    let params =
-        tb_membench::calibrate_host(&machine, tb_membench::CalibrationProfile::quick());
+    let params = tb_membench::calibrate_host(&machine, tb_membench::CalibrationProfile::quick());
 
     let socket_cpus = machine.cores_per_socket().max(1);
     let groups = machine.cache_groups().len();
@@ -83,15 +85,45 @@ fn host(args: &Args) {
     ] {
         let socket_std = std_rate(socket_cpus, store);
         let node_std = std_rate(machine.num_cpus().max(1), store);
-        row(label, &[tb_bench::fmt_mlups(&socket_std), tb_bench::fmt_mlups(&node_std)]);
+        row(
+            label,
+            &[
+                tb_bench::fmt_mlups(&socket_std),
+                tb_bench::fmt_mlups(&node_std),
+            ],
+        );
     }
 
     // Pipelined variants.
     let variants: Vec<(&str, SyncMode, usize)> = vec![
         ("pipeline w/ barrier (T=2)", SyncMode::Barrier, 2),
-        ("pipeline relaxed d_u=1 (T=2)", SyncMode::Relaxed { dl: 1, du: 1, dt: 0 }, 2),
-        ("pipeline relaxed d_u=4 (T=2)", SyncMode::Relaxed { dl: 1, du: 4, dt: 0 }, 2),
-        ("pipeline relaxed T=1", SyncMode::Relaxed { dl: 1, du: 4, dt: 0 }, 1),
+        (
+            "pipeline relaxed d_u=1 (T=2)",
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 1,
+                dt: 0,
+            },
+            2,
+        ),
+        (
+            "pipeline relaxed d_u=4 (T=2)",
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 4,
+                dt: 0,
+            },
+            2,
+        ),
+        (
+            "pipeline relaxed T=1",
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 4,
+                dt: 0,
+            },
+            1,
+        ),
     ];
     for (label, sync, upd) in variants {
         let run = |n_teams: usize, mach: &Machine| {
@@ -114,7 +146,10 @@ fn host(args: &Args) {
         // "Node" = one team per cache group; machines with a single group
         // still run two (time-shared) teams so the series exists.
         let node = run(groups.max(2), &machine);
-        row(label, &[tb_bench::fmt_mlups(&socket), tb_bench::fmt_mlups(&node)]);
+        row(
+            label,
+            &[tb_bench::fmt_mlups(&socket), tb_bench::fmt_mlups(&node)],
+        );
     }
 
     // Model predictions for this host.

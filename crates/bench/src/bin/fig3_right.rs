@@ -26,10 +26,17 @@ fn main() {
         "Fig. 3 (right) — performance vs d_u - d_l on {} ({edge}^3, {sweeps} sweeps)\n",
         machine.name
     );
-    println!("{:>8} {:>16} {:>16}", "d_u-d_l", "socket MLUP/s", "node MLUP/s");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "d_u-d_l", "socket MLUP/s", "node MLUP/s"
+    );
 
     for looseness in 0..=5u64 {
-        let sync = SyncMode::Relaxed { dl: 1, du: 1 + looseness, dt: 0 };
+        let sync = SyncMode::Relaxed {
+            dl: 1,
+            du: 1 + looseness,
+            dt: 0,
+        };
         let run = |n_teams: usize| {
             let cfg = PipelineConfig {
                 team_size: t,
@@ -48,7 +55,12 @@ fn main() {
         };
         let socket = run(1);
         let node = run(groups);
-        println!("{:>8} {:>16.1} {:>16.1}", looseness, socket.mlups(), node.mlups());
+        println!(
+            "{:>8} {:>16.1} {:>16.1}",
+            looseness,
+            socket.mlups(),
+            node.mlups()
+        );
     }
     println!(
         "\npaper: optimal d_u in 1..4 with the ~120x20x20 blocks; about +80%\n\

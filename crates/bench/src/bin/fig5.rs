@@ -15,8 +15,12 @@ use tb_model::NetworkParams;
 
 fn main() {
     let args = Args::parse();
-    let realistic = args.get("--realistic").is_some() || std::env::args().any(|a| a == "--realistic");
-    let net = if realistic { NetworkParams::qdr_infiniband() } else { fig5_network() };
+    let realistic = args.has("--realistic");
+    let net = if realistic {
+        NetworkParams::qdr_infiniband()
+    } else {
+        fig5_network()
+    };
     let workload = |l: usize| -> HaloWorkload {
         if realistic {
             HaloWorkload::realistic([l, l, l], [true; 3], 2.0e9)
@@ -26,7 +30,9 @@ fn main() {
     };
 
     let hs = [2usize, 4, 8, 16, 32];
-    let ls: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 10, 14, 20, 28, 40, 56, 80, 110, 160, 220, 300, 400];
+    let ls: Vec<usize> = vec![
+        1, 2, 3, 4, 6, 8, 10, 14, 20, 28, 40, 56, 80, 110, 160, 220, 300, 400,
+    ];
 
     println!(
         "Fig. 5 — multi-layer halo advantage ({} model)\n",

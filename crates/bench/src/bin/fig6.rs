@@ -28,10 +28,30 @@ struct Curve {
 }
 
 const CURVES: [Curve; 4] = [
-    Curve { label: "standard 8PPN", ppn: 8, node_lups: 2.9e9, halo: 1 },
-    Curve { label: "standard 1PPN", ppn: 1, node_lups: 2.2e9, halo: 1 },
-    Curve { label: "pipelined 1PPN", ppn: 1, node_lups: 3.0e9, halo: 16 },
-    Curve { label: "pipelined 2PPN", ppn: 2, node_lups: 3.4e9, halo: 16 },
+    Curve {
+        label: "standard 8PPN",
+        ppn: 8,
+        node_lups: 2.9e9,
+        halo: 1,
+    },
+    Curve {
+        label: "standard 1PPN",
+        ppn: 1,
+        node_lups: 2.2e9,
+        halo: 1,
+    },
+    Curve {
+        label: "pipelined 1PPN",
+        ppn: 1,
+        node_lups: 3.0e9,
+        halo: 16,
+    },
+    Curve {
+        label: "pipelined 2PPN",
+        ppn: 2,
+        node_lups: 3.4e9,
+        halo: 16,
+    },
 ];
 
 const NODES: [usize; 4] = [1, 8, 27, 64];
@@ -143,27 +163,33 @@ fn host(args: &Args) {
     let mut ranks = 1usize;
     while ranks <= max_ranks {
         let pgrid = [ranks, 1, 1];
-        let dims = Dims3::new(edge_per_rank * ranks + 2, edge_per_rank + 2, edge_per_rank + 2);
+        let dims = Dims3::new(
+            edge_per_rank * ranks + 2,
+            edge_per_rank + 2,
+            edge_per_rank + 2,
+        );
         let dec = Decomposition::new(dims, pgrid, 2);
         let global = init::random::<f64>(dims, 11);
         let global_ref = &global;
         let t0 = std::time::Instant::now();
         let updates = Universe::run(ranks, None, move |comm| {
             let mut cart = CartComm::new(comm, pgrid);
-            let mut s = DistJacobi::from_global(&dec, cart.coords(), global_ref, LocalExec::Seq)
-                .unwrap();
+            let mut s =
+                DistJacobi::from_global(&dec, cart.coords(), global_ref, LocalExec::Seq).unwrap();
             let st = s.run_sweeps(&mut cart, sweeps);
             st.cell_updates
         });
         let elapsed = t0.elapsed().as_secs_f64();
         let total: u64 = updates.iter().sum();
         let mlups = total as f64 / elapsed / 1e6;
-        let eff = base_rate.map(|b: f64| mlups / (b * ranks as f64)).unwrap_or(1.0);
+        let eff = base_rate
+            .map(|b: f64| mlups / (b * ranks as f64))
+            .unwrap_or(1.0);
         if base_rate.is_none() {
             base_rate = Some(mlups);
         }
         println!("{ranks:>6} {mlups:>12.1} {eff:>14.2}");
-        let _ = solver::serial_reference; // keep the oracle linked for doc purposes
+        let _ = solver::serial_reference::<f64>; // keep the oracle linked for doc purposes
         ranks *= 2;
     }
 }

@@ -28,8 +28,16 @@ fn main() {
     // Pack-only timing (sender-side copy).
     let local = dec.local([0, 0, 0]);
     let face = Region3::new(
-        [local.interior.hi[0] - 4, local.interior.lo[1], local.interior.lo[2]],
-        [local.interior.hi[0], local.interior.hi[1], local.interior.hi[2]],
+        [
+            local.interior.hi[0] - 4,
+            local.interior.lo[1],
+            local.interior.lo[2],
+        ],
+        [
+            local.interior.hi[0],
+            local.interior.hi[1],
+            local.interior.hi[2],
+        ],
     );
     let mut g0: Grid3<f64> = Grid3::zeroed(local.dims);
     g0.fill_region(&Region3::whole(local.dims), 1.0);
@@ -57,7 +65,11 @@ fn main() {
     });
 
     println!("halo profiling, {edge}^3 over 2 ranks, h = 4\n");
-    println!("pack_region: {:>10.1} MB/s ({:.1} us per 4-layer face)", pack_bw / 1e6, pack_time * 1e6);
+    println!(
+        "pack_region: {:>10.1} MB/s ({:.1} us per 4-layer face)",
+        pack_bw / 1e6,
+        pack_time * 1e6
+    );
     println!(
         "full cycle (exchange + 4 updates): {:.1} us; rank bytes sent total: {}",
         times[0].0 * 1e6,
@@ -74,7 +86,10 @@ fn main() {
     // 2. Message aggregation effect (model, paper parameters).
     let net = NetworkParams::qdr_infiniband();
     println!("\nmessage aggregation (QDR-IB model): one h-layer vs h 1-layer messages");
-    println!("{:>4} {:>10} {:>16} {:>16}", "L", "h", "aggregated [us]", "fragmented [us]");
+    println!(
+        "{:>4} {:>10} {:>16} {:>16}",
+        "L", "h", "aggregated [us]", "fragmented [us]"
+    );
     for (l, h) in [(10usize, 8usize), (10, 16), (50, 8), (100, 8)] {
         let bytes_1 = l * l * 8;
         let agg = net.message_time(h * bytes_1) * 1e6;

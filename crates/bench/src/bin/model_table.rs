@@ -9,7 +9,12 @@ use tb_model::{pipeline, MachineParams};
 
 fn main() {
     let m = MachineParams::nehalem_ep();
-    let ideal = MachineParams { ms: 20.0e9, ms1: 10.0e9, mc: 80.0e9, ..m };
+    let ideal = MachineParams {
+        ms: 20.0e9,
+        ms1: 10.0e9,
+        mc: 80.0e9,
+        ..m
+    };
     println!("single-cache diagnostic model (Eqs. 4-5), Nehalem EP\n");
     println!(
         "{:>4} {:>6} {:>14} {:>12} {:>14}",

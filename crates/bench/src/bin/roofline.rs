@@ -23,7 +23,10 @@ fn main() {
 
     let params = tb_membench::calibrate_host(&machine, tb_membench::CalibrationProfile::quick());
     println!("measured bandwidths:");
-    println!("  M_s,1 (1 thread, memory) = {:>8.2} GB/s", params.ms1 / 1e9);
+    println!(
+        "  M_s,1 (1 thread, memory) = {:>8.2} GB/s",
+        params.ms1 / 1e9
+    );
     println!("  M_s   (group,  memory)   = {:>8.2} GB/s", params.ms / 1e9);
     println!("  M_c   (group,  cache)    = {:>8.2} GB/s", params.mc / 1e9);
 

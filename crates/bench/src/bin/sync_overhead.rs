@@ -25,7 +25,9 @@ fn main() {
     let args = Args::parse();
     let threads = args.get_usize(
         "--threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
     );
     let blocks = args.get_usize("--blocks", 400) as u64;
     let work = Duration::from_micros(args.get_usize("--work-us", 20) as u64);
@@ -71,7 +73,11 @@ fn main() {
     }
 
     // Relaxed schemes.
-    for (label, du) in [("relaxed d_u=1 (lockstep)", 1u64), ("relaxed d_u=4", 4), ("relaxed d_u=16", 16)] {
+    for (label, du) in [
+        ("relaxed d_u=1 (lockstep)", 1u64),
+        ("relaxed d_u=4", 4),
+        ("relaxed d_u=16", 16),
+    ] {
         let psync = PipelineSync::new(threads, threads, 1, du, 0);
         let wait_ns = AtomicU64::new(0);
         let t0 = Instant::now();

@@ -32,7 +32,9 @@ pub struct Args {
 
 impl Args {
     pub fn parse() -> Self {
-        Self { raw: std::env::args().skip(1).collect() }
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     pub fn get(&self, key: &str) -> Option<&str> {
@@ -43,8 +45,15 @@ impl Args {
             .map(|s| s.as_str())
     }
 
+    /// True when the bare flag `key` is present (no value expected).
+    pub fn has(&self, key: &str) -> bool {
+        self.raw.iter().any(|a| a == key)
+    }
+
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn mode(&self) -> &str {
@@ -120,7 +129,14 @@ mod tests {
 
     #[test]
     fn args_lookup() {
-        let a = Args { raw: vec!["--size".into(), "128".into(), "--mode".into(), "nehalem".into()] };
+        let a = Args {
+            raw: vec![
+                "--size".into(),
+                "128".into(),
+                "--mode".into(),
+                "nehalem".into(),
+            ],
+        };
         assert_eq!(a.get_usize("--size", 64), 128);
         assert_eq!(a.get_usize("--sweeps", 10), 10);
         assert_eq!(a.mode(), "nehalem");

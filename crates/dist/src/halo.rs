@@ -1,0 +1,146 @@
+//! Face pack/unpack between grids and message buffers.
+//!
+//! The paper's §2.2 profiling found that "copying halo data from
+//! boundary cells to and from intermediate message buffers causes about
+//! the same overhead as the actual data transfer" — these are those
+//! copies. Values travel as native-endian `f64` (exact for `f32`
+//! payloads too, since every `f32` is exactly representable).
+
+use bytes::Bytes;
+use tb_grid::{Grid3, Real, Region3};
+
+/// Copy the cells of `region` (x-fastest order) out of `g` into a
+/// message buffer. One copy: cells serialize straight into the byte
+/// buffer that becomes the message.
+pub fn pack_region<T: Real>(g: &Grid3<T>, region: &Region3) -> Bytes {
+    let r = region.intersect(&Region3::whole(g.dims()));
+    let mut out = Vec::with_capacity(r.count() * 8);
+    for z in r.lo[2]..r.hi[2] {
+        for y in r.lo[1]..r.hi[1] {
+            for v in &g.row(y, z)[r.lo[0]..r.hi[0]] {
+                out.extend_from_slice(&v.to_f64().to_ne_bytes());
+            }
+        }
+    }
+    Bytes::from(out)
+}
+
+/// Inverse of [`pack_region`]: scatter a message buffer into the cells
+/// of `region`.
+///
+/// # Panics
+/// Panics if the payload length does not match `region.count()` — a
+/// protocol error, not a recoverable condition.
+pub fn unpack_region<T: Real>(g: &mut Grid3<T>, region: &Region3, payload: &Bytes) {
+    let r = region.intersect(&Region3::whole(g.dims()));
+    assert_eq!(payload.len(), r.count() * 8, "payload length mismatch");
+    let mut chunks = payload.chunks_exact(8);
+    for z in r.lo[2]..r.hi[2] {
+        for y in r.lo[1]..r.hi[1] {
+            for cell in &mut g.row_mut(y, z)[r.lo[0]..r.hi[0]] {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(chunks.next().expect("length checked above"));
+                *cell = T::from_f64(f64::from_ne_bytes(buf));
+            }
+        }
+    }
+}
+
+/// Row-wise copy of `src_region` in `src` into `dst_region` in `dst` —
+/// the no-serialization path for halos that never leave the process
+/// (same-node team coupling, local carve/assemble).
+///
+/// # Panics
+/// Panics if the two regions' extents differ.
+pub fn copy_region<T: Real>(
+    src: &Grid3<T>,
+    src_region: &Region3,
+    dst: &mut Grid3<T>,
+    dst_region: &Region3,
+) {
+    let s = src_region;
+    let d = dst_region;
+    assert!(
+        (0..3).all(|i| s.extent(i) == d.extent(i)),
+        "region extents differ: {s} vs {d}"
+    );
+    for (sz, dz) in (s.lo[2]..s.hi[2]).zip(d.lo[2]..) {
+        for (sy, dy) in (s.lo[1]..s.hi[1]).zip(d.lo[1]..) {
+            let row = &src.row(sy, sz)[s.lo[0]..s.hi[0]];
+            dst.row_mut(dy, dz)[d.lo[0]..d.hi[0]].copy_from_slice(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_grid::{init, norm, Dims3};
+
+    #[test]
+    fn pack_unpack_roundtrip_bitwise() {
+        let dims = Dims3::new(9, 7, 5);
+        let src: Grid3<f64> = init::random(dims, 3);
+        let mut dst: Grid3<f64> = Grid3::zeroed(dims);
+        let r = Region3::new([2, 1, 1], [6, 6, 4]);
+        let b = pack_region(&src, &r);
+        assert_eq!(b.len(), r.count() * 8);
+        unpack_region(&mut dst, &r, &b);
+        assert_eq!(norm::count_mismatches(&src, &dst, &r), 0);
+        // Cells outside the region stay untouched.
+        assert_eq!(dst.get(0, 0, 0), 0.0);
+        assert_eq!(dst.get(6, 6, 4), 0.0);
+    }
+
+    #[test]
+    fn f32_payloads_roundtrip_exactly() {
+        let dims = Dims3::cube(6);
+        let src: Grid3<f32> = init::random(dims, 9);
+        let mut dst: Grid3<f32> = Grid3::zeroed(dims);
+        let r = Region3::interior_of(dims);
+        unpack_region(&mut dst, &r, &pack_region(&src, &r));
+        assert_eq!(norm::count_mismatches(&src, &dst, &r), 0);
+    }
+
+    #[test]
+    fn copy_region_translates_frames_bitwise() {
+        let src: Grid3<f64> = init::random(Dims3::new(8, 7, 6), 4);
+        let mut dst: Grid3<f64> = Grid3::zeroed(Dims3::new(10, 9, 8));
+        let s = Region3::new([1, 2, 0], [5, 6, 3]);
+        let d = Region3::new([4, 3, 5], [8, 7, 8]);
+        copy_region(&src, &s, &mut dst, &d);
+        for dz in 0..3 {
+            for dy in 0..4 {
+                for dx in 0..4 {
+                    assert_eq!(dst.get(4 + dx, 3 + dy, 5 + dz), src.get(1 + dx, 2 + dy, dz));
+                }
+            }
+        }
+        // Outside the destination region nothing changed.
+        assert_eq!(dst.get(0, 0, 0), 0.0);
+        assert_eq!(dst.get(9, 8, 7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "region extents differ")]
+    fn copy_region_rejects_mismatched_extents() {
+        let src: Grid3<f64> = Grid3::zeroed(Dims3::cube(6));
+        let mut dst: Grid3<f64> = Grid3::zeroed(Dims3::cube(6));
+        copy_region(
+            &src,
+            &Region3::new([0, 0, 0], [2, 2, 2]),
+            &mut dst,
+            &Region3::new([0, 0, 0], [3, 2, 2]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length mismatch")]
+    fn wrong_payload_size_is_a_protocol_error() {
+        let dims = Dims3::cube(5);
+        let g: Grid3<f64> = Grid3::zeroed(dims);
+        let b = pack_region(&g, &Region3::new([0, 0, 0], [2, 2, 2]));
+        let mut dst = g.clone();
+        unpack_region(&mut dst, &Region3::new([0, 0, 0], [3, 3, 3]), &b);
+    }
+}

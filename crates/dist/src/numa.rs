@@ -1,0 +1,268 @@
+//! The §3 outlook: team-decomposed node solver.
+//!
+//! The paper's node-wide pipeline has every thread touching every block,
+//! which defeats first-touch NUMA placement. The proposed fix is to run
+//! **one pipeline per cache group** on its own subdomain — exactly the
+//! distributed solver's structure, but with the halo exchange replaced
+//! by in-memory slab copies between the teams' grids. Coupling depth is
+//! the team pipeline depth `t·T`, so a team communicates once per `t·T`
+//! sweeps, just like a rank of the cluster solver.
+//!
+//! Results remain bitwise identical to the sequential solver; the
+//! redundant overlap-ring updates are the price, which
+//! [`RunStats::cell_updates`] here *includes* (unlike
+//! [`crate::DistJacobi`]) so the ablation binary can report both the
+//! raw and the useful rate.
+
+use std::time::Instant;
+
+use tb_grid::{Grid3, GridPair, Real, Region3};
+use tb_stencil::config::GridScheme;
+use tb_stencil::{pipeline, PipelineConfig, RunStats};
+use tb_sync::SyncMode;
+use tb_topology::{Machine, TeamLayout};
+
+use crate::decomp::{Decomposition, LocalDomain};
+use crate::halo::copy_region;
+
+/// Parameters of the team-decomposed node run.
+#[derive(Clone, Debug)]
+pub struct NumaNodeConfig {
+    /// Threads per team (`t`).
+    pub team_size: usize,
+    /// Number of teams = number of subdomains (`n`).
+    pub n_teams: usize,
+    /// Updates per thread within a team sweep (`T`).
+    pub updates_per_thread: usize,
+    /// Spatial block edges for the per-team pipelines.
+    pub block: [usize; 3],
+    /// Synchronization of the per-team pipelines.
+    pub sync: SyncMode,
+    /// Pin each team's threads to one cache group.
+    pub pin: bool,
+}
+
+/// Pin layout for one team: `team_size` consecutive CPUs of cache group
+/// `team` (wrapping inside the group when it is smaller than the team).
+fn group_layout(machine: &Machine, team: usize, team_size: usize) -> TeamLayout {
+    let groups = machine.cache_groups();
+    let cpus = if groups.is_empty() {
+        vec![None; team_size]
+    } else {
+        let group = &groups[team % groups.len()];
+        (0..team_size)
+            .map(|m| group.get(m % group.len().max(1)).copied())
+            .collect()
+    };
+    TeamLayout {
+        cpus,
+        team_size,
+        n_teams: 1,
+    }
+}
+
+/// Run `sweeps` Jacobi sweeps on `initial` with one pipelined team per
+/// subdomain, coupled by multi-layer slab halos along z. Returns the
+/// final grid and merged stats (updates *include* the redundant ring
+/// work).
+pub fn run_numa_node<T: Real>(
+    initial: &Grid3<T>,
+    machine: &Machine,
+    cfg: &NumaNodeConfig,
+    sweeps: usize,
+) -> Result<(Grid3<T>, RunStats), String> {
+    if cfg.n_teams == 0 || cfg.team_size == 0 || cfg.updates_per_thread == 0 {
+        return Err("team_size, n_teams, updates_per_thread must be >= 1".into());
+    }
+    let dims = initial.dims();
+    let h = cfg.team_size * cfg.updates_per_thread;
+    let dec = Decomposition::try_new(dims, [1, 1, cfg.n_teams], h)?;
+
+    struct Team<T: Real> {
+        local: LocalDomain,
+        pair: GridPair<T>,
+        cfg: PipelineConfig,
+    }
+
+    let mut teams: Vec<Team<T>> = Vec::with_capacity(cfg.n_teams);
+    for k in 0..cfg.n_teams {
+        let local = dec.local([0, 0, k]);
+        let team_cfg = PipelineConfig {
+            team_size: cfg.team_size,
+            n_teams: 1,
+            updates_per_thread: cfg.updates_per_thread,
+            block: cfg.block,
+            sync: cfg.sync,
+            scheme: GridScheme::TwoGrid,
+            layout: cfg.pin.then(|| group_layout(machine, k, cfg.team_size)),
+            audit: false,
+        };
+        team_cfg
+            .validate(local.dims)
+            .map_err(|e| format!("team {k}: {e}"))?;
+        let mut g = Grid3::zeroed(local.dims);
+        copy_region(initial, &local.region, &mut g, &Region3::whole(local.dims));
+        teams.push(Team {
+            local,
+            pair: GridPair::from_initial(g),
+            cfg: team_cfg,
+        });
+    }
+
+    let t0 = Instant::now();
+    let mut updates = 0u64;
+    let mut remaining = sweeps;
+    let mut parity = 0usize; // shared by all teams: they advance in lockstep
+    while remaining > 0 {
+        let c = h.min(remaining);
+        if parity == 1 {
+            for t in &mut teams {
+                t.pair.swap();
+            }
+        }
+        // Couple the subdomains: copy `c` slab layers from each
+        // neighbor's owned cells into this team's ghost rings. All
+        // reads see cycle-start state because swaps happened above and
+        // the copies go ghost-ward only (owned cells are never written).
+        for k in 0..teams.len() {
+            for (j, dir) in [(k.wrapping_sub(1), -1i64), (k + 1, 1)] {
+                if dir == -1 && k == 0 || dir == 1 && j >= teams.len() {
+                    continue;
+                }
+                let owned = teams[k].local.owned;
+                let mut slab = owned;
+                if dir == 1 {
+                    slab.lo[2] = owned.hi[2];
+                    slab.hi[2] = owned.hi[2] + c;
+                } else {
+                    slab.lo[2] = owned.lo[2] - c;
+                    slab.hi[2] = owned.lo[2];
+                }
+                let src_local = teams[j].local.to_local(&slab);
+                let dst_local = teams[k].local.to_local(&slab);
+                // Split the borrow: j is k ± 1, so one side of the cut
+                // holds the source team, the other the destination.
+                let (src, dst) = if j < k {
+                    let (a, b) = teams.split_at_mut(k);
+                    (&a[j], &mut b[0])
+                } else {
+                    let (a, b) = teams.split_at_mut(j);
+                    (&b[0], &mut a[k])
+                };
+                copy_region(src.pair.a(), &src_local, dst.pair.a_mut(), &dst_local);
+            }
+        }
+        // Advance every team `c` sweeps in parallel, one pipeline each.
+        let cycle_updates = std::thread::scope(|scope| {
+            let handles: Vec<_> = teams
+                .iter_mut()
+                .map(|t| {
+                    scope.spawn(move || {
+                        pipeline::run(&mut t.pair, &t.cfg, c)
+                            .expect("validated above")
+                            .cell_updates
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("team panicked"))
+                .sum::<u64>()
+        });
+        updates += cycle_updates;
+        parity = c % 2;
+        remaining -= c;
+    }
+
+    // Assemble: initial supplies the physical boundary, teams supply
+    // their owned interiors.
+    let mut out = initial.clone();
+    for t in &teams {
+        let cur = if parity == 0 { t.pair.a() } else { t.pair.b() };
+        let r = t.local.owned;
+        copy_region(cur, &t.local.to_local(&r), &mut out, &r);
+    }
+    Ok((out, RunStats::new(updates, t0.elapsed())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_grid::{init, norm, Dims3, Region3};
+    use tb_stencil::baseline;
+
+    fn reference(initial: &Grid3<f64>, sweeps: usize) -> Grid3<f64> {
+        let mut pair = GridPair::from_initial(initial.clone());
+        baseline::seq_sweeps(&mut pair, sweeps);
+        pair.current(sweeps).clone()
+    }
+
+    fn cfg(team_size: usize, n_teams: usize, upt: usize) -> NumaNodeConfig {
+        NumaNodeConfig {
+            team_size,
+            n_teams,
+            updates_per_thread: upt,
+            block: [8, 8, 8],
+            sync: SyncMode::relaxed_default(),
+            pin: false,
+        }
+    }
+
+    #[test]
+    fn matches_sequential_bitwise() {
+        let dims = Dims3::cube(24);
+        let initial: Grid3<f64> = init::random(dims, 17);
+        let m = Machine::flat(4);
+        for sweeps in [1usize, 4, 9] {
+            let (got, stats) = run_numa_node(&initial, &m, &cfg(2, 2, 1), sweeps).unwrap();
+            let want = reference(&initial, sweeps);
+            norm::assert_grids_identical(
+                &want,
+                &got,
+                &Region3::interior_of(dims),
+                &format!("numa {sweeps} sweeps"),
+            );
+            assert!(stats.cell_updates >= (sweeps * dims.interior_len()) as u64);
+        }
+    }
+
+    #[test]
+    fn three_teams_deep_pipeline() {
+        let dims = Dims3::new(20, 20, 36);
+        let initial: Grid3<f64> = init::random(dims, 23);
+        let m = Machine::nehalem_ep();
+        let (got, _) = run_numa_node(&initial, &m, &cfg(2, 3, 2), 10).unwrap();
+        norm::assert_grids_identical(
+            &reference(&initial, 10),
+            &got,
+            &Region3::interior_of(dims),
+            "3 teams t=2 T=2",
+        );
+    }
+
+    #[test]
+    fn pinned_layout_still_correct() {
+        let dims = Dims3::cube(22);
+        let initial: Grid3<f64> = init::random(dims, 5);
+        let m = Machine::nehalem_ep();
+        let mut c = cfg(2, 2, 1);
+        c.pin = true;
+        let (got, _) = run_numa_node(&initial, &m, &c, 6).unwrap();
+        norm::assert_grids_identical(
+            &reference(&initial, 6),
+            &got,
+            &Region3::interior_of(dims),
+            "pinned",
+        );
+    }
+
+    #[test]
+    fn too_many_teams_rejected() {
+        let dims = Dims3::cube(10);
+        let initial: Grid3<f64> = init::random(dims, 1);
+        let m = Machine::flat(8);
+        // 10 cells over 6 teams -> owned slab 1 < h=2.
+        let err = run_numa_node(&initial, &m, &cfg(2, 6, 1), 4).unwrap_err();
+        assert!(err.contains("halo width"), "{err}");
+    }
+}

@@ -1,0 +1,344 @@
+//! The per-rank distributed solver and its sequential oracle.
+//!
+//! [`DistJacobi`] drives one rank: it stores the overlapping local box
+//! of a [`Decomposition`], exchanges `h` ghost layers with its Cartesian
+//! neighbors (x, then y, then z — corners and edges arrive by
+//! composition, because each stage forwards the layers received in the
+//! previous stages), then advances `h` sweeps locally, either
+//! sequentially ([`LocalExec::Seq`]) or with the §1.3 pipelined
+//! temporal-blocking executor ([`LocalExec::Pipelined`], the paper's
+//! "hybrid" mode).
+
+use std::time::Instant;
+
+use tb_grid::{Grid3, GridPair, Real, Region3};
+use tb_net::CartComm;
+use tb_stencil::config::GridScheme;
+use tb_stencil::{baseline, pipeline, PipelineConfig, RunStats};
+
+use crate::decomp::{Decomposition, LocalDomain};
+use crate::halo::{copy_region, pack_region, unpack_region};
+
+/// How a rank advances its local box between exchanges.
+#[derive(Clone, Debug)]
+pub enum LocalExec {
+    /// Plain sequential sweeps.
+    Seq,
+    /// Pipelined temporal blocking inside the rank (hybrid MPI+threads
+    /// in the paper). The pipeline depth `n·t·T` must not exceed the
+    /// halo width `h`, or the pipeline would need ghost data the
+    /// exchange did not provide.
+    Pipelined(PipelineConfig),
+}
+
+/// One rank of the distributed Jacobi solver.
+pub struct DistJacobi<T: Real> {
+    local: LocalDomain,
+    pair: GridPair<T>,
+    exec: LocalExec,
+    h: usize,
+    /// Buffer index (0 = A, 1 = B) holding the current state.
+    parity: usize,
+    sweeps_done: usize,
+    /// Total payload bytes this rank has sent (halo + gather).
+    pub bytes_sent: u64,
+}
+
+impl<T: Real> DistJacobi<T> {
+    /// Build this rank's solver state from the global initial grid.
+    ///
+    /// Fails when `global` does not match the decomposition or when a
+    /// pipelined `exec` is invalid for this rank's local box (too-small
+    /// blocks, pipeline deeper than the halo, ...).
+    pub fn from_global(
+        dec: &Decomposition,
+        coords: [usize; 3],
+        global: &Grid3<T>,
+        exec: LocalExec,
+    ) -> Result<Self, String> {
+        if global.dims() != dec.dims() {
+            return Err(format!(
+                "global grid {} does not match decomposition {}",
+                global.dims(),
+                dec.dims()
+            ));
+        }
+        let local = dec.local(coords);
+        let exec = match exec {
+            LocalExec::Seq => LocalExec::Seq,
+            LocalExec::Pipelined(mut cfg) => {
+                cfg.scheme = GridScheme::TwoGrid; // the dist layer owns the buffers
+                cfg.validate(local.dims)?;
+                if cfg.stages() > dec.h() {
+                    return Err(format!(
+                        "pipeline depth n*t*T = {} exceeds halo width h = {}; \
+                         the rank would read ghost layers the exchange never filled",
+                        cfg.stages(),
+                        dec.h()
+                    ));
+                }
+                LocalExec::Pipelined(cfg)
+            }
+        };
+        // Carve the local box (owned + ghosts) out of the global grid.
+        let mut g = Grid3::zeroed(local.dims);
+        copy_region(global, &local.region, &mut g, &Region3::whole(local.dims));
+        Ok(Self {
+            local,
+            pair: GridPair::from_initial(g),
+            exec,
+            h: dec.h(),
+            parity: 0,
+            sweeps_done: 0,
+            bytes_sent: 0,
+        })
+    }
+
+    /// This rank's view of the decomposition.
+    pub fn local(&self) -> &LocalDomain {
+        &self.local
+    }
+
+    /// Global sweeps completed so far.
+    pub fn sweeps_done(&self) -> usize {
+        self.sweeps_done
+    }
+
+    /// The grid holding the current state (local coordinates).
+    pub fn current_grid(&self) -> &Grid3<T> {
+        if self.parity == 0 {
+            self.pair.a()
+        } else {
+            self.pair.b()
+        }
+    }
+
+    /// Move the current state into buffer A so the executors (which
+    /// number sweeps from zero) read the right buffer.
+    fn normalize_parity(&mut self) {
+        if self.parity == 1 {
+            self.pair.swap();
+            self.parity = 0;
+        }
+    }
+
+    /// Advance `sweeps` global sweeps: repeat (exchange `c ≤ h` layers,
+    /// run `c` local sweeps) until done. Collective — every rank of the
+    /// communicator must call it with the same `sweeps`.
+    ///
+    /// The returned stats count *useful* updates (owned ∩ interior
+    /// cells × sweeps); redundant overlap-ring updates are excluded so
+    /// that per-rank numbers sum to the serial solver's update count.
+    pub fn run_sweeps(&mut self, cart: &mut CartComm, sweeps: usize) -> RunStats {
+        let t0 = Instant::now();
+        let mut remaining = sweeps;
+        while remaining > 0 {
+            let c = self.h.min(remaining);
+            self.normalize_parity();
+            self.exchange(cart, c);
+            match &self.exec {
+                LocalExec::Seq => {
+                    baseline::seq_sweeps(&mut self.pair, c);
+                }
+                LocalExec::Pipelined(cfg) => {
+                    pipeline::run(&mut self.pair, cfg, c).expect("config validated in from_global");
+                }
+            }
+            self.parity = c % 2;
+            self.sweeps_done += c;
+            remaining -= c;
+        }
+        RunStats::new((self.local.interior.count() * sweeps) as u64, t0.elapsed())
+    }
+
+    /// One multi-layer halo exchange of depth `c` along successive
+    /// directions. After stage `d`, the current buffer holds valid ghost
+    /// layers in every dimension `≤ d`; later stages forward them, which
+    /// is what delivers edge and corner data without diagonal messages.
+    fn exchange(&mut self, cart: &mut CartComm, c: usize) {
+        debug_assert_eq!(self.parity, 0, "exchange runs on a normalized pair");
+        let owned = self.local.owned;
+        let gdims = self.local.region; // clamp fence in global coords
+        for d in 0..3 {
+            // Slab extents in the other dimensions: already-exchanged
+            // dims include their (filled) ghost layers, later dims are
+            // owned-only. Adjacent ranks along `d` share these extents,
+            // so sizes always match.
+            let mut lo = [0usize; 3];
+            let mut hi = [0usize; 3];
+            for e in 0..3 {
+                if e < d {
+                    lo[e] = owned.lo[e].saturating_sub(c).max(gdims.lo[e]);
+                    hi[e] = (owned.hi[e] + c).min(gdims.hi[e]);
+                } else {
+                    lo[e] = owned.lo[e];
+                    hi[e] = owned.hi[e];
+                }
+            }
+            // Phase 1: post both sends (buffered, never blocks).
+            for (idx, dir) in [-1i64, 1].into_iter().enumerate() {
+                let Some(peer) = cart.neighbor(d, dir) else {
+                    continue;
+                };
+                let mut s = Region3::new(lo, hi);
+                if dir == 1 {
+                    s.lo[d] = owned.hi[d] - c;
+                    s.hi[d] = owned.hi[d];
+                } else {
+                    s.lo[d] = owned.lo[d];
+                    s.hi[d] = owned.lo[d] + c;
+                }
+                let payload = pack_region(self.pair.a(), &self.local.to_local(&s));
+                self.bytes_sent += payload.len() as u64;
+                cart.comm.send(peer, (d * 2 + idx) as u64, payload);
+            }
+            // Phase 2: receive both ghost slabs. The peer tagged its
+            // message with *its own* direction, the opposite of ours.
+            for (idx, dir) in [-1i64, 1].into_iter().enumerate() {
+                let Some(peer) = cart.neighbor(d, dir) else {
+                    continue;
+                };
+                let mut r = Region3::new(lo, hi);
+                if dir == 1 {
+                    r.lo[d] = owned.hi[d];
+                    r.hi[d] = owned.hi[d] + c;
+                } else {
+                    r.lo[d] = owned.lo[d] - c;
+                    r.hi[d] = owned.lo[d];
+                }
+                let tag = (d * 2 + (1 - idx)) as u64;
+                let payload = cart.comm.recv(peer, tag);
+                unpack_region(self.pair.a_mut(), &self.local.to_local(&r), &payload);
+            }
+        }
+    }
+
+    /// Collect every rank's owned cells on rank 0. Returns the
+    /// assembled global grid on rank 0 and `None` elsewhere.
+    /// Collective — all ranks must call it. `global_initial` supplies
+    /// the (never-updated) physical boundary values and the dims.
+    pub fn gather_global(
+        &mut self,
+        cart: &mut CartComm,
+        dec: &Decomposition,
+        global_initial: &Grid3<T>,
+    ) -> Option<Grid3<T>> {
+        const TAG: u64 = u64::MAX - 7;
+        let local_owned = self.local.to_local(&self.local.owned);
+        if cart.comm.rank() != 0 {
+            let mine = pack_region(self.current_grid(), &local_owned);
+            self.bytes_sent += mine.len() as u64;
+            cart.comm.send(0, TAG, mine);
+            return None;
+        }
+        let mut out = global_initial.clone();
+        copy_region(
+            self.current_grid(),
+            &local_owned,
+            &mut out,
+            &self.local.owned,
+        );
+        for src in 1..cart.comm.size() {
+            let owned = dec.owned(dec.coords_of(src));
+            let payload = cart.comm.recv(src, TAG);
+            unpack_region(&mut out, &owned, &payload);
+        }
+        Some(out)
+    }
+}
+
+/// The verification oracle: `sweeps` plain sequential Jacobi sweeps on
+/// the whole global grid.
+pub fn serial_reference<T: Real>(global: &Grid3<T>, sweeps: usize) -> Grid3<T> {
+    let mut pair = GridPair::from_initial(global.clone());
+    baseline::seq_sweeps(&mut pair, sweeps);
+    pair.current(sweeps).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_grid::{init, norm, Dims3};
+    use tb_net::Universe;
+    use tb_sync::SyncMode;
+
+    fn verify(dims: Dims3, pgrid: [usize; 3], h: usize, sweeps: usize) {
+        let global: Grid3<f64> = init::random(dims, 99);
+        let want = serial_reference(&global, sweeps);
+        let dec = Decomposition::new(dims, pgrid, h);
+        let (g, w) = (&global, &want);
+        Universe::run(dec.ranks(), None, move |comm| {
+            let mut cart = CartComm::new(comm, pgrid);
+            let mut s = DistJacobi::from_global(&dec, cart.coords(), g, LocalExec::Seq).unwrap();
+            let stats = s.run_sweeps(&mut cart, sweeps);
+            assert_eq!(
+                stats.cell_updates,
+                (s.local().interior.count() * sweeps) as u64
+            );
+            if let Some(got) = s.gather_global(&mut cart, &dec, g) {
+                norm::assert_grids_identical(w, &got, &Region3::interior_of(dims), "unit");
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_equals_serial() {
+        verify(Dims3::cube(12), [1, 1, 1], 3, 7);
+    }
+
+    #[test]
+    fn two_ranks_each_axis() {
+        verify(Dims3::new(16, 12, 10), [2, 1, 1], 2, 5);
+        verify(Dims3::new(12, 16, 10), [1, 2, 1], 2, 5);
+        verify(Dims3::new(10, 12, 16), [1, 1, 2], 2, 5);
+    }
+
+    #[test]
+    fn partial_final_cycle_with_odd_depth() {
+        // h = 3, 8 sweeps -> cycles 3 + 3 + 2, crossing buffer parity.
+        verify(Dims3::cube(14), [2, 2, 1], 3, 8);
+    }
+
+    #[test]
+    fn sweeps_fewer_than_halo() {
+        verify(Dims3::cube(14), [2, 1, 1], 4, 2);
+    }
+
+    #[test]
+    fn pipeline_deeper_than_halo_rejected() {
+        let dims = Dims3::cube(24);
+        let dec = Decomposition::new(dims, [2, 1, 1], 1);
+        let global: Grid3<f64> = init::random(dims, 1);
+        let cfg = PipelineConfig {
+            team_size: 2,
+            n_teams: 1,
+            updates_per_thread: 1,
+            block: [8, 8, 8],
+            sync: SyncMode::relaxed_default(),
+            scheme: GridScheme::TwoGrid,
+            layout: None,
+            audit: false,
+        };
+        let g = &global;
+        Universe::run(2, None, move |comm| {
+            let cart = CartComm::new(comm, [2, 1, 1]);
+            let err = match DistJacobi::from_global(
+                &dec,
+                cart.coords(),
+                g,
+                LocalExec::Pipelined(cfg.clone()),
+            ) {
+                Err(e) => e,
+                Ok(_) => panic!("pipeline deeper than halo must be rejected"),
+            };
+            assert!(err.contains("exceeds halo width"), "{err}");
+        });
+    }
+
+    #[test]
+    fn mismatched_global_grid_rejected() {
+        let dec = Decomposition::new(Dims3::cube(12), [1, 1, 1], 1);
+        let wrong: Grid3<f64> = Grid3::zeroed(Dims3::cube(10));
+        assert!(DistJacobi::from_global(&dec, [0, 0, 0], &wrong, LocalExec::Seq).is_err());
+    }
+}

@@ -37,7 +37,10 @@ impl<T: Copy> AlignedVec<T> {
     /// Panics if `len == 0` or the size computation overflows.
     pub fn zeroed(len: usize) -> Self {
         assert!(len > 0, "AlignedVec of length 0 is not supported");
-        assert!(std::mem::size_of::<T>() > 0, "zero-sized elements not supported");
+        assert!(
+            std::mem::size_of::<T>() > 0,
+            "zero-sized elements not supported"
+        );
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (both asserts above).
         let raw = unsafe { alloc_zeroed(layout) };
@@ -84,11 +87,8 @@ impl<T: Copy> AlignedVec<T> {
 
 impl<T> Drop for AlignedVec<T> {
     fn drop(&mut self) {
-        let layout = Layout::from_size_align(
-            self.len * std::mem::size_of::<T>(),
-            ALIGN,
-        )
-        .expect("invalid layout");
+        let layout = Layout::from_size_align(self.len * std::mem::size_of::<T>(), ALIGN)
+            .expect("invalid layout");
         // SAFETY: ptr was allocated with exactly this layout in `zeroed`.
         unsafe { dealloc(self.ptr.as_ptr() as *mut u8, layout) }
     }

@@ -49,13 +49,7 @@ impl RegionAuditor {
     /// # Panics
     /// Panics if the claim conflicts with an active claim from a different
     /// owner (write/write or read/write overlap on the same grid).
-    pub fn claim(
-        &self,
-        owner: usize,
-        grid_id: usize,
-        kind: AccessKind,
-        region: Region3,
-    ) -> u64 {
+    pub fn claim(&self, owner: usize, grid_id: usize, kind: AccessKind, region: Region3) -> u64 {
         let token = {
             let mut c = self.counter.lock();
             *c += 1;
@@ -79,7 +73,13 @@ impl RegionAuditor {
                 );
             }
         }
-        active.push(Claim { owner, grid_id, kind, region, token });
+        active.push(Claim {
+            owner,
+            grid_id,
+            kind,
+            region,
+            token,
+        });
         token
     }
 

@@ -42,7 +42,11 @@ impl BlockPartition {
             clamped[d] = block[d].min(ext);
             counts[d] = (ext / clamped[d]).max(1);
         }
-        Self { domain, block: clamped, counts }
+        Self {
+            domain,
+            block: clamped,
+            counts,
+        }
     }
 
     pub fn domain(&self) -> Region3 {
@@ -141,7 +145,11 @@ mod tests {
         let dom = Region3::new([0, 0, 0], [10, 10, 10]);
         let p = BlockPartition::new(dom, [4, 4, 4]);
         assert_eq!(p.counts(), [2, 2, 2]);
-        let last = p.region(BlockIdx { bx: 1, by: 1, bz: 1 });
+        let last = p.region(BlockIdx {
+            bx: 1,
+            by: 1,
+            bz: 1,
+        });
         assert_eq!(last, Region3::new([4, 4, 4], [10, 10, 10]));
         let total: usize = p.iter().map(|(_, _, r)| r.count()).sum();
         assert_eq!(total, 1000);
@@ -152,7 +160,14 @@ mod tests {
         let dom = Region3::new([1, 1, 1], [5, 5, 5]);
         let p = BlockPartition::new(dom, [100, 100, 100]);
         assert_eq!(p.counts(), [1, 1, 1]);
-        assert_eq!(p.region(BlockIdx { bx: 0, by: 0, bz: 0 }), dom);
+        assert_eq!(
+            p.region(BlockIdx {
+                bx: 0,
+                by: 0,
+                bz: 0
+            }),
+            dom
+        );
     }
 
     #[test]
@@ -163,9 +178,30 @@ mod tests {
         for l in 0..p.len() {
             assert_eq!(p.linear(p.block_idx(l)), l);
         }
-        assert_eq!(p.block_idx(1), BlockIdx { bx: 1, by: 0, bz: 0 });
-        assert_eq!(p.block_idx(3), BlockIdx { bx: 0, by: 1, bz: 0 });
-        assert_eq!(p.block_idx(6), BlockIdx { bx: 0, by: 0, bz: 1 });
+        assert_eq!(
+            p.block_idx(1),
+            BlockIdx {
+                bx: 1,
+                by: 0,
+                bz: 0
+            }
+        );
+        assert_eq!(
+            p.block_idx(3),
+            BlockIdx {
+                bx: 0,
+                by: 1,
+                bz: 0
+            }
+        );
+        assert_eq!(
+            p.block_idx(6),
+            BlockIdx {
+                bx: 0,
+                by: 0,
+                bz: 1
+            }
+        );
     }
 
     #[test]
@@ -180,7 +216,13 @@ mod tests {
 
     #[test]
     fn counts_never_zero() {
-        assert_eq!(counts_of(Region3::new([0, 0, 0], [1, 1, 1]), [5, 5, 5]), [1, 1, 1]);
-        assert_eq!(counts_of(Region3::new([0, 0, 0], [7, 3, 2]), [2, 2, 2]), [3, 1, 1]);
+        assert_eq!(
+            counts_of(Region3::new([0, 0, 0], [1, 1, 1]), [5, 5, 5]),
+            [1, 1, 1]
+        );
+        assert_eq!(
+            counts_of(Region3::new([0, 0, 0], [7, 3, 2]), [2, 2, 2]),
+            [3, 1, 1]
+        );
     }
 }

@@ -17,12 +17,18 @@ pub struct Grid3<T: Copy> {
 impl<T: Real> Grid3<T> {
     /// Zero-filled grid of the given extents.
     pub fn zeroed(dims: Dims3) -> Self {
-        Self { dims, data: AlignedVec::zeroed(dims.len()) }
+        Self {
+            dims,
+            data: AlignedVec::zeroed(dims.len()),
+        }
     }
 
     /// Grid filled with a constant.
     pub fn filled(dims: Dims3, value: T) -> Self {
-        Self { dims, data: AlignedVec::filled(dims.len(), value) }
+        Self {
+            dims,
+            data: AlignedVec::filled(dims.len(), value),
+        }
     }
 
     /// Grid initialized from a function of the coordinates.

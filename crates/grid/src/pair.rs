@@ -17,7 +17,10 @@ pub struct GridPair<T: Copy> {
 impl<T: Real> GridPair<T> {
     /// Two zero-filled grids.
     pub fn zeroed(dims: Dims3) -> Self {
-        Self { a: Grid3::zeroed(dims), b: Grid3::zeroed(dims) }
+        Self {
+            a: Grid3::zeroed(dims),
+            b: Grid3::zeroed(dims),
+        }
     }
 
     /// Start from an initial state: grid A gets `initial`, grid B a copy.
@@ -35,7 +38,7 @@ impl<T: Real> GridPair<T> {
 
     /// Buffer holding the state after `sweeps_done` sweeps.
     pub fn current(&self, sweeps_done: usize) -> &Grid3<T> {
-        if sweeps_done % 2 == 0 {
+        if sweeps_done.is_multiple_of(2) {
             &self.a
         } else {
             &self.b
@@ -45,7 +48,7 @@ impl<T: Real> GridPair<T> {
     /// Source and destination for sweep number `sweep` (0-based).
     pub fn src_dst(&mut self, sweep: usize) -> (&Grid3<T>, &mut Grid3<T>) {
         let (a, b) = (&mut self.a, &mut self.b);
-        if sweep % 2 == 0 {
+        if sweep.is_multiple_of(2) {
             (&*a, b)
         } else {
             (&*b, a)
@@ -73,6 +76,14 @@ impl<T: Real> GridPair<T> {
     pub fn base_ptrs(&mut self) -> [*mut T; 2] {
         [self.a.as_mut_ptr(), self.b.as_mut_ptr()]
     }
+
+    /// Swap the two buffers (an O(1) pointer swap). Lets a caller that
+    /// ran an odd number of sweeps re-normalize so the current state is
+    /// in grid A again — the distributed solver does this between
+    /// exchange cycles.
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.a, &mut self.b);
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +107,15 @@ mod tests {
         assert_eq!(src.get(1, 1, 1), 6.0);
         dst.set(1, 1, 1, 7.0);
         assert_eq!(p.current(2).get(1, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn swap_renormalizes_parity() {
+        let mut p: GridPair<f64> = GridPair::zeroed(Dims3::cube(4));
+        p.b_mut().set(1, 1, 1, 3.0); // state after one sweep lives in B
+        assert_eq!(p.current(1).get(1, 1, 1), 3.0);
+        p.swap();
+        assert_eq!(p.current(0).get(1, 1, 1), 3.0, "state is in A after swap");
     }
 
     #[test]

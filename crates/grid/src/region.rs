@@ -19,7 +19,10 @@ impl Region3 {
 
     /// The empty region.
     pub const fn empty() -> Self {
-        Self { lo: [0; 3], hi: [0; 3] }
+        Self {
+            lo: [0; 3],
+            hi: [0; 3],
+        }
     }
 
     /// Region covering `[1, n-1)` in each dimension of `dims` — the interior
@@ -28,13 +31,20 @@ impl Region3 {
         let a = dims.as_array();
         Self {
             lo: [1, 1, 1],
-            hi: [a[0].saturating_sub(1), a[1].saturating_sub(1), a[2].saturating_sub(1)],
+            hi: [
+                a[0].saturating_sub(1),
+                a[1].saturating_sub(1),
+                a[2].saturating_sub(1),
+            ],
         }
     }
 
     /// Region covering the whole of `dims`.
     pub fn whole(dims: crate::Dims3) -> Self {
-        Self { lo: [0; 3], hi: dims.as_array() }
+        Self {
+            lo: [0; 3],
+            hi: dims.as_array(),
+        }
     }
 
     #[inline]
@@ -64,8 +74,7 @@ impl Region3 {
 
     /// True if `other` is fully inside `self`.
     pub fn contains_region(&self, other: &Region3) -> bool {
-        other.is_empty()
-            || (0..3).all(|d| other.lo[d] >= self.lo[d] && other.hi[d] <= self.hi[d])
+        other.is_empty() || (0..3).all(|d| other.lo[d] >= self.lo[d] && other.hi[d] <= self.hi[d])
     }
 
     /// Intersection (may be empty).
@@ -136,8 +145,7 @@ impl Region3 {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let r = *self;
         (r.lo[2]..r.hi[2]).flat_map(move |z| {
-            (r.lo[1]..r.hi[1])
-                .flat_map(move |y| (r.lo[0]..r.hi[0]).map(move |x| (x, y, z)))
+            (r.lo[1]..r.hi[1]).flat_map(move |y| (r.lo[0]..r.hi[0]).map(move |x| (x, y, z)))
         })
     }
 
@@ -174,7 +182,7 @@ mod tests {
     #[test]
     fn count_and_empty() {
         let r = Region3::new([1, 1, 1], [4, 3, 2]);
-        assert_eq!(r.count(), 3 * 2 * 1);
+        assert_eq!(r.count(), (3 * 2));
         assert!(!r.is_empty());
         assert!(Region3::empty().is_empty());
         assert_eq!(Region3::empty().count(), 0);

@@ -25,12 +25,22 @@ pub struct CalibrationProfile {
 impl CalibrationProfile {
     /// ~48 MB working set in memory, ~1.5 MB in cache, 3 reps.
     pub fn quick() -> Self {
-        Self { mem_elems: 2 << 20, cache_elems: 1 << 16, reps: 3, pin: false }
+        Self {
+            mem_elems: 2 << 20,
+            cache_elems: 1 << 16,
+            reps: 3,
+            pin: false,
+        }
     }
 
     /// ~384 MB / ~3 MB, 5 reps, pinned.
     pub fn thorough() -> Self {
-        Self { mem_elems: 16 << 20, cache_elems: 1 << 17, reps: 5, pin: true }
+        Self {
+            mem_elems: 16 << 20,
+            cache_elems: 1 << 17,
+            reps: 5,
+            pin: true,
+        }
     }
 }
 
@@ -46,8 +56,14 @@ pub fn calibrate_host(machine: &Machine, profile: CalibrationProfile) -> Machine
         .unwrap_or(8 * 1024 * 1024);
     let cache_elems = profile.cache_elems.min(cache_bytes / (3 * 8) / 2).max(1024);
 
-    let ms1 = measure_bandwidth(StreamKind::Copy, 1, profile.mem_elems, profile.reps, profile.pin)
-        .bytes_per_sec;
+    let ms1 = measure_bandwidth(
+        StreamKind::Copy,
+        1,
+        profile.mem_elems,
+        profile.reps,
+        profile.pin,
+    )
+    .bytes_per_sec;
     let ms = measure_bandwidth(
         StreamKind::Copy,
         group,
@@ -56,8 +72,14 @@ pub fn calibrate_host(machine: &Machine, profile: CalibrationProfile) -> Machine
         profile.pin,
     )
     .bytes_per_sec;
-    let mc = measure_bandwidth(StreamKind::Copy, group, cache_elems, profile.reps + 2, profile.pin)
-        .bytes_per_sec;
+    let mc = measure_bandwidth(
+        StreamKind::Copy,
+        group,
+        cache_elems,
+        profile.reps + 2,
+        profile.pin,
+    )
+    .bytes_per_sec;
 
     MachineParams {
         // Guard against measurement inversion on noisy/virtualized hosts:

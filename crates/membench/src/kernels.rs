@@ -29,7 +29,7 @@ unsafe fn copy_nt_sse2(a: &[f64], c: &mut [f64]) {
     assert_eq!(a.len(), c.len());
     let n = a.len();
     let mut i = 0;
-    while i < n && (c.as_ptr().add(i) as usize) % 16 != 0 {
+    while i < n && !(c.as_ptr().add(i) as usize).is_multiple_of(16) {
         c[i] = a[i];
         i += 1;
     }

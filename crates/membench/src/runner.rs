@@ -91,7 +91,11 @@ pub fn measure_bandwidth(
     });
 
     // First rep is warm-up when reps > 1.
-    let usable = if rep_times.len() > 1 { &rep_times[1..] } else { &rep_times[..] };
+    let usable = if rep_times.len() > 1 {
+        &rep_times[1..]
+    } else {
+        &rep_times[..]
+    };
     let best = usable.iter().cloned().fold(f64::INFINITY, f64::min);
     let bytes = (threads * elems * kind.bytes_per_elem()) as f64;
     BandwidthSample {
@@ -132,7 +136,11 @@ mod tests {
     #[test]
     fn measures_positive_bandwidth() {
         let s = measure_bandwidth(StreamKind::Copy, 1, 1 << 16, 3, false);
-        assert!(s.bytes_per_sec > 1e6, "absurdly low bandwidth {}", s.bytes_per_sec);
+        assert!(
+            s.bytes_per_sec > 1e6,
+            "absurdly low bandwidth {}",
+            s.bytes_per_sec
+        );
         assert_eq!(s.threads, 1);
     }
 

@@ -52,7 +52,13 @@ impl HaloWorkload {
 
     /// Realistic variant: same workload but accounting expanded slabs.
     pub fn realistic(local: [usize; 3], comm: [bool; 3], lups: f64) -> Self {
-        Self { local, comm, lups, word: 8, expanded_slabs: true }
+        Self {
+            local,
+            comm,
+            lups,
+            word: 8,
+            expanded_slabs: true,
+        }
     }
 }
 
@@ -60,7 +66,10 @@ impl HaloWorkload {
 /// wire model *without* buffer-copy costs ("this simple model disregards
 /// … overhead for copying to and from message buffers", §2.1).
 pub fn fig5_network() -> NetworkParams {
-    NetworkParams { copy_bandwidth: f64::INFINITY, ..NetworkParams::qdr_infiniband() }
+    NetworkParams {
+        copy_bandwidth: f64::INFINITY,
+        ..NetworkParams::qdr_infiniband()
+    }
 }
 
 /// Cells in the slab sent along direction `d` for halo width `h`,

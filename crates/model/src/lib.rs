@@ -21,7 +21,9 @@ pub mod pipeline;
 pub mod roofline;
 pub mod scaling;
 
-pub use halo::{computational_efficiency, fig5_network, halo_advantage, halo_cycle_time, HaloWorkload};
+pub use halo::{
+    computational_efficiency, fig5_network, halo_advantage, halo_cycle_time, HaloWorkload,
+};
 pub use machine::MachineParams;
 pub use network::NetworkParams;
 pub use pipeline::{pipeline_speedup, team_block_time};

@@ -29,12 +29,20 @@ impl NetworkParams {
     /// actual data transfer"): pack + unpack *together* cost one wire
     /// transfer, i.e. each side copies at 2x the wire bandwidth.
     pub fn qdr_infiniband() -> Self {
-        Self { latency: 1.8e-6, bandwidth: 3.2e9, copy_bandwidth: 6.4e9 }
+        Self {
+            latency: 1.8e-6,
+            bandwidth: 3.2e9,
+            copy_bandwidth: 6.4e9,
+        }
     }
 
     /// An idealized zero-cost network (for ideal-scaling lines).
     pub fn ideal() -> Self {
-        Self { latency: 0.0, bandwidth: f64::INFINITY, copy_bandwidth: f64::INFINITY }
+        Self {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            copy_bandwidth: f64::INFINITY,
+        }
     }
 
     /// Wire time of one message.

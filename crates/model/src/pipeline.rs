@@ -54,7 +54,12 @@ mod tests {
             let paper = 16.0 * tt / (7.0 + 4.0 * tt);
             // Our params use Ms = 18.5 (ratio 1.85, not exactly 2); use a
             // machine with the paper's idealized ratios for the check.
-            let ideal = MachineParams { ms: 20.0e9, ms1: 10.0e9, mc: 80.0e9, ..m };
+            let ideal = MachineParams {
+                ms: 20.0e9,
+                ms1: 10.0e9,
+                mc: 80.0e9,
+                ..m
+            };
             let got = pipeline_speedup(&ideal, 4, updates);
             assert!((got - paper).abs() < 1e-12, "T={updates}: {got} vs {paper}");
         }
@@ -62,7 +67,12 @@ mod tests {
 
     #[test]
     fn t1_speedup_is_about_1_45() {
-        let ideal = MachineParams { ms: 20.0e9, ms1: 10.0e9, mc: 80.0e9, ..MachineParams::nehalem_ep() };
+        let ideal = MachineParams {
+            ms: 20.0e9,
+            ms1: 10.0e9,
+            mc: 80.0e9,
+            ..MachineParams::nehalem_ep()
+        };
         let s = pipeline_speedup(&ideal, 4, 1);
         assert!((s - 16.0 / 11.0).abs() < 1e-12);
         assert!((s - 1.4545).abs() < 1e-3);

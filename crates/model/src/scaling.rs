@@ -60,12 +60,12 @@ pub fn balanced_dims(n: usize) -> [usize; 3] {
     let mut best = [n, 1, 1];
     let mut best_sum = n + 2;
     for a in 1..=n {
-        if n % a != 0 {
+        if !n.is_multiple_of(a) {
             continue;
         }
         let m = n / a;
         for b in 1..=m {
-            if m % b != 0 {
+            if !m.is_multiple_of(b) {
                 continue;
             }
             let c = m / b;

@@ -187,8 +187,7 @@ pub(crate) fn f64_from_bytes(b: &Bytes) -> f64 {
 pub fn pack_f64s(v: &[f64]) -> Bytes {
     // SAFETY: f64 and u8 have no invalid bit patterns; alignment of u8 is
     // 1; the byte length is exact.
-    let bytes: &[u8] =
-        unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 8) };
+    let bytes: &[u8] = unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 8) };
     Bytes::copy_from_slice(bytes)
 }
 
@@ -273,7 +272,11 @@ mod tests {
 
     #[test]
     fn virtual_clock_advances_through_messages() {
-        let net = SimNet { latency: 1e-3, bandwidth: 1e6, copy_bandwidth: f64::INFINITY };
+        let net = SimNet {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            copy_bandwidth: f64::INFINITY,
+        };
         let times = Universe::run(2, Some(net), |comm| {
             if comm.rank() == 0 {
                 comm.advance(5e-3); // compute 5 ms
@@ -370,7 +373,11 @@ mod more_tests {
 
     #[test]
     fn pack_cost_charged_to_sender_clock() {
-        let net = crate::SimNet { latency: 0.0, bandwidth: f64::INFINITY, copy_bandwidth: 1e6 };
+        let net = crate::SimNet {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            copy_bandwidth: 1e6,
+        };
         let times = Universe::run(2, Some(net), |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, pack_f64s(&vec![0.0; 125])); // 1000 B -> 1 ms pack

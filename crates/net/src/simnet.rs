@@ -18,17 +18,29 @@ impl SimNet {
     /// that pack + unpack together cost one wire transfer (§2.2: buffer
     /// copies cost "about the same" as the transfer).
     pub fn qdr_infiniband() -> Self {
-        Self { latency: 1.8e-6, bandwidth: 3.2e9, copy_bandwidth: 6.4e9 }
+        Self {
+            latency: 1.8e-6,
+            bandwidth: 3.2e9,
+            copy_bandwidth: 6.4e9,
+        }
     }
 
     /// Zero-cost network: virtual clocks still advance through compute.
     pub fn ideal() -> Self {
-        Self { latency: 0.0, bandwidth: f64::INFINITY, copy_bandwidth: f64::INFINITY }
+        Self {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            copy_bandwidth: f64::INFINITY,
+        }
     }
 
     /// Sender-side cost before the message is on the wire (packing).
     pub fn pack_time(&self, bytes: usize) -> f64 {
-        if self.copy_bandwidth.is_infinite() { 0.0 } else { bytes as f64 / self.copy_bandwidth }
+        if self.copy_bandwidth.is_infinite() {
+            0.0
+        } else {
+            bytes as f64 / self.copy_bandwidth
+        }
     }
 
     /// Receiver-side cost after arrival (unpacking).

@@ -28,11 +28,11 @@ impl Universe {
         // senders[src][dst], receivers[dst][src]
         let mut senders: Vec<Vec<_>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
         let mut receivers: Vec<Vec<_>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        for src in 0..n {
-            for dst in 0..n {
+        for sender_row in &mut senders {
+            for receiver_row in &mut receivers {
                 let (tx, rx) = unbounded::<Msg>();
-                senders[src].push(tx);
-                receivers[dst].push(rx);
+                sender_row.push(tx);
+                receiver_row.push(rx);
             }
         }
         let mut comms: Vec<Comm> = senders

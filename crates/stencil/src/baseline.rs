@@ -70,7 +70,10 @@ pub fn par_sweeps<T: Real>(
     let barrier = SpinBarrier::new(threads);
     let total = AtomicU64::new(0);
     let ptrs = pair.base_ptrs();
-    let views = [SharedGrid::from_raw(ptrs[0], dims), SharedGrid::from_raw(ptrs[1], dims)];
+    let views = [
+        SharedGrid::from_raw(ptrs[0], dims),
+        SharedGrid::from_raw(ptrs[1], dims),
+    ];
 
     // Contiguous z-slabs, remainder spread over the first slabs.
     let nz = interior.extent(2);

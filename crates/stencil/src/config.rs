@@ -91,7 +91,7 @@ impl PipelineConfig {
         if self.team_size == 0 || self.n_teams == 0 || self.updates_per_thread == 0 {
             return Err("team_size, n_teams, updates_per_thread must be >= 1".into());
         }
-        if self.block.iter().any(|&b| b == 0) {
+        if self.block.contains(&0) {
             return Err("block edges must be >= 1".into());
         }
         if dims.nx < 3 || dims.ny < 3 || dims.nz < 3 {
@@ -99,14 +99,14 @@ impl PipelineConfig {
         }
         let stages = self.stages();
         let interior = [dims.nx - 2, dims.ny - 2, dims.nz - 2];
-        for d in 0..3 {
-            let b = self.block[d].min(interior[d]);
+        for (d, &int_d) in interior.iter().enumerate() {
+            let b = self.block[d].min(int_d);
             if b < stages {
                 return Err(format!(
-                    "block edge {} (dim {d}, clamped to interior {}) is smaller than \
-                     the pipeline depth n*t*T = {stages}; enlarge blocks or reduce \
-                     teams/updates",
-                    self.block[d], interior[d]
+                    "block edge {} (dim {d}, clamped to interior {int_d}) is smaller \
+                     than the pipeline depth n*t*T = {stages}; enlarge blocks or \
+                     reduce teams/updates",
+                    self.block[d]
                 ));
             }
         }
@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn bad_sync_rejected() {
         let mut c = PipelineConfig::small();
-        c.sync = SyncMode::Relaxed { dl: 2, du: 1, dt: 0 };
+        c.sync = SyncMode::Relaxed {
+            dl: 2,
+            du: 1,
+            dt: 0,
+        };
         assert!(c.validate(Dims3::cube(34)).unwrap_err().contains("d_u"));
     }
 

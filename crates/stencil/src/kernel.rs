@@ -35,7 +35,14 @@ pub fn jacobi_row<T: Real>(dst: &mut [T], c: &[T], ym: &[T], yp: &[T], zm: &[T],
 /// runs until `dst` is aligned and a scalar tail mops up. On other
 /// architectures this falls back to the plain kernel.
 #[inline]
-pub fn jacobi_row_nt_f64(dst: &mut [f64], c: &[f64], ym: &[f64], yp: &[f64], zm: &[f64], zp: &[f64]) {
+pub fn jacobi_row_nt_f64(
+    dst: &mut [f64],
+    c: &[f64],
+    ym: &[f64],
+    yp: &[f64],
+    zm: &[f64],
+    zp: &[f64],
+) {
     #[cfg(target_arch = "x86_64")]
     {
         // SAFETY: slice lengths are checked inside; SSE2 is part of the
@@ -65,7 +72,7 @@ unsafe fn jacobi_row_nt_f64_sse2(
 
     let mut i = 0usize;
     // Scalar head until dst is 16-byte aligned.
-    while i < n && (dst.as_ptr().add(i) as usize) % 16 != 0 {
+    while i < n && !(dst.as_ptr().add(i) as usize).is_multiple_of(16) {
         dst[i] = (c[i] + c[i + 2] + ym[i] + yp[i] + zm[i] + zp[i]) * (1.0 / 6.0);
         i += 1;
     }
@@ -218,8 +225,7 @@ pub unsafe fn update_region_compressed<T: Real>(
     };
     for &z in &zs {
         for &y in &ys {
-            let row_is_boundary =
-                y == 0 || z == 0 || y + 1 == logical.ny || z + 1 == logical.nz;
+            let row_is_boundary = y == 0 || z == 0 || y + 1 == logical.ny || z + 1 == logical.nz;
             if row_is_boundary {
                 // Pure copy of the whole segment.
                 copy_row(view, x0, x1, y, z, src_off, dst_off);
@@ -309,7 +315,11 @@ mod tests {
         let region = Region3::interior_of(dims);
         update_region(&src, &mut dst, &region);
         for (x, y, z) in region.iter() {
-            assert_eq!(dst.get(x, y, z), reference_cell(&src, x, y, z), "at ({x},{y},{z})");
+            assert_eq!(
+                dst.get(x, y, z),
+                reference_cell(&src, x, y, z),
+                "at ({x},{y},{z})"
+            );
         }
     }
 

@@ -85,8 +85,8 @@ pub fn run_compressed<T: Real>(
                     let down = ts % 2 == 0;
                     let work = |j: usize, cells: &mut u64| {
                         *cells += update_block(
-                            view, plan, auditor, logical, margin, depth, tid, j, stages_now,
-                            upt, down,
+                            view, plan, auditor, logical, margin, depth, tid, j, stages_now, upt,
+                            down,
                         );
                     };
                     match psync {
@@ -130,7 +130,7 @@ pub fn run_compressed<T: Real>(
     // Record where the data ended up: full down/up pairs cancel; the last
     // (possibly partial) sweep leaves a residual displacement.
     let last_stages = sweeps - (team_sweeps - 1) * depth;
-    let final_disp = if (team_sweeps - 1) % 2 == 0 {
+    let final_disp = if (team_sweeps - 1).is_multiple_of(2) {
         -(last_stages as i64) // last sweep went down
     } else {
         -(depth as i64) + last_stages as i64 // last sweep went up from -depth
@@ -209,7 +209,13 @@ mod tests {
         pair.current(sweeps).clone()
     }
 
-    fn cfg(team: usize, teams: usize, upt: usize, sync: SyncMode, block: [usize; 3]) -> PipelineConfig {
+    fn cfg(
+        team: usize,
+        teams: usize,
+        upt: usize,
+        sync: SyncMode,
+        block: [usize; 3],
+    ) -> PipelineConfig {
         PipelineConfig {
             team_size: team,
             n_teams: teams,

@@ -59,7 +59,6 @@ pub fn run<T: Real>(
             let psync = psync.as_ref();
             let auditor = auditor.as_ref();
             let total_cells = &total_cells;
-            let cfg = cfg;
             scope.spawn(move || {
                 if let Some(layout) = &cfg.layout {
                     let _ = affinity::pin_opt(layout.cpus[tid]);
@@ -100,8 +99,7 @@ pub fn run<T: Real>(
                                 if let Some(j) = r.checked_sub(tid) {
                                     if j < nblocks && tid * upt < stages_now {
                                         my_cells += update_block(
-                                            &views, plan, auditor, tid, j, base, stages_now,
-                                            upt,
+                                            &views, plan, auditor, tid, j, base, stages_now, upt,
                                         );
                                     }
                                 }
@@ -185,8 +183,7 @@ pub unsafe fn run_team_sweep<T: Real>(
                             if let Some(j) = r.checked_sub(tid) {
                                 if j < nblocks && tid * upt < stages_now {
                                     my_cells += update_block(
-                                        views, plan, auditor, tid, j, base_sweep, stages_now,
-                                        upt,
+                                        views, plan, auditor, tid, j, base_sweep, stages_now, upt,
                                     );
                                 }
                             }
@@ -274,7 +271,13 @@ mod tests {
         );
     }
 
-    fn audit_cfg(team: usize, teams: usize, upt: usize, sync: SyncMode, block: [usize; 3]) -> PipelineConfig {
+    fn audit_cfg(
+        team: usize,
+        teams: usize,
+        upt: usize,
+        sync: SyncMode,
+        block: [usize; 3],
+    ) -> PipelineConfig {
         PipelineConfig {
             team_size: team,
             n_teams: teams,
@@ -289,7 +292,17 @@ mod tests {
 
     #[test]
     fn exact_multiple_of_depth_relaxed() {
-        let cfg = audit_cfg(2, 1, 1, SyncMode::Relaxed { dl: 1, du: 2, dt: 0 }, [8, 8, 8]);
+        let cfg = audit_cfg(
+            2,
+            1,
+            1,
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 2,
+                dt: 0,
+            },
+            [8, 8, 8],
+        );
         // depth = 2; 4 sweeps = 2 team sweeps.
         assert_matches_reference(Dims3::cube(20), 4, &cfg);
     }
@@ -309,7 +322,17 @@ mod tests {
 
     #[test]
     fn two_teams_with_team_delay() {
-        let cfg = audit_cfg(2, 2, 1, SyncMode::Relaxed { dl: 1, du: 4, dt: 2 }, [8, 8, 8]);
+        let cfg = audit_cfg(
+            2,
+            2,
+            1,
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 4,
+                dt: 2,
+            },
+            [8, 8, 8],
+        );
         // depth = 4.
         assert_matches_reference(Dims3::cube(22), 8, &cfg);
     }
@@ -323,13 +346,33 @@ mod tests {
 
     #[test]
     fn lockstep_du_equals_dl() {
-        let cfg = audit_cfg(4, 1, 1, SyncMode::Relaxed { dl: 1, du: 1, dt: 0 }, [8, 8, 8]);
+        let cfg = audit_cfg(
+            4,
+            1,
+            1,
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 1,
+                dt: 0,
+            },
+            [8, 8, 8],
+        );
         assert_matches_reference(Dims3::cube(18), 4, &cfg);
     }
 
     #[test]
     fn loose_pipeline_large_du() {
-        let cfg = audit_cfg(4, 1, 1, SyncMode::Relaxed { dl: 1, du: 16, dt: 0 }, [8, 8, 8]);
+        let cfg = audit_cfg(
+            4,
+            1,
+            1,
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 16,
+                dt: 0,
+            },
+            [8, 8, 8],
+        );
         assert_matches_reference(Dims3::cube(18), 4, &cfg);
     }
 

@@ -63,11 +63,10 @@ impl PipelinePlan {
         let partition = BlockPartition::new(domains[0], block);
         let stages = domains.len();
         let eff = partition.block_size();
-        for d in 0..3 {
+        for (d, &eff_d) in eff.iter().enumerate() {
             assert!(
-                eff[d] >= stages || partition.counts()[d] == 1,
-                "block edge {} in dim {d} is smaller than the pipeline depth {stages}",
-                eff[d]
+                eff_d >= stages || partition.counts()[d] == 1,
+                "block edge {eff_d} in dim {d} is smaller than the pipeline depth {stages}"
             );
         }
         Self { partition, domains }
@@ -228,8 +227,7 @@ mod tests {
                     let r_read = plan.region(j, s, dir).expand(1);
                     let r_write = plan.region(j, s, dir);
                     // Writer thread is at traversal position >= pi + delta.
-                    for wpi in (pi + delta)..nb {
-                        let jw = order[wpi];
+                    for &jw in order.iter().skip(pi + delta) {
                         let w_write = plan.region(jw, sp, dir);
                         let w_read = plan.region(jw, sp, dir).expand(1);
                         // write(s-δ) vs read-src(s): same grid iff δ odd.
@@ -266,7 +264,10 @@ mod tests {
         assert_eq!(plan.region(0, 2, -1), Region3::new([1, 1, 1], [5, 5, 5]));
         // Stage 2, last block grows at the pinned high edge.
         let last = plan.num_blocks() - 1;
-        assert_eq!(plan.region(last, 2, -1), Region3::new([11, 11, 11], [19, 19, 19]));
+        assert_eq!(
+            plan.region(last, 2, -1),
+            Region3::new([11, 11, 11], [19, 19, 19])
+        );
     }
 
     #[test]

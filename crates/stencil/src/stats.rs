@@ -18,7 +18,10 @@ pub struct RunStats {
 
 impl RunStats {
     pub fn new(cell_updates: u64, elapsed: Duration) -> Self {
-        Self { cell_updates, elapsed }
+        Self {
+            cell_updates,
+            elapsed,
+        }
     }
 
     /// Million lattice-site updates per second.

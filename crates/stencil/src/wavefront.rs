@@ -56,7 +56,10 @@ pub fn run_wavefront<T: Real>(
     let psync = PipelineSync::new(threads, threads, PLANE_DISTANCE, u64::MAX / 2, 0);
     let total_cells = AtomicU64::new(0);
     let ptrs = pair.base_ptrs();
-    let views = [SharedGrid::from_raw(ptrs[0], dims), SharedGrid::from_raw(ptrs[1], dims)];
+    let views = [
+        SharedGrid::from_raw(ptrs[0], dims),
+        SharedGrid::from_raw(ptrs[1], dims),
+    ];
 
     let t0 = Instant::now();
     std::thread::scope(|scope| {
@@ -105,7 +108,10 @@ pub fn run_wavefront<T: Real>(
             });
         }
     });
-    Ok(RunStats::new(total_cells.load(Ordering::Relaxed), t0.elapsed()))
+    Ok(RunStats::new(
+        total_cells.load(Ordering::Relaxed),
+        t0.elapsed(),
+    ))
 }
 
 #[cfg(test)]

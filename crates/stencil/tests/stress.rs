@@ -47,7 +47,11 @@ fn repeated_runs_are_deterministic() {
         n_teams: 2,
         updates_per_thread: 1,
         block: [8, 8, 8],
-        sync: SyncMode::Relaxed { dl: 1, du: 2, dt: 1 },
+        sync: SyncMode::Relaxed {
+            dl: 1,
+            du: 2,
+            dt: 1,
+        },
         scheme: GridScheme::TwoGrid,
         layout: None,
         audit: true,
@@ -55,12 +59,7 @@ fn repeated_runs_are_deterministic() {
     let first = run_pipelined(dims, 55, 7, &cfg);
     for rep in 0..4 {
         let again = run_pipelined(dims, 55, 7, &cfg);
-        norm::assert_grids_identical(
-            &first,
-            &again,
-            &Region3::whole(dims),
-            &format!("rep {rep}"),
-        );
+        norm::assert_grids_identical(&first, &again, &Region3::whole(dims), &format!("rep {rep}"));
     }
 }
 

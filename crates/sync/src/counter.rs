@@ -21,7 +21,9 @@ impl ProgressCounters {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one counter");
         Self {
-            counters: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            counters: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -104,11 +106,7 @@ mod tests {
     #[test]
     fn counters_occupy_distinct_cache_lines() {
         let c = ProgressCounters::new(4);
-        let addrs: Vec<usize> = c
-            .counters
-            .iter()
-            .map(|p| p as *const _ as usize)
-            .collect();
+        let addrs: Vec<usize> = c.counters.iter().map(|p| p as *const _ as usize).collect();
         for w in addrs.windows(2) {
             assert!(w[1] - w[0] >= 64, "counters share a cache line");
         }

@@ -42,7 +42,11 @@ impl SyncMode {
     /// The paper's default relaxed configuration (`d_l = 1`, `d_u = 4`),
     /// which Fig. 3 (right) identifies as the sweet spot.
     pub fn relaxed_default() -> Self {
-        SyncMode::Relaxed { dl: 1, du: 4, dt: 0 }
+        SyncMode::Relaxed {
+            dl: 1,
+            du: 4,
+            dt: 0,
+        }
     }
 }
 
@@ -81,7 +85,12 @@ impl PipelineSync {
                 du_eff[i] = du + dt;
             }
         }
-        Self { counters: ProgressCounters::new(n), n, dl_eff, du_eff }
+        Self {
+            counters: ProgressCounters::new(n),
+            n,
+            dl_eff,
+            du_eff,
+        }
     }
 
     pub fn from_mode(n: usize, team_size: usize, mode: SyncMode) -> Option<Self> {
@@ -297,6 +306,13 @@ mod tests {
 
     #[test]
     fn relaxed_default_matches_paper() {
-        assert_eq!(SyncMode::relaxed_default(), SyncMode::Relaxed { dl: 1, du: 4, dt: 0 });
+        assert_eq!(
+            SyncMode::relaxed_default(),
+            SyncMode::Relaxed {
+                dl: 1,
+                du: 4,
+                dt: 0
+            }
+        );
     }
 }

@@ -9,7 +9,9 @@ use tb_sync::{PipelineSync, SpinBarrier};
 #[test]
 fn barrier_survives_oversubscription() {
     // 4x more threads than this box has cores.
-    let threads = 4 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = 4 * std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let barrier = SpinBarrier::new(threads);
     let sum = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -52,7 +54,7 @@ fn pipeline_with_random_stalls_preserves_stage_order() {
                     state ^= state << 13;
                     state ^= state >> 7;
                     state ^= state << 17;
-                    if state % 7 == 0 {
+                    if state.is_multiple_of(7) {
                         std::thread::sleep(Duration::from_micros(state % 200));
                     }
                     progress[j as usize].store(tid as u64 + 1, Ordering::Release);

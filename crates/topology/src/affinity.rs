@@ -31,7 +31,10 @@ pub fn pin_opt(cpu: Option<usize>) -> PinResult {
     }
 }
 
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 fn pin_impl(cpu: usize) -> PinResult {
     // CPU set: 1024 bits is the kernel's default CPU_SETSIZE.
     let mut mask = [0u64; 16];
@@ -54,7 +57,10 @@ fn pin_impl(cpu: usize) -> PinResult {
     }
 }
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 fn pin_impl(_cpu: usize) -> PinResult {
     PinResult::Unsupported
 }
@@ -103,7 +109,10 @@ mod tests {
         // CPU 0 always exists; on Linux this must succeed unless a cpuset
         // forbids it, in which case Failed is acceptable.
         let r = pin_current_thread(0);
-        assert!(matches!(r, PinResult::Pinned | PinResult::Unsupported | PinResult::Failed(_)));
+        assert!(matches!(
+            r,
+            PinResult::Pinned | PinResult::Unsupported | PinResult::Failed(_)
+        ));
         #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
         assert_ne!(r, PinResult::Unsupported);
     }

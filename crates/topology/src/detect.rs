@@ -20,7 +20,9 @@ pub fn detect() -> Machine {
 
 /// Portable fallback: one socket holding every logical CPU.
 pub fn fallback() -> Machine {
-    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     Machine::flat(n)
 }
 
@@ -89,7 +91,11 @@ fn detect_caches(cache_dir: &Path) -> Vec<CacheLevel> {
         out.push(CacheLevel {
             level,
             size_bytes: size,
-            scope: if shared { CacheScope::PerSocket } else { CacheScope::PerCore },
+            scope: if shared {
+                CacheScope::PerSocket
+            } else {
+                CacheScope::PerCore
+            },
         });
     }
     if out.is_empty() {
@@ -102,7 +108,11 @@ fn detect_caches(cache_dir: &Path) -> Vec<CacheLevel> {
 }
 
 fn default_caches() -> Vec<CacheLevel> {
-    vec![CacheLevel { level: 3, size_bytes: 8 * 1024 * 1024, scope: CacheScope::PerSocket }]
+    vec![CacheLevel {
+        level: 3,
+        size_bytes: 8 * 1024 * 1024,
+        scope: CacheScope::PerSocket,
+    }]
 }
 
 /// Parse sysfs cache sizes like "32K", "8192K", "8M".

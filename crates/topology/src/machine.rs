@@ -81,13 +81,31 @@ impl Machine {
         Machine {
             name: "Nehalem EP (Xeon 5550)".into(),
             sockets: vec![
-                Socket { id: 0, cpus: (0..4).collect() },
-                Socket { id: 1, cpus: (4..8).collect() },
+                Socket {
+                    id: 0,
+                    cpus: (0..4).collect(),
+                },
+                Socket {
+                    id: 1,
+                    cpus: (4..8).collect(),
+                },
             ],
             caches: vec![
-                CacheLevel { level: 1, size_bytes: 32 * 1024, scope: CacheScope::PerCore },
-                CacheLevel { level: 2, size_bytes: 256 * 1024, scope: CacheScope::PerCore },
-                CacheLevel { level: 3, size_bytes: 8 * 1024 * 1024, scope: CacheScope::PerSocket },
+                CacheLevel {
+                    level: 1,
+                    size_bytes: 32 * 1024,
+                    scope: CacheScope::PerCore,
+                },
+                CacheLevel {
+                    level: 2,
+                    size_bytes: 256 * 1024,
+                    scope: CacheScope::PerCore,
+                },
+                CacheLevel {
+                    level: 3,
+                    size_bytes: 8 * 1024 * 1024,
+                    scope: CacheScope::PerSocket,
+                },
             ],
         }
     }
@@ -100,12 +118,26 @@ impl Machine {
         Machine {
             name: "Core 2 Quad".into(),
             sockets: vec![
-                Socket { id: 0, cpus: vec![0, 1] },
-                Socket { id: 1, cpus: vec![2, 3] },
+                Socket {
+                    id: 0,
+                    cpus: vec![0, 1],
+                },
+                Socket {
+                    id: 1,
+                    cpus: vec![2, 3],
+                },
             ],
             caches: vec![
-                CacheLevel { level: 1, size_bytes: 32 * 1024, scope: CacheScope::PerCore },
-                CacheLevel { level: 2, size_bytes: 6 * 1024 * 1024, scope: CacheScope::PerSocket },
+                CacheLevel {
+                    level: 1,
+                    size_bytes: 32 * 1024,
+                    scope: CacheScope::PerCore,
+                },
+                CacheLevel {
+                    level: 2,
+                    size_bytes: 6 * 1024 * 1024,
+                    scope: CacheScope::PerSocket,
+                },
             ],
         }
     }
@@ -115,7 +147,10 @@ impl Machine {
     pub fn flat(n: usize) -> Machine {
         Machine {
             name: format!("flat-{n}"),
-            sockets: vec![Socket { id: 0, cpus: (0..n.max(1)).collect() }],
+            sockets: vec![Socket {
+                id: 0,
+                cpus: (0..n.max(1)).collect(),
+            }],
             caches: vec![CacheLevel {
                 level: 3,
                 size_bytes: 8 * 1024 * 1024,

@@ -46,7 +46,11 @@ impl TeamLayout {
                 }
             }
         }
-        Self { cpus, team_size, n_teams }
+        Self {
+            cpus,
+            team_size,
+            n_teams,
+        }
     }
 
     /// Total pipeline threads.

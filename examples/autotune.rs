@@ -58,7 +58,11 @@ fn main() {
                     stats.mlups(),
                     predicted
                 );
-                if best.as_ref().map(|(m, _)| stats.mlups() > *m).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|(m, _)| stats.mlups() > *m)
+                    .unwrap_or(true)
+                {
                     best = Some((stats.mlups(), label));
                 }
             }
@@ -67,7 +71,5 @@ fn main() {
 
     let (mlups, label) = best.expect("at least one valid configuration");
     println!("\nbest configuration: {label} at {mlups:.1} MLUP/s");
-    println!(
-        "(the paper's optimum on Nehalem EP was T=2, blocks ~120x20x20, d_u in 1..4 — §1.5)"
-    );
+    println!("(the paper's optimum on Nehalem EP was T=2, blocks ~120x20x20, d_u in 1..4 — §1.5)");
 }

@@ -39,7 +39,12 @@ fn main() {
         total_time += stats.elapsed;
 
         let delta = grid::norm::max_abs_diff(&before, &after, &Region3::interior_of(dims));
-        println!("{:>8} {:>14.3e} {:>12.1}", total_sweeps, delta, stats.mlups());
+        println!(
+            "{:>8} {:>14.3e} {:>12.1}",
+            total_sweeps,
+            delta,
+            stats.mlups()
+        );
         current = after;
         if delta < tol {
             break;

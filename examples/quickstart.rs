@@ -32,13 +32,27 @@ fn main() {
 
     let methods: Vec<(&str, Method)> = vec![
         ("sequential", Method::Sequential),
-        ("spatially blocked", Method::Blocked { block: [dims.nx, 20, 20] }),
+        (
+            "spatially blocked",
+            Method::Blocked {
+                block: [dims.nx, 20, 20],
+            },
+        ),
         (
             "parallel baseline (NT stores)",
-            Method::Parallel { threads, streaming_stores: true },
+            Method::Parallel {
+                threads,
+                streaming_stores: true,
+            },
         ),
-        ("pipelined temporal blocking", Method::Pipelined(pipe_cfg.clone())),
-        ("pipelined + compressed grid", Method::PipelinedCompressed(pipe_cfg)),
+        (
+            "pipelined temporal blocking",
+            Method::Pipelined(pipe_cfg.clone()),
+        ),
+        (
+            "pipelined + compressed grid",
+            Method::PipelinedCompressed(pipe_cfg),
+        ),
         ("wavefront (comparator)", Method::Wavefront { threads }),
     ];
 

@@ -74,7 +74,10 @@ pub enum Method {
     /// Sequential sweeps with spatial blocking.
     Blocked { block: [usize; 3] },
     /// Thread-parallel standard Jacobi (the paper's baseline).
-    Parallel { threads: usize, streaming_stores: bool },
+    Parallel {
+        threads: usize,
+        streaming_stores: bool,
+    },
     /// Pipelined temporal blocking (the paper's contribution, §1.3).
     Pipelined(PipelineConfig),
     /// Pipelined temporal blocking on a compressed grid (§1.3).
@@ -103,11 +106,18 @@ pub fn solve<T: Real>(
             let stats = baseline::seq_blocked_sweeps(&mut pair, sweeps, block);
             Ok((pair.current(sweeps).clone(), stats))
         }
-        Method::Parallel { threads, streaming_stores } => {
+        Method::Parallel {
+            threads,
+            streaming_stores,
+        } => {
             if threads == 0 {
                 return Err("threads must be >= 1".into());
             }
-            let store = if streaming_stores { StoreMode::Streaming } else { StoreMode::Normal };
+            let store = if streaming_stores {
+                StoreMode::Streaming
+            } else {
+                StoreMode::Normal
+            };
             let mut pair = GridPair::from_initial(initial);
             let stats = baseline::par_sweeps(&mut pair, sweeps, threads, store, None);
             Ok((pair.current(sweeps).clone(), stats))
@@ -154,16 +164,35 @@ mod tests {
         let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
         let methods: Vec<(&str, Method)> = vec![
             ("blocked", Method::Blocked { block: [7, 7, 7] }),
-            ("par", Method::Parallel { threads: 3, streaming_stores: false }),
-            ("par-nt", Method::Parallel { threads: 2, streaming_stores: true }),
+            (
+                "par",
+                Method::Parallel {
+                    threads: 3,
+                    streaming_stores: false,
+                },
+            ),
+            (
+                "par-nt",
+                Method::Parallel {
+                    threads: 2,
+                    streaming_stores: true,
+                },
+            ),
             ("pipelined", Method::Pipelined(PipelineConfig::small())),
-            ("compressed", Method::PipelinedCompressed(PipelineConfig::small())),
+            (
+                "compressed",
+                Method::PipelinedCompressed(PipelineConfig::small()),
+            ),
             ("wavefront", Method::Wavefront { threads: 2 }),
         ];
         for (name, m) in methods {
             let (got, stats) = solve(initial.clone(), sweeps, m).unwrap();
             norm::assert_grids_identical(&want, &got, &Region3::whole(dims), name);
-            assert_eq!(stats.cell_updates, (sweeps * dims.interior_len()) as u64, "{name}");
+            assert_eq!(
+                stats.cell_updates,
+                (sweeps * dims.interior_len()) as u64,
+                "{name}"
+            );
         }
     }
 
@@ -179,8 +208,15 @@ mod tests {
     fn errors_are_propagated() {
         let dims = Dims3::cube(10);
         let g: Grid3<f64> = init::random(dims, 1);
-        assert!(solve(g.clone(), 1, Method::Parallel { threads: 0, streaming_stores: false })
-            .is_err());
+        assert!(solve(
+            g.clone(),
+            1,
+            Method::Parallel {
+                threads: 0,
+                streaming_stores: false
+            }
+        )
+        .is_err());
         let mut cfg = PipelineConfig::small();
         cfg.updates_per_thread = 100;
         assert!(solve(g, 1, Method::Pipelined(cfg)).is_err());

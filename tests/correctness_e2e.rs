@@ -13,13 +13,7 @@ fn reference(dims: Dims3, seed: u64, sweeps: usize) -> Grid3<f64> {
     solve(initial, sweeps, Method::Sequential).unwrap().0
 }
 
-fn cfg(
-    team: usize,
-    teams: usize,
-    upt: usize,
-    sync: SyncMode,
-    block: [usize; 3],
-) -> PipelineConfig {
+fn cfg(team: usize, teams: usize, upt: usize, sync: SyncMode, block: [usize; 3]) -> PipelineConfig {
     PipelineConfig {
         team_size: team,
         n_teams: teams,
@@ -42,7 +36,14 @@ fn check(dims: Dims3, seed: u64, sweeps: usize, method: Method, label: &str) {
 #[test]
 fn pipelined_matrix_of_configurations() {
     let dims = Dims3::cube(26);
-    for (team, teams, upt) in [(1, 1, 2), (2, 1, 1), (2, 1, 2), (3, 1, 1), (2, 2, 1), (4, 1, 1)] {
+    for (team, teams, upt) in [
+        (1, 1, 2),
+        (2, 1, 1),
+        (2, 1, 2),
+        (3, 1, 1),
+        (2, 2, 1),
+        (4, 1, 1),
+    ] {
         for sweeps in [1usize, 3, 8] {
             let c = cfg(team, teams, upt, SyncMode::relaxed_default(), [10, 10, 10]);
             check(
@@ -61,11 +62,31 @@ fn pipelined_sync_variants() {
     let dims = Dims3::cube(24);
     for sync in [
         SyncMode::Barrier,
-        SyncMode::Relaxed { dl: 1, du: 1, dt: 0 },
-        SyncMode::Relaxed { dl: 1, du: 4, dt: 0 },
-        SyncMode::Relaxed { dl: 1, du: 16, dt: 0 },
-        SyncMode::Relaxed { dl: 2, du: 4, dt: 0 },
-        SyncMode::Relaxed { dl: 1, du: 4, dt: 8 },
+        SyncMode::Relaxed {
+            dl: 1,
+            du: 1,
+            dt: 0,
+        },
+        SyncMode::Relaxed {
+            dl: 1,
+            du: 4,
+            dt: 0,
+        },
+        SyncMode::Relaxed {
+            dl: 1,
+            du: 16,
+            dt: 0,
+        },
+        SyncMode::Relaxed {
+            dl: 2,
+            du: 4,
+            dt: 0,
+        },
+        SyncMode::Relaxed {
+            dl: 1,
+            du: 4,
+            dt: 8,
+        },
     ] {
         let c = cfg(2, 2, 1, sync, [9, 9, 9]);
         check(dims, 23, 9, Method::Pipelined(c), &format!("sync {sync:?}"));
@@ -127,7 +148,10 @@ fn linear_field_stays_fixed_for_every_solver() {
     let initial: Grid3<f64> = init::linear(dims, 0.5, -1.0, 2.0, 3.0);
     for (label, method) in [
         ("seq", Method::Sequential),
-        ("pipe", Method::Pipelined(cfg(2, 1, 2, SyncMode::relaxed_default(), [8, 8, 8]))),
+        (
+            "pipe",
+            Method::Pipelined(cfg(2, 1, 2, SyncMode::relaxed_default(), [8, 8, 8])),
+        ),
         ("wave", Method::Wavefront { threads: 2 }),
     ] {
         let (got, _) = solve(initial.clone(), 20, method).unwrap();

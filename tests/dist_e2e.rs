@@ -20,8 +20,7 @@ fn run_and_verify(
     let (global_ref, want_ref, exec_ref) = (&global, &want, &exec);
     Universe::run(ranks, None, move |comm| {
         let mut cart = CartComm::new(comm, pgrid);
-        let mut s =
-            DistJacobi::from_global(&dec, cart.coords(), global_ref, exec_ref()).unwrap();
+        let mut s = DistJacobi::from_global(&dec, cart.coords(), global_ref, exec_ref()).unwrap();
         s.run_sweeps(&mut cart, sweeps);
         if let Some(got) = s.gather_global(&mut cart, &dec, global_ref) {
             norm::assert_grids_identical(

@@ -1,0 +1,227 @@
+//! Minimal stand-in for the `criterion` crate: a timing harness with the
+//! same call surface (`Criterion`, groups, `iter`/`iter_custom`,
+//! `criterion_group!`/`criterion_main!`) but no statistics engine, no
+//! warm-up modeling and no HTML reports. Each benchmark runs for a small
+//! fixed time budget and prints mean time per iteration plus throughput
+//! when one was declared. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to print a rate next to the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean time of one iteration, filled by `iter`/`iter_custom`.
+    elapsed_per_iter: f64,
+}
+
+/// Minimum measurement window; long enough to dominate timer noise,
+/// short enough that a full bench suite stays in CI budget.
+const BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Time `f`, running it enough times to fill the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to warm caches and page in code.
+        black_box(f());
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= BUDGET || iters >= 1 << 40 {
+                self.elapsed_per_iter = elapsed.as_secs_f64() / iters as f64;
+                return;
+            }
+            // Aim directly for the budget next round (2x safety margin).
+            let scale = (BUDGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() * 2.0;
+            iters = (iters as f64 * scale.clamp(2.0, 1e6)) as u64;
+        }
+    }
+
+    /// Like `iter`, but the closure performs and times `iters` iterations
+    /// itself (for benchmarks that must exclude setup from the timing).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let mut iters = 1u64;
+        loop {
+            let elapsed = f(iters);
+            if elapsed >= BUDGET || iters >= 1 << 40 {
+                self.elapsed_per_iter = elapsed.as_secs_f64() / iters as f64;
+                return;
+            }
+            let scale = (BUDGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() * 2.0;
+            iters = (iters as f64 * scale.clamp(2.0, 1e6)) as u64;
+        }
+    }
+}
+
+fn report(name: &str, per_iter: f64, throughput: Option<Throughput>) {
+    let time = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} us", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:>10.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) => {
+            format!("  {:>10.2} Melem/s", e as f64 / per_iter / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} {time:>12}{rate}");
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(name.as_ref(), b.elapsed_per_iter, None);
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            group: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for source compatibility; the shim sizes runs by time
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.group, name.as_ref()),
+            b.elapsed_per_iter,
+            self.throughput,
+        );
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.group, id.name),
+            b.elapsed_per_iter,
+            self.throughput,
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_positive_time() {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        b.iter(|| std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert!(b.elapsed_per_iter > 0.0);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        b.iter_custom(|iters| Duration::from_millis(250) * iters as u32);
+        assert!((b.elapsed_per_iter - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(8));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("noop", 1), &1usize, |b, &n| {
+            b.iter(|| black_box(n + 1));
+        });
+        g.finish();
+    }
+}

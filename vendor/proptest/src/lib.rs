@@ -1,0 +1,372 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(...)]` header,
+//! * integer-range strategies (`1usize..20`), [`prop::array::uniform3`],
+//!   [`prop::sample::select`], and [`any`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from
+//! the test name), so failures are reproducible run to run. Unlike the
+//! real proptest there is **no shrinking**: a failure reports the
+//! concrete inputs of the failing case instead of a minimized one. See
+//! `vendor/README.md`.
+
+use std::hash::{Hash, Hasher};
+
+/// Run-time configuration of a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test (upstream default is 256; the
+    /// shim defaults lower because it cannot shrink what it finds).
+    pub cases: u32,
+    /// Upstream shrink-iteration cap. The shim does not shrink, so this
+    /// is accepted (for source compatibility) and ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// Deterministic case-generation RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test's name so every test has an independent,
+    /// stable stream.
+    pub fn from_test_name(name: &str) -> Self {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        Self {
+            state: h.finish() ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value: std::fmt::Debug + Clone;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: std::fmt::Debug + Clone {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Strategy for any value of `A` (mirrors `proptest::arbitrary::any`).
+pub struct Any<A> {
+    _marker: std::marker::PhantomData<A>,
+}
+
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Combinator strategies, namespaced like upstream `proptest::prop`.
+pub mod prop {
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        pub struct Uniform3<S>(S);
+
+        /// Three independent draws from `strategy`, as an array.
+        pub fn uniform3<S: Strategy>(strategy: S) -> Uniform3<S> {
+            Uniform3(strategy)
+        }
+
+        impl<S: Strategy> Strategy for Uniform3<S> {
+            type Value = [S::Value; 3];
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        pub struct Select<T>(Vec<T>);
+
+        /// Uniformly choose one of `options`.
+        pub fn select<T: std::fmt::Debug + Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+
+        impl<T: std::fmt::Debug + Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_test_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                let inputs = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}, ", $arg));
+                    )*
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case} failed: {msg}\n  inputs: {inputs}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l != r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (counts as neither pass nor
+/// failure, mirroring upstream's rejection semantics without the global
+/// rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..9, b in -5i64..5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+        }
+
+        #[test]
+        fn uniform3_and_select(v in prop::array::uniform3(1usize..4), s in prop::sample::select(vec![10, 20])) {
+            prop_assert!(v.iter().all(|&x| (1..4).contains(&x)));
+            prop_assert!(s == 10 || s == 20);
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10, flag in any::<bool>()) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 7);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = crate::TestRng::from_test_name("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::TestRng::from_test_name("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 1, ..ProptestConfig::default() })]
+            fn always_fails(x in 0usize..2) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

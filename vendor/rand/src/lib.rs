@@ -1,0 +1,143 @@
+//! Minimal stand-in for the `rand` crate. Deterministic per seed, which
+//! is the property the grid initializers rely on, but the stream differs
+//! from upstream `rand`. See `vendor/README.md` for scope and caveats.
+
+/// A reproducible RNG seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values an RNG can produce uniformly. `f64`/`f32` cover `[0, 1)`.
+pub trait Uniform {
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Uniform for f64 {
+    #[inline]
+    fn from_u64(bits: u64) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for f32 {
+    #[inline]
+    fn from_u64(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Uniform for u64 {
+    #[inline]
+    fn from_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Uniform for bool {
+    #[inline]
+    fn from_u64(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// The generator interface: `gen()` for uniform values, `gen_range` for
+/// integer ranges.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    #[inline]
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform integer in `[range.start, range.end)` (unbiased via
+    /// rejection sampling).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Rejection zone keeps the draw unbiased.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return range.start + v % span;
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64). Statistically solid
+    /// for test-data generation; not cryptographic, and not the upstream
+    /// `StdRng` stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// `use rand::prelude::*` convenience.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_draws_are_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_all() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.gen_range(10..15);
+            assert!((10..15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,13 @@
+//! Minimal stand-in for the `serde` crate: marker traits plus no-op
+//! derive macros, so `#[derive(Serialize, Deserialize)]` compiles
+//! unchanged. Nothing in this workspace serializes yet; when something
+//! does, replace this shim with the real crate (the attribute surface is
+//! source-compatible). See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait SerializeTrait {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait DeserializeTrait {}

@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! stand-in. Nothing in this workspace serializes yet; the derives exist
+//! so `#[derive(Serialize, Deserialize)]` attributes compile unchanged.
+//! See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
