@@ -1,0 +1,218 @@
+//! Operator × method throughput sweep — the perf trajectory seed for the
+//! stencil-operator layer.
+//!
+//! Runs every shipped operator (classic 6-point Jacobi, 7-point heat,
+//! variable-coefficient 7-point, dense 27-point average) through every
+//! execution strategy (sequential, blocked, parallel ± streaming stores,
+//! pipelined, compressed, wavefront, distributed), measures MLUP/s and
+//! MFLOP/s, bitwise-verifies each run against the operator's sequential
+//! oracle, and emits `BENCH_ops.json`.
+//!
+//! ```sh
+//! cargo run --release -p tb-bench --bin op_sweep -- --size 40 --sweeps 8
+//! ```
+
+use std::io::Write as _;
+
+use tb_bench::{problem, Args};
+use tb_dist::{Decomposition, DistSolver, LocalExec};
+use tb_grid::{norm, CompressedGrid, Grid3, GridPair, Region3};
+use tb_net::{CartComm, Universe};
+use tb_stencil::config::GridScheme;
+use tb_stencil::kernel::StoreMode;
+use tb_stencil::{
+    baseline, pipeline, wavefront, Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp,
+    SyncMode, VarCoeff7,
+};
+
+struct Row {
+    op: &'static str,
+    method: &'static str,
+    mlups: f64,
+    mflops: f64,
+    verified: bool,
+}
+
+fn pipeline_cfg(scheme: GridScheme) -> PipelineConfig {
+    PipelineConfig {
+        team_size: 2,
+        n_teams: 1,
+        updates_per_thread: 1,
+        block: [16, 8, 8],
+        sync: SyncMode::relaxed_default(),
+        scheme,
+        layout: None,
+        audit: false,
+    }
+}
+
+/// Run one (operator, method) cell `reps` times, keep the best, verify
+/// bitwise against the oracle.
+fn cell<Op: StencilOp<f64>>(
+    op: &Op,
+    method: &'static str,
+    oracle: &Grid3<f64>,
+    reps: usize,
+    mut run: impl FnMut() -> (Grid3<f64>, RunStats),
+) -> Row {
+    let mut best: Option<(Grid3<f64>, RunStats)> = None;
+    for _ in 0..reps {
+        let (g, s) = run();
+        if best
+            .as_ref()
+            .map(|(_, b)| s.mlups() > b.mlups())
+            .unwrap_or(true)
+        {
+            best = Some((g, s));
+        }
+    }
+    let (grid, stats) = best.unwrap();
+    let verified = norm::first_mismatch(oracle, &grid, &Region3::whole(oracle.dims())).is_none();
+    Row {
+        op: op.name(),
+        method,
+        mlups: stats.mlups(),
+        mflops: stats.mflops(op.flops_per_lup()),
+        verified,
+    }
+}
+
+fn sweep_op<Op: StencilOp<f64>>(
+    op: &Op,
+    edge: usize,
+    sweeps: usize,
+    reps: usize,
+    threads: usize,
+    rows: &mut Vec<Row>,
+) {
+    let initial = problem(edge, 0xBEEF);
+    let mut oracle_pair = GridPair::from_initial(initial.clone());
+    baseline::seq_sweeps_op(op, &mut oracle_pair, sweeps);
+    let oracle = oracle_pair.current(sweeps).clone();
+
+    rows.push(cell(op, "seq", &oracle, reps, || {
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = baseline::seq_sweeps_op(op, &mut pair, sweeps);
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "blocked", &oracle, reps, || {
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = baseline::seq_blocked_sweeps_op(op, &mut pair, sweeps, [32, 8, 8]);
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "parallel", &oracle, reps, || {
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = baseline::par_sweeps_op(op, &mut pair, sweeps, threads, StoreMode::Normal, None);
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "parallel-nt", &oracle, reps, || {
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = baseline::par_sweeps_op(op, &mut pair, sweeps, threads, StoreMode::Streaming, None);
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "pipelined", &oracle, reps, || {
+        let cfg = pipeline_cfg(GridScheme::TwoGrid);
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = pipeline::run_op(op, &mut pair, &cfg, sweeps).expect("valid config");
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "compressed", &oracle, reps, || {
+        let cfg = pipeline_cfg(GridScheme::Compressed);
+        let mut cg = CompressedGrid::from_grid(&initial, cfg.stages());
+        let s = pipeline::run_compressed_op(op, &mut cg, &cfg, sweeps).expect("valid config");
+        (cg.to_grid(), s)
+    }));
+    rows.push(cell(op, "wavefront", &oracle, reps, || {
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = wavefront::run_wavefront_op(op, &mut pair, 2, sweeps).expect("valid threads");
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "dist", &oracle, reps, || {
+        let pgrid = [2, 1, 1];
+        let dec = Decomposition::new(initial.dims(), pgrid, 2);
+        let (g, op_ref) = (&initial, op);
+        let results = Universe::run(dec.ranks(), None, move |comm| {
+            let mut cart = CartComm::new(comm, pgrid);
+            let mut s =
+                DistSolver::from_global_op(&dec, cart.coords(), g, LocalExec::Seq, op_ref.clone())
+                    .expect("valid decomposition");
+            let stats = s.run_sweeps(&mut cart, sweeps);
+            (s.gather_global(&mut cart, &dec, g), stats)
+        });
+        let mut grid = None;
+        let mut agg = RunStats::new(0, std::time::Duration::ZERO);
+        for (g, s) in results {
+            agg = agg.merge_parallel(&s);
+            if let Some(g) = g {
+                grid = Some(g);
+            }
+        }
+        (grid.expect("rank 0 gathers"), agg)
+    }));
+}
+
+fn main() {
+    let args = Args::parse();
+    let edge = args.get_usize("--size", 40);
+    let sweeps = args.get_usize("--sweeps", 8);
+    let reps = args.get_usize("--reps", 2);
+    let machine = tb_topology::detect::detect();
+    let threads = machine.cores_per_socket().max(2);
+    let dims = tb_grid::Dims3::cube(edge);
+
+    println!("operator × method sweep — {edge}^3, {sweeps} sweeps, best of {reps}\n");
+
+    let mut rows = Vec::new();
+    sweep_op(&Jacobi6, edge, sweeps, reps, threads, &mut rows);
+    sweep_op(&Jacobi7::heat(0.1), edge, sweeps, reps, threads, &mut rows);
+    sweep_op(
+        &VarCoeff7::banded(dims),
+        edge,
+        sweeps,
+        reps,
+        threads,
+        &mut rows,
+    );
+    sweep_op(&Avg27, edge, sweeps, reps, threads, &mut rows);
+
+    println!(
+        "{:<11} {:<12} {:>10} {:>10} {:>9}",
+        "op", "method", "MLUP/s", "MFLOP/s", "verified"
+    );
+    for r in &rows {
+        println!(
+            "{:<11} {:<12} {:>10.1} {:>10.1} {:>9}",
+            r.op, r.method, r.mlups, r.mflops, r.verified
+        );
+    }
+
+    let all_verified = rows.iter().all(|r| r.verified);
+    let json = format!(
+        "{{\n  \"edge\": {edge},\n  \"sweeps\": {sweeps},\n  \"threads\": {threads},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "    {{\"op\": \"{}\", \"method\": \"{}\", \"mlups\": {:.2}, \
+                     \"mflops\": {:.2}, \"verified\": {}}}",
+                    r.op, r.method, r.mlups, r.mflops, r.verified
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = args.get("--out").unwrap_or("BENCH_ops.json");
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_ops.json");
+    println!("\nwrote {path}");
+
+    assert!(
+        all_verified,
+        "some runs diverged from their sequential oracle"
+    );
+    println!(
+        "all {} operator × method runs matched their sequential oracle bitwise",
+        rows.len()
+    );
+}

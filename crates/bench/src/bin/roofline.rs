@@ -11,6 +11,7 @@ use tb_grid::GridPair;
 use tb_model::{roofline, MachineParams};
 use tb_stencil::baseline;
 use tb_stencil::kernel::StoreMode;
+use tb_stencil::{Jacobi6, StencilOp};
 
 fn main() {
     let args = Args::parse();
@@ -30,11 +31,14 @@ fn main() {
     println!("  M_s   (group,  memory)   = {:>8.2} GB/s", params.ms / 1e9);
     println!("  M_c   (group,  cache)    = {:>8.2} GB/s", params.mc / 1e9);
 
-    let p0_nt = roofline::jacobi_roofline_lups(&params, 16.0) / 1e6;
-    let p0_rfo = roofline::jacobi_roofline_lups(&params, 24.0) / 1e6;
+    // Code balance comes from the operator, not a hardcoded constant.
+    let b_nt = StencilOp::<f64>::bytes_per_lup(&Jacobi6, StoreMode::Streaming);
+    let b_rfo = StencilOp::<f64>::bytes_per_lup(&Jacobi6, StoreMode::Normal);
+    let p0_nt = roofline::roofline_lups(&params, b_nt) / 1e6;
+    let p0_rfo = roofline::roofline_lups(&params, b_rfo) / 1e6;
     println!("\nexpected baseline (one cache group):");
-    println!("  with NT stores (16 B/LUP):  {p0_nt:>10.1} MLUP/s");
-    println!("  with RFO       (24 B/LUP):  {p0_rfo:>10.1} MLUP/s");
+    println!("  with NT stores ({b_nt:.0} B/LUP):  {p0_nt:>10.1} MLUP/s");
+    println!("  with RFO       ({b_rfo:.0} B/LUP):  {p0_rfo:>10.1} MLUP/s");
 
     let threads = machine.cores_per_socket().max(1);
     for (label, store, expect) in [

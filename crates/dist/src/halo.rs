@@ -9,6 +9,58 @@
 use bytes::Bytes;
 use tb_grid::{Grid3, Real, Region3};
 
+/// Send/receive slab regions (global coordinates) for one stage of the
+/// multi-layer ghost-cell-expansion exchange — **the** single place the
+/// exchange geometry is defined; the solver derives `depth` from the
+/// operator radius (`sweeps_per_cycle × Op::RADIUS`) and both pack and
+/// unpack use the regions returned here.
+///
+/// * `owned` — the rank's disjointly owned box,
+/// * `fence` — its stored box (owned + halo, clamped to the grid),
+/// * `d`, `dir` — direction of this stage (`dir = ±1` selects the face),
+/// * `depth` — ghost layers shipped this cycle.
+///
+/// Dimensions `< d` were already exchanged, so slabs extend into their
+/// (filled) ghost layers; dimensions `> d` are owned-only. This
+/// composition forwards previously received layers, which is what
+/// delivers edge and corner data without diagonal messages. Adjacent
+/// ranks share the perpendicular extents, so `send` of one rank is
+/// exactly the `recv` of its neighbor.
+pub fn exchange_regions(
+    owned: &Region3,
+    fence: &Region3,
+    d: usize,
+    dir: i64,
+    depth: usize,
+) -> (Region3, Region3) {
+    debug_assert!(d < 3 && (dir == 1 || dir == -1) && depth >= 1);
+    let mut lo = [0usize; 3];
+    let mut hi = [0usize; 3];
+    for e in 0..3 {
+        if e < d {
+            lo[e] = owned.lo[e].saturating_sub(depth).max(fence.lo[e]);
+            hi[e] = (owned.hi[e] + depth).min(fence.hi[e]);
+        } else {
+            lo[e] = owned.lo[e];
+            hi[e] = owned.hi[e];
+        }
+    }
+    let mut send = Region3::new(lo, hi);
+    let mut recv = send;
+    if dir == 1 {
+        send.lo[d] = owned.hi[d] - depth;
+        send.hi[d] = owned.hi[d];
+        recv.lo[d] = owned.hi[d];
+        recv.hi[d] = owned.hi[d] + depth;
+    } else {
+        send.lo[d] = owned.lo[d];
+        send.hi[d] = owned.lo[d] + depth;
+        recv.lo[d] = owned.lo[d] - depth;
+        recv.hi[d] = owned.lo[d];
+    }
+    (send, recv)
+}
+
 /// Copy the cells of `region` (x-fastest order) out of `g` into a
 /// message buffer. One copy: cells serialize straight into the byte
 /// buffer that becomes the message.
@@ -132,6 +184,46 @@ mod tests {
             &mut dst,
             &Region3::new([0, 0, 0], [3, 2, 2]),
         );
+    }
+
+    #[test]
+    fn exchange_regions_match_between_neighbors_multi_layer() {
+        // Two ranks side by side along x on a 20×12×12 grid, radius-1
+        // operator exchanging h = 3 layers: what A sends +x must be the
+        // exact region B receives -x, and vice versa, for every stage.
+        let h = 3;
+        let owned_a = Region3::new([0, 0, 0], [10, 12, 12]);
+        let owned_b = Region3::new([10, 0, 0], [20, 12, 12]);
+        let fence_a = Region3::new([0, 0, 0], [13, 12, 12]);
+        let fence_b = Region3::new([7, 0, 0], [20, 12, 12]);
+        let (send_a, recv_a) = exchange_regions(&owned_a, &fence_a, 0, 1, h);
+        let (send_b, recv_b) = exchange_regions(&owned_b, &fence_b, 0, -1, h);
+        assert_eq!(send_a, recv_b, "A→B payload region");
+        assert_eq!(send_b, recv_a, "B→A payload region");
+        assert_eq!(send_a, Region3::new([7, 0, 0], [10, 12, 12]));
+        assert_eq!(recv_a, Region3::new([10, 0, 0], [13, 12, 12]));
+        assert_eq!(send_a.count(), 3 * 12 * 12);
+    }
+
+    #[test]
+    fn exchange_regions_forward_ghosts_of_earlier_dims() {
+        // Stage d=2 (z) slabs include the x and y ghost layers already
+        // received — the ghost-cell-expansion composition that ships edge
+        // and corner data without diagonal messages.
+        let h = 2;
+        let owned = Region3::new([4, 4, 4], [8, 8, 8]);
+        let fence = Region3::new([2, 2, 2], [10, 10, 10]);
+        let (send_z, recv_z) = exchange_regions(&owned, &fence, 2, 1, h);
+        assert_eq!(send_z, Region3::new([2, 2, 6], [10, 10, 8]));
+        assert_eq!(recv_z, Region3::new([2, 2, 8], [10, 10, 10]));
+        // Stage d=0 (x) ships owned-only perpendicular extents.
+        let (send_x, _) = exchange_regions(&owned, &fence, 0, -1, h);
+        assert_eq!(send_x, Region3::new([4, 4, 4], [6, 8, 8]));
+        // Ghost expansion clamps at the physical fence.
+        let tight = Region3::new([3, 3, 3], [9, 9, 9]);
+        let (send_c, _) = exchange_regions(&owned, &tight, 1, 1, h);
+        assert_eq!(send_c.lo[0], 3, "x extent clamps to the stored box");
+        assert_eq!(send_c.hi[0], 9);
     }
 
     #[test]

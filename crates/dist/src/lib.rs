@@ -13,10 +13,12 @@
 //!   owned box plus `h` ghost layers on each internal face;
 //! * [`halo`] — face pack/unpack between grids and message buffers (the
 //!   §2.2 "buffer copy" cost made explicit);
-//! * [`DistJacobi`] — the per-rank solver: exchange `h` layers along
-//!   successive directions (x, then y, then z — corner and edge data
-//!   arrive by composition), run `h` local sweeps, repeat. Results are
-//!   **bitwise identical** to the sequential solver;
+//! * [`DistSolver`] — the per-rank solver, generic over the stencil
+//!   operator: exchange `h` layers along successive directions (x, then
+//!   y, then z — corner and edge data arrive by composition), run
+//!   `h / RADIUS` local sweeps, repeat. Results are **bitwise
+//!   identical** to the operator's sequential oracle; [`DistJacobi`] is
+//!   the classic-Jacobi instantiation;
 //! * [`solver::serial_reference`] — the verification oracle;
 //! * [`sim`] — the Fig. 6 substitution: execute the real protocol on a
 //!   small grid under the virtual-time network while predicting the
@@ -44,4 +46,4 @@ pub mod sim;
 pub mod solver;
 
 pub use decomp::{Decomposition, LocalDomain};
-pub use solver::{DistJacobi, LocalExec};
+pub use solver::{DistJacobi, DistSolver, LocalExec};

@@ -1,23 +1,31 @@
-//! The per-rank distributed solver and its sequential oracle.
+//! The per-rank distributed solver and its sequential oracle, generic
+//! over the stencil operator.
 //!
-//! [`DistJacobi`] drives one rank: it stores the overlapping local box
-//! of a [`Decomposition`], exchanges `h` ghost layers with its Cartesian
+//! [`DistSolver`] drives one rank: it stores the overlapping local box
+//! of a [`Decomposition`], exchanges ghost layers with its Cartesian
 //! neighbors (x, then y, then z — corners and edges arrive by
 //! composition, because each stage forwards the layers received in the
-//! previous stages), then advances `h` sweeps locally, either
-//! sequentially ([`LocalExec::Seq`]) or with the §1.3 pipelined
-//! temporal-blocking executor ([`LocalExec::Pipelined`], the paper's
-//! "hybrid" mode).
+//! previous stages), then advances locally, either sequentially
+//! ([`LocalExec::Seq`]) or with the §1.3 pipelined temporal-blocking
+//! executor ([`LocalExec::Pipelined`], the paper's "hybrid" mode).
+//!
+//! The exchange depth derives from the operator: advancing `c` sweeps
+//! between exchanges consumes `c × Op::RADIUS` ghost layers, so a halo of
+//! width `h` sustains `h / Op::RADIUS` sweeps per cycle. Operators with
+//! per-cell data are [`StencilOp::restricted`] to the rank's box, so
+//! every rank reads exactly the coefficients the sequential oracle reads.
+//!
+//! [`DistJacobi`] is the classic-Jacobi instantiation.
 
 use std::time::Instant;
 
 use tb_grid::{Grid3, GridPair, Real, Region3};
 use tb_net::CartComm;
 use tb_stencil::config::GridScheme;
-use tb_stencil::{baseline, pipeline, PipelineConfig, RunStats};
+use tb_stencil::{baseline, pipeline, Jacobi6, PipelineConfig, RunStats, StencilOp};
 
 use crate::decomp::{Decomposition, LocalDomain};
-use crate::halo::{copy_region, pack_region, unpack_region};
+use crate::halo::{copy_region, exchange_regions, pack_region, unpack_region};
 
 /// How a rank advances its local box between exchanges.
 #[derive(Clone, Debug)]
@@ -26,16 +34,18 @@ pub enum LocalExec {
     Seq,
     /// Pipelined temporal blocking inside the rank (hybrid MPI+threads
     /// in the paper). The pipeline depth `n·t·T` must not exceed the
-    /// halo width `h`, or the pipeline would need ghost data the
-    /// exchange did not provide.
+    /// sweeps one exchange sustains (`h / Op::RADIUS`), or the pipeline
+    /// would need ghost data the exchange did not provide.
     Pipelined(PipelineConfig),
 }
 
-/// One rank of the distributed Jacobi solver.
-pub struct DistJacobi<T: Real> {
+/// One rank of the distributed stencil solver.
+pub struct DistSolver<T: Real, Op: StencilOp<T>> {
     local: LocalDomain,
     pair: GridPair<T>,
     exec: LocalExec,
+    /// The operator, re-anchored to this rank's box.
+    op: Op,
     h: usize,
     /// Buffer index (0 = A, 1 = B) holding the current state.
     parity: usize,
@@ -44,17 +54,35 @@ pub struct DistJacobi<T: Real> {
     pub bytes_sent: u64,
 }
 
+/// The classic-Jacobi instantiation of [`DistSolver`].
+pub type DistJacobi<T> = DistSolver<T, Jacobi6>;
+
 impl<T: Real> DistJacobi<T> {
-    /// Build this rank's solver state from the global initial grid.
-    ///
-    /// Fails when `global` does not match the decomposition or when a
-    /// pipelined `exec` is invalid for this rank's local box (too-small
-    /// blocks, pipeline deeper than the halo, ...).
+    /// [`DistSolver::from_global_op`] with the classic Jacobi operator.
     pub fn from_global(
         dec: &Decomposition,
         coords: [usize; 3],
         global: &Grid3<T>,
         exec: LocalExec,
+    ) -> Result<Self, String> {
+        Self::from_global_op(dec, coords, global, exec, Jacobi6)
+    }
+}
+
+impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
+    /// Build this rank's solver state from the global initial grid and
+    /// the *global* operator (it is restricted to the local box here).
+    ///
+    /// Fails when `global` does not match the decomposition, when the
+    /// halo is shallower than the operator radius, or when a pipelined
+    /// `exec` is invalid for this rank's local box (too-small blocks,
+    /// pipeline deeper than the halo sustains, ...).
+    pub fn from_global_op(
+        dec: &Decomposition,
+        coords: [usize; 3],
+        global: &Grid3<T>,
+        exec: LocalExec,
+        op: Op,
     ) -> Result<Self, String> {
         if global.dims() != dec.dims() {
             return Err(format!(
@@ -63,18 +91,26 @@ impl<T: Real> DistJacobi<T> {
                 dec.dims()
             ));
         }
+        if dec.h() < Op::RADIUS {
+            return Err(format!(
+                "halo width h = {} is smaller than the operator radius {}",
+                dec.h(),
+                Op::RADIUS
+            ));
+        }
         let local = dec.local(coords);
         let exec = match exec {
             LocalExec::Seq => LocalExec::Seq,
             LocalExec::Pipelined(mut cfg) => {
                 cfg.scheme = GridScheme::TwoGrid; // the dist layer owns the buffers
                 cfg.validate(local.dims)?;
-                if cfg.stages() > dec.h() {
+                if cfg.stages() > dec.h() / Op::RADIUS {
                     return Err(format!(
-                        "pipeline depth n*t*T = {} exceeds halo width h = {}; \
+                        "pipeline depth n*t*T = {} exceeds halo width h = {} / radius {}; \
                          the rank would read ghost layers the exchange never filled",
                         cfg.stages(),
-                        dec.h()
+                        dec.h(),
+                        Op::RADIUS
                     ));
                 }
                 LocalExec::Pipelined(cfg)
@@ -83,10 +119,12 @@ impl<T: Real> DistJacobi<T> {
         // Carve the local box (owned + ghosts) out of the global grid.
         let mut g = Grid3::zeroed(local.dims);
         copy_region(global, &local.region, &mut g, &Region3::whole(local.dims));
+        let op = op.restricted(&local.region);
         Ok(Self {
             local,
             pair: GridPair::from_initial(g),
             exec,
+            op,
             h: dec.h(),
             parity: 0,
             sweeps_done: 0,
@@ -122,26 +160,28 @@ impl<T: Real> DistJacobi<T> {
         }
     }
 
-    /// Advance `sweeps` global sweeps: repeat (exchange `c ≤ h` layers,
-    /// run `c` local sweeps) until done. Collective — every rank of the
-    /// communicator must call it with the same `sweeps`.
+    /// Advance `sweeps` global sweeps: repeat (exchange `c·RADIUS ≤ h`
+    /// layers, run `c` local sweeps) until done. Collective — every rank
+    /// of the communicator must call it with the same `sweeps`.
     ///
     /// The returned stats count *useful* updates (owned ∩ interior
     /// cells × sweeps); redundant overlap-ring updates are excluded so
     /// that per-rank numbers sum to the serial solver's update count.
     pub fn run_sweeps(&mut self, cart: &mut CartComm, sweeps: usize) -> RunStats {
         let t0 = Instant::now();
+        let sweeps_per_cycle = self.h / Op::RADIUS;
         let mut remaining = sweeps;
         while remaining > 0 {
-            let c = self.h.min(remaining);
+            let c = sweeps_per_cycle.min(remaining);
             self.normalize_parity();
-            self.exchange(cart, c);
+            self.exchange(cart, c * Op::RADIUS);
             match &self.exec {
                 LocalExec::Seq => {
-                    baseline::seq_sweeps(&mut self.pair, c);
+                    baseline::seq_sweeps_op(&self.op, &mut self.pair, c);
                 }
                 LocalExec::Pipelined(cfg) => {
-                    pipeline::run(&mut self.pair, cfg, c).expect("config validated in from_global");
+                    pipeline::run_op(&self.op, &mut self.pair, cfg, c)
+                        .expect("config validated in from_global_op");
                 }
             }
             self.parity = c % 2;
@@ -151,43 +191,22 @@ impl<T: Real> DistJacobi<T> {
         RunStats::new((self.local.interior.count() * sweeps) as u64, t0.elapsed())
     }
 
-    /// One multi-layer halo exchange of depth `c` along successive
+    /// One multi-layer halo exchange of depth `depth` along successive
     /// directions. After stage `d`, the current buffer holds valid ghost
     /// layers in every dimension `≤ d`; later stages forward them, which
     /// is what delivers edge and corner data without diagonal messages.
-    fn exchange(&mut self, cart: &mut CartComm, c: usize) {
+    /// The slab geometry lives in [`exchange_regions`].
+    fn exchange(&mut self, cart: &mut CartComm, depth: usize) {
         debug_assert_eq!(self.parity, 0, "exchange runs on a normalized pair");
         let owned = self.local.owned;
-        let gdims = self.local.region; // clamp fence in global coords
+        let fence = self.local.region;
         for d in 0..3 {
-            // Slab extents in the other dimensions: already-exchanged
-            // dims include their (filled) ghost layers, later dims are
-            // owned-only. Adjacent ranks along `d` share these extents,
-            // so sizes always match.
-            let mut lo = [0usize; 3];
-            let mut hi = [0usize; 3];
-            for e in 0..3 {
-                if e < d {
-                    lo[e] = owned.lo[e].saturating_sub(c).max(gdims.lo[e]);
-                    hi[e] = (owned.hi[e] + c).min(gdims.hi[e]);
-                } else {
-                    lo[e] = owned.lo[e];
-                    hi[e] = owned.hi[e];
-                }
-            }
             // Phase 1: post both sends (buffered, never blocks).
             for (idx, dir) in [-1i64, 1].into_iter().enumerate() {
                 let Some(peer) = cart.neighbor(d, dir) else {
                     continue;
                 };
-                let mut s = Region3::new(lo, hi);
-                if dir == 1 {
-                    s.lo[d] = owned.hi[d] - c;
-                    s.hi[d] = owned.hi[d];
-                } else {
-                    s.lo[d] = owned.lo[d];
-                    s.hi[d] = owned.lo[d] + c;
-                }
+                let (s, _) = exchange_regions(&owned, &fence, d, dir, depth);
                 let payload = pack_region(self.pair.a(), &self.local.to_local(&s));
                 self.bytes_sent += payload.len() as u64;
                 cart.comm.send(peer, (d * 2 + idx) as u64, payload);
@@ -198,14 +217,7 @@ impl<T: Real> DistJacobi<T> {
                 let Some(peer) = cart.neighbor(d, dir) else {
                     continue;
                 };
-                let mut r = Region3::new(lo, hi);
-                if dir == 1 {
-                    r.lo[d] = owned.hi[d];
-                    r.hi[d] = owned.hi[d] + c;
-                } else {
-                    r.lo[d] = owned.lo[d] - c;
-                    r.hi[d] = owned.lo[d];
-                }
+                let (_, r) = exchange_regions(&owned, &fence, d, dir, depth);
                 let tag = (d * 2 + (1 - idx)) as u64;
                 let payload = cart.comm.recv(peer, tag);
                 unpack_region(self.pair.a_mut(), &self.local.to_local(&r), &payload);
@@ -247,12 +259,21 @@ impl<T: Real> DistJacobi<T> {
     }
 }
 
-/// The verification oracle: `sweeps` plain sequential Jacobi sweeps on
+/// The verification oracle: `sweeps` plain sequential sweeps of `op` on
 /// the whole global grid.
-pub fn serial_reference<T: Real>(global: &Grid3<T>, sweeps: usize) -> Grid3<T> {
+pub fn serial_reference_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    global: &Grid3<T>,
+    sweeps: usize,
+) -> Grid3<T> {
     let mut pair = GridPair::from_initial(global.clone());
-    baseline::seq_sweeps(&mut pair, sweeps);
+    baseline::seq_sweeps_op(op, &mut pair, sweeps);
     pair.current(sweeps).clone()
+}
+
+/// Classic-Jacobi form of [`serial_reference_op`].
+pub fn serial_reference<T: Real>(global: &Grid3<T>, sweeps: usize) -> Grid3<T> {
+    serial_reference_op(&Jacobi6, global, sweeps)
 }
 
 #[cfg(test)]
@@ -260,6 +281,7 @@ mod tests {
     use super::*;
     use tb_grid::{init, norm, Dims3};
     use tb_net::Universe;
+    use tb_stencil::{Avg27, Jacobi7, VarCoeff7};
     use tb_sync::SyncMode;
 
     fn verify(dims: Dims3, pgrid: [usize; 3], h: usize, sweeps: usize) {
@@ -277,6 +299,34 @@ mod tests {
             );
             if let Some(got) = s.gather_global(&mut cart, &dec, g) {
                 norm::assert_grids_identical(w, &got, &Region3::interior_of(dims), "unit");
+            }
+        });
+    }
+
+    fn verify_op<Op: StencilOp<f64>>(
+        op: Op,
+        dims: Dims3,
+        pgrid: [usize; 3],
+        h: usize,
+        sweeps: usize,
+    ) {
+        let global: Grid3<f64> = init::random(dims, 4242);
+        let want = serial_reference_op(&op, &global, sweeps);
+        let dec = Decomposition::new(dims, pgrid, h);
+        let (g, w, op_ref) = (&global, &want, &op);
+        Universe::run(dec.ranks(), None, move |comm| {
+            let mut cart = CartComm::new(comm, pgrid);
+            let mut s =
+                DistSolver::from_global_op(&dec, cart.coords(), g, LocalExec::Seq, op_ref.clone())
+                    .unwrap();
+            s.run_sweeps(&mut cart, sweeps);
+            if let Some(got) = s.gather_global(&mut cart, &dec, g) {
+                norm::assert_grids_identical(
+                    w,
+                    &got,
+                    &Region3::interior_of(dims),
+                    &format!("dist {}", op_ref.name()),
+                );
             }
         });
     }
@@ -302,6 +352,17 @@ mod tests {
     #[test]
     fn sweeps_fewer_than_halo() {
         verify(Dims3::cube(14), [2, 1, 1], 4, 2);
+    }
+
+    #[test]
+    fn every_operator_matches_its_serial_oracle_across_ranks() {
+        let dims = Dims3::new(16, 14, 12);
+        verify_op(Jacobi7::heat(0.09), dims, [2, 1, 2], 2, 5);
+        verify_op(VarCoeff7::banded(dims), dims, [2, 2, 1], 2, 5);
+        // The corner-reading operator exercises the ghost-forwarding
+        // composition: diagonal data must arrive by stage ordering alone.
+        verify_op(Avg27, dims, [2, 2, 2], 2, 5);
+        verify_op(Avg27, dims, [1, 2, 1], 3, 7);
     }
 
     #[test]

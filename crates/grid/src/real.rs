@@ -3,7 +3,9 @@
 //! The paper works in double precision; `f32` support is provided because
 //! lattice-Boltzmann-style descendants of the code (the paper's outlook)
 //! commonly use single precision. Only the tiny set of operations needed by
-//! the Jacobi kernel and the verification helpers is abstracted.
+//! the stencil operators and the verification helpers is abstracted;
+//! operator weights (1/6 for Jacobi, …) live with the operators in
+//! `tb-stencil::op`, not here.
 
 use std::fmt::{Debug, Display};
 use std::iter::Sum;
@@ -29,9 +31,6 @@ pub trait Real:
 {
     const ZERO: Self;
     const ONE: Self;
-    /// 1/6, the Jacobi weight. Stored as a constant so every code path
-    /// multiplies by the exact same bit pattern (bitwise reproducibility).
-    const SIXTH: Self;
 
     fn from_f64(v: f64) -> Self;
     fn to_f64(self) -> f64;
@@ -45,7 +44,6 @@ pub trait Real:
 impl Real for f64 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
-    const SIXTH: Self = 1.0 / 6.0;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -64,7 +62,6 @@ impl Real for f64 {
 impl Real for f32 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
-    const SIXTH: Self = 1.0 / 6.0;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -88,8 +85,10 @@ mod tests {
     fn constants_are_exact() {
         assert_eq!(f64::ZERO, 0.0);
         assert_eq!(f64::ONE, 1.0);
-        assert_eq!(f64::SIXTH, 1.0 / 6.0);
-        assert_eq!(f32::SIXTH, 1.0f32 / 6.0f32);
+        // Operator weights are derived, not stored: division of exact
+        // constants must be bitwise reproducible across call sites.
+        assert_eq!(f64::ONE / f64::from_f64(6.0), 1.0 / 6.0);
+        assert_eq!(f32::ONE / f32::from_f64(6.0), 1.0f32 / 6.0f32);
     }
 
     #[test]

@@ -69,6 +69,22 @@ impl<T: Copy> SharedGrid<T> {
         *self.ptr.add(self.dims.idx(x, y, z)) = v;
     }
 
+    /// Raw pointer to cell `(x0, y, z)` — pointer arithmetic only, no
+    /// dereference. Used by the stencil-operator layer to describe
+    /// candidate source rows *without* materializing slices
+    /// (materializing a slice that overlaps a live `&mut` write row
+    /// would be UB even if never read).
+    ///
+    /// # Safety
+    /// `(x0, y, z)` must index into (or one past the x-end of) the
+    /// allocation this view was constructed over — `ptr::add` requires
+    /// the offset to stay in bounds even without a dereference.
+    #[inline(always)]
+    pub unsafe fn row_ptr(&self, x0: usize, y: usize, z: usize) -> *const T {
+        debug_assert!(x0 <= self.dims.nx && y < self.dims.ny && z < self.dims.nz);
+        self.ptr.add(self.dims.idx(x0, y, z))
+    }
+
     /// Immutable slice over the x-range `[x0, x1)` of row `(y, z)`.
     ///
     /// # Safety

@@ -60,6 +60,26 @@ impl HaloWorkload {
             expanded_slabs: true,
         }
     }
+
+    /// Workload whose compute rate is the *operator's* Eq. 2 roofline on
+    /// `machine` (instead of an assumed constant) and whose transfer
+    /// word size is the operator's element type — the Fig. 5 model fed
+    /// by per-operator code balance.
+    pub fn for_op<T: tb_grid::Real, Op: tb_stencil::StencilOp<T>>(
+        local: [usize; 3],
+        comm: [bool; 3],
+        machine: &crate::MachineParams,
+        op: &Op,
+        store: tb_stencil::kernel::StoreMode,
+    ) -> Self {
+        Self {
+            local,
+            comm,
+            lups: crate::roofline::op_roofline_lups(machine, op, store),
+            word: T::bytes(),
+            expanded_slabs: true,
+        }
+    }
 }
 
 /// The network parameters of the paper's Fig. 5 analysis: QDR InfiniBand
@@ -155,6 +175,21 @@ mod tests {
 
     fn net() -> NetworkParams {
         super::fig5_network()
+    }
+
+    #[test]
+    fn for_op_derives_rate_and_word_from_operator() {
+        use tb_stencil::kernel::StoreMode;
+        use tb_stencil::Jacobi6;
+        let m = crate::MachineParams::nehalem_ep();
+        let w =
+            HaloWorkload::for_op::<f64, _>([30; 3], [true; 3], &m, &Jacobi6, StoreMode::Streaming);
+        assert!((w.lups - m.ms / 16.0).abs() < 1e-6);
+        assert_eq!(w.word, 8);
+        let w32 =
+            HaloWorkload::for_op::<f32, _>([30; 3], [true; 3], &m, &Jacobi6, StoreMode::Streaming);
+        assert_eq!(w32.word, 4);
+        assert!(w32.lups > w.lups, "f32 halves the code balance");
     }
 
     #[test]

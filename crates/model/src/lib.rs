@@ -5,8 +5,9 @@
 //!
 //! * [`machine`] — bandwidth/latency parameter sets ([`MachineParams`]),
 //!   with the Nehalem EP preset used throughout the paper;
-//! * [`roofline`] — the memory-bound baseline estimate `P0 = M_s / 16 B`
-//!   (Eq. 2);
+//! * [`roofline`] — the memory-bound baseline estimate `P0 = M_s / B_c`
+//!   (Eq. 2), with the code balance `B_c` taken from the stencil
+//!   operator ([`tb_stencil::StencilOp::bytes_per_lup`]);
 //! * [`pipeline`] — the single-cache diagnostic model of §1.4 (Eqs. 4–5)
 //!   predicting the speedup of pipelined temporal blocking;
 //! * [`network`] — the latency/bandwidth message time model;
@@ -26,6 +27,6 @@ pub use halo::{
 };
 pub use machine::MachineParams;
 pub use network::NetworkParams;
-pub use pipeline::{pipeline_speedup, team_block_time};
-pub use roofline::jacobi_roofline_lups;
+pub use pipeline::{pipeline_speedup, team_block_time, team_block_time_op};
+pub use roofline::{jacobi_roofline_lups, op_roofline_lups, roofline_lups};
 pub use scaling::{ScalingConfig, ScalingMode, ScalingPoint};

@@ -9,16 +9,36 @@
 //! decouples from memory bandwidth — reproducing that failure is part of
 //! experiment E6.
 
+use tb_grid::Real;
+use tb_stencil::kernel::StoreMode;
+use tb_stencil::{Jacobi6, StencilOp};
+
 use crate::machine::MachineParams;
 
-/// Eq. 4: wall time (seconds per lattice site) for the `t·T` block updates
-/// a team performs while a block travels its pipeline:
+/// Generalized Eq. 4: wall time (seconds per lattice site) for the `t·T`
+/// block updates a team performs while a block travels its pipeline. The
+/// first update streams the block from memory at the operator's
+/// streaming code balance; each further update moves one load + one
+/// store (plus the operator's extra read streams) through the shared
+/// cache.
+pub fn team_block_time_op<T: Real, Op: StencilOp<T>>(
+    machine: &MachineParams,
+    op: &Op,
+    t: usize,
+    updates: usize,
+) -> f64 {
+    let tt = (t * updates) as f64;
+    assert!(tt >= 1.0);
+    let bytes_mem = op.bytes_per_lup(StoreMode::Streaming);
+    let bytes_cache = (2.0 + op.extra_read_streams()) * T::bytes() as f64;
+    bytes_mem / machine.ms1 + (tt - 1.0) * bytes_cache / machine.mc
+}
+
+/// Eq. 4 as printed in the paper (classic Jacobi, double precision):
 ///
 /// `T_b = 16B/M_{s,1} + 2(tT - 1) · 8B/M_c`
 pub fn team_block_time(machine: &MachineParams, t: usize, updates: usize) -> f64 {
-    let tt = (t * updates) as f64;
-    assert!(tt >= 1.0);
-    16.0 / machine.ms1 + 2.0 * (tt - 1.0) * 8.0 / machine.mc
+    team_block_time_op::<f64, _>(machine, &Jacobi6, t, updates)
 }
 
 /// Eq. 5: expected speedup of pipelined temporal blocking over the

@@ -1,24 +1,45 @@
-//! Bandwidth roofline for the standard Jacobi sweep (Eq. 2).
+//! Bandwidth roofline for standard stencil sweeps (Eq. 2).
 //!
-//! With spatial blocking and non-temporal stores the kernel moves 16 bytes
-//! per lattice-site update over the memory bus (one 8-byte read + one
-//! 8-byte write), so a "perfect" baseline runs at `P0 = M_s / 16 B`
-//! LUP/s per socket. The paper quotes 2.3 GLUP/s for its 18.5 GB/s
-//! Nehalem socket.
+//! With spatial blocking the kernel moves `B_c` bytes per lattice-site
+//! update over the memory bus, so a "perfect" baseline runs at
+//! `P0 = M_s / B_c` LUP/s per socket. `B_c` comes from the *operator*
+//! ([`StencilOp::bytes_per_lup`]): 16 B/LUP for classic Jacobi `f64`
+//! with streaming stores (the paper quotes 2.3 GLUP/s for its 18.5 GB/s
+//! Nehalem socket), 24 with the read-for-ownership, more for operators
+//! with extra read streams.
+
+use tb_grid::Real;
+use tb_stencil::kernel::StoreMode;
+use tb_stencil::{Jacobi6, StencilOp};
 
 use crate::machine::MachineParams;
 
-/// Expected memory-bound LUP/s for the baseline Jacobi on one socket,
-/// given the per-update traffic `bytes_per_lup` (16 with streaming
-/// stores, 24 with read-for-ownership).
-pub fn jacobi_roofline_lups(machine: &MachineParams, bytes_per_lup: f64) -> f64 {
+/// Expected memory-bound LUP/s for a baseline sweep on one socket, given
+/// the per-update traffic `bytes_per_lup`.
+pub fn roofline_lups(machine: &MachineParams, bytes_per_lup: f64) -> f64 {
     assert!(bytes_per_lup > 0.0);
     machine.ms / bytes_per_lup
 }
 
-/// Eq. 2 with the paper's default 16 B/LUP.
+/// Eq. 2 for an arbitrary operator: the traffic term is the operator's
+/// code balance, not a hardcoded constant.
+pub fn op_roofline_lups<T: Real, Op: StencilOp<T>>(
+    machine: &MachineParams,
+    op: &Op,
+    store: StoreMode,
+) -> f64 {
+    roofline_lups(machine, op.bytes_per_lup(store))
+}
+
+/// Backwards-compatible name for [`roofline_lups`].
+pub fn jacobi_roofline_lups(machine: &MachineParams, bytes_per_lup: f64) -> f64 {
+    roofline_lups(machine, bytes_per_lup)
+}
+
+/// Eq. 2 with the paper's default: classic Jacobi, double precision,
+/// streaming stores.
 pub fn jacobi_roofline_default(machine: &MachineParams) -> f64 {
-    jacobi_roofline_lups(machine, 16.0)
+    op_roofline_lups::<f64, _>(machine, &Jacobi6, StoreMode::Streaming)
 }
 
 /// Naive code balance of the unblocked kernel in words/flop (paper §1.1:
@@ -27,9 +48,17 @@ pub fn naive_code_balance_words_per_flop() -> f64 {
     8.0 / 6.0
 }
 
+/// Words moved per flop for an arbitrary operator and store mode — the
+/// generalization of the paper's `8/6 W/F`.
+pub fn code_balance_words_per_flop<T: Real, Op: StencilOp<T>>(op: &Op, store: StoreMode) -> f64 {
+    (op.bytes_per_lup(store) / T::bytes() as f64) / op.flops_per_lup()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tb_grid::Dims3;
+    use tb_stencil::VarCoeff7;
 
     #[test]
     fn nehalem_expectation_matches_paper() {
@@ -45,19 +74,35 @@ mod tests {
     #[test]
     fn rfo_lowers_the_roofline() {
         let m = MachineParams::nehalem_ep();
-        let with_nt = jacobi_roofline_lups(&m, 16.0);
-        let with_rfo = jacobi_roofline_lups(&m, 24.0);
+        let j = Jacobi6;
+        let with_nt = op_roofline_lups::<f64, _>(&m, &j, StoreMode::Streaming);
+        let with_rfo = op_roofline_lups::<f64, _>(&m, &j, StoreMode::Normal);
         assert!((with_nt / with_rfo - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_streams_lower_the_roofline_further() {
+        let m = MachineParams::nehalem_ep();
+        let v: VarCoeff7<f64> = VarCoeff7::banded(Dims3::cube(4));
+        let jac = op_roofline_lups::<f64, _>(&m, &Jacobi6, StoreMode::Streaming);
+        let var = op_roofline_lups::<f64, _>(&m, &v, StoreMode::Streaming);
+        // One extra 8-byte read stream on top of 16 B/LUP: 2/3 the rate.
+        assert!((var / jac - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn code_balance_value() {
         assert!((naive_code_balance_words_per_flop() - 1.333).abs() < 1e-3);
+        // The naive 8/6 counts the unblocked kernel's halo re-reads; the
+        // generalized (blocked) form for classic Jacobi with RFO is
+        // 3 words per 6-flop update.
+        let b = code_balance_words_per_flop::<f64, _>(&Jacobi6, StoreMode::Normal);
+        assert!((b - 3.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]
     #[should_panic]
     fn zero_traffic_rejected() {
-        let _ = jacobi_roofline_lups(&MachineParams::nehalem_ep(), 0.0);
+        let _ = roofline_lups(&MachineParams::nehalem_ep(), 0.0);
     }
 }

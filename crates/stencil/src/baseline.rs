@@ -1,11 +1,13 @@
-//! The "standard Jacobi" baseline solvers (paper §1.1).
+//! The "standard" baseline solvers (paper §1.1), generic over the
+//! stencil operator.
 //!
 //! These implement the paper's baseline: out-of-place sweeps over two
 //! grids with spatial blocking and (optionally) non-temporal stores,
 //! parallelized by splitting the outer (z) dimension across threads with
 //! a barrier per sweep — structurally the OpenMP code of the paper.
 //! They double as the *reference oracle*: every temporally blocked solver
-//! is verified bitwise against [`seq_sweeps`].
+//! is verified bitwise against [`seq_sweeps_op`] instantiated with the
+//! same operator. The `*_op`-less names are the classic-Jacobi forms.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -15,23 +17,34 @@ use tb_sync::SpinBarrier;
 use tb_topology::affinity;
 
 use crate::kernel::{self, StoreMode};
+use crate::op::{Jacobi6, StencilOp};
 use crate::stats::RunStats;
 
-/// Sequential reference: plain full-interior sweeps.
-pub fn seq_sweeps<T: Real>(pair: &mut GridPair<T>, sweeps: usize) -> RunStats {
+/// Sequential reference: plain full-interior sweeps of `op`.
+pub fn seq_sweeps_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    pair: &mut GridPair<T>,
+    sweeps: usize,
+) -> RunStats {
     let interior = Region3::interior_of(pair.dims());
     let t0 = Instant::now();
     for s in 0..sweeps {
         let (src, dst) = pair.src_dst(s);
-        kernel::update_region(src, dst, &interior);
+        kernel::update_region_op(op, src, dst, &interior);
     }
     RunStats::new((sweeps * interior.count()) as u64, t0.elapsed())
 }
 
+/// Classic-Jacobi form of [`seq_sweeps_op`].
+pub fn seq_sweeps<T: Real>(pair: &mut GridPair<T>, sweeps: usize) -> RunStats {
+    seq_sweeps_op(&Jacobi6, pair, sweeps)
+}
+
 /// Sequential sweeps with spatial blocking: each sweep visits the interior
 /// block by block (better cache behaviour for large grids). Bitwise equal
-/// to [`seq_sweeps`] because blocks are disjoint within a sweep.
-pub fn seq_blocked_sweeps<T: Real>(
+/// to [`seq_sweeps_op`] because blocks are disjoint within a sweep.
+pub fn seq_blocked_sweeps_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     pair: &mut GridPair<T>,
     sweeps: usize,
     block: [usize; 3],
@@ -42,19 +55,30 @@ pub fn seq_blocked_sweeps<T: Real>(
     for s in 0..sweeps {
         let (src, dst) = pair.src_dst(s);
         for (_, _, region) in partition.iter() {
-            kernel::update_region(src, dst, &region);
+            kernel::update_region_op(op, src, dst, &region);
         }
     }
     RunStats::new((sweeps * interior.count()) as u64, t0.elapsed())
 }
 
-/// Thread-parallel standard Jacobi: the interior is split into contiguous
-/// z-slabs, one per thread; every thread sweeps its slab with the spatial
-/// block's x/y extents and a barrier separates sweeps. `store` selects
-/// plain or non-temporal stores (the paper's baseline uses the latter).
+/// Classic-Jacobi form of [`seq_blocked_sweeps_op`].
+pub fn seq_blocked_sweeps<T: Real>(
+    pair: &mut GridPair<T>,
+    sweeps: usize,
+    block: [usize; 3],
+) -> RunStats {
+    seq_blocked_sweeps_op(&Jacobi6, pair, sweeps, block)
+}
+
+/// Thread-parallel standard sweeps: the interior is split into contiguous
+/// z-slabs, one per thread; every thread sweeps its slab and a barrier
+/// separates sweeps. `store` selects plain or non-temporal stores (the
+/// paper's baseline uses the latter; operators without a streaming row
+/// fall back to plain stores, bitwise identically).
 ///
 /// `cpus` optionally pins thread `k` to `cpus[k]`.
-pub fn par_sweeps<T: Real>(
+pub fn par_sweeps_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     pair: &mut GridPair<T>,
     sweeps: usize,
     threads: usize,
@@ -102,7 +126,13 @@ pub fn par_sweeps<T: Real>(
                         // sweep s come from the grid written in sweep
                         // s-1, sealed by the barrier below.
                         unsafe {
-                            update_slab(&views[sg], &views[dg], &slab_region, store);
+                            kernel::update_region_shared_op(
+                                op,
+                                &views[sg],
+                                &views[dg],
+                                &slab_region,
+                                store,
+                            );
                         }
                         cells += slab_region.count() as u64;
                     }
@@ -115,6 +145,17 @@ pub fn par_sweeps<T: Real>(
     RunStats::new(total.load(Ordering::Relaxed), t0.elapsed())
 }
 
+/// Classic-Jacobi form of [`par_sweeps_op`].
+pub fn par_sweeps<T: Real>(
+    pair: &mut GridPair<T>,
+    sweeps: usize,
+    threads: usize,
+    store: StoreMode,
+    cpus: Option<&[usize]>,
+) -> RunStats {
+    par_sweeps_op(&Jacobi6, pair, sweeps, threads, store, cpus)
+}
+
 /// Split `n` items into `threads` contiguous chunks; chunk `k` gets the
 /// half-open range returned.
 pub fn slab(n: usize, threads: usize, k: usize) -> (usize, usize) {
@@ -125,51 +166,10 @@ pub fn slab(n: usize, threads: usize, k: usize) -> (usize, usize) {
     (lo, hi.min(n))
 }
 
-/// One sweep over `region` through shared views, honoring the store mode.
-///
-/// # Safety
-/// Caller guarantees no concurrent access conflicts on `region` (see
-/// `par_sweeps`).
-unsafe fn update_slab<T: Real>(
-    src: &SharedGrid<T>,
-    dst: &SharedGrid<T>,
-    region: &Region3,
-    store: StoreMode,
-) {
-    if store == StoreMode::Normal || !is_f64::<T>() {
-        kernel::update_region_shared(src, dst, region);
-        return;
-    }
-    // Streaming-store path (f64 only).
-    let (x0, x1) = (region.lo[0], region.hi[0]);
-    for z in region.lo[2]..region.hi[2] {
-        for y in region.lo[1]..region.hi[1] {
-            let c = src.row(x0 - 1, x1 + 1, y, z);
-            let ym = src.row(x0, x1, y - 1, z);
-            let yp = src.row(x0, x1, y + 1, z);
-            let zm = src.row(x0, x1, y, z - 1);
-            let zp = src.row(x0, x1, y, z + 1);
-            let d = dst.row_mut(x0, x1, y, z);
-            // SAFETY of transmutes: guarded by is_f64.
-            kernel::jacobi_row_nt_f64(
-                std::mem::transmute::<&mut [T], &mut [f64]>(d),
-                std::mem::transmute::<&[T], &[f64]>(c),
-                std::mem::transmute::<&[T], &[f64]>(ym),
-                std::mem::transmute::<&[T], &[f64]>(yp),
-                std::mem::transmute::<&[T], &[f64]>(zm),
-                std::mem::transmute::<&[T], &[f64]>(zp),
-            );
-        }
-    }
-}
-
-fn is_f64<T: 'static>() -> bool {
-    std::any::TypeId::of::<T>() == std::any::TypeId::of::<f64>()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::{Avg27, Jacobi7, VarCoeff7};
     use tb_grid::{init, norm, Dims3};
 
     fn reference(dims: Dims3, seed: u64, sweeps: usize) -> tb_grid::Grid3<f64> {
@@ -252,7 +252,38 @@ mod tests {
         let mut a: GridPair<f32> = GridPair::from_initial(init::random(dims, 9));
         let mut b: GridPair<f32> = GridPair::from_initial(init::random(dims, 9));
         seq_sweeps(&mut a, 3);
-        par_sweeps(&mut b, 3, 2, StoreMode::Streaming, None); // falls back to normal path? no: f32 => Normal
+        par_sweeps(&mut b, 3, 2, StoreMode::Streaming, None); // f32 => plain-store fallback
         norm::assert_grids_identical(a.current(3), b.current(3), &Region3::whole(dims), "f32");
+    }
+
+    #[test]
+    fn every_operator_parallel_equals_its_sequential_oracle() {
+        fn check<Op: StencilOp<f64>>(op: &Op, dims: Dims3, sweeps: usize) {
+            let mut a = GridPair::from_initial(init::random(dims, 31));
+            seq_sweeps_op(op, &mut a, sweeps);
+            for store in [StoreMode::Normal, StoreMode::Streaming] {
+                let mut b = GridPair::from_initial(init::random(dims, 31));
+                par_sweeps_op(op, &mut b, sweeps, 3, store, None);
+                norm::assert_grids_identical(
+                    a.current(sweeps),
+                    b.current(sweeps),
+                    &Region3::whole(dims),
+                    &format!("{} par {store:?}", op.name()),
+                );
+            }
+            let mut c = GridPair::from_initial(init::random(dims, 31));
+            seq_blocked_sweeps_op(op, &mut c, sweeps, [5, 4, 6]);
+            norm::assert_grids_identical(
+                a.current(sweeps),
+                c.current(sweeps),
+                &Region3::whole(dims),
+                &format!("{} blocked", op.name()),
+            );
+        }
+        let dims = Dims3::new(14, 12, 11);
+        check(&Jacobi6, dims, 4);
+        check(&Jacobi7::heat(0.1), dims, 4);
+        check(&VarCoeff7::banded(dims), dims, 4);
+        check(&Avg27, dims, 4);
     }
 }

@@ -15,9 +15,10 @@ pub enum GridScheme {
 }
 
 /// Full parameter set of a pipelined run. The paper's notation:
-/// `t` = [`team_size`], `n` = [`n_teams`], `T` = [`updates_per_thread`],
-/// `d_l`/`d_u`/`d_t` live inside [`sync`], block size `b_x×b_y×b_z` in
-/// [`block`].
+/// `t` = [`PipelineConfig::team_size`], `n` = [`PipelineConfig::n_teams`],
+/// `T` = [`PipelineConfig::updates_per_thread`], `d_l`/`d_u`/`d_t` live
+/// inside [`PipelineConfig::sync`], block size `b_x×b_y×b_z` in
+/// [`PipelineConfig::block`].
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
     /// Threads per team (`t`); a team shares one cache group.

@@ -1,14 +1,29 @@
-//! The 3D Jacobi 6-point kernel (Eq. 1 of the paper) in all the forms the
-//! solvers need.
+//! Region-update drivers: apply a [`StencilOp`] to grid regions in all
+//! the storage schemes the solvers need.
 //!
-//! The canonical operand order — `(west + east + south + north + bottom +
-//! top) * (1/6)` — is fixed here once; every solver funnels through these
-//! row primitives, which is what makes cross-solver bitwise verification
-//! possible.
+//! The canonical Jacobi operand order — `(west + east + south + north +
+//! bottom + top) * (1/6)` — is fixed in [`jacobi_row`]; every other
+//! operator fixes its order in its `StencilOp::apply_row` impl. All
+//! solvers funnel through the drivers here, which is what makes
+//! cross-solver bitwise verification possible.
+//!
+//! Three drivers exist, one per storage scheme:
+//!
+//! * [`update_region_op`] — safe two-grid reference path,
+//! * [`update_region_shared_op`] — [`SharedGrid`] path for the
+//!   multi-threaded executors, with optional streaming stores,
+//! * [`update_region_compressed_op`] — the single-allocation
+//!   diagonally-shifted path of the compressed-grid scheme (§1.3).
+//!
+//! The `*_op`-less names are the classic-Jacobi forms kept for callers
+//! that predate the operator layer.
 
 use tb_grid::{Dims3, Grid3, Real, Region3, SharedGrid};
 
-/// Update one row segment of `n = dst.len()` cells.
+use crate::op::{Jacobi6, Rows9, StencilOp};
+
+/// Update one row segment of `n = dst.len()` cells with the classic
+/// 6-point Jacobi average.
 ///
 /// * `dst` — destination cells `x0..x1` of row `(y, z)`,
 /// * `c` — source center row covering `x0-1 ..= x1` (length `n + 2`),
@@ -22,8 +37,11 @@ pub fn jacobi_row<T: Real>(dst: &mut [T], c: &[T], ym: &[T], yp: &[T], zm: &[T],
     let n = dst.len();
     assert_eq!(c.len(), n + 2, "center row must cover x0-1..=x1");
     assert!(ym.len() == n && yp.len() == n && zm.len() == n && zp.len() == n);
+    // Derived once per row; `1/6` of exact constants is the same bit
+    // pattern everywhere, preserving cross-solver bitwise equality.
+    let sixth = T::ONE / T::from_f64(6.0);
     for i in 0..n {
-        dst[i] = (c[i] + c[i + 2] + ym[i] + yp[i] + zm[i] + zp[i]) * T::SIXTH;
+        dst[i] = (c[i] + c[i + 2] + ym[i] + yp[i] + zm[i] + zp[i]) * sixth;
     }
 }
 
@@ -100,12 +118,28 @@ unsafe fn jacobi_row_nt_f64_sse2(
     _mm_sfence();
 }
 
-/// Apply one Jacobi sweep to `region`, reading `src` and writing `dst`.
+/// Storage behaviour for the write stream of baseline sweeps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StoreMode {
+    /// Plain stores (cache-allocating; incurs read-for-ownership).
+    #[default]
+    Normal,
+    /// Non-temporal stores where the operator provides them (classic
+    /// Jacobi on x86-64 `f64`; elsewhere falls back to plain stores).
+    Streaming,
+}
+
+/// Apply one sweep of `op` to `region`, reading `src` and writing `dst`.
 ///
 /// `region` must lie within the interior of the grids (every cell needs
-/// all six neighbors). This is the safe reference implementation that all
-/// concurrent executors are verified against.
-pub fn update_region<T: Real>(src: &Grid3<T>, dst: &mut Grid3<T>, region: &Region3) {
+/// its full radius-1 neighborhood). This is the safe reference
+/// implementation that all concurrent executors are verified against.
+pub fn update_region_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    src: &Grid3<T>,
+    dst: &mut Grid3<T>,
+    region: &Region3,
+) {
     let dims = src.dims();
     assert_eq!(dims, dst.dims());
     assert!(
@@ -118,40 +152,60 @@ pub fn update_region<T: Real>(src: &Grid3<T>, dst: &mut Grid3<T>, region: &Regio
     let (x0, x1) = (region.lo[0], region.hi[0]);
     for z in region.lo[2]..region.hi[2] {
         for y in region.lo[1]..region.hi[1] {
-            // Split borrows: read rows from src, one write row from dst.
-            let c = &src.row(y, z)[x0 - 1..x1 + 1];
-            let ym = &src.row(y - 1, z)[x0..x1];
-            let yp = &src.row(y + 1, z)[x0..x1];
-            let zm = &src.row(y, z - 1)[x0..x1];
-            let zp = &src.row(y, z + 1)[x0..x1];
+            let rows = Rows9::from_grid(src, x0, x1, y, z);
             let d = &mut dst.row_mut(y, z)[x0..x1];
-            jacobi_row(d, c, ym, yp, zm, zp);
+            op.apply_row(d, &rows, x0, y, z);
         }
     }
 }
 
-/// Storage behaviour for the write stream of baseline sweeps.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum StoreMode {
-    /// Plain stores (cache-allocating; incurs read-for-ownership).
-    #[default]
-    Normal,
-    /// Non-temporal stores on x86-64 `f64` (paper baseline; elsewhere
-    /// falls back to plain stores).
-    Streaming,
+/// Classic-Jacobi form of [`update_region_op`].
+pub fn update_region<T: Real>(src: &Grid3<T>, dst: &mut Grid3<T>, region: &Region3) {
+    update_region_op(&Jacobi6, src, dst, region);
 }
 
-/// Concurrent-executor version of [`update_region`] over shared views.
+/// Lazy row table for updating physical cells `[x0, x1)` of row `(y, z)`
+/// through a shared view.
+///
+/// # Safety
+/// Caller guarantees that every row the operator materializes (all nine
+/// for corner-reading operators, the cross otherwise — see
+/// [`StencilOp::READS_CORNERS`]) is in bounds, initialized, and neither
+/// concurrently written nor overlapping the destination slice for the
+/// lifetime of the returned table.
+unsafe fn rows9_shared<T: Real>(
+    g: &SharedGrid<T>,
+    x0: usize,
+    x1: usize,
+    y: usize,
+    z: usize,
+) -> Rows9<'_, T> {
+    let len = x1 - x0 + 2;
+    let p =
+        |dy: i64, dz: i64| g.row_ptr(x0 - 1, (y as i64 + dy) as usize, (z as i64 + dz) as usize);
+    Rows9::from_raw(
+        [
+            [p(-1, -1), p(0, -1), p(1, -1)],
+            [p(-1, 0), p(0, 0), p(1, 0)],
+            [p(-1, 1), p(0, 1), p(1, 1)],
+        ],
+        len,
+    )
+}
+
+/// Concurrent-executor version of [`update_region_op`] over shared views.
 ///
 /// # Safety
 /// Caller must guarantee that, for the duration of the call, no other
 /// thread writes any cell of `region.expand(1)` in `src` nor reads/writes
 /// any cell of `region` in `dst` (the pipeline plan's disjointness
 /// invariant).
-pub unsafe fn update_region_shared<T: Real>(
+pub unsafe fn update_region_shared_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     src: &SharedGrid<T>,
     dst: &SharedGrid<T>,
     region: &Region3,
+    store: StoreMode,
 ) {
     let dims = src.dims();
     debug_assert_eq!(dims, dst.dims());
@@ -162,22 +216,34 @@ pub unsafe fn update_region_shared<T: Real>(
     let (x0, x1) = (region.lo[0], region.hi[0]);
     for z in region.lo[2]..region.hi[2] {
         for y in region.lo[1]..region.hi[1] {
-            let c = src.row(x0 - 1, x1 + 1, y, z);
-            let ym = src.row(x0, x1, y - 1, z);
-            let yp = src.row(x0, x1, y + 1, z);
-            let zm = src.row(x0, x1, y, z - 1);
-            let zp = src.row(x0, x1, y, z + 1);
+            let rows = rows9_shared(src, x0, x1, y, z);
             let d = dst.row_mut(x0, x1, y, z);
-            jacobi_row(d, c, ym, yp, zm, zp);
+            match store {
+                StoreMode::Normal => op.apply_row(d, &rows, x0, y, z),
+                StoreMode::Streaming => op.apply_row_streaming(d, &rows, x0, y, z),
+            }
         }
     }
 }
 
+/// Classic-Jacobi form of [`update_region_shared_op`] with plain stores.
+///
+/// # Safety
+/// Same contract as [`update_region_shared_op`].
+pub unsafe fn update_region_shared<T: Real>(
+    src: &SharedGrid<T>,
+    dst: &SharedGrid<T>,
+    region: &Region3,
+) {
+    update_region_shared_op(&Jacobi6, src, dst, region, StoreMode::Normal);
+}
+
 /// Compressed-grid stage kernel: stencil-update the interior cells of
 /// `region` and *copy* its boundary cells, reading the frame displaced by
-/// `src_disp` and writing the frame displaced by `dst_disp` of one shared
+/// `src_off` and writing the frame displaced by `dst_off` of one shared
 /// allocation.
 ///
+/// * `op` — the stencil operator,
 /// * `view` — the compressed grid's physical allocation,
 /// * `logical` — extents of the logical domain (incl. Dirichlet layer),
 /// * `region` — logical cells to produce, possibly including boundary
@@ -186,9 +252,14 @@ pub unsafe fn update_region_shared<T: Real>(
 ///   off`; the caller folds margin + displacement into them),
 /// * `descending` — row iteration order. In-place safety requires
 ///   ascending rows when the frame moves down (`dst_off = src_off - 1`)
-///   and descending rows when it moves up (`dst_off = src_off + 1`);
-///   within a row the x order never matters because the diagonal shift
-///   moves writes onto different `(y, z)` lines.
+///   and descending rows when it moves up (`dst_off = src_off + 1`).
+///
+/// For cross-shaped operators the x order within a row never matters
+/// because the diagonal shift moves writes onto different `(y, z)` lines.
+/// Corner-reading operators ([`StencilOp::READS_CORNERS`]) *do* have one
+/// source row coinciding with the write row — for those, the nine source
+/// rows are staged through a scratch buffer before any write, which keeps
+/// the result exact and the borrows disjoint.
 ///
 /// # Safety
 /// The physical source cells `region.expand(1) + src_off` must not be
@@ -196,7 +267,8 @@ pub unsafe fn update_region_shared<T: Real>(
 /// dst_off` must not be concurrently accessed at all. The compressed
 /// pipeline plan guarantees both (see `pipeline::plan`).
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn update_region_compressed<T: Real>(
+pub unsafe fn update_region_compressed_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     view: &SharedGrid<T>,
     logical: Dims3,
     region: &Region3,
@@ -213,6 +285,13 @@ pub unsafe fn update_region_compressed<T: Real>(
     );
     let (x0, x1) = (region.lo[0], region.hi[0]);
     let interior = Region3::interior_of(logical);
+    // Scratch for the corner-reading path: nine rows of the widest
+    // possible segment, staged before the (aliasing) write.
+    let mut scratch: Vec<T> = if Op::READS_CORNERS {
+        vec![T::ZERO; 9 * (region.extent(0) + 2)]
+    } else {
+        Vec::new()
+    };
     let zs: Vec<usize> = if descending {
         (region.lo[2]..region.hi[2]).rev().collect()
     } else {
@@ -231,41 +310,86 @@ pub unsafe fn update_region_compressed<T: Real>(
                 copy_row(view, x0, x1, y, z, src_off, dst_off);
                 continue;
             }
-            // Leading boundary cell (x == 0).
-            let mut xs = x0;
-            if xs == 0 {
+            // Boundary cells at the x ends are copied, the rest is the
+            // stencil segment xs..xe.
+            let lead = x0 == 0;
+            let trail = x1 == logical.nx;
+            let xs = if lead { 1 } else { x0 };
+            let xe = if trail { logical.nx - 1 } else { x1 };
+            let has_stencil = xs < xe;
+            // Corner-reading operators: stage all nine source rows
+            // *before any write to this row's destination line* — one
+            // corner source row shares that physical line, and even the
+            // x-end boundary copies below land inside its x-range.
+            let len = xe.saturating_sub(xs) + 2;
+            if has_stencil && Op::READS_CORNERS {
+                for dz in 0..3usize {
+                    for dy in 0..3usize {
+                        let s = view.row(
+                            xs - 1 + src_off,
+                            xe + 1 + src_off,
+                            y + dy - 1 + src_off,
+                            z + dz - 1 + src_off,
+                        );
+                        let k = dz * 3 + dy;
+                        scratch[k * len..(k + 1) * len].copy_from_slice(s);
+                    }
+                }
+            }
+            if lead {
                 copy_row(view, 0, 1, y, z, src_off, dst_off);
-                xs = 1;
             }
-            // Trailing boundary cell (x == nx-1).
-            let mut xe = x1;
-            if xe == logical.nx {
+            if trail {
                 copy_row(view, logical.nx - 1, logical.nx, y, z, src_off, dst_off);
-                xe = logical.nx - 1;
             }
-            if xs >= xe {
+            if !has_stencil {
                 continue;
             }
             debug_assert!(interior.contains(xs, y, z) && interior.contains(xe - 1, y, z));
-            let c = view.row(xs - 1 + src_off, xe + 1 + src_off, y + src_off, z + src_off);
-            let ym = view.row(xs + src_off, xe + src_off, y - 1 + src_off, z + src_off);
-            let yp = view.row(xs + src_off, xe + src_off, y + 1 + src_off, z + src_off);
-            let zm = view.row(xs + src_off, xe + src_off, y + src_off, z - 1 + src_off);
-            let zp = view.row(xs + src_off, xe + src_off, y + src_off, z + 1 + src_off);
-            let d = view.row_mut(xs + dst_off, xe + dst_off, y + dst_off, z + dst_off);
-            jacobi_row(d, c, ym, yp, zm, zp);
+            if Op::READS_CORNERS {
+                let segs: [&[T]; 9] = std::array::from_fn(|k| &scratch[k * len..(k + 1) * len]);
+                let rows = Rows9::from_slices([
+                    [segs[0], segs[1], segs[2]],
+                    [segs[3], segs[4], segs[5]],
+                    [segs[6], segs[7], segs[8]],
+                ]);
+                let d = view.row_mut(xs + dst_off, xe + dst_off, y + dst_off, z + dst_off);
+                op.apply_row(d, &rows, xs, y, z);
+            } else {
+                let rows = rows9_shared(view, xs + src_off, xe + src_off, y + src_off, z + src_off);
+                let d = view.row_mut(xs + dst_off, xe + dst_off, y + dst_off, z + dst_off);
+                op.apply_row(d, &rows, xs, y, z);
+            }
         }
     }
+}
+
+/// Classic-Jacobi form of [`update_region_compressed_op`].
+///
+/// # Safety
+/// Same contract as [`update_region_compressed_op`].
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn update_region_compressed<T: Real>(
+    view: &SharedGrid<T>,
+    logical: Dims3,
+    region: &Region3,
+    src_off: usize,
+    dst_off: usize,
+    descending: bool,
+) {
+    update_region_compressed_op(
+        &Jacobi6, view, logical, region, src_off, dst_off, descending,
+    );
 }
 
 /// Copy logical cells `[x0, x1) x {y} x {z}` from frame `src_off` to frame
 /// `dst_off`.
 ///
 /// # Safety
-/// Same aliasing requirements as [`update_region_compressed`]. Source and
-/// destination rows never overlap because the frames differ by exactly one
-/// in every coordinate (diagonal displacement), which moves the row to a
-/// different `(y, z)` line.
+/// Same aliasing requirements as [`update_region_compressed_op`]. Source
+/// and destination rows never overlap because the frames differ by exactly
+/// one in every coordinate (diagonal displacement), which moves the row to
+/// a different `(y, z)` line.
 unsafe fn copy_row<T: Real>(
     view: &SharedGrid<T>,
     x0: usize,
@@ -281,20 +405,10 @@ unsafe fn copy_row<T: Real>(
     d.copy_from_slice(s);
 }
 
-/// Code balance of one stencil update in bytes per lattice-site update
-/// (paper §1.1): with spatial blocking the memory traffic is one grid read
-/// + one write (+ RFO unless streaming stores are used).
-pub fn code_balance_bytes<T: Real>(store: StoreMode) -> f64 {
-    let w = T::bytes() as f64;
-    match store {
-        StoreMode::Normal => 3.0 * w,    // read + RFO + write
-        StoreMode::Streaming => 2.0 * w, // read + write
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::{Avg27, VarCoeff7};
     use tb_grid::init;
 
     fn reference_cell(src: &Grid3<f64>, x: usize, y: usize, z: usize) -> f64 {
@@ -337,7 +451,7 @@ mod tests {
 
     #[test]
     fn linear_field_is_fixed_point_to_rounding() {
-        // Multiplying by SIXTH (inexact) instead of dividing by 6 leaves
+        // Multiplying by 1/6 (inexact) instead of dividing by 6 leaves
         // ~1 ulp of slack, hence a tolerance here (bitwise determinism is
         // across solvers, not against the algebraic formula).
         let dims = Dims3::cube(7);
@@ -362,6 +476,36 @@ mod tests {
         let dv = SharedGrid::from_raw(dst_b.as_mut_ptr(), dims);
         unsafe { update_region_shared(&sv, &dv, &region) };
         tb_grid::norm::assert_grids_identical(&dst_a, &dst_b, &region, "shared kernel");
+    }
+
+    #[test]
+    fn shared_version_matches_safe_version_for_every_op() {
+        let dims = Dims3::new(14, 9, 8);
+        let src: Grid3<f64> = init::random(dims, 21);
+        let region = Region3::interior_of(dims);
+
+        fn check<Op: StencilOp<f64>>(op: &Op, src: &Grid3<f64>, region: &Region3) {
+            let mut want: Grid3<f64> = Grid3::zeroed(src.dims());
+            update_region_op(op, src, &mut want, region);
+
+            let mut src_b = src.clone();
+            let mut got: Grid3<f64> = Grid3::zeroed(src.dims());
+            let sv = SharedGrid::from_raw(src_b.as_mut_ptr(), src.dims());
+            let dv = SharedGrid::from_raw(got.as_mut_ptr(), src.dims());
+            for store in [StoreMode::Normal, StoreMode::Streaming] {
+                unsafe { update_region_shared_op(op, &sv, &dv, region, store) };
+                tb_grid::norm::assert_grids_identical(
+                    &want,
+                    &got,
+                    region,
+                    &format!("{} shared {store:?}", op.name()),
+                );
+            }
+        }
+        check(&Jacobi6, &src, &region);
+        check(&crate::op::Jacobi7::heat(0.05), &src, &region);
+        check(&VarCoeff7::banded(dims), &src, &region);
+        check(&Avg27, &src, &region);
     }
 
     #[test]
@@ -406,33 +550,37 @@ mod tests {
     }
 
     #[test]
-    fn compressed_down_then_up_matches_two_plain_sweeps() {
+    fn compressed_down_then_up_matches_two_plain_sweeps_per_op() {
+        fn check<Op: StencilOp<f64>>(op: &Op, dims: Dims3) {
+            let initial: Grid3<f64> = init::random(dims, 21);
+            // Reference: two out-of-place sweeps.
+            let a = initial.clone();
+            let mut b = initial.clone();
+            update_region_op(op, &a, &mut b, &Region3::interior_of(dims));
+            let mut c = b.clone();
+            update_region_op(op, &b, &mut c, &Region3::interior_of(dims));
+
+            let mut cg = tb_grid::CompressedGrid::from_grid(&initial, 1);
+            let view = cg.shared();
+            let whole = Region3::whole(dims);
+            // Down sweep: frame 0 -> frame -1 (offsets 1 -> 0), ascending.
+            unsafe { update_region_compressed_op(op, &view, dims, &whole, 1, 0, false) };
+            // Up sweep: frame -1 -> frame 0 (offsets 0 -> 1), descending.
+            unsafe { update_region_compressed_op(op, &view, dims, &whole, 0, 1, true) };
+            cg.set_displacement(0);
+            let got = cg.to_grid();
+            tb_grid::norm::assert_grids_identical(
+                &c,
+                &got,
+                &Region3::whole(dims),
+                &format!("{} down+up", op.name()),
+            );
+        }
         let dims = Dims3::cube(7);
-        let initial: Grid3<f64> = init::random(dims, 21);
-        // Reference: two out-of-place sweeps.
-        let a = initial.clone();
-        let mut b = initial.clone();
-        update_region(&a, &mut b, &Region3::interior_of(dims));
-        let mut c = b.clone();
-        update_region(&b, &mut c, &Region3::interior_of(dims));
-
-        let mut cg = tb_grid::CompressedGrid::from_grid(&initial, 1);
-        let view = cg.shared();
-        let whole = Region3::whole(dims);
-        // Down sweep: frame 0 -> frame -1 (offsets 1 -> 0), ascending.
-        unsafe { update_region_compressed(&view, dims, &whole, 1, 0, false) };
-        // Up sweep: frame -1 -> frame 0 (offsets 0 -> 1), descending.
-        unsafe { update_region_compressed(&view, dims, &whole, 0, 1, true) };
-        cg.set_displacement(0);
-        let got = cg.to_grid();
-        tb_grid::norm::assert_grids_identical(&c, &got, &Region3::whole(dims), "down+up");
-    }
-
-    #[test]
-    fn code_balance_values() {
-        assert_eq!(code_balance_bytes::<f64>(StoreMode::Normal), 24.0);
-        assert_eq!(code_balance_bytes::<f64>(StoreMode::Streaming), 16.0);
-        assert_eq!(code_balance_bytes::<f32>(StoreMode::Streaming), 8.0);
+        check(&Jacobi6, dims);
+        check(&crate::op::Jacobi7::heat(0.08), dims);
+        check(&VarCoeff7::banded(dims), dims);
+        check(&Avg27, dims); // exercises the corner scratch path
     }
 
     #[test]

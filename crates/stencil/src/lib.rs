@@ -1,36 +1,49 @@
-//! # tb-stencil — pipelined temporal blocking of Jacobi stencils
+//! # tb-stencil — pipelined temporal blocking of stencil codes
 //!
-//! This crate is the paper's primary contribution. It contains:
+//! This crate is the paper's primary contribution, generalized over a
+//! stencil-operator layer. It contains:
 //!
-//! * [`kernel`] — the 3D Jacobi 6-point kernel (Eq. 1), in safe slice form,
-//!   in unsafe [`tb_grid::SharedGrid`] form for the multi-threaded
-//!   executors, and with x86-64 non-temporal-store variants;
-//! * [`baseline`] — the "standard Jacobi" solvers: sequential, spatially
+//! * [`op`] — the [`StencilOp`] trait (row-update primitive, radius,
+//!   flops/LUP and bytes/LUP code balance) and the shipped operators:
+//!   classic 6-point Jacobi ([`Jacobi6`], Eq. 1), 7-point with center
+//!   weight ([`Jacobi7`], explicit-Euler heat), variable-coefficient
+//!   7-point ([`VarCoeff7`]) and the dense 27-point average ([`Avg27`]);
+//! * [`kernel`] — region-update drivers for every storage scheme: safe
+//!   two-grid, unsafe [`tb_grid::SharedGrid`] for the multi-threaded
+//!   executors, and the compressed diagonally-shifted scheme, plus the
+//!   x86-64 non-temporal-store Jacobi row;
+//! * [`baseline`] — the "standard" solvers: sequential, spatially
 //!   blocked, and thread-parallel with streaming stores (§1.1);
 //! * [`pipeline`] — **pipelined temporal blocking** (§1.3): the block
 //!   schedule ([`pipeline::plan`]), the global-barrier executor, the
 //!   relaxed-synchronization executor (Eq. 3), and the compressed-grid
 //!   executor;
-//! * [`wavefront`] — the wavefront method of Wellein et al. (ref. [2]),
+//! * [`wavefront`] — the wavefront method of Wellein et al. (ref. 2),
 //!   implemented as a comparator;
-//! * [`stats`] — LUP/s accounting shared by examples and benches.
+//! * [`residual`] — operator-agnostic convergence diagnostics;
+//! * [`stats`] — LUP/s and FLOP/s accounting shared by examples and
+//!   benches.
 //!
 //! # Determinism
 //!
-//! Every kernel evaluates `(west + east + south + north + bottom + top) *
-//! (1/6)` in exactly that operand order. Consequently all solvers in this
-//! crate — sequential, blocked, parallel, pipelined in any configuration,
-//! wavefront, compressed — produce **bitwise identical** results after the
-//! same number of sweeps, and the test-suite holds them to that.
+//! Every operator evaluates its update in one fixed operand order (e.g.
+//! `(west + east + south + north + bottom + top) * (1/6)` for
+//! [`Jacobi6`]). Consequently all solvers in this crate — sequential,
+//! blocked, parallel, pipelined in any configuration, wavefront,
+//! compressed — produce **bitwise identical** results after the same
+//! number of sweeps of the same operator, and the test-suite holds them
+//! to that.
 
 pub mod baseline;
 pub mod config;
 pub mod kernel;
+pub mod op;
 pub mod pipeline;
 pub mod residual;
 pub mod stats;
 pub mod wavefront;
 
 pub use config::PipelineConfig;
+pub use op::{Avg27, Jacobi6, Jacobi7, Rows9, StencilOp, VarCoeff7};
 pub use stats::RunStats;
 pub use tb_sync::SyncMode;

@@ -1,0 +1,620 @@
+//! The stencil-operator layer: what *one row update* computes.
+//!
+//! The paper presents pipelined temporal blocking for the 6-point Jacobi
+//! kernel (Eq. 1), but the machinery — block schedules, relaxed
+//! synchronization, compressed grids, multi-layer halos — is independent
+//! of the operator. Its follow-ups (Wittmann et al. 2010, Malas et al.
+//! 2014) apply the same scheduling to richer operators. This module
+//! factors the operator out: every executor in the workspace is generic
+//! over [`StencilOp`], so a new workload is one `impl` here instead of a
+//! fork of seven modules.
+//!
+//! # Determinism contract
+//!
+//! An operator must evaluate its update in **one fixed operand order**
+//! regardless of how the executor tiles, shifts or parallelizes the
+//! traversal. That is what lets the test-suite hold every execution
+//! strategy (sequential, blocked, parallel ± streaming stores, pipelined,
+//! compressed, wavefront, distributed/hybrid) to *bitwise* equality with
+//! the operator's own sequential oracle.
+//!
+//! # Shipped operators
+//!
+//! | op | stencil | notes |
+//! |----|---------|-------|
+//! | [`Jacobi6`] | 6-point cross | the paper's Eq. 1; streaming-store SSE2 path on x86-64 `f64` |
+//! | [`Jacobi7`] | 7-point cross with center weight | explicit-Euler heat step `u + k·(Σnb − 6u)` |
+//! | [`VarCoeff7`] | 7-point cross, per-cell coefficient | reads a conductivity grid (one extra stream) |
+//! | [`Avg27`] | dense 27-point radius-1 average | maximal radius-1 neighborhood (corners) |
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use tb_grid::{Dims3, Grid3, Real, Region3};
+
+use crate::kernel::{self, StoreMode};
+
+/// The nine radius-1 source row segments available to update cells
+/// `x0 .. x0 + n` of row `(y, z)`.
+///
+/// Each row covers the x-range `x0-1 ..= x0+n` (length `n + 2`), so the
+/// neighbor at offset `(dx, dy, dz)` of cell `i` is
+/// `rows.row(dy, dz)[i + 1 + dx]`.
+///
+/// Rows are materialized **lazily**: the table stores raw row pointers and
+/// [`Rows9::row`] forms the slice on demand. This matters for the
+/// compressed-grid executor, where the in-place diagonal shift makes the
+/// write row coincide with one *corner* source row — an operator that
+/// never calls `row(±1, ±1)` (see [`StencilOp::READS_CORNERS`]) never
+/// creates a slice overlapping the live `&mut` destination.
+#[derive(Clone, Copy)]
+pub struct Rows9<'a, T> {
+    /// `ptrs[dz + 1][dy + 1]` points at the first element (x = x0-1).
+    ptrs: [[*const T; 3]; 3],
+    /// Row segment length, `n + 2`.
+    len: usize,
+    _src: PhantomData<&'a [T]>,
+}
+
+impl<'a, T> Rows9<'a, T> {
+    /// Build from nine explicit, equally long slices, indexed
+    /// `rows[dz + 1][dy + 1]`. Fully safe: the borrows prove validity.
+    pub fn from_slices(rows: [[&'a [T]; 3]; 3]) -> Self {
+        let len = rows[0][0].len();
+        assert!(len >= 2, "rows must cover x0-1 ..= x0+n (length n+2)");
+        for plane in &rows {
+            for r in plane {
+                assert_eq!(r.len(), len, "all nine rows must have equal length");
+            }
+        }
+        Self {
+            ptrs: rows.map(|plane| plane.map(|r| r.as_ptr())),
+            len,
+            _src: PhantomData,
+        }
+    }
+
+    /// Build the nine rows for updating cells `[x0, x1)` of row `(y, z)`
+    /// from a plain grid — the one definition of the slice↔offset
+    /// convention for safe callers. `(x0, y, z)` must be interior
+    /// (slice bounds enforce it).
+    pub fn from_grid(g: &'a Grid3<T>, x0: usize, x1: usize, y: usize, z: usize) -> Self
+    where
+        T: Real,
+    {
+        let seg = |dy: usize, dz: usize| &g.row(y + dy - 1, z + dz - 1)[x0 - 1..x1 + 1];
+        Self::from_slices([
+            [seg(0, 0), seg(1, 0), seg(2, 0)],
+            [seg(0, 1), seg(1, 1), seg(2, 1)],
+            [seg(0, 2), seg(1, 2), seg(2, 2)],
+        ])
+    }
+
+    /// Build from raw row pointers (`ptrs[dz + 1][dy + 1]`, each valid
+    /// for `len` reads).
+    ///
+    /// # Safety
+    /// For the lifetime `'a`, every row the consuming operator
+    /// materializes via [`Rows9::row`] must point at `len` initialized
+    /// elements that are neither concurrently written nor overlapped by
+    /// the operator's destination slice. Operators declare which rows
+    /// they touch through [`StencilOp::READS_CORNERS`]; callers use that
+    /// to decide whether corner rows need these guarantees.
+    pub unsafe fn from_raw(ptrs: [[*const T; 3]; 3], len: usize) -> Self {
+        debug_assert!(len >= 2);
+        Self {
+            ptrs,
+            len,
+            _src: PhantomData,
+        }
+    }
+
+    /// Number of *destination* cells these rows can update (`len - 2`).
+    #[inline(always)]
+    pub fn cells(&self) -> usize {
+        self.len - 2
+    }
+
+    /// The source row at offset `(dy, dz)`, covering `x0-1 ..= x0+n`.
+    #[inline(always)]
+    pub fn row(&self, dy: i32, dz: i32) -> &'a [T] {
+        // SAFETY: per the constructor contracts, this row is valid for
+        // `len` reads for 'a.
+        unsafe {
+            std::slice::from_raw_parts(self.ptrs[(dz + 1) as usize][(dy + 1) as usize], self.len)
+        }
+    }
+}
+
+/// A stencil operator: the row-update primitive plus the metadata the
+/// solvers, the distributed layer and the performance models need.
+///
+/// Implementations must be cheap to clone (threads and ranks clone the
+/// operator freely) and must uphold the module-level determinism
+/// contract.
+pub trait StencilOp<T: Real>: Clone + Send + Sync + 'static {
+    /// Halo layers one sweep consumes (Chebyshev radius of the stencil).
+    /// The distributed solver derives exchange depths and pipeline-depth
+    /// limits from this; the row machinery currently ships radius-1
+    /// operators only.
+    const RADIUS: usize = 1;
+
+    /// Whether [`StencilOp::apply_row`] reads the diagonal rows
+    /// `row(±1, ±1)`. Cross-shaped operators override this to `false`,
+    /// which lets the compressed-grid executor use the copy-free in-place
+    /// path; the conservative default routes corner-reading operators
+    /// through a scratch buffer instead.
+    const READS_CORNERS: bool = true;
+
+    /// Short identifier for reports and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Floating-point operations per lattice-site update.
+    fn flops_per_lup(&self) -> f64;
+
+    /// Memory read streams beyond the source grid (e.g. a coefficient
+    /// grid), in grid words per update.
+    fn extra_read_streams(&self) -> f64 {
+        0.0
+    }
+
+    /// Code balance in bytes per lattice-site update (paper §1.1): source
+    /// read + write (+ read-for-ownership unless streaming stores), plus
+    /// any operator-specific extra read streams. The roofline (Eq. 2) and
+    /// the Fig. 5 halo model consume this instead of hardcoded 16/24.
+    fn bytes_per_lup(&self, store: StoreMode) -> f64 {
+        let grid_streams = match store {
+            StoreMode::Normal => 3.0,    // read + RFO + write
+            StoreMode::Streaming => 2.0, // read + write
+        };
+        (grid_streams + self.extra_read_streams()) * T::bytes() as f64
+    }
+
+    /// Update cells `x0 .. x0 + dst.len()` of row `(y, z)`: `dst[i]`
+    /// becomes the next time step of cell `(x0 + i, y, z)`, computed from
+    /// `src`. Coordinates are *logical* grid coordinates (executors that
+    /// shift or relocate storage translate before calling), so operators
+    /// may use them to address auxiliary per-cell data.
+    fn apply_row(&self, dst: &mut [T], src: &Rows9<'_, T>, x0: usize, y: usize, z: usize);
+
+    /// Variant for the baseline's non-temporal-store write stream. The
+    /// default falls back to plain stores — results must stay bitwise
+    /// identical either way.
+    fn apply_row_streaming(
+        &self,
+        dst: &mut [T],
+        src: &Rows9<'_, T>,
+        x0: usize,
+        y: usize,
+        z: usize,
+    ) {
+        self.apply_row(dst, src, x0, y, z);
+    }
+
+    /// Operator for a sub-box of the global problem whose local cell
+    /// `(0,0,0)` sits at `local_box.lo` in global coordinates. The
+    /// distributed decomposition calls this once per rank; operators with
+    /// per-cell data re-anchor their lookup, coordinate-free operators
+    /// return themselves.
+    fn restricted(&self, local_box: &Region3) -> Self {
+        let _ = local_box;
+        self.clone()
+    }
+}
+
+pub(crate) fn is_f64<T: 'static>() -> bool {
+    std::any::TypeId::of::<T>() == std::any::TypeId::of::<f64>()
+}
+
+/// The paper's Eq. 1: `(west + east + south + north + bottom + top) / 6`,
+/// evaluated in exactly that operand order everywhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Jacobi6;
+
+impl Jacobi6 {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl<T: Real> StencilOp<T> for Jacobi6 {
+    const READS_CORNERS: bool = false;
+
+    fn name(&self) -> &'static str {
+        "jacobi6"
+    }
+
+    fn flops_per_lup(&self) -> f64 {
+        6.0 // 5 adds + 1 multiply
+    }
+
+    #[inline]
+    fn apply_row(&self, dst: &mut [T], src: &Rows9<'_, T>, _x0: usize, _y: usize, _z: usize) {
+        let n = dst.len();
+        kernel::jacobi_row(
+            dst,
+            src.row(0, 0),
+            &src.row(-1, 0)[1..n + 1],
+            &src.row(1, 0)[1..n + 1],
+            &src.row(0, -1)[1..n + 1],
+            &src.row(0, 1)[1..n + 1],
+        );
+    }
+
+    #[inline]
+    fn apply_row_streaming(
+        &self,
+        dst: &mut [T],
+        src: &Rows9<'_, T>,
+        x0: usize,
+        y: usize,
+        z: usize,
+    ) {
+        if !is_f64::<T>() {
+            self.apply_row(dst, src, x0, y, z);
+            return;
+        }
+        let n = dst.len();
+        // SAFETY of the transmutes: guarded by `is_f64`.
+        unsafe {
+            kernel::jacobi_row_nt_f64(
+                std::mem::transmute::<&mut [T], &mut [f64]>(dst),
+                std::mem::transmute::<&[T], &[f64]>(src.row(0, 0)),
+                std::mem::transmute::<&[T], &[f64]>(&src.row(-1, 0)[1..n + 1]),
+                std::mem::transmute::<&[T], &[f64]>(&src.row(1, 0)[1..n + 1]),
+                std::mem::transmute::<&[T], &[f64]>(&src.row(0, -1)[1..n + 1]),
+                std::mem::transmute::<&[T], &[f64]>(&src.row(0, 1)[1..n + 1]),
+            );
+        }
+    }
+}
+
+/// 7-point cross with an explicit center weight:
+/// `u' = center·u + neighbor·(w + e + s + n + b + t)`.
+///
+/// With `center = 1 − 6k, neighbor = k` this is one explicit-Euler step
+/// of the heat equation `∂u/∂t = κ∇²u` (stable for `k < 1/6`); with
+/// `center = 0, neighbor = 1/6` it degenerates to [`Jacobi6`] (up to the
+/// different operand order — it is *not* bitwise-interchangeable).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Jacobi7 {
+    /// Weight of the center cell.
+    pub center: f64,
+    /// Weight of each of the six face neighbors.
+    pub neighbor: f64,
+}
+
+impl Jacobi7 {
+    /// Explicit-Euler heat step with diffusion number `k` (stability
+    /// requires `k < 1/6`).
+    pub fn heat(k: f64) -> Self {
+        assert!(k > 0.0 && k < 1.0 / 6.0, "heat step needs 0 < k < 1/6");
+        Self {
+            center: 1.0 - 6.0 * k,
+            neighbor: k,
+        }
+    }
+}
+
+impl<T: Real> StencilOp<T> for Jacobi7 {
+    const READS_CORNERS: bool = false;
+
+    fn name(&self) -> &'static str {
+        "jacobi7"
+    }
+
+    fn flops_per_lup(&self) -> f64 {
+        8.0 // 5 + 1 adds + 2 multiplies
+    }
+
+    #[inline]
+    fn apply_row(&self, dst: &mut [T], src: &Rows9<'_, T>, _x0: usize, _y: usize, _z: usize) {
+        let n = dst.len();
+        let cw = T::from_f64(self.center);
+        let nw = T::from_f64(self.neighbor);
+        let c = src.row(0, 0);
+        let ym = src.row(-1, 0);
+        let yp = src.row(1, 0);
+        let zm = src.row(0, -1);
+        let zp = src.row(0, 1);
+        for i in 0..n {
+            let sum = c[i] + c[i + 2] + ym[i + 1] + yp[i + 1] + zm[i + 1] + zp[i + 1];
+            dst[i] = c[i + 1] * cw + sum * nw;
+        }
+    }
+}
+
+/// Variable-coefficient 7-point stencil: `u' = u + k(x,y,z)·(Σnb − 6u)`,
+/// one explicit diffusion step with per-cell conductivity `k` read from a
+/// coefficient grid (an extra memory stream, raising the code balance).
+///
+/// The coefficient grid always lives in **global** coordinates;
+/// [`StencilOp::restricted`] re-anchors the lookup for a rank's local
+/// box, so distributed runs read exactly the same coefficients as the
+/// sequential oracle.
+#[derive(Clone, Debug)]
+pub struct VarCoeff7<T: Real> {
+    kappa: Arc<Grid3<T>>,
+    /// Global coordinate of local cell (0, 0, 0).
+    origin: [usize; 3],
+}
+
+impl<T: Real> VarCoeff7<T> {
+    /// Wrap a conductivity grid (same dims as the problem grid; stability
+    /// of the diffusion step requires all values in `[0, 1/6)`).
+    pub fn new(kappa: Grid3<T>) -> Self {
+        Self {
+            kappa: Arc::new(kappa),
+            origin: [0; 3],
+        }
+    }
+
+    /// A deterministic, integer-derived coefficient field in
+    /// `[1/60, 2/15]` — convenient for tests and benches: reproducible
+    /// bitwise on every platform, safely inside the stability bound.
+    pub fn banded(dims: Dims3) -> Self {
+        Self::new(Grid3::from_fn(dims, |x, y, z| {
+            T::from_f64(((x + 2 * y + 3 * z) % 8 + 1) as f64 / 60.0)
+        }))
+    }
+
+    /// The wrapped coefficient grid.
+    pub fn kappa(&self) -> &Grid3<T> {
+        &self.kappa
+    }
+}
+
+impl<T: Real> StencilOp<T> for VarCoeff7<T> {
+    const READS_CORNERS: bool = false;
+
+    fn name(&self) -> &'static str {
+        "varcoeff7"
+    }
+
+    fn flops_per_lup(&self) -> f64 {
+        9.0 // 5 adds + (6u: 1 mul) + 1 sub + 1 mul + 1 add
+    }
+
+    fn extra_read_streams(&self) -> f64 {
+        1.0 // the coefficient grid
+    }
+
+    #[inline]
+    fn apply_row(&self, dst: &mut [T], src: &Rows9<'_, T>, x0: usize, y: usize, z: usize) {
+        let n = dst.len();
+        let six = T::from_f64(6.0);
+        let gx = x0 + self.origin[0];
+        let k = &self.kappa.row(y + self.origin[1], z + self.origin[2])[gx..gx + n];
+        let c = src.row(0, 0);
+        let ym = src.row(-1, 0);
+        let yp = src.row(1, 0);
+        let zm = src.row(0, -1);
+        let zp = src.row(0, 1);
+        for i in 0..n {
+            let u = c[i + 1];
+            let sum = c[i] + c[i + 2] + ym[i + 1] + yp[i + 1] + zm[i + 1] + zp[i + 1];
+            dst[i] = u + (sum - u * six) * k[i];
+        }
+    }
+
+    fn restricted(&self, local_box: &Region3) -> Self {
+        Self {
+            kappa: self.kappa.clone(),
+            origin: [
+                self.origin[0] + local_box.lo[0],
+                self.origin[1] + local_box.lo[1],
+                self.origin[2] + local_box.lo[2],
+            ],
+        }
+    }
+}
+
+/// Dense 27-point radius-1 average: the mean of the full 3×3×3
+/// neighborhood (center included), summed plane-by-plane, row-by-row,
+/// west-to-east. The only shipped operator that reads the diagonal rows,
+/// exercising the corner paths of every executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Avg27;
+
+impl Avg27 {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl<T: Real> StencilOp<T> for Avg27 {
+    const READS_CORNERS: bool = true;
+
+    fn name(&self) -> &'static str {
+        "avg27"
+    }
+
+    fn flops_per_lup(&self) -> f64 {
+        27.0 // 26 adds + 1 multiply
+    }
+
+    #[inline]
+    fn apply_row(&self, dst: &mut [T], src: &Rows9<'_, T>, _x0: usize, _y: usize, _z: usize) {
+        let n = dst.len();
+        let w = T::ONE / T::from_f64(27.0);
+        let rows = [
+            [src.row(-1, -1), src.row(0, -1), src.row(1, -1)],
+            [src.row(-1, 0), src.row(0, 0), src.row(1, 0)],
+            [src.row(-1, 1), src.row(0, 1), src.row(1, 1)],
+        ];
+        for i in 0..n {
+            let mut acc = T::ZERO;
+            for plane in &rows {
+                for r in plane {
+                    acc += r[i];
+                    acc += r[i + 1];
+                    acc += r[i + 2];
+                }
+            }
+            dst[i] = acc * w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_grid::init;
+
+    fn rows_from_grid<T: Real>(
+        g: &Grid3<T>,
+        x0: usize,
+        x1: usize,
+        y: usize,
+        z: usize,
+    ) -> Rows9<'_, T> {
+        Rows9::from_grid(g, x0, x1, y, z)
+    }
+
+    #[test]
+    fn rows9_addressing() {
+        let dims = Dims3::new(8, 5, 5);
+        let g: Grid3<f64> = Grid3::from_fn(dims, |x, y, z| (x + 10 * y + 100 * z) as f64);
+        let rows = rows_from_grid(&g, 2, 6, 2, 3);
+        assert_eq!(rows.cells(), 4);
+        // Neighbor (dx,dy,dz) of cell i at x0=2 has value
+        // x0+i+dx + 10(y+dy) + 100(z+dz), at row index i + 1 + dx.
+        assert_eq!(rows.row(0, 0)[1], (2 + 20 + 300) as f64); // i=0, dx=0
+        assert_eq!(rows.row(-1, 1)[0], (1 + 10 + 400) as f64); // i=0, dx=-1
+        assert_eq!(rows.row(1, -1)[5], (6 + 30 + 200) as f64); // i=3, dx=+1
+    }
+
+    #[test]
+    fn jacobi6_row_matches_pointwise() {
+        let dims = Dims3::cube(7);
+        let g: Grid3<f64> = init::random(dims, 3);
+        let rows = rows_from_grid(&g, 1, 6, 3, 3);
+        let mut dst = vec![0.0; 5];
+        StencilOp::<f64>::apply_row(&Jacobi6, &mut dst, &rows, 1, 3, 3);
+        for (i, x) in (1..6).enumerate() {
+            let want = (g.get(x - 1, 3, 3)
+                + g.get(x + 1, 3, 3)
+                + g.get(x, 2, 3)
+                + g.get(x, 4, 3)
+                + g.get(x, 3, 2)
+                + g.get(x, 3, 4))
+                * (1.0 / 6.0);
+            assert_eq!(dst[i], want, "cell {x}");
+        }
+    }
+
+    #[test]
+    fn jacobi6_streaming_is_bitwise_equal() {
+        let dims = Dims3::new(41, 5, 5); // odd width exercises NT head/tail
+        let g: Grid3<f64> = init::random(dims, 17);
+        let rows = rows_from_grid(&g, 1, 40, 2, 2);
+        let mut a = vec![0.0; 39];
+        let mut b = vec![0.0; 39];
+        StencilOp::<f64>::apply_row(&Jacobi6, &mut a, &rows, 1, 2, 2);
+        StencilOp::<f64>::apply_row_streaming(&Jacobi6, &mut b, &rows, 1, 2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jacobi7_heat_weights() {
+        let op = Jacobi7::heat(0.1);
+        assert!((op.center - 0.4).abs() < 1e-15);
+        assert_eq!(op.neighbor, 0.1);
+        let dims = Dims3::cube(5);
+        let g: Grid3<f64> = init::random(dims, 5);
+        let rows = rows_from_grid(&g, 1, 4, 2, 2);
+        let mut dst = vec![0.0; 3];
+        StencilOp::<f64>::apply_row(&op, &mut dst, &rows, 1, 2, 2);
+        let x = 2usize;
+        let sum = g.get(x - 1, 2, 2)
+            + g.get(x + 1, 2, 2)
+            + g.get(x, 1, 2)
+            + g.get(x, 3, 2)
+            + g.get(x, 2, 1)
+            + g.get(x, 2, 3);
+        assert_eq!(dst[1], g.get(x, 2, 2) * 0.4 + sum * 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k < 1/6")]
+    fn unstable_heat_step_rejected() {
+        let _ = Jacobi7::heat(0.2);
+    }
+
+    #[test]
+    fn varcoeff_restriction_reanchors_lookup() {
+        let dims = Dims3::cube(8);
+        let op: VarCoeff7<f64> = VarCoeff7::banded(dims);
+        let g: Grid3<f64> = init::random(dims, 9);
+
+        // Global evaluation of row (y=3, z=4), cells 2..6.
+        let rows = rows_from_grid(&g, 2, 6, 3, 4);
+        let mut want = vec![0.0; 4];
+        op.apply_row(&mut want, &rows, 2, 3, 4);
+
+        // The same cells seen from a local box anchored at (1, 2, 2):
+        // local coords are global - origin.
+        let local = op.restricted(&Region3::new([1, 2, 2], [8, 8, 8]));
+        let mut got = vec![0.0; 4];
+        local.apply_row(&mut got, &rows, 1, 1, 2);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn banded_coefficients_are_stable() {
+        let op: VarCoeff7<f64> = VarCoeff7::banded(Dims3::cube(6));
+        for v in op.kappa().as_slice() {
+            assert!(*v > 0.0 && *v < 1.0 / 6.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn avg27_is_neighborhood_mean() {
+        let dims = Dims3::cube(5);
+        let g: Grid3<f64> = init::random(dims, 11);
+        let rows = rows_from_grid(&g, 1, 4, 2, 2);
+        let mut dst = vec![0.0; 3];
+        StencilOp::<f64>::apply_row(&Avg27, &mut dst, &rows, 1, 2, 2);
+        let x = 2usize;
+        let mut sum = 0.0;
+        for dz in 0..3 {
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    sum += g.get(x + dx - 1, 2 + dy - 1, 2 + dz - 1);
+                }
+            }
+        }
+        // Same value to rounding; bitwise equality is only promised
+        // across executors, not against a reordered sum.
+        assert!((dst[1] - sum / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn code_balance_per_operator() {
+        let j = Jacobi6;
+        assert_eq!(StencilOp::<f64>::bytes_per_lup(&j, StoreMode::Normal), 24.0);
+        assert_eq!(
+            StencilOp::<f64>::bytes_per_lup(&j, StoreMode::Streaming),
+            16.0
+        );
+        assert_eq!(
+            StencilOp::<f32>::bytes_per_lup(&j, StoreMode::Streaming),
+            8.0
+        );
+        let v: VarCoeff7<f64> = VarCoeff7::banded(Dims3::cube(4));
+        assert_eq!(v.bytes_per_lup(StoreMode::Normal), 32.0);
+        assert_eq!(v.bytes_per_lup(StoreMode::Streaming), 24.0);
+        assert_eq!(StencilOp::<f64>::flops_per_lup(&Avg27), 27.0);
+    }
+
+    #[test]
+    fn corner_declarations() {
+        const {
+            assert!(!<Jacobi6 as StencilOp<f64>>::READS_CORNERS);
+            assert!(!<Jacobi7 as StencilOp<f64>>::READS_CORNERS);
+            assert!(!<VarCoeff7<f64> as StencilOp<f64>>::READS_CORNERS);
+            assert!(<Avg27 as StencilOp<f64>>::READS_CORNERS);
+            assert!(<Avg27 as StencilOp<f64>>::RADIUS == 1);
+        }
+    }
+}

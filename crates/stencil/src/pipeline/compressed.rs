@@ -23,14 +23,16 @@ use tb_topology::affinity;
 
 use crate::config::PipelineConfig;
 use crate::kernel;
+use crate::op::{Jacobi6, StencilOp};
 use crate::pipeline::plan::PipelinePlan;
 use crate::stats::RunStats;
 
-/// Run `sweeps` Jacobi sweeps on a compressed grid with pipelined temporal
-/// blocking. The grid must start at displacement 0 and have `margin >=
-/// cfg.stages()`; on return its displacement records where the data
-/// landed.
-pub fn run_compressed<T: Real>(
+/// Run `sweeps` sweeps of `op` on a compressed grid with pipelined
+/// temporal blocking. The grid must start at displacement 0 and have
+/// `margin >= cfg.stages()`; on return its displacement records where the
+/// data landed.
+pub fn run_compressed_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     cg: &mut CompressedGrid<T>,
     cfg: &PipelineConfig,
     sweeps: usize,
@@ -85,8 +87,8 @@ pub fn run_compressed<T: Real>(
                     let down = ts % 2 == 0;
                     let work = |j: usize, cells: &mut u64| {
                         *cells += update_block(
-                            view, plan, auditor, logical, margin, depth, tid, j, stages_now, upt,
-                            down,
+                            op, view, plan, auditor, logical, margin, depth, tid, j, stages_now,
+                            upt, down,
                         );
                     };
                     match psync {
@@ -139,10 +141,20 @@ pub fn run_compressed<T: Real>(
     Ok(RunStats::new(total_cells.load(Ordering::Relaxed), elapsed))
 }
 
+/// Classic-Jacobi form of [`run_compressed_op`].
+pub fn run_compressed<T: Real>(
+    cg: &mut CompressedGrid<T>,
+    cfg: &PipelineConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_compressed_op(&Jacobi6, cg, cfg, sweeps)
+}
+
 /// Apply thread `tid`'s stages to block `j`; returns cells produced
 /// (stencil updates only, boundary copies excluded from the LUP count).
 #[allow(clippy::too_many_arguments)]
-fn update_block<T: Real>(
+fn update_block<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     view: &tb_grid::SharedGrid<T>,
     plan: &PipelinePlan,
     auditor: Option<&RegionAuditor>,
@@ -184,7 +196,7 @@ fn update_block<T: Real>(
         // contract (see plan docs); iteration order matches the shift
         // direction as update_region_compressed requires.
         unsafe {
-            kernel::update_region_compressed(view, logical, &shell, src_off, dst_off, !down);
+            kernel::update_region_compressed_op(op, view, logical, &shell, src_off, dst_off, !down);
         }
         if let (Some(a), Some((r1, w))) = (auditor, claims) {
             a.release(r1);

@@ -18,13 +18,15 @@ use tb_sync::{PipelineSync, SpinBarrier};
 use tb_topology::affinity;
 
 use crate::config::PipelineConfig;
-use crate::kernel;
+use crate::kernel::{self, StoreMode};
+use crate::op::{Jacobi6, StencilOp};
 use crate::pipeline::plan::PipelinePlan;
 use crate::stats::RunStats;
 
-/// Run `sweeps` Jacobi sweeps over `pair` with pipelined temporal
+/// Run `sweeps` sweeps of `op` over `pair` with pipelined temporal
 /// blocking. On return the result lives in `pair.current(sweeps)`.
-pub fn run<T: Real>(
+pub fn run_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     pair: &mut GridPair<T>,
     cfg: &PipelineConfig,
     sweeps: usize,
@@ -85,7 +87,7 @@ pub fn run<T: Real>(
                             for j in 0..nblocks {
                                 psync.wait_for_turn(tid, nblocks as u64);
                                 my_cells += update_block(
-                                    &views, plan, auditor, tid, j, base, stages_now, upt,
+                                    op, &views, plan, auditor, tid, j, base, stages_now, upt,
                                 );
                                 psync.complete_block(tid);
                             }
@@ -99,7 +101,8 @@ pub fn run<T: Real>(
                                 if let Some(j) = r.checked_sub(tid) {
                                     if j < nblocks && tid * upt < stages_now {
                                         my_cells += update_block(
-                                            &views, plan, auditor, tid, j, base, stages_now, upt,
+                                            op, &views, plan, auditor, tid, j, base, stages_now,
+                                            upt,
                                         );
                                     }
                                 }
@@ -114,6 +117,15 @@ pub fn run<T: Real>(
     });
     let elapsed = t0.elapsed();
     Ok(RunStats::new(total_cells.load(Ordering::Relaxed), elapsed))
+}
+
+/// Classic-Jacobi form of [`run_op`].
+pub fn run<T: Real>(
+    pair: &mut GridPair<T>,
+    cfg: &PipelineConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_op(&Jacobi6, pair, cfg, sweeps)
 }
 
 /// One pipelined team sweep over an externally built plan — the entry
@@ -132,7 +144,8 @@ pub fn run<T: Real>(
 /// plan's grid extents and that no other thread accesses them during the
 /// call. The plan must satisfy the `pipeline::plan` geometry contract
 /// (construction via [`PipelinePlan::with_domains`] enforces it).
-pub unsafe fn run_team_sweep<T: Real>(
+pub unsafe fn run_team_sweep_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     views: &[tb_grid::SharedGrid<T>; 2],
     plan: &PipelinePlan,
     cfg: &PipelineConfig,
@@ -171,7 +184,7 @@ pub unsafe fn run_team_sweep<T: Real>(
                             for j in 0..nblocks {
                                 psync.wait_for_turn(tid, nblocks as u64);
                                 my_cells += update_block(
-                                    views, plan, auditor, tid, j, base_sweep, stages_now, upt,
+                                    op, views, plan, auditor, tid, j, base_sweep, stages_now, upt,
                                 );
                                 psync.complete_block(tid);
                             }
@@ -183,7 +196,8 @@ pub unsafe fn run_team_sweep<T: Real>(
                             if let Some(j) = r.checked_sub(tid) {
                                 if j < nblocks && tid * upt < stages_now {
                                     my_cells += update_block(
-                                        views, plan, auditor, tid, j, base_sweep, stages_now, upt,
+                                        op, views, plan, auditor, tid, j, base_sweep, stages_now,
+                                        upt,
                                     );
                                 }
                             }
@@ -198,10 +212,25 @@ pub unsafe fn run_team_sweep<T: Real>(
     total_cells.load(Ordering::Relaxed)
 }
 
+/// Classic-Jacobi form of [`run_team_sweep_op`].
+///
+/// # Safety
+/// Same contract as [`run_team_sweep_op`].
+pub unsafe fn run_team_sweep<T: Real>(
+    views: &[tb_grid::SharedGrid<T>; 2],
+    plan: &PipelinePlan,
+    cfg: &PipelineConfig,
+    base_sweep: usize,
+    stages_now: usize,
+) -> u64 {
+    run_team_sweep_op(&Jacobi6, views, plan, cfg, base_sweep, stages_now)
+}
+
 /// Apply this thread's `T` consecutive stages to block `j` of the team
 /// sweep starting at global sweep `base`. Returns cells updated.
 #[allow(clippy::too_many_arguments)]
-fn update_block<T: Real>(
+fn update_block<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     views: &[tb_grid::SharedGrid<T>; 2],
     plan: &PipelinePlan,
     auditor: Option<&RegionAuditor>,
@@ -229,9 +258,11 @@ fn update_block<T: Real>(
             (read, write)
         });
         // SAFETY: the plan geometry plus the synchronization distances
-        // guarantee the disjointness contract of `update_region_shared`
+        // guarantee the disjointness contract of `update_region_shared_op`
         // (see plan module docs; re-checked here when auditing is on).
-        unsafe { kernel::update_region_shared(&views[sg], &views[dg], &region) };
+        unsafe {
+            kernel::update_region_shared_op(op, &views[sg], &views[dg], &region, StoreMode::Normal)
+        };
         if let (Some(a), Some((r, w))) = (auditor, claims) {
             a.release(r);
             a.release(w);

@@ -9,6 +9,6 @@ pub mod compressed;
 pub mod exec;
 pub mod plan;
 
-pub use compressed::run_compressed;
-pub use exec::run;
+pub use compressed::{run_compressed, run_compressed_op};
+pub use exec::{run, run_op};
 pub use plan::PipelinePlan;

@@ -38,6 +38,13 @@ impl RunStats {
         self.mlups() / 1000.0
     }
 
+    /// MFLOP/s given the operator's arithmetic intensity
+    /// ([`crate::op::StencilOp::flops_per_lup`]) — LUP/s is the paper's
+    /// cross-operator metric, FLOP/s is what hardware counters report.
+    pub fn mflops(&self, flops_per_lup: f64) -> f64 {
+        self.mlups() * flops_per_lup
+    }
+
     /// Combine two runs (e.g. per-rank stats into a node total: same wall
     /// clock window, summed updates).
     pub fn merge_parallel(&self, other: &RunStats) -> RunStats {
@@ -64,6 +71,13 @@ mod tests {
         let s = RunStats::new(2_000_000, Duration::from_secs(2));
         assert!((s.mlups() - 1.0).abs() < 1e-12);
         assert!((s.glups() - 0.001).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mflops_scales_with_operator_intensity() {
+        let s = RunStats::new(2_000_000, Duration::from_secs(2));
+        assert!((s.mflops(6.0) - 6.0).abs() < 1e-12);
+        assert!((s.mflops(27.0) - 27.0).abs() < 1e-12);
     }
 
     #[test]

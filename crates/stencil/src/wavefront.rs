@@ -1,5 +1,5 @@
 //! The wavefront temporal blocking method of Wellein et al. (the paper's
-//! ref. [2], COMPSAC 2009), implemented as a comparator.
+//! ref. 2, COMPSAC 2009), implemented as a comparator.
 //!
 //! A team of `t` threads marches through the grid along z: thread `i`
 //! applies sweep-stage `i` to plane `z_front - 2i`, so `t` updates happen
@@ -20,7 +20,8 @@ use std::time::Instant;
 use tb_grid::{GridPair, Real, Region3, SharedGrid};
 use tb_sync::{PipelineSync, SpinBarrier};
 
-use crate::kernel;
+use crate::kernel::{self, StoreMode};
+use crate::op::{Jacobi6, StencilOp};
 use crate::stats::RunStats;
 
 /// Minimum lead (in planes) of thread `i-1` over thread `i`: plane `z` at
@@ -28,10 +29,11 @@ use crate::stats::RunStats;
 /// must have completed plane `z+1`, i.e. lead >= 2.
 const PLANE_DISTANCE: u64 = 2;
 
-/// Run `sweeps` Jacobi sweeps with wavefront temporal blocking using
+/// Run `sweeps` sweeps of `op` with wavefront temporal blocking using
 /// `threads` threads (= updates per traversal). On return the result is
 /// in `pair.current(sweeps)`.
-pub fn run_wavefront<T: Real>(
+pub fn run_wavefront_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     pair: &mut GridPair<T>,
     threads: usize,
     sweeps: usize,
@@ -94,11 +96,18 @@ pub fn run_wavefront<T: Real>(
                         // SAFETY: thread i works on plane p while thread
                         // i-1 (stage s-1) has completed plane p+1 (lead
                         // >= 2) — all reads of planes z-1..=z+1 in the
-                        // source grid are sealed, and writes of distinct
-                        // stages go to alternating grids at plane
-                        // distance >= 2.
+                        // source grid (corners included: plane claims
+                        // cover whole planes) are sealed, and writes of
+                        // distinct stages go to alternating grids at
+                        // plane distance >= 2.
                         unsafe {
-                            kernel::update_region_shared(&views[sg], &views[dg], &plane);
+                            kernel::update_region_shared_op(
+                                op,
+                                &views[sg],
+                                &views[dg],
+                                &plane,
+                                StoreMode::Normal,
+                            );
                         }
                         my_cells += plane.count() as u64;
                         psync.complete_block(tid);
@@ -112,6 +121,15 @@ pub fn run_wavefront<T: Real>(
         total_cells.load(Ordering::Relaxed),
         t0.elapsed(),
     ))
+}
+
+/// Classic-Jacobi form of [`run_wavefront_op`].
+pub fn run_wavefront<T: Real>(
+    pair: &mut GridPair<T>,
+    threads: usize,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_wavefront_op(&Jacobi6, pair, threads, sweeps)
 }
 
 #[cfg(test)]

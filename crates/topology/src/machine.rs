@@ -110,7 +110,7 @@ impl Machine {
         }
     }
 
-    /// The older Core 2 quad design the paper contrasts against ([2], [10]):
+    /// The older Core 2 quad design the paper contrasts against (refs. 2 and 10):
     /// two dual-core pairs, each pair sharing a 6 MB L2 — more
     /// bandwidth-starved, hence more to gain from temporal blocking.
     /// Modeled here as 2 "sockets" of 2 cores sharing L2.

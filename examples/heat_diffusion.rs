@@ -1,38 +1,45 @@
-//! Heat diffusion to steady state: a domain-specific scenario using the
-//! public API — iterate the Jacobi solver in chunks until the solution
+//! Diffusion to steady state: a domain-specific scenario using the
+//! public API — iterate a stencil operator in chunks until the solution
 //! stops changing, with pipelined temporal blocking doing the work.
 //!
 //! Physically: a cube held at 100° on the z=0 face and 0° on the other
-//! five faces; the interior relaxes towards the harmonic steady state.
-//! We track the residual between chunks and report the convergence
-//! history.
+//! five faces; the interior relaxes towards its steady state. The
+//! operator is selected on the command line, so one binary covers four
+//! workloads:
 //!
 //! ```sh
-//! cargo run --release --example heat_diffusion
+//! cargo run --release --example heat_diffusion                       # classic Jacobi
+//! cargo run --release --example heat_diffusion -- --op heat          # explicit-Euler heat step
+//! cargo run --release --example heat_diffusion -- --op varcoeff      # per-cell conductivity
+//! cargo run --release --example heat_diffusion -- --op avg27         # 27-point average
+//! cargo run --release --example heat_diffusion -- --size 50 --tol 1e-6
 //! ```
 
 use temporal_blocking::prelude::*;
-use temporal_blocking::{grid, solve, Method};
+use temporal_blocking::{grid, solve_with, Method};
 
-fn main() {
-    let dims = Dims3::cube(66);
-    let machine = temporal_blocking::topology::detect::detect();
-    let mut cfg = PipelineConfig::for_machine(&machine, 1, 1);
-    cfg.block = [48, 12, 12];
+fn arg(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
+fn relax<Op: StencilOp<f64>>(op: &Op, dims: Dims3, cfg: PipelineConfig, tol: f64) {
     let chunk = cfg.stages().max(4) * 2; // sweeps per convergence check
-    let tol = 1e-7;
-
     let mut current = grid::init::hot_plate::<f64>(dims, 100.0, 0.0);
     let mut total_sweeps = 0usize;
     let mut total_updates = 0u64;
     let mut total_time = std::time::Duration::ZERO;
 
-    println!("heat diffusion on {dims}, chunk = {chunk} sweeps, tol = {tol:e}");
+    println!(
+        "{} diffusion on {dims}, chunk = {chunk} sweeps, tol = {tol:e}",
+        op.name()
+    );
     println!("{:>8} {:>14} {:>12}", "sweeps", "max |delta|", "MLUP/s");
     for _ in 0..200 {
         let before = current.clone();
-        let (after, stats) = solve(current, chunk, Method::Pipelined(cfg.clone()))
+        let (after, stats) = solve_with(op, current, chunk, Method::Pipelined(cfg.clone()))
             .expect("pipeline config must be valid");
         total_sweeps += chunk;
         total_updates += stats.cell_updates;
@@ -59,6 +66,47 @@ fn main() {
          T(center,z=max-1) = {near_cold:.2}"
     );
     assert!(near_hot > near_cold);
+
+    // And the pipelined path must match the sequential oracle bitwise.
+    let mut check = grid::init::hot_plate::<f64>(dims, 100.0, 0.0);
+    for _ in 0..total_sweeps / chunk {
+        check = solve_with(op, check, chunk, Method::Sequential).unwrap().0;
+    }
+    grid::norm::assert_grids_identical(
+        &check,
+        &current,
+        &Region3::whole(dims),
+        "pipelined vs sequential",
+    );
+    println!("verified: pipelined result is bitwise identical to the sequential oracle");
+
     let agg = temporal_blocking::stencil::stats::RunStats::new(total_updates, total_time);
     println!("aggregate throughput: {:.1} MLUP/s", agg.mlups());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let op_name = arg(&args, "--op").unwrap_or_else(|| "jacobi".into());
+    let edge = arg(&args, "--size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(66usize);
+    let tol = arg(&args, "--tol")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1e-7f64);
+
+    let dims = Dims3::cube(edge);
+    let machine = temporal_blocking::topology::detect::detect();
+    let mut cfg = PipelineConfig::for_machine(&machine, 1, 1);
+    cfg.block = [48, 12, 12];
+
+    match op_name.as_str() {
+        "jacobi" => relax(&Jacobi6, dims, cfg, tol),
+        "heat" => relax(&Jacobi7::heat(0.12), dims, cfg, tol),
+        "varcoeff" => relax(&VarCoeff7::banded(dims), dims, cfg, tol),
+        "avg27" => relax(&Avg27, dims, cfg, tol),
+        other => {
+            eprintln!("unknown --op {other}; expected jacobi | heat | varcoeff | avg27");
+            std::process::exit(2);
+        }
+    }
 }

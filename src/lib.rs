@@ -2,7 +2,8 @@
 //!
 //! A Rust reproduction of **"Multicore-aware parallel temporal blocking
 //! of stencil codes for shared and distributed memory"** (M. Wittmann,
-//! G. Hager, G. Wellein, IPPS/LSPP 2010, arXiv:0912.4506).
+//! G. Hager, G. Wellein, IPPS/LSPP 2010, arXiv:0912.4506), generalized
+//! over a stencil-operator layer.
 //!
 //! The workspace implements the paper end to end:
 //!
@@ -11,11 +12,30 @@
 //! | [`grid`] | aligned 3D grids, grid pairs, compressed grids, regions, blocks, race auditor |
 //! | [`sync`] | spin barrier, padded progress counters, relaxed pipeline sync (Eq. 3) |
 //! | [`topology`] | cache groups, Nehalem EP preset, team layout, affinity |
-//! | [`stencil`] | Jacobi kernel, baselines, **pipelined temporal blocking**, wavefront comparator |
-//! | [`model`] | Eq. 2 roofline, §1.4 diagnostic model, Fig. 5 halo model, Fig. 6 scaling model |
+//! | [`stencil`] | **stencil operators**, baselines, **pipelined temporal blocking**, wavefront comparator |
+//! | [`model`] | Eq. 2 roofline, §1.4 diagnostic model, Fig. 5 halo model, Fig. 6 scaling model — all fed by per-operator code balance |
 //! | [`membench`] | STREAM COPY/SCALE/ADD/TRIAD + machine calibration |
 //! | [`net`] | in-process ranks, communicator, Cartesian topology, virtual-time network |
-//! | [`dist`] | domain decomposition, multi-layer halo exchange, distributed/hybrid solver, cluster sim |
+//! | [`dist`] | domain decomposition, multi-layer halo exchange, operator-generic distributed/hybrid solver, cluster sim |
+//!
+//! ## The operator layer
+//!
+//! Every execution strategy is generic over [`StencilOp`] — the
+//! row-update primitive plus radius, flops/LUP and bytes/LUP metadata.
+//! Four operators ship ([`solve`] defaults to the classic Jacobi;
+//! [`solve_with`] takes any):
+//!
+//! | operator | stencil | use case |
+//! |----------|---------|----------|
+//! | [`Jacobi6`] | 6-point cross, weight 1/6 | the paper's Eq. 1; Laplace relaxation |
+//! | [`Jacobi7`] | 7-point cross with center weight | explicit-Euler heat stepping |
+//! | [`VarCoeff7`] | 7-point cross + per-cell coefficient grid | heterogeneous diffusion (extra read stream) |
+//! | [`Avg27`] | dense 27-point radius-1 average | corner-reading smoothing kernel |
+//!
+//! Each operator is held to **bitwise identity** across all execution
+//! strategies (sequential, blocked, parallel ± streaming stores,
+//! pipelined, compressed, wavefront, distributed/hybrid) against its own
+//! sequential oracle.
 //!
 //! ## Quick start
 //!
@@ -28,10 +48,10 @@
 //!
 //! // Solve 8 sweeps with pipelined temporal blocking...
 //! let cfg = PipelineConfig::small();
-//! let (solution, stats) = solve(initial.clone(), 8, Method::Pipelined(cfg)).unwrap();
+//! let (solution, stats) = solve(initial.clone(), 8, Method::Pipelined(cfg.clone())).unwrap();
 //!
 //! // ...and it is bitwise identical to the plain sequential solver.
-//! let (reference, _) = solve(initial, 8, Method::Sequential).unwrap();
+//! let (reference, _) = solve(initial.clone(), 8, Method::Sequential).unwrap();
 //! grid::norm::assert_grids_identical(
 //!     &reference,
 //!     &solution,
@@ -39,6 +59,13 @@
 //!     "pipelined vs sequential",
 //! );
 //! assert!(stats.mlups() > 0.0);
+//!
+//! // Any other operator drops in via `solve_with` — here one explicit
+//! // Euler heat step per sweep instead of the Jacobi average.
+//! let heat = Jacobi7::heat(0.1);
+//! let (a, _) = solve_with(&heat, initial.clone(), 8, Method::Pipelined(cfg)).unwrap();
+//! let (b, _) = solve_with(&heat, initial, 8, Method::Sequential).unwrap();
+//! grid::norm::assert_grids_identical(&a, &b, &Region3::whole(dims), "heat op");
 //! ```
 
 pub use tb_dist as dist;
@@ -50,7 +77,9 @@ pub use tb_stencil as stencil;
 pub use tb_sync as sync;
 pub use tb_topology as topology;
 
-pub use tb_stencil::{PipelineConfig, RunStats, SyncMode};
+pub use tb_stencil::{
+    Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode, VarCoeff7,
+};
 
 use tb_grid::{CompressedGrid, Dims3, Grid3, GridPair, Real};
 use tb_stencil::config::GridScheme;
@@ -59,21 +88,23 @@ use tb_stencil::{baseline, pipeline, wavefront};
 
 /// Everything an application typically needs.
 pub mod prelude {
-    pub use crate::{solve, Method};
+    pub use crate::{solve, solve_with, Method};
     pub use tb_grid::{self as grid, Dims3, Grid3, GridPair, Real, Region3};
     pub use tb_model::MachineParams;
-    pub use tb_stencil::{PipelineConfig, RunStats, SyncMode};
+    pub use tb_stencil::{
+        Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode, VarCoeff7,
+    };
     pub use tb_topology::Machine;
 }
 
-/// Solver selection for [`solve`].
+/// Solver selection for [`solve`] / [`solve_with`].
 #[derive(Clone, Debug)]
 pub enum Method {
     /// Plain sequential sweeps (the verification oracle).
     Sequential,
     /// Sequential sweeps with spatial blocking.
     Blocked { block: [usize; 3] },
-    /// Thread-parallel standard Jacobi (the paper's baseline).
+    /// Thread-parallel standard sweeps (the paper's baseline).
     Parallel {
         threads: usize,
         streaming_stores: bool,
@@ -82,15 +113,17 @@ pub enum Method {
     Pipelined(PipelineConfig),
     /// Pipelined temporal blocking on a compressed grid (§1.3).
     PipelinedCompressed(PipelineConfig),
-    /// Wavefront temporal blocking (the paper's ref. [2], comparator).
+    /// Wavefront temporal blocking (the paper's ref. 2, comparator).
     Wavefront { threads: usize },
 }
 
-/// Run `sweeps` Jacobi sweeps on `initial` with the chosen method.
-/// Returns the final grid and the run statistics.
+/// Run `sweeps` sweeps of the stencil operator `op` on `initial` with the
+/// chosen method. Returns the final grid and the run statistics.
 ///
-/// All methods produce bitwise identical results (see crate docs).
-pub fn solve<T: Real>(
+/// For a fixed operator, all methods produce bitwise identical results
+/// (see crate docs).
+pub fn solve_with<T: Real, Op: StencilOp<T>>(
+    op: &Op,
     initial: Grid3<T>,
     sweeps: usize,
     method: Method,
@@ -98,12 +131,12 @@ pub fn solve<T: Real>(
     match method {
         Method::Sequential => {
             let mut pair = GridPair::from_initial(initial);
-            let stats = baseline::seq_sweeps(&mut pair, sweeps);
+            let stats = baseline::seq_sweeps_op(op, &mut pair, sweeps);
             Ok((pair.current(sweeps).clone(), stats))
         }
         Method::Blocked { block } => {
             let mut pair = GridPair::from_initial(initial);
-            let stats = baseline::seq_blocked_sweeps(&mut pair, sweeps, block);
+            let stats = baseline::seq_blocked_sweeps_op(op, &mut pair, sweeps, block);
             Ok((pair.current(sweeps).clone(), stats))
         }
         Method::Parallel {
@@ -119,27 +152,37 @@ pub fn solve<T: Real>(
                 StoreMode::Normal
             };
             let mut pair = GridPair::from_initial(initial);
-            let stats = baseline::par_sweeps(&mut pair, sweeps, threads, store, None);
+            let stats = baseline::par_sweeps_op(op, &mut pair, sweeps, threads, store, None);
             Ok((pair.current(sweeps).clone(), stats))
         }
         Method::Pipelined(mut cfg) => {
             cfg.scheme = GridScheme::TwoGrid;
             let mut pair = GridPair::from_initial(initial);
-            let stats = pipeline::run(&mut pair, &cfg, sweeps)?;
+            let stats = pipeline::run_op(op, &mut pair, &cfg, sweeps)?;
             Ok((pair.current(sweeps).clone(), stats))
         }
         Method::PipelinedCompressed(mut cfg) => {
             cfg.scheme = GridScheme::Compressed;
             let mut cg = CompressedGrid::from_grid(&initial, cfg.stages());
-            let stats = pipeline::run_compressed(&mut cg, &cfg, sweeps)?;
+            let stats = pipeline::run_compressed_op(op, &mut cg, &cfg, sweeps)?;
             Ok((cg.to_grid(), stats))
         }
         Method::Wavefront { threads } => {
             let mut pair = GridPair::from_initial(initial);
-            let stats = wavefront::run_wavefront(&mut pair, threads, sweeps)?;
+            let stats = wavefront::run_wavefront_op(op, &mut pair, threads, sweeps)?;
             Ok((pair.current(sweeps).clone(), stats))
         }
     }
+}
+
+/// [`solve_with`] specialized to the classic 6-point Jacobi operator —
+/// the paper's Eq. 1 and the default for existing callers.
+pub fn solve<T: Real>(
+    initial: Grid3<T>,
+    sweeps: usize,
+    method: Method,
+) -> Result<(Grid3<T>, RunStats), String> {
+    solve_with(&Jacobi6, initial, sweeps, method)
 }
 
 /// Convenience: dims of a cubic problem sized to roughly `mib` MiB for a
@@ -156,13 +199,8 @@ mod tests {
     use super::*;
     use tb_grid::{init, norm, Region3};
 
-    #[test]
-    fn all_methods_agree_bitwise() {
-        let dims = Dims3::cube(20);
-        let initial: Grid3<f64> = init::random(dims, 7);
-        let sweeps = 6;
-        let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
-        let methods: Vec<(&str, Method)> = vec![
+    fn all_methods() -> Vec<(&'static str, Method)> {
+        vec![
             ("blocked", Method::Blocked { block: [7, 7, 7] }),
             (
                 "par",
@@ -184,8 +222,16 @@ mod tests {
                 Method::PipelinedCompressed(PipelineConfig::small()),
             ),
             ("wavefront", Method::Wavefront { threads: 2 }),
-        ];
-        for (name, m) in methods {
+        ]
+    }
+
+    #[test]
+    fn all_methods_agree_bitwise() {
+        let dims = Dims3::cube(20);
+        let initial: Grid3<f64> = init::random(dims, 7);
+        let sweeps = 6;
+        let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
+        for (name, m) in all_methods() {
             let (got, stats) = solve(initial.clone(), sweeps, m).unwrap();
             norm::assert_grids_identical(&want, &got, &Region3::whole(dims), name);
             assert_eq!(
@@ -194,6 +240,30 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn all_methods_agree_bitwise_for_every_operator() {
+        let dims = Dims3::cube(20);
+        let initial: Grid3<f64> = init::random(dims, 13);
+        let sweeps = 5;
+
+        fn check<Op: StencilOp<f64>>(op: &Op, initial: &Grid3<f64>, sweeps: usize) {
+            let dims = initial.dims();
+            let (want, _) = solve_with(op, initial.clone(), sweeps, Method::Sequential).unwrap();
+            for (name, m) in all_methods() {
+                let (got, _) = solve_with(op, initial.clone(), sweeps, m).unwrap();
+                norm::assert_grids_identical(
+                    &want,
+                    &got,
+                    &Region3::whole(dims),
+                    &format!("{} via {name}", op.name()),
+                );
+            }
+        }
+        check(&Jacobi7::heat(0.11), &initial, sweeps);
+        check(&VarCoeff7::banded(dims), &initial, sweeps);
+        check(&Avg27, &initial, sweeps);
     }
 
     #[test]

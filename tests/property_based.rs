@@ -10,7 +10,64 @@ use proptest::prelude::*;
 use temporal_blocking::grid::{init, norm, BlockPartition, Dims3, Grid3, Region3};
 use temporal_blocking::stencil::config::GridScheme;
 use temporal_blocking::stencil::pipeline::PipelinePlan;
-use temporal_blocking::{solve, Method, PipelineConfig, SyncMode};
+use temporal_blocking::{
+    solve, solve_with, Avg27, Jacobi7, Method, PipelineConfig, StencilOp, SyncMode, VarCoeff7,
+};
+
+/// Cross-solver bitwise identity for one operator on randomized
+/// dims/threads/block shapes: every method must reproduce the operator's
+/// sequential oracle exactly.
+fn assert_all_methods_bitwise<Op: StencilOp<f64>>(
+    op: &Op,
+    dims: Dims3,
+    seed: u64,
+    sweeps: usize,
+    threads: usize,
+    block: [usize; 3],
+) -> Result<(), TestCaseError> {
+    let initial: Grid3<f64> = init::random(dims, seed);
+    let (want, _) = solve_with(op, initial.clone(), sweeps, Method::Sequential).unwrap();
+    let cfg = PipelineConfig {
+        team_size: threads,
+        n_teams: 1,
+        updates_per_thread: 1,
+        block,
+        sync: SyncMode::relaxed_default(),
+        scheme: GridScheme::TwoGrid,
+        layout: None,
+        audit: true,
+    };
+    let methods: Vec<(&str, Method)> = vec![
+        ("blocked", Method::Blocked { block }),
+        (
+            "par",
+            Method::Parallel {
+                threads,
+                streaming_stores: false,
+            },
+        ),
+        (
+            "par-nt",
+            Method::Parallel {
+                threads,
+                streaming_stores: true,
+            },
+        ),
+        ("pipelined", Method::Pipelined(cfg.clone())),
+        ("compressed", Method::PipelinedCompressed(cfg)),
+        ("wavefront", Method::Wavefront { threads }),
+    ];
+    for (name, m) in methods {
+        let (got, _) = solve_with(op, initial.clone(), sweeps, m).unwrap();
+        let mismatch = norm::first_mismatch(&want, &got, &Region3::whole(dims));
+        prop_assert!(
+            mismatch.is_none(),
+            "{} via {name} diverged at {mismatch:?}",
+            op.name()
+        );
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
@@ -143,5 +200,54 @@ proptest! {
         let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
         let (got, _) = solve(initial, sweeps, Method::PipelinedCompressed(cfg)).unwrap();
         prop_assert!(norm::first_mismatch(&want, &got, &Region3::whole(dims)).is_none());
+    }
+
+    /// The 7-point heat operator matches its sequential oracle across
+    /// every method for randomized dims, thread counts and block shapes.
+    #[test]
+    fn heat_op_all_methods_bitwise(
+        seed in 0u64..1000,
+        nx in 12usize..22,
+        ny in 12usize..22,
+        nz in 12usize..22,
+        threads in 1usize..4,
+        bx in 8usize..12,
+        sweeps in 1usize..8,
+        k_millis in 10u64..160,
+    ) {
+        let dims = Dims3::new(nx, ny, nz);
+        let op = Jacobi7::heat(k_millis as f64 / 1000.0);
+        assert_all_methods_bitwise(&op, dims, seed, sweeps, threads, [bx, bx, bx])?;
+    }
+
+    /// The variable-coefficient operator (extra read stream, logical-
+    /// coordinate lookup) matches its oracle across every method.
+    #[test]
+    fn varcoeff_op_all_methods_bitwise(
+        seed in 0u64..1000,
+        n in 14usize..22,
+        threads in 1usize..4,
+        bx in 8usize..12,
+        by in 8usize..12,
+        sweeps in 1usize..8,
+    ) {
+        let dims = Dims3::cube(n);
+        let op = VarCoeff7::banded(dims);
+        assert_all_methods_bitwise(&op, dims, seed, sweeps, threads, [bx, by, 8])?;
+    }
+
+    /// The corner-reading 27-point operator — the hardest case for the
+    /// compressed in-place scheme — matches its oracle everywhere.
+    #[test]
+    fn avg27_op_all_methods_bitwise(
+        seed in 0u64..1000,
+        nx in 12usize..20,
+        nz in 12usize..20,
+        threads in 1usize..4,
+        bx in 8usize..12,
+        sweeps in 1usize..8,
+    ) {
+        let dims = Dims3::new(nx, 16, nz);
+        assert_all_methods_bitwise(&Avg27, dims, seed, sweeps, threads, [bx, 8, bx])?;
     }
 }
