@@ -117,6 +117,7 @@ fn sim(args: &Args) {
     println!(
         "Fig. 6 — virtual cluster simulation (real protocol on {exec_edge}^3, nominal 600^3)\n"
     );
+    let (mut halo_total, mut gather_total) = (0u64, 0u64);
     for (mode, name) in [(ScalingMode::Strong, "strong"), (ScalingMode::Weak, "weak")] {
         println!("{name} scaling [GLUP/s] (every point protocol-verified):");
         print!("{:<18}", "nodes");
@@ -138,12 +139,19 @@ fn sim(args: &Args) {
                 };
                 let out = simulate(&spec);
                 assert!(out.verified, "{} at {n} nodes failed verification", c.label);
+                halo_total += out.halo_bytes;
+                gather_total += out.gather_bytes;
                 print!(" {:>10.1}", out.point.glups);
             }
             println!();
         }
         println!();
     }
+    println!(
+        "executed protocol traffic across all points: {:.2} MB halo, {:.2} MB gather",
+        halo_total as f64 / 1e6,
+        gather_total as f64 / 1e6
+    );
     println!("all points executed the real exchange/update path and matched the serial solver");
 }
 
@@ -158,7 +166,10 @@ fn host(args: &Args) {
     println!(
         "Fig. 6 — host weak scaling, {edge_per_rank}^3 owned cells per rank, {sweeps} sweeps\n"
     );
-    println!("{:>6} {:>12} {:>14}", "ranks", "MLUP/s", "efficiency");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>12}",
+        "ranks", "MLUP/s", "efficiency", "halo[MB]", "gather[MB]"
+    );
     let mut base_rate = None;
     let mut ranks = 1usize;
     while ranks <= max_ranks {
@@ -170,17 +181,26 @@ fn host(args: &Args) {
         );
         let dec = Decomposition::new(dims, pgrid, 2);
         let global = init::random::<f64>(dims, 11);
-        let global_ref = &global;
-        let t0 = std::time::Instant::now();
-        let updates = Universe::run(ranks, None, move |comm| {
+        let (global_ref, dec_ref) = (&global, &dec);
+        let results = Universe::run(ranks, None, move |comm| {
             let mut cart = CartComm::new(comm, pgrid);
-            let mut s =
-                DistJacobi::from_global(&dec, cart.coords(), global_ref, LocalExec::Seq).unwrap();
+            let mut s = DistJacobi::from_global(dec_ref, cart.coords(), global_ref, LocalExec::Seq)
+                .unwrap();
+            let t0 = std::time::Instant::now();
             let st = s.run_sweeps(&mut cart, sweeps);
-            st.cell_updates
+            let secs = t0.elapsed().as_secs_f64();
+            let _ = s.gather_global(&mut cart, dec_ref, global_ref);
+            (
+                st.cell_updates,
+                secs,
+                s.halo_bytes_sent,
+                s.gather_bytes_sent,
+            )
         });
-        let elapsed = t0.elapsed().as_secs_f64();
-        let total: u64 = updates.iter().sum();
+        let elapsed = results.iter().map(|r| r.1).fold(0.0, f64::max);
+        let total: u64 = results.iter().map(|r| r.0).sum();
+        let halo: u64 = results.iter().map(|r| r.2).sum();
+        let gather: u64 = results.iter().map(|r| r.3).sum();
         let mlups = total as f64 / elapsed / 1e6;
         let eff = base_rate
             .map(|b: f64| mlups / (b * ranks as f64))
@@ -188,7 +208,11 @@ fn host(args: &Args) {
         if base_rate.is_none() {
             base_rate = Some(mlups);
         }
-        println!("{ranks:>6} {mlups:>12.1} {eff:>14.2}");
+        println!(
+            "{ranks:>6} {mlups:>12.1} {eff:>14.2} {:>12.2} {:>12.2}",
+            halo as f64 / 1e6,
+            gather as f64 / 1e6
+        );
         let _ = solver::serial_reference::<f64>; // keep the oracle linked for doc purposes
         ranks *= 2;
     }

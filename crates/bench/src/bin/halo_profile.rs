@@ -61,7 +61,7 @@ fn main() {
         for _ in 0..reps {
             s.run_sweeps(&mut cart, 4);
         }
-        (t.elapsed().as_secs_f64() / reps as f64, s.bytes_sent)
+        (t.elapsed().as_secs_f64() / reps as f64, s.halo_bytes_sent)
     });
 
     println!("halo profiling, {edge}^3 over 2 ranks, h = 4\n");
@@ -71,7 +71,7 @@ fn main() {
         pack_time * 1e6
     );
     println!(
-        "full cycle (exchange + 4 updates): {:.1} us; rank bytes sent total: {}",
+        "full cycle (exchange + 4 updates): {:.1} us; rank halo bytes sent: {}",
         times[0].0 * 1e6,
         times[0].1
     );

@@ -40,6 +40,85 @@ impl LocalDomain {
             [r.hi[0] - o[0], r.hi[1] - o[1], r.hi[2] - o[2]],
         )
     }
+
+    /// The owned box in **local** coordinates.
+    pub fn owned_local(&self) -> Region3 {
+        self.to_local(&self.owned)
+    }
+
+    /// The interior core of the overlapped schedule: the owned box shrunk
+    /// by `depth = c × radius` on every side, in local coordinates. These
+    /// are the cells a rank can advance `c` sweeps without any ghost data
+    /// from the current exchange — the compute that hides communication.
+    /// May be empty (tiny boxes or deep cycles: nothing can be hidden).
+    pub fn interior_core(&self, depth: usize) -> Region3 {
+        self.owned_local().shrink(depth)
+    }
+
+    /// The six boundary shells of width `depth = c × Op::RADIUS`: the
+    /// annulus between the owned box and [`LocalDomain::interior_core`],
+    /// split into at most six disjoint face slabs (z-low, z-high, y-low,
+    /// y-high, x-low, x-high), in local coordinates. These cells need
+    /// the freshly exchanged ghosts, so the overlapped schedule finishes
+    /// them after `waitall`.
+    pub fn boundary_shells(&self, depth: usize) -> Vec<Region3> {
+        annulus_slabs(&self.owned_local(), &self.interior_core(depth))
+    }
+
+    /// Interior trapezoid of sweep `j` (1-based) in a `c`-sweep
+    /// overlapped cycle: the owned box shrunk by `j × radius`. Sweep `j`
+    /// of the interior phase may update exactly this region using only
+    /// pre-exchange data — staleness from the unexchanged ghosts
+    /// propagates inward one `radius` per sweep, so after sweep `j`
+    /// every cell of this region holds the true step-`t+j` value.
+    pub fn sweep_core(&self, j: usize, radius: usize) -> Region3 {
+        self.owned_local().shrink(j * radius)
+    }
+
+    /// Full update domain of sweep `j` (1-based) of a `c`-sweep cycle:
+    /// the owned box expanded by `(c − j) × radius`, clamped to the
+    /// updatable interior of the local grid. Together with
+    /// [`LocalDomain::sweep_core`] this defines the shell annulus the
+    /// post-exchange phase must recompute:
+    /// `shell_j = sweep_domain(j) \ sweep_core(j)`.
+    pub fn sweep_domain(&self, j: usize, c: usize, radius: usize) -> Region3 {
+        debug_assert!(j >= 1 && j <= c);
+        self.owned_local()
+            .expand((c - j) * radius)
+            .intersect(&Region3::interior_of(self.dims))
+    }
+}
+
+/// Split the annulus `outer \ inner` into at most six disjoint slabs
+/// (z-low, z-high, then y-low/high within inner's z-range, then x-low/
+/// high within inner's y- and z-ranges). Returns `[outer]` when `inner`
+/// is empty and nothing when `outer` is.
+pub fn annulus_slabs(outer: &Region3, inner: &Region3) -> Vec<Region3> {
+    if outer.is_empty() {
+        return Vec::new();
+    }
+    let inner = inner.intersect(outer);
+    if inner.is_empty() {
+        return vec![*outer];
+    }
+    let mut out = Vec::with_capacity(6);
+    let mut push = |lo: [usize; 3], hi: [usize; 3]| {
+        let r = Region3::new(lo, hi);
+        if !r.is_empty() {
+            out.push(r);
+        }
+    };
+    let (o, i) = (outer, &inner);
+    // Full-extent z slabs.
+    push(o.lo, [o.hi[0], o.hi[1], i.lo[2]]);
+    push([o.lo[0], o.lo[1], i.hi[2]], o.hi);
+    // y slabs within inner's z range.
+    push([o.lo[0], o.lo[1], i.lo[2]], [o.hi[0], i.lo[1], i.hi[2]]);
+    push([o.lo[0], i.hi[1], i.lo[2]], [o.hi[0], o.hi[1], i.hi[2]]);
+    // x slabs within inner's y and z ranges.
+    push([o.lo[0], i.lo[1], i.lo[2]], [i.lo[0], i.hi[1], i.hi[2]]);
+    push([i.hi[0], i.lo[1], i.lo[2]], [o.hi[0], i.hi[1], i.hi[2]]);
+    out
 }
 
 /// Partition of a global grid over a `px × py × pz` rank grid with halo
@@ -321,5 +400,98 @@ mod tests {
     #[should_panic(expected = "invalid decomposition")]
     fn new_panics_on_invalid() {
         let _ = Decomposition::new(Dims3::cube(8), [1, 1, 1], 0);
+    }
+
+    #[test]
+    fn core_and_shells_partition_the_owned_box() {
+        let dec = Decomposition::new(Dims3::new(26, 18, 14), [2, 2, 1], 3);
+        for r in 0..dec.ranks() {
+            let l = dec.local(dec.coords_of(r));
+            for depth in 1..=3 {
+                let core = l.interior_core(depth);
+                let shells = l.boundary_shells(depth);
+                let owned = l.owned_local();
+                let total: usize = core.count() + shells.iter().map(Region3::count).sum::<usize>();
+                assert_eq!(total, owned.count(), "rank {r} depth {depth}");
+                assert!(shells.len() <= 6);
+                for (i, s) in shells.iter().enumerate() {
+                    assert!(owned.contains_region(s));
+                    assert!(!s.intersects(&core), "shell {i} overlaps the core");
+                    for s2 in &shells[..i] {
+                        assert!(!s.intersects(s2), "shells overlap");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shells_have_the_exchange_depth_width() {
+        let dec = Decomposition::new(Dims3::cube(24), [2, 1, 1], 4);
+        let l = dec.local([0, 0, 0]);
+        let depth = 4;
+        let core = l.interior_core(depth);
+        let owned = l.owned_local();
+        for d in 0..3 {
+            assert_eq!(core.lo[d], owned.lo[d] + depth);
+            assert_eq!(core.hi[d], owned.hi[d] - depth);
+        }
+    }
+
+    #[test]
+    fn deep_split_leaves_an_empty_core() {
+        // 8-wide owned box, depth 4 from both sides: nothing is interior.
+        let dec = Decomposition::new(Dims3::cube(16), [2, 2, 2], 4);
+        let l = dec.local([0, 0, 0]);
+        assert!(l.interior_core(4).is_empty());
+        let shells = l.boundary_shells(4);
+        assert_eq!(shells.len(), 1, "empty core → the whole box is shell");
+        assert_eq!(shells[0], l.owned_local());
+    }
+
+    #[test]
+    fn trapezoid_sweeps_nest_and_clamp() {
+        let dec = Decomposition::new(Dims3::cube(24), [2, 1, 1], 3);
+        let l = dec.local([1, 0, 0]);
+        let (c, radius) = (3, 1);
+        for j in 1..=c {
+            let a = l.sweep_core(j, radius);
+            let u = l.sweep_domain(j, c, radius);
+            assert!(u.contains_region(&a), "core ⊆ domain at sweep {j}");
+            assert!(
+                Region3::interior_of(l.dims).contains_region(&u),
+                "domains never touch Dirichlet or outermost ghost cells"
+            );
+            if j > 1 {
+                // The trapezoid: cores shrink, domains shrink, and each
+                // core expanded by the radius fits the previous core —
+                // the dependency contract of the pipelined plan.
+                let prev = l.sweep_core(j - 1, radius);
+                assert!(prev.contains_region(&a.expand(radius)));
+                assert!(l.sweep_domain(j - 1, c, radius).contains_region(&u));
+            }
+        }
+        // The final sweep covers exactly the owned updatable cells.
+        assert_eq!(
+            l.sweep_domain(c, c, radius),
+            l.owned_local().intersect(&Region3::interior_of(l.dims))
+        );
+    }
+
+    #[test]
+    fn annulus_slab_edge_cases() {
+        let outer = Region3::new([2, 2, 2], [10, 10, 10]);
+        // Empty inner: one slab, the outer box itself.
+        assert_eq!(annulus_slabs(&outer, &Region3::empty()), vec![outer]);
+        // Inner == outer: no slabs.
+        assert!(annulus_slabs(&outer, &outer).is_empty());
+        // Empty outer: nothing.
+        assert!(annulus_slabs(&Region3::empty(), &outer).is_empty());
+        // Inner flush against one face: five slabs.
+        let inner = Region3::new([2, 4, 4], [8, 8, 8]);
+        let slabs = annulus_slabs(&outer, &inner);
+        assert_eq!(slabs.len(), 5);
+        let total: usize = slabs.iter().map(Region3::count).sum();
+        assert_eq!(total, outer.count() - inner.count());
     }
 }

@@ -19,6 +19,12 @@
 //!   `h / RADIUS` local sweeps, repeat. Results are **bitwise
 //!   identical** to the operator's sequential oracle; [`DistJacobi`] is
 //!   the classic-Jacobi instantiation;
+//! * [`ExchangeMode`] — how the exchange is scheduled against the local
+//!   compute: blocking ([`ExchangeMode::Sync`], the paper's measured
+//!   baseline) or overlapped with the interior update
+//!   ([`ExchangeMode::Overlapped`], optionally with a real dedicated
+//!   communication thread, [`ExchangeMode::OverlappedCommThread`]) —
+//!   the multicore-aware §2.3 proposal. See "Overlap" below;
 //! * [`solver::serial_reference`] — the verification oracle;
 //! * [`sim`] — the Fig. 6 substitution: execute the real protocol on a
 //!   small grid under the virtual-time network while predicting the
@@ -38,6 +44,30 @@
 //! sequential sweep — redundant work happens only in the overlap rings,
 //! which the next exchange overwrites. The e2e tests hold every
 //! configuration to bitwise equality with [`solver::serial_reference`].
+//!
+//! # Overlap
+//!
+//! The same staleness argument read inward instead of outward powers the
+//! overlapped schedule: before any ghost of the current exchange has
+//! arrived, sweep `j` may already update the owned box shrunk by
+//! `j × RADIUS` (the **interior trapezoid**,
+//! [`LocalDomain::sweep_core`]) — exactly the cells whose dependency
+//! cone stays inside pre-exchange data. The complementary annuli of
+//! width `c × RADIUS` (the **boundary shells**,
+//! [`LocalDomain::boundary_shells`]) are finished after `waitall`. The
+//! boundary data a rank *sends* is plain step-`t` state, so the sends
+//! start immediately; corner/edge forwarding still runs x → y → z, on
+//! the comm side, from a staging grid the compute never writes.
+//!
+//! **When overlap cannot hide traffic:** hiding is bounded by the
+//! interior compute, whose core shrinks by `c × RADIUS` per cycle. A
+//! local box of edge `≤ 2·c·RADIUS` has no core at all, and a pipelined
+//! interior additionally needs blocks at least `n·t·T` wide inside the
+//! core. Deep halos amortize latency but shrink the hideable interior —
+//! the `n·t·T ≤ h / RADIUS` pipeline-depth constraint binds from the
+//! other side, so `h` trades message count against overlap window. The
+//! `overlap_sweep` bench measures the achieved hiding ratio per
+//! configuration.
 
 pub mod decomp;
 pub mod halo;
@@ -45,5 +75,5 @@ pub mod numa;
 pub mod sim;
 pub mod solver;
 
-pub use decomp::{Decomposition, LocalDomain};
-pub use solver::{DistJacobi, DistSolver, LocalExec};
+pub use decomp::{annulus_slabs, Decomposition, LocalDomain};
+pub use solver::{DistJacobi, DistSolver, ExchangeMode, LocalExec};

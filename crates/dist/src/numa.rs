@@ -58,6 +58,7 @@ fn group_layout(machine: &Machine, team: usize, team_size: usize) -> TeamLayout 
         cpus,
         team_size,
         n_teams: 1,
+        comm_core: None,
     }
 }
 

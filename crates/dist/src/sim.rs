@@ -48,6 +48,10 @@ pub struct SimOutcome {
     pub verified: bool,
     /// Virtual time (seconds) the executed run accumulated on rank 0.
     pub virtual_time: f64,
+    /// Halo payload bytes the executed ranks sent, summed.
+    pub halo_bytes: u64,
+    /// Final-gather payload bytes the executed ranks sent, summed.
+    pub gather_bytes: u64,
     /// The nominal model prediction for `nodes`.
     pub point: ScalingPoint,
 }
@@ -85,14 +89,16 @@ pub fn simulate(spec: &SimSpec) -> SimOutcome {
             None => true,
         };
         cart.comm.barrier();
-        (ok, cart.comm.time())
+        (ok, cart.comm.time(), s.halo_bytes_sent, s.gather_bytes_sent)
     });
 
     SimOutcome {
         ranks,
         exec_ranks,
-        verified: per_rank.iter().all(|&(ok, _)| ok),
+        verified: per_rank.iter().all(|&(ok, ..)| ok),
         virtual_time: per_rank[0].1,
+        halo_bytes: per_rank.iter().map(|r| r.2).sum(),
+        gather_bytes: per_rank.iter().map(|r| r.3).sum(),
         point,
     }
 }
@@ -130,6 +136,8 @@ mod tests {
             out.virtual_time > 0.0,
             "virtual clock must advance through the exchange"
         );
+        assert!(out.halo_bytes > 0, "ranks exchanged halos");
+        assert!(out.gather_bytes > 0, "non-root ranks shipped their boxes");
     }
 
     #[test]

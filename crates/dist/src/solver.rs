@@ -15,16 +15,51 @@
 //! per-cell data are [`StencilOp::restricted`] to the rank's box, so
 //! every rank reads exactly the coefficients the sequential oracle reads.
 //!
+//! # Exchange scheduling ([`ExchangeMode`])
+//!
+//! * [`ExchangeMode::Sync`] — blocking exchange, then compute: the
+//!   paper's measured baseline ("no explicit or implicit overlapping of
+//!   communication and computation", §2.2).
+//! * [`ExchangeMode::Overlapped`] — the paper's §2.3 proposal: post
+//!   `irecv`s, stage and `isend` the boundary shells immediately,
+//!   advance the **interior trapezoid** while the transfers are in
+//!   flight, `waitall`, unpack, and finish the shells. Sweep `j` of the
+//!   interior phase updates the owned box shrunk by `j × RADIUS`
+//!   ([`LocalDomain::sweep_core`]): staleness from the not-yet-arrived
+//!   ghosts propagates inward one radius per sweep, so every cell of
+//!   that region holds its true step-`t+j` value using pre-exchange
+//!   data only. The post-exchange shell phase then updates the
+//!   complementary annuli ([`LocalDomain::sweep_domain`] minus the
+//!   core), whose reads are exactly the freshly unpacked ghosts plus
+//!   trapezoid cells of the previous sweep. Both phases write the same
+//!   (buffer, cell, sweep) triples as the synchronous schedule, so the
+//!   owned result stays **bitwise identical**.
+//! * [`ExchangeMode::OverlappedCommThread`] — same schedule, with the
+//!   waits and the ghost forwarding driven by a real dedicated
+//!   communication thread (pinned to [`tb_topology::TeamLayout::comm_core`]
+//!   when the pipelined config carries a layout), coupled to the compute
+//!   side by a [`Handoff`] instead of a barrier. Virtual-time accounting
+//!   is identical to `Overlapped`; the wall-clock overlap becomes real.
+//!
+//! Overlap can only hide traffic that the interior compute outlasts: the
+//! interior core shrinks by `c × RADIUS` per cycle, so small local boxes
+//! or deep cycles leave little core (`h / RADIUS` sweeps of a box of
+//! edge `≤ 2·c·RADIUS` have none) and the exchange stays exposed. The
+//! pipeline-depth constraint is unchanged: `n·t·T ≤ h / RADIUS`.
+//!
 //! [`DistJacobi`] is the classic-Jacobi instantiation.
 
 use std::time::Instant;
 
-use tb_grid::{Grid3, GridPair, Real, Region3};
-use tb_net::CartComm;
+use tb_grid::{BlockPartition, Grid3, GridPair, Real, Region3, SharedGrid};
+use tb_net::{CartComm, Comm, Request};
 use tb_stencil::config::GridScheme;
-use tb_stencil::{baseline, pipeline, Jacobi6, PipelineConfig, RunStats, StencilOp};
+use tb_stencil::pipeline::PipelinePlan;
+use tb_stencil::{baseline, kernel, pipeline, Jacobi6, PipelineConfig, RunStats, StencilOp};
+use tb_sync::Handoff;
+use tb_topology::affinity;
 
-use crate::decomp::{Decomposition, LocalDomain};
+use crate::decomp::{annulus_slabs, Decomposition, LocalDomain};
 use crate::halo::{copy_region, exchange_regions, pack_region, unpack_region};
 
 /// How a rank advances its local box between exchanges.
@@ -39,19 +74,48 @@ pub enum LocalExec {
     Pipelined(PipelineConfig),
 }
 
+/// How a rank schedules its halo exchange against its local compute.
+/// See the module docs for the schedule details.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Blocking exchange → compute (the paper's measured baseline).
+    #[default]
+    Sync,
+    /// Nonblocking boundary-first schedule, driven from the compute
+    /// thread; transfer costs are modeled on the comm-core timeline.
+    Overlapped,
+    /// [`ExchangeMode::Overlapped`] with a real dedicated communication
+    /// thread and a [`Handoff`]-based "halos ready" signal.
+    OverlappedCommThread,
+}
+
 /// One rank of the distributed stencil solver.
 pub struct DistSolver<T: Real, Op: StencilOp<T>> {
     local: LocalDomain,
     pair: GridPair<T>,
     exec: LocalExec,
+    mode: ExchangeMode,
     /// The operator, re-anchored to this rank's box.
     op: Op,
     h: usize,
     /// Buffer index (0 = A, 1 = B) holding the current state.
     parity: usize,
     sweeps_done: usize,
-    /// Total payload bytes this rank has sent (halo + gather).
-    pub bytes_sent: u64,
+    /// Staging grid for the overlapped exchange: boundary-shell snapshot
+    /// plus unpacked ghosts, so the comm side never touches cells the
+    /// compute side is updating. Allocated on first overlapped cycle.
+    /// Sized like the local box (only the depth-wide annulus and the
+    /// ghost shells are ever touched): the full frame keeps the
+    /// pack/unpack region arithmetic identical to the working grid's,
+    /// at +1 grid of footprint in overlapped modes.
+    scratch: Option<Grid3<T>>,
+    /// Modeled compute rate (LUP/s) charged to the virtual clock; `None`
+    /// leaves the clock to communication costs only.
+    virtual_lups: Option<f64>,
+    /// Payload bytes this rank has sent in halo exchanges.
+    pub halo_bytes_sent: u64,
+    /// Payload bytes this rank has sent in final-result gathers.
+    pub gather_bytes_sent: u64,
 }
 
 /// The classic-Jacobi instantiation of [`DistSolver`].
@@ -124,12 +188,31 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
             local,
             pair: GridPair::from_initial(g),
             exec,
+            mode: ExchangeMode::Sync,
             op,
             h: dec.h(),
             parity: 0,
             sweeps_done: 0,
-            bytes_sent: 0,
+            scratch: None,
+            virtual_lups: None,
+            halo_bytes_sent: 0,
+            gather_bytes_sent: 0,
         })
+    }
+
+    /// Select the exchange schedule (default [`ExchangeMode::Sync`]).
+    pub fn with_exchange_mode(mut self, mode: ExchangeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Charge modeled compute time (`cells / lups` seconds per update
+    /// phase) to the virtual clock, so the simulated network can hide
+    /// communication behind it.
+    pub fn with_virtual_compute(mut self, lups: f64) -> Self {
+        assert!(lups > 0.0);
+        self.virtual_lups = Some(lups);
+        self
     }
 
     /// This rank's view of the decomposition.
@@ -137,9 +220,19 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
         &self.local
     }
 
+    /// The active exchange schedule.
+    pub fn exchange_mode(&self) -> ExchangeMode {
+        self.mode
+    }
+
     /// Global sweeps completed so far.
     pub fn sweeps_done(&self) -> usize {
         self.sweeps_done
+    }
+
+    /// Total payload bytes sent (halo + gather).
+    pub fn bytes_sent(&self) -> u64 {
+        self.halo_bytes_sent + self.gather_bytes_sent
     }
 
     /// The grid holding the current state (local coordinates).
@@ -174,14 +267,25 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
         while remaining > 0 {
             let c = sweeps_per_cycle.min(remaining);
             self.normalize_parity();
-            self.exchange(cart, c * Op::RADIUS);
-            match &self.exec {
-                LocalExec::Seq => {
-                    baseline::seq_sweeps_op(&self.op, &mut self.pair, c);
+            match self.mode {
+                ExchangeMode::Sync => {
+                    self.exchange(cart, c * Op::RADIUS);
+                    match &self.exec {
+                        LocalExec::Seq => {
+                            baseline::seq_sweeps_op(&self.op, &mut self.pair, c);
+                        }
+                        LocalExec::Pipelined(cfg) => {
+                            pipeline::run_op(&self.op, &mut self.pair, cfg, c)
+                                .expect("config validated in from_global_op");
+                        }
+                    }
+                    if let Some(lups) = self.virtual_lups {
+                        let cells = (Region3::interior_of(self.local.dims).count() * c) as f64;
+                        cart.comm.advance(cells / lups);
+                    }
                 }
-                LocalExec::Pipelined(cfg) => {
-                    pipeline::run_op(&self.op, &mut self.pair, cfg, c)
-                        .expect("config validated in from_global_op");
+                ExchangeMode::Overlapped | ExchangeMode::OverlappedCommThread => {
+                    self.overlapped_cycle(cart, c);
                 }
             }
             self.parity = c % 2;
@@ -208,7 +312,7 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
                 };
                 let (s, _) = exchange_regions(&owned, &fence, d, dir, depth);
                 let payload = pack_region(self.pair.a(), &self.local.to_local(&s));
-                self.bytes_sent += payload.len() as u64;
+                self.halo_bytes_sent += payload.len() as u64;
                 cart.comm.send(peer, (d * 2 + idx) as u64, payload);
             }
             // Phase 2: receive both ghost slabs. The peer tagged its
@@ -225,6 +329,153 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
         }
     }
 
+    /// One overlapped cycle of `c` sweeps — the §2.3 schedule:
+    ///
+    /// 1. post `irecv`s for every ghost slab of the cycle,
+    /// 2. snapshot the boundary shells (step-`t` values) into the
+    ///    staging grid and `isend` the x-direction slabs immediately,
+    /// 3. advance the interior trapezoid while the comm side completes
+    ///    each direction, unpacks into the staging grid, and forwards
+    ///    the next direction's slabs (edge/corner composition),
+    /// 4. "halos ready" handoff; fold the hidden compute time into the
+    ///    virtual clock,
+    /// 5. copy the ghosts into the working grid and finish the shells.
+    fn overlapped_cycle(&mut self, cart: &mut CartComm, c: usize) {
+        debug_assert_eq!(self.parity, 0, "exchange runs on a normalized pair");
+        let radius = Op::RADIUS;
+        let depth = c * radius;
+        let owned = self.local.owned;
+        let fence = self.local.region;
+        let mode = self.mode;
+        let lups = self.virtual_lups;
+
+        // Neighbor geometry up front: the comm side runs while `comm`
+        // is exclusively borrowed.
+        let mut recv_by_dim: [Vec<(Region3, Request)>; 3] = Default::default();
+        let mut send_by_dim: [Vec<(usize, u64, Region3)>; 3] = Default::default();
+        for d in 0..3 {
+            for (idx, dir) in [-1i64, 1].into_iter().enumerate() {
+                let Some(peer) = cart.neighbor(d, dir) else {
+                    continue;
+                };
+                let (s, r) = exchange_regions(&owned, &fence, d, dir, depth);
+                send_by_dim[d].push((peer, (d * 2 + idx) as u64, self.local.to_local(&s)));
+                let tag = (d * 2 + (1 - idx)) as u64;
+                recv_by_dim[d].push((self.local.to_local(&r), cart.comm.irecv(peer, tag)));
+            }
+        }
+        let has_neighbor = send_by_dim.iter().any(|v| !v.is_empty());
+
+        let Self {
+            pair,
+            scratch,
+            op,
+            exec,
+            local,
+            ..
+        } = self;
+
+        let t0 = cart.comm.time();
+        let mut halo_bytes = 0u64;
+        let interior_cells;
+        if has_neighbor {
+            // The staging grid exists only where there is traffic: a
+            // neighborless rank runs the same trapezoid+shell schedule
+            // without paying the extra footprint.
+            let scratch = scratch.get_or_insert_with(|| Grid3::zeroed(local.dims));
+
+            // Stage the boundary shells for the comm side: every owned
+            // cell any send region reads lies within `depth` of a face.
+            for slab in local.boundary_shells(depth) {
+                copy_region(pair.a(), &slab, scratch, &slab);
+            }
+            // x-direction slabs read no ghosts: send them right away.
+            for (peer, tag, region) in &send_by_dim[0] {
+                let payload = pack_region(scratch, region);
+                halo_bytes += payload.len() as u64;
+                let _ = cart.comm.isend(*peer, *tag, payload);
+            }
+
+            // Interior trapezoid concurrent with the exchange drive.
+            let (cells, (fwd_bytes, ghost_regions)) = match mode {
+                ExchangeMode::OverlappedCommThread => {
+                    let comm = &mut *cart.comm;
+                    let comm_core = match &*exec {
+                        LocalExec::Pipelined(cfg) => cfg.layout.as_ref().and_then(|l| l.comm_core),
+                        LocalExec::Seq => None,
+                    };
+                    // One scoped comm thread per cycle: the spawn cost is
+                    // paid once per c sweeps and keeps `Comm` exclusively
+                    // on one side at a time (a persistent thread would need
+                    // to hand the communicator back every cycle anyway).
+                    // Panics on the comm thread are carried through the
+                    // handoff — the compute side would otherwise spin in
+                    // `take()` forever and the scope's join would never run.
+                    type CommOutcome = std::thread::Result<(u64, Vec<Region3>)>;
+                    let handoff: Handoff<CommOutcome> = Handoff::new();
+                    let handoff_ref = &handoff;
+                    let scratch_ref = &mut *scratch;
+                    let sends = &send_by_dim;
+                    std::thread::scope(|scope| {
+                        scope.spawn(move || {
+                            let _ = affinity::pin_opt(comm_core);
+                            handoff_ref.signal(std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| {
+                                    drive_exchange(comm, scratch_ref, recv_by_dim, sends)
+                                }),
+                            ));
+                        });
+                        let cells = interior_trapezoid(op, pair, exec, local, c);
+                        // "Halos ready" — the compute team blocks here only
+                        // if it finished the interior before the traffic.
+                        match handoff_ref.take() {
+                            Ok(out) => (cells, out),
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
+                    })
+                }
+                _ => {
+                    let cells = interior_trapezoid(op, pair, exec, local, c);
+                    (
+                        cells,
+                        drive_exchange(cart.comm, &mut *scratch, recv_by_dim, &send_by_dim),
+                    )
+                }
+            };
+            interior_cells = cells;
+            halo_bytes += fwd_bytes;
+
+            // Ghosts into the working grid.
+            for r in &ghost_regions {
+                copy_region(scratch, r, pair.a_mut(), r);
+            }
+        } else {
+            interior_cells = interior_trapezoid(op, pair, exec, local, c);
+        }
+
+        // Fold the compute that ran under the exchange into the clock;
+        // only the residual stays exposed in `comm_seconds`.
+        if let Some(lups) = lups {
+            cart.comm.overlap_join(t0, interior_cells as f64 / lups);
+        }
+
+        // Finish the shells.
+        let mut shell_cells = 0u64;
+        for j in 1..=c {
+            let u = local.sweep_domain(j, c, radius);
+            let a = local.sweep_core(j, radius);
+            let (src, dst) = pair.src_dst(j - 1);
+            for slab in annulus_slabs(&u, &a) {
+                shell_cells += slab.count() as u64;
+                kernel::update_region_op(op, src, dst, &slab);
+            }
+        }
+        if let Some(lups) = lups {
+            cart.comm.advance(shell_cells as f64 / lups);
+        }
+        self.halo_bytes_sent += halo_bytes;
+    }
+
     /// Collect every rank's owned cells on rank 0. Returns the
     /// assembled global grid on rank 0 and `None` elsewhere.
     /// Collective — all ranks must call it. `global_initial` supplies
@@ -239,7 +490,7 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
         let local_owned = self.local.to_local(&self.local.owned);
         if cart.comm.rank() != 0 {
             let mine = pack_region(self.current_grid(), &local_owned);
-            self.bytes_sent += mine.len() as u64;
+            self.gather_bytes_sent += mine.len() as u64;
             cart.comm.send(0, TAG, mine);
             return None;
         }
@@ -257,6 +508,118 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
         }
         Some(out)
     }
+}
+
+/// Comm-side driver of the overlapped exchange: complete each
+/// direction's receives, unpack them into the staging grid, and forward
+/// the next direction's slabs (which embed the ghost layers just
+/// unpacked — the edge/corner composition). Runs on the calling thread
+/// in [`ExchangeMode::Overlapped`] and on the dedicated comm thread in
+/// [`ExchangeMode::OverlappedCommThread`]; either way every `Comm`
+/// mutation happens here, so virtual times are identical and
+/// deterministic. Returns the forwarded-send bytes and the ghost
+/// regions now valid in `scratch`.
+fn drive_exchange<T: Real>(
+    comm: &mut Comm,
+    scratch: &mut Grid3<T>,
+    recv_by_dim: [Vec<(Region3, Request)>; 3],
+    send_by_dim: &[Vec<(usize, u64, Region3)>; 3],
+) -> (u64, Vec<Region3>) {
+    let mut bytes = 0u64;
+    let mut ghosts = Vec::new();
+    for (d, dim_reqs) in recv_by_dim.into_iter().enumerate() {
+        for (region, req) in dim_reqs {
+            let payload = comm.wait(req).expect("recv request returns a payload");
+            unpack_region(scratch, &region, &payload);
+            ghosts.push(region);
+        }
+        if d + 1 < 3 {
+            for (peer, tag, region) in &send_by_dim[d + 1] {
+                let payload = pack_region(scratch, region);
+                bytes += payload.len() as u64;
+                // Send requests are dropped: the pack runs on the
+                // comm-core timeline and the buffer is ours to keep.
+                let _ = comm.isend(*peer, *tag, payload);
+            }
+        }
+    }
+    (bytes, ghosts)
+}
+
+/// Advance the interior trapezoid of one overlapped cycle: sweep
+/// `j ∈ 1..=c` updates `local.sweep_core(j, RADIUS)`. Uses the
+/// pipelined team executor over a shrinking-domain [`PipelinePlan`]
+/// whenever that plan is constructible (radius 1, non-empty cores,
+/// blocks at least as long as the stage count), and plain region sweeps
+/// otherwise. Returns cells updated.
+fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    pair: &mut GridPair<T>,
+    exec: &LocalExec,
+    local: &LocalDomain,
+    c: usize,
+) -> u64 {
+    let radius = Op::RADIUS;
+    let cfg = match exec {
+        LocalExec::Pipelined(cfg) => Some(cfg),
+        LocalExec::Seq => None,
+    };
+    let mut cells = 0u64;
+    let mut base = 0usize;
+    while base < c {
+        let now = match cfg {
+            Some(cfg) => cfg.stages().min(c - base),
+            None => c - base,
+        };
+        let domains: Vec<Region3> = (1..=now)
+            .map(|s| local.sweep_core(base + s, radius))
+            .collect();
+        cells += domains.iter().map(|r| r.count() as u64).sum::<u64>();
+        let piped = match cfg {
+            Some(cfg) if radius == 1 && plan_fits(&domains, cfg) => {
+                let dims = pair.dims();
+                let ptrs = pair.base_ptrs();
+                let views = [
+                    SharedGrid::from_raw(ptrs[0], dims),
+                    SharedGrid::from_raw(ptrs[1], dims),
+                ];
+                let plan = PipelinePlan::with_domains(domains.clone(), cfg.block);
+                // SAFETY: the trapezoid satisfies the plan contract —
+                // sweep_core(j+1).expand(RADIUS) == sweep_core(j) — and
+                // the pair is exclusively borrowed for the call (the
+                // comm side only touches the staging grid).
+                unsafe { pipeline::run_team_sweep_op(op, &views, &plan, cfg, base, now) };
+                true
+            }
+            _ => false,
+        };
+        if !piped {
+            for (s, region) in domains.iter().enumerate() {
+                if region.is_empty() {
+                    continue;
+                }
+                let (src, dst) = pair.src_dst(base + s);
+                kernel::update_region_op(op, src, dst, region);
+            }
+        }
+        base += now;
+    }
+    cells
+}
+
+/// Whether a shrinking-domain plan over `domains` is constructible for
+/// `cfg` — the same geometry precondition [`PipelinePlan::with_domains`]
+/// asserts, checked up front so small cores fall back to region sweeps.
+fn plan_fits(domains: &[Region3], cfg: &PipelineConfig) -> bool {
+    let Some(first) = domains.first() else {
+        return false;
+    };
+    if domains.iter().any(Region3::is_empty) {
+        return false;
+    }
+    let partition = BlockPartition::new(*first, cfg.block);
+    let eff = partition.block_size();
+    (0..3).all(|d| eff[d] >= domains.len() || partition.counts()[d] == 1)
 }
 
 /// The verification oracle: `sweeps` plain sequential sweeps of `op` on
@@ -331,6 +694,43 @@ mod tests {
         });
     }
 
+    /// Every exchange mode must gather the exact serial-oracle grid.
+    fn verify_modes_op<Op: StencilOp<f64>>(
+        op: Op,
+        dims: Dims3,
+        pgrid: [usize; 3],
+        h: usize,
+        sweeps: usize,
+        exec: impl Fn() -> LocalExec + Send + Sync,
+    ) {
+        let global: Grid3<f64> = init::random(dims, 77);
+        let want = serial_reference_op(&op, &global, sweeps);
+        let dec = Decomposition::new(dims, pgrid, h);
+        for mode in [
+            ExchangeMode::Sync,
+            ExchangeMode::Overlapped,
+            ExchangeMode::OverlappedCommThread,
+        ] {
+            let (g, w, op_ref, exec_ref, dec) = (&global, &want, &op, &exec, &dec);
+            Universe::run(dec.ranks(), None, move |comm| {
+                let mut cart = CartComm::new(comm, pgrid);
+                let mut s =
+                    DistSolver::from_global_op(dec, cart.coords(), g, exec_ref(), op_ref.clone())
+                        .unwrap()
+                        .with_exchange_mode(mode);
+                s.run_sweeps(&mut cart, sweeps);
+                if let Some(got) = s.gather_global(&mut cart, dec, g) {
+                    norm::assert_grids_identical(
+                        w,
+                        &got,
+                        &Region3::interior_of(dims),
+                        &format!("{} {mode:?} {pgrid:?} h={h}", op_ref.name()),
+                    );
+                }
+            });
+        }
+    }
+
     #[test]
     fn single_rank_equals_serial() {
         verify(Dims3::cube(12), [1, 1, 1], 3, 7);
@@ -363,6 +763,127 @@ mod tests {
         // composition: diagonal data must arrive by stage ordering alone.
         verify_op(Avg27, dims, [2, 2, 2], 2, 5);
         verify_op(Avg27, dims, [1, 2, 1], 3, 7);
+    }
+
+    #[test]
+    fn overlapped_modes_match_serial_two_ranks() {
+        verify_modes_op(Jacobi6, Dims3::new(18, 12, 12), [2, 1, 1], 2, 5, || {
+            LocalExec::Seq
+        });
+    }
+
+    #[test]
+    fn overlapped_modes_match_serial_every_axis_and_partial_cycle() {
+        // h = 3, 8 sweeps: cycles 3 + 3 + 2 cross buffer parity.
+        verify_modes_op(Jacobi6, Dims3::cube(16), [1, 1, 2], 3, 8, || LocalExec::Seq);
+        verify_modes_op(Jacobi6, Dims3::cube(16), [1, 2, 1], 3, 8, || LocalExec::Seq);
+    }
+
+    // (Corner-forwarding of the overlapped exchange across eight ranks
+    // is covered by the e2e matrix in tests/dist_e2e.rs with Avg27.)
+
+    #[test]
+    fn overlapped_hybrid_pipelined_interior() {
+        let cfg = PipelineConfig {
+            team_size: 2,
+            n_teams: 1,
+            updates_per_thread: 1,
+            block: [8, 8, 8],
+            sync: SyncMode::relaxed_default(),
+            scheme: GridScheme::TwoGrid,
+            layout: None,
+            audit: false,
+        };
+        verify_modes_op(Jacobi6, Dims3::cube(24), [2, 1, 1], 4, 9, move || {
+            LocalExec::Pipelined(cfg.clone())
+        });
+    }
+
+    #[test]
+    fn overlapped_with_empty_interior_core() {
+        // Owned boxes of edge 8 with depth-4 cycles: the interior core
+        // is empty, everything lands in the shell phase — overlap hides
+        // nothing but the result must stay exact.
+        verify_modes_op(Jacobi6, Dims3::cube(16), [2, 2, 2], 4, 8, || LocalExec::Seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn comm_thread_panic_propagates_instead_of_hanging() {
+        // A protocol error hit on the comm thread (here: a peer sending
+        // a wrong-length halo payload, which fails `unpack_region`) must
+        // fail the rank loudly: the panic travels through the handoff
+        // and re-raises on the compute side. A hang would block this
+        // test forever instead.
+        let dims = Dims3::cube(14);
+        let pgrid = [2, 1, 1];
+        let dec = Decomposition::new(dims, pgrid, 2);
+        let global: Grid3<f64> = init::random(dims, 3);
+        let (g, dec_ref) = (&global, &dec);
+        Universe::run(2, None, move |comm| {
+            if comm.rank() == 1 {
+                // Bogus 8-byte message under rank 0's -x ghost tag.
+                comm.send(0, 0, tb_net::comm::pack_f64s(&[1.0]));
+                return 0;
+            }
+            let mut cart = CartComm::new(comm, pgrid);
+            let mut s = DistJacobi::from_global(dec_ref, cart.coords(), g, LocalExec::Seq)
+                .unwrap()
+                .with_exchange_mode(ExchangeMode::OverlappedCommThread);
+            s.run_sweeps(&mut cart, 2);
+            0
+        });
+    }
+
+    #[test]
+    fn byte_accounting_splits_halo_and_gather() {
+        let dims = Dims3::cube(16);
+        let pgrid = [2, 1, 1];
+        let dec = Decomposition::new(dims, pgrid, 2);
+        let global: Grid3<f64> = init::random(dims, 5);
+        let g = &global;
+        let bytes = Universe::run(2, None, move |comm| {
+            let mut cart = CartComm::new(comm, pgrid);
+            let mut s = DistJacobi::from_global(&dec, cart.coords(), g, LocalExec::Seq).unwrap();
+            s.run_sweeps(&mut cart, 4);
+            let halo = s.halo_bytes_sent;
+            let _ = s.gather_global(&mut cart, &dec, g);
+            (halo, s.halo_bytes_sent, s.gather_bytes_sent, s.bytes_sent())
+        });
+        for (halo_before, halo_after, gather, total) in bytes.clone() {
+            assert_eq!(halo_before, halo_after, "gather must not count as halo");
+            assert!(halo_after > 0, "two ranks exchange every cycle");
+            assert_eq!(total, halo_after + gather);
+        }
+        // Only the non-root rank ships its box to rank 0.
+        assert_eq!(bytes[0].2, 0);
+        assert!(bytes[1].2 > 0);
+        // Both ranks send one 2-layer slab per cycle (2 cycles of c=2):
+        // identical halo traffic.
+        assert_eq!(bytes[0].1, bytes[1].1);
+    }
+
+    #[test]
+    fn overlapped_sends_the_same_halo_bytes_as_sync() {
+        let dims = Dims3::new(18, 14, 12);
+        let pgrid = [2, 2, 1];
+        let dec = Decomposition::new(dims, pgrid, 2);
+        let global: Grid3<f64> = init::random(dims, 6);
+        let g = &global;
+        let mut per_mode = Vec::new();
+        for mode in [ExchangeMode::Sync, ExchangeMode::Overlapped] {
+            let dec = &dec;
+            let halo: Vec<u64> = Universe::run(4, None, move |comm| {
+                let mut cart = CartComm::new(comm, pgrid);
+                let mut s = DistJacobi::from_global(dec, cart.coords(), g, LocalExec::Seq)
+                    .unwrap()
+                    .with_exchange_mode(mode);
+                s.run_sweeps(&mut cart, 6);
+                s.halo_bytes_sent
+            });
+            per_mode.push(halo);
+        }
+        assert_eq!(per_mode[0], per_mode[1], "same protocol, same traffic");
     }
 
     #[test]

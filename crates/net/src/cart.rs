@@ -5,7 +5,9 @@
 //! non-periodic: the Jacobi domain has physical Dirichlet boundaries, so
 //! edge ranks simply have no neighbor there.
 
-use crate::comm::Comm;
+use bytes::Bytes;
+
+use crate::comm::{Comm, Request};
 
 /// Cartesian view over a [`Comm`].
 pub struct CartComm<'a> {
@@ -60,6 +62,31 @@ impl<'a> CartComm<'a> {
     /// dimension `d`.
     pub fn at_boundary(&self, d: usize, dir: i64) -> bool {
         self.neighbor(d, dir).is_none()
+    }
+
+    /// Nonblocking send to a neighbor rank — see [`Comm::isend`].
+    pub fn isend(&mut self, peer: usize, tag: u64, data: Bytes) -> Request {
+        self.comm.isend(peer, tag, data)
+    }
+
+    /// Nonblocking receive from a neighbor rank — see [`Comm::irecv`].
+    pub fn irecv(&mut self, peer: usize, tag: u64) -> Request {
+        self.comm.irecv(peer, tag)
+    }
+
+    /// Poll a request — see [`Comm::test`].
+    pub fn test(&mut self, req: &mut Request) -> bool {
+        self.comm.test(req)
+    }
+
+    /// Complete a request — see [`Comm::wait`].
+    pub fn wait(&mut self, req: Request) -> Option<Bytes> {
+        self.comm.wait(req)
+    }
+
+    /// Complete a batch of requests — see [`Comm::waitall`].
+    pub fn waitall(&mut self, reqs: Vec<Request>) -> Vec<Option<Bytes>> {
+        self.comm.waitall(reqs)
     }
 }
 

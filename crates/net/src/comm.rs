@@ -1,5 +1,23 @@
-//! The communicator: blocking point-to-point with tag matching, plus the
-//! handful of collectives the solvers use.
+//! The communicator: blocking and nonblocking point-to-point with tag
+//! matching, plus the handful of collectives the solvers use.
+//!
+//! # Nonblocking operations and the comm-core model
+//!
+//! [`Comm::isend`]/[`Comm::irecv`] return [`Request`] handles completed
+//! by [`Comm::wait`]/[`Comm::waitall`] or polled with [`Comm::test`].
+//! Data always flows through the same channels as the blocking calls, so
+//! tag matching, FIFO order per (source, tag) and protocol errors behave
+//! identically.
+//!
+//! Virtual-time accounting differs deliberately: blocking calls charge
+//! pack/unpack to the calling rank's clock (the paper's baseline, which
+//! has "no explicit or implicit overlapping"), while nonblocking calls
+//! charge buffer copies to a separate **comm-core timeline**
+//! (`comm_busy`) — the model of the paper's proposed dedicated
+//! communication core. A `wait` resumes the rank clock no earlier than
+//! the comm core finished; [`Comm::overlap_join`] then credits back the
+//! communication that computation hid, so [`Comm::comm_seconds`] reports
+//! only the *exposed* communication time.
 
 use std::collections::VecDeque;
 
@@ -35,6 +53,33 @@ impl ReduceOp {
     }
 }
 
+/// Handle of a pending nonblocking operation started by [`Comm::isend`]
+/// or [`Comm::irecv`]. Complete it with [`Comm::wait`]/[`Comm::waitall`]
+/// or poll it with [`Comm::test`].
+#[derive(Debug)]
+pub enum Request {
+    Send(SendRequest),
+    Recv(RecvRequest),
+}
+
+/// Pending nonblocking send (see [`Comm::isend`]).
+#[derive(Debug)]
+pub struct SendRequest {
+    /// Comm-core virtual time at which packing finished and the send
+    /// buffer is reusable (0 when simulation is off).
+    complete_at: f64,
+}
+
+/// Pending nonblocking receive (see [`Comm::irecv`]). Holds no message
+/// itself — matching state lives in the communicator's reorder buffer,
+/// so dropping a request (even after a successful [`Comm::test`]) never
+/// loses data.
+#[derive(Debug)]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+}
+
 /// Per-rank communication endpoint. Created by [`crate::Universe`]; one
 /// per rank thread, used mutably (the virtual clock and the tag-matching
 /// buffers are rank-local state).
@@ -49,6 +94,12 @@ pub struct Comm {
     pub(crate) pending: Vec<VecDeque<Msg>>,
     /// Virtual clock in seconds (stays 0 when `net` is `None`).
     pub(crate) clock: f64,
+    /// Virtual time until which the modeled dedicated communication core
+    /// is busy packing/unpacking nonblocking message buffers.
+    pub(crate) comm_busy: f64,
+    /// Exposed communication seconds accumulated on the compute timeline
+    /// (see [`Comm::comm_seconds`]).
+    pub(crate) comm_seconds: f64,
     pub(crate) net: Option<SimNet>,
 }
 
@@ -73,17 +124,27 @@ impl Comm {
         self.clock += dt;
     }
 
+    /// Exposed communication seconds so far: virtual clock time spent
+    /// inside communication calls. Blocking calls charge their full cost;
+    /// nonblocking waits bracketed by [`Comm::overlap_join`] charge only
+    /// the share computation could not hide. Zero when simulation is off.
+    pub fn comm_seconds(&self) -> f64 {
+        self.comm_seconds
+    }
+
     /// Blocking send (buffered — returns once the message is queued; the
     /// virtual clock pays the pack cost).
     pub fn send(&mut self, dst: usize, tag: u64, data: Bytes) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         assert_ne!(dst, self.rank, "self-send unsupported (use local state)");
+        let before = self.clock;
         let arrival = if let Some(net) = &self.net {
             self.clock += net.pack_time(data.len());
             self.clock + net.wire_time(data.len())
         } else {
             0.0
         };
+        self.charge_comm(before);
         self.to[dst]
             .send(Msg { tag, data, arrival })
             .expect("peer rank hung up");
@@ -94,25 +155,151 @@ impl Comm {
     pub fn recv(&mut self, src: usize, tag: u64) -> Bytes {
         assert!(src < self.size);
         assert_ne!(src, self.rank);
+        let msg = self.take_matching(src, tag);
+        self.finish_recv(msg)
+    }
+
+    /// Pull the next message from `src` carrying `tag`, buffering other
+    /// tags (the shared tag-matching core of `recv` and `wait`).
+    fn take_matching(&mut self, src: usize, tag: u64) -> Msg {
         // Check the reorder buffer first.
         if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
-            let msg = self.pending[src].remove(pos).unwrap();
-            return self.finish_recv(msg);
+            return self.pending[src].remove(pos).unwrap();
         }
         loop {
             let msg = self.from[src].recv().expect("peer rank hung up");
             if msg.tag == tag {
-                return self.finish_recv(msg);
+                return msg;
             }
             self.pending[src].push_back(msg);
         }
     }
 
     fn finish_recv(&mut self, msg: Msg) -> Bytes {
+        let before = self.clock;
         if let Some(net) = &self.net {
             self.clock = self.clock.max(msg.arrival) + net.unpack_time(msg.data.len());
         }
+        self.charge_comm(before);
         msg.data
+    }
+
+    /// Blocking calls keep the comm core in lockstep with the clock and
+    /// charge the clock advance as exposed communication.
+    fn charge_comm(&mut self, before: f64) {
+        self.comm_seconds += self.clock - before;
+        self.comm_busy = self.comm_busy.max(self.clock);
+    }
+
+    /// Nonblocking send. The message is queued immediately (sends are
+    /// buffered, so posting never deadlocks); in simulation mode the pack
+    /// cost runs on the comm-core timeline instead of the caller's clock,
+    /// serialized after any copies the core is already doing.
+    pub fn isend(&mut self, dst: usize, tag: u64, data: Bytes) -> Request {
+        assert!(dst < self.size, "isend to rank {dst} of {}", self.size);
+        assert_ne!(dst, self.rank, "self-send unsupported (use local state)");
+        let (complete_at, arrival) = if let Some(net) = &self.net {
+            let start = self.clock.max(self.comm_busy);
+            let complete = start + net.pack_time(data.len());
+            (complete, complete + net.wire_time(data.len()))
+        } else {
+            (0.0, 0.0)
+        };
+        self.comm_busy = self.comm_busy.max(complete_at);
+        self.to[dst]
+            .send(Msg { tag, data, arrival })
+            .expect("peer rank hung up");
+        Request::Send(SendRequest { complete_at })
+    }
+
+    /// Nonblocking receive of the next message from `src` carrying `tag`.
+    /// Posting records intent only; matching happens in `test`/`wait`.
+    pub fn irecv(&mut self, src: usize, tag: u64) -> Request {
+        assert!(src < self.size);
+        assert_ne!(src, self.rank);
+        Request::Recv(RecvRequest { src, tag })
+    }
+
+    /// Poll a request without blocking. A send is complete once its pack
+    /// finished on the comm-core timeline; a receive once a matching
+    /// message is physically present *and* has virtually arrived.
+    /// `false` is always a legal answer (e.g. before the peer posts).
+    /// Matched messages stay in the reorder buffer until a `wait`
+    /// consumes them, so an abandoned request loses nothing.
+    pub fn test(&mut self, req: &mut Request) -> bool {
+        match req {
+            Request::Send(s) => self.net.is_none() || s.complete_at <= self.clock,
+            Request::Recv(r) => {
+                if !self.pending[r.src].iter().any(|m| m.tag == r.tag) {
+                    // Drain arrived messages into the reorder buffer,
+                    // stopping once a match shows up.
+                    let mut found = false;
+                    while let Some(msg) = self.from[r.src].try_recv() {
+                        found = msg.tag == r.tag;
+                        self.pending[r.src].push_back(msg);
+                        if found {
+                            break;
+                        }
+                    }
+                    if !found {
+                        return false;
+                    }
+                }
+                let msg = self.pending[r.src]
+                    .iter()
+                    .find(|m| m.tag == r.tag)
+                    .expect("matched above");
+                self.net.is_none() || msg.arrival <= self.clock
+            }
+        }
+    }
+
+    /// Complete one request: block until done, apply the comm-core time
+    /// accounting, and return the payload (`Some` for receives, `None`
+    /// for sends).
+    pub fn wait(&mut self, req: Request) -> Option<Bytes> {
+        let before = self.clock;
+        let out = match req {
+            Request::Send(s) => {
+                if self.net.is_some() {
+                    self.clock = self.clock.max(s.complete_at);
+                }
+                None
+            }
+            Request::Recv(r) => {
+                let msg = self.take_matching(r.src, r.tag);
+                if let Some(net) = &self.net {
+                    // The comm core unpacks as soon as the message has
+                    // arrived (independent of the caller's clock); the
+                    // caller resumes at whichever is later.
+                    let done = self.comm_busy.max(msg.arrival) + net.unpack_time(msg.data.len());
+                    self.comm_busy = done;
+                    self.clock = self.clock.max(done);
+                }
+                Some(msg.data)
+            }
+        };
+        self.comm_seconds += self.clock - before;
+        out
+    }
+
+    /// Complete every request, in posting order. One entry per request:
+    /// `Some(payload)` for receives, `None` for sends.
+    pub fn waitall(&mut self, reqs: Vec<Request>) -> Vec<Option<Bytes>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Fold `compute_seconds` of modeled computation that ran
+    /// concurrently with communication since virtual time `t0` into the
+    /// clock, crediting the overlap window back to
+    /// [`Comm::comm_seconds`]: only communication that outlasted the
+    /// computation stays exposed.
+    pub fn overlap_join(&mut self, t0: f64, compute_seconds: f64) {
+        debug_assert!(compute_seconds >= 0.0);
+        let comm_done = self.clock;
+        self.clock = comm_done.max(t0 + compute_seconds);
+        let hidden = compute_seconds.min((comm_done - t0).max(0.0));
+        self.comm_seconds -= hidden;
     }
 
     /// Paired exchange with one neighbor (the halo pattern). Send first,
@@ -397,5 +584,248 @@ mod more_tests {
         let b = pack_f64s(&[1.0, 2.0]);
         let mut out = vec![0.0; 3];
         unpack_f64s(&b, &mut out);
+    }
+}
+
+#[cfg(test)]
+mod nonblocking_tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn irecv_matches_tags_out_of_order() {
+        // Receives posted in the opposite order of the sends; waitall
+        // must still pair every payload with its tag.
+        Universe::run(2, None, |comm| {
+            if comm.rank() == 0 {
+                let mut reqs = Vec::new();
+                for tag in [7u64, 8, 9] {
+                    reqs.push(comm.isend(1, tag, f64_to_bytes(tag as f64)));
+                }
+                comm.waitall(reqs);
+            } else {
+                let reqs: Vec<Request> = [9u64, 7, 8].iter().map(|&t| comm.irecv(0, t)).collect();
+                let got = comm.waitall(reqs);
+                let vals: Vec<f64> = got
+                    .into_iter()
+                    .map(|b| f64_from_bytes(&b.expect("recv request returns a payload")))
+                    .collect();
+                assert_eq!(vals, vec![9.0, 7.0, 8.0]);
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn test_is_false_before_the_peer_posts() {
+        // Rank 0 blocks on a go-ahead message before sending tag 5, so
+        // rank 1's first poll is guaranteed to happen before the send.
+        Universe::run(2, None, |comm| {
+            if comm.rank() == 0 {
+                let _ = comm.recv(1, 0); // go-ahead
+                comm.send(1, 5, f64_to_bytes(5.0));
+            } else {
+                let mut req = comm.irecv(0, 5);
+                assert!(!comm.test(&mut req), "nothing sent yet");
+                comm.send(0, 0, f64_to_bytes(0.0)); // go-ahead
+                let got = comm.wait(req).unwrap();
+                assert_eq!(f64_from_bytes(&got), 5.0);
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn test_completes_and_wait_consumes_the_match() {
+        // A successful test() must not lose the message for the wait.
+        Universe::run(2, None, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, f64_to_bytes(3.0));
+                let _ = comm.recv(1, 4); // keep ranks in lockstep
+            } else {
+                let mut req = comm.irecv(0, 3);
+                while !comm.test(&mut req) {
+                    std::thread::yield_now();
+                }
+                assert_eq!(f64_from_bytes(&comm.wait(req).unwrap()), 3.0);
+                comm.send(0, 4, f64_to_bytes(4.0));
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn dropping_a_tested_request_loses_nothing() {
+        // test() must leave the matched message in the reorder buffer:
+        // abandoning the request and receiving through another path
+        // (blocking recv here) still delivers the payload.
+        Universe::run(2, None, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, f64_to_bytes(6.0));
+                let _ = comm.recv(1, 0); // lockstep
+            } else {
+                {
+                    let mut req = comm.irecv(0, 6);
+                    while !comm.test(&mut req) {
+                        std::thread::yield_now();
+                    }
+                    // `req` is abandoned here, never waited.
+                }
+                assert_eq!(f64_from_bytes(&comm.recv(0, 6)), 6.0);
+                comm.send(0, 0, f64_to_bytes(0.0));
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn waitall_over_mixed_directions() {
+        // Both ranks keep sends and receives of several tags in one
+        // request batch; payloads must land on the right tags.
+        Universe::run(2, None, |comm| {
+            let peer = 1 - comm.rank();
+            let me = comm.rank() as f64;
+            let reqs = vec![
+                comm.irecv(peer, 11),
+                comm.isend(peer, 12, f64_to_bytes(me + 12.0)),
+                comm.irecv(peer, 12),
+                comm.isend(peer, 11, f64_to_bytes(me + 11.0)),
+            ];
+            let got = comm.waitall(reqs);
+            assert!(got[1].is_none() && got[3].is_none(), "sends yield None");
+            let other = peer as f64;
+            assert_eq!(f64_from_bytes(got[0].as_ref().unwrap()), other + 11.0);
+            assert_eq!(f64_from_bytes(got[2].as_ref().unwrap()), other + 12.0);
+            0
+        });
+    }
+
+    #[test]
+    fn interleaved_nonblocking_and_blocking_share_matching() {
+        // An irecv and a blocking recv of different tags from the same
+        // source must each get their own message regardless of order.
+        Universe::run(2, None, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 21, f64_to_bytes(21.0));
+                comm.send(1, 20, f64_to_bytes(20.0));
+            } else {
+                let req = comm.irecv(0, 20);
+                // Blocking recv of 21 buffers nothing (21 arrives first).
+                assert_eq!(f64_from_bytes(&comm.recv(0, 21)), 21.0);
+                assert_eq!(f64_from_bytes(&comm.wait(req).unwrap()), 20.0);
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn isend_charges_the_comm_core_not_the_sender_clock() {
+        let net = SimNet {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            copy_bandwidth: 1e6,
+        };
+        let times = Universe::run(2, Some(net), |comm| {
+            if comm.rank() == 0 {
+                // 1000 B: pack 1 ms (comm core), wire 1 ms + 1 ms latency.
+                let req = comm.isend(1, 0, pack_f64s(&vec![0.0; 125]));
+                assert_eq!(comm.time(), 0.0, "posting must not advance the clock");
+                let mut req = req;
+                assert!(!comm.test(&mut req), "pack still running at t = 0");
+                comm.wait(req);
+                // Clock resumes at pack completion.
+                assert!((comm.time() - 1e-3).abs() < 1e-12, "{}", comm.time());
+            } else {
+                let req = comm.irecv(0, 0);
+                let _ = comm.wait(req);
+                // arrival = 1 ms pack + 1 ms latency + 1 ms wire; + 1 ms unpack.
+                assert!((comm.time() - 4e-3).abs() < 1e-12, "{}", comm.time());
+                assert!((comm.comm_seconds() - 4e-3).abs() < 1e-12);
+            }
+            comm.time()
+        });
+        assert!(times[1] > times[0]);
+    }
+
+    #[test]
+    fn overlap_join_hides_communication_behind_compute() {
+        let net = SimNet {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            copy_bandwidth: 1e6,
+        };
+        let seconds = Universe::run(2, Some(net), |comm| {
+            if comm.rank() == 0 {
+                let req = comm.isend(1, 0, pack_f64s(&vec![0.0; 125]));
+                comm.wait(req);
+                0.0
+            } else {
+                let t0 = comm.time();
+                let req = comm.irecv(0, 0);
+                // wait at t0: clock -> 4 ms, all charged...
+                let _ = comm.wait(req);
+                // ...then 5 ms of concurrent compute folds in: everything
+                // is hidden, the cycle ends at t0 + 5 ms.
+                comm.overlap_join(t0, 5e-3);
+                assert!((comm.time() - 5e-3).abs() < 1e-12, "{}", comm.time());
+                comm.comm_seconds()
+            }
+        });
+        assert!(
+            seconds[1].abs() < 1e-12,
+            "fully hidden comm must expose 0 s, got {}",
+            seconds[1]
+        );
+    }
+
+    #[test]
+    fn overlap_join_exposes_the_residual() {
+        let net = SimNet {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            copy_bandwidth: f64::INFINITY,
+        };
+        let exposed = Universe::run(2, Some(net), |comm| {
+            if comm.rank() == 0 {
+                let req = comm.isend(1, 0, pack_f64s(&vec![0.0; 125]));
+                comm.wait(req);
+                0.0
+            } else {
+                let t0 = comm.time();
+                let req = comm.irecv(0, 0);
+                let _ = comm.wait(req); // arrival at 2 ms, no unpack cost
+                comm.overlap_join(t0, 0.5e-3); // compute hides only 0.5 ms
+                assert!((comm.time() - 2e-3).abs() < 1e-12);
+                comm.comm_seconds()
+            }
+        });
+        assert!(
+            (exposed[1] - 1.5e-3).abs() < 1e-12,
+            "exposed must be 2 ms - 0.5 ms, got {}",
+            exposed[1]
+        );
+    }
+
+    #[test]
+    fn send_request_tests_complete_once_the_clock_passes_pack() {
+        let net = SimNet {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            copy_bandwidth: 1e6,
+        };
+        Universe::run(2, Some(net), |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.isend(1, 0, pack_f64s(&vec![0.0; 125]));
+                assert!(!comm.test(&mut req));
+                comm.advance(2e-3); // compute past the 1 ms pack
+                assert!(comm.test(&mut req));
+                comm.wait(req);
+                assert!((comm.time() - 2e-3).abs() < 1e-12, "wait is then free");
+            } else {
+                let req = comm.irecv(0, 0);
+                let _ = comm.wait(req);
+            }
+            0
+        });
     }
 }

@@ -8,7 +8,12 @@
 //! * [`Universe`] — spawns `n` ranks as threads and wires a full mesh of
 //!   lossless FIFO channels,
 //! * [`Comm`] — blocking send/recv with tag matching, barrier,
-//!   allreduce, gather — the subset of MPI the solver needs,
+//!   allreduce, gather — the subset of MPI the solver needs — plus
+//!   nonblocking [`Comm::isend`]/[`Comm::irecv`] returning [`Request`]
+//!   handles (`test`/`wait`/`waitall`), whose buffer copies run on a
+//!   modeled dedicated comm-core timeline so that
+//!   [`Comm::overlap_join`] can report how much communication the
+//!   computation hid,
 //! * [`CartComm`] — 3D Cartesian rank topology (our `MPI_Cart_create`),
 //! * [`SimNet`] — an optional **virtual clock** per rank: sends stamp
 //!   messages with a latency/bandwidth/copy-cost model and receives
@@ -27,6 +32,6 @@ pub mod simnet;
 pub mod universe;
 
 pub use cart::CartComm;
-pub use comm::{Comm, ReduceOp};
+pub use comm::{Comm, RecvRequest, ReduceOp, Request, SendRequest};
 pub use simnet::SimNet;
 pub use universe::Universe;

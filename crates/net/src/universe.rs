@@ -46,6 +46,8 @@ impl Universe {
                 from,
                 pending: (0..n).map(|_| VecDeque::new()).collect(),
                 clock: 0.0,
+                comm_busy: 0.0,
+                comm_seconds: 0.0,
                 net,
             })
             .collect();

@@ -10,5 +10,5 @@ pub mod exec;
 pub mod plan;
 
 pub use compressed::{run_compressed, run_compressed_op};
-pub use exec::{run, run_op};
+pub use exec::{run, run_op, run_team_sweep, run_team_sweep_op};
 pub use plan::PipelinePlan;

@@ -17,14 +17,19 @@
 //! * [`ProgressCounters`] — cache-line-padded per-thread counters (the
 //!   paper's `volatile` counters, here with release/acquire atomics),
 //! * [`PipelineSync`] — the full relaxed scheme with lower/upper distances
-//!   `d_l`/`d_u` and the team delay `d_t` applied at team boundaries.
+//!   `d_l`/`d_u` and the team delay `d_t` applied at team boundaries,
+//! * [`Handoff`] — the flag/slot handoff a dedicated communication
+//!   thread uses to tell the compute team "halos ready" without a full
+//!   barrier (the distributed overlap's §2.3 coupling point).
 
 pub mod barrier;
 pub mod counter;
+pub mod handoff;
 pub mod pipeline;
 pub mod spin;
 
 pub use barrier::SpinBarrier;
 pub use counter::ProgressCounters;
+pub use handoff::Handoff;
 pub use pipeline::{PipelineSync, SyncMode};
 pub use spin::spin_wait_until;

@@ -17,6 +17,11 @@ pub struct TeamLayout {
     pub cpus: Vec<Option<usize>>,
     pub team_size: usize,
     pub n_teams: usize,
+    /// CPU reserved for a dedicated communication thread (the paper's
+    /// §2.3 proposal: one core drives the halo traffic while the
+    /// remaining `cores − 1` advance the interior). `None` when no core
+    /// was carved out — compute teams then own the whole machine.
+    pub comm_core: Option<usize>,
 }
 
 impl TeamLayout {
@@ -29,27 +34,41 @@ impl TeamLayout {
     /// and `oversubscribed()` reports it.
     pub fn new(machine: &Machine, team_size: usize, n_teams: usize) -> Self {
         assert!(team_size >= 1 && n_teams >= 1);
-        let groups = machine.cache_groups();
-        let mut cpus = Vec::with_capacity(team_size * n_teams);
-        for team in 0..n_teams {
-            let group = &groups[team % groups.len()];
-            for member in 0..team_size {
-                if groups.len() >= n_teams && group.len() >= team_size {
-                    cpus.push(Some(group[member % group.len()]));
-                } else if machine.num_cpus() >= team_size * n_teams {
-                    // Fall back to linear placement over all CPUs.
-                    let linear = team * team_size + member;
-                    let all: Vec<usize> = groups.iter().flatten().copied().collect();
-                    cpus.push(all.get(linear).copied());
-                } else {
-                    cpus.push(None);
-                }
-            }
-        }
+        let cpus = assign(&machine.cache_groups(), team_size, n_teams);
         Self {
             cpus,
             team_size,
             n_teams,
+            comm_core: None,
+        }
+    }
+
+    /// Like [`TeamLayout::new`], but reserve one CPU for a dedicated
+    /// communication thread so the compute teams are sized to
+    /// `cores − 1` (the paper's distributed-overlap placement).
+    ///
+    /// The comm core is the machine's last CPU — the tail of the last
+    /// cache group, so team 0 keeps a full group to itself. When the
+    /// machine has a single CPU nothing can be carved out: the layout
+    /// degenerates to [`TeamLayout::new`] with `comm_core = None` (the
+    /// comm thread then time-shares, which is still correct, just
+    /// without the wall-clock overlap).
+    pub fn with_comm_core(machine: &Machine, team_size: usize, n_teams: usize) -> Self {
+        assert!(team_size >= 1 && n_teams >= 1);
+        let mut groups = machine.cache_groups();
+        let comm_core = if machine.num_cpus() >= 2 {
+            let core = groups.last_mut().and_then(|g| g.pop());
+            groups.retain(|g| !g.is_empty());
+            core
+        } else {
+            None
+        };
+        let cpus = assign(&groups, team_size, n_teams);
+        Self {
+            cpus,
+            team_size,
+            n_teams,
+            comm_core,
         }
     }
 
@@ -64,8 +83,13 @@ impl TeamLayout {
     }
 
     /// True if distinct threads had to share CPUs (or got no pin at all).
+    /// A carved-out comm core counts as occupied: compute threads landing
+    /// on it would defeat the overlap.
     pub fn oversubscribed(&self) -> bool {
         let mut seen = std::collections::HashSet::new();
+        if let Some(c) = self.comm_core {
+            seen.insert(c);
+        }
         for c in &self.cpus {
             match c {
                 None => return true,
@@ -78,6 +102,33 @@ impl TeamLayout {
         }
         false
     }
+}
+
+/// Round-robin team → cache-group assignment shared by both
+/// constructors; `groups` is the machine's cache groups minus any
+/// carved-out comm core.
+fn assign(groups: &[Vec<usize>], team_size: usize, n_teams: usize) -> Vec<Option<usize>> {
+    if groups.is_empty() {
+        return vec![None; team_size * n_teams];
+    }
+    let num_cpus: usize = groups.iter().map(Vec::len).sum();
+    let mut cpus = Vec::with_capacity(team_size * n_teams);
+    for team in 0..n_teams {
+        let group = &groups[team % groups.len()];
+        for member in 0..team_size {
+            if groups.len() >= n_teams && group.len() >= team_size {
+                cpus.push(Some(group[member % group.len()]));
+            } else if num_cpus >= team_size * n_teams {
+                // Fall back to linear placement over all CPUs.
+                let linear = team * team_size + member;
+                let all: Vec<usize> = groups.iter().flatten().copied().collect();
+                cpus.push(all.get(linear).copied());
+            } else {
+                cpus.push(None);
+            }
+        }
+    }
+    cpus
 }
 
 #[cfg(test)]
@@ -129,5 +180,42 @@ mod tests {
         // 8 threads on 8 cpus: all pinned, no sharing.
         assert_eq!(l.threads(), 8);
         assert!(!l.oversubscribed());
+    }
+
+    #[test]
+    fn comm_core_carved_from_the_last_group() {
+        // Nehalem node, one 3-thread team per socket: CPU 7 goes to the
+        // comm thread, socket 1's team uses CPUs 4..6.
+        let m = Machine::nehalem_ep();
+        let l = TeamLayout::with_comm_core(&m, 3, 2);
+        assert_eq!(l.comm_core, Some(7));
+        assert_eq!(&l.cpus[0..3], &[Some(0), Some(1), Some(2)]);
+        assert_eq!(&l.cpus[3..6], &[Some(4), Some(5), Some(6)]);
+        assert!(!l.oversubscribed());
+        assert!(
+            l.cpus.iter().all(|c| *c != l.comm_core),
+            "no compute thread may land on the comm core"
+        );
+    }
+
+    #[test]
+    fn comm_core_counts_toward_oversubscription() {
+        // 4 CPUs, comm core takes one: a 4-thread compute team must wrap.
+        let m = Machine::flat(4);
+        let full = TeamLayout::new(&m, 4, 1);
+        assert!(!full.oversubscribed());
+        let carved = TeamLayout::with_comm_core(&m, 4, 1);
+        assert_eq!(carved.comm_core, Some(3));
+        assert!(carved.oversubscribed(), "cores − 1 left for 4 threads");
+        let fitting = TeamLayout::with_comm_core(&m, 3, 1);
+        assert!(!fitting.oversubscribed());
+    }
+
+    #[test]
+    fn single_cpu_machine_cannot_carve() {
+        let m = Machine::flat(1);
+        let l = TeamLayout::with_comm_core(&m, 1, 1);
+        assert_eq!(l.comm_core, None);
+        assert_eq!(l.cpus, vec![Some(0)]);
     }
 }

@@ -4,13 +4,15 @@
 //!
 //! This exercises the full §2 machinery — overlapping decomposition,
 //! multi-layer halo exchange along successive directions, per-rank
-//! pipelined updates — on real data.
+//! pipelined updates — on real data, in both the synchronous baseline
+//! schedule and the §2.3 overlapped schedule with a dedicated
+//! communication thread.
 //!
 //! ```sh
 //! cargo run --release --example cluster_scaling
 //! ```
 
-use temporal_blocking::dist::{solver, Decomposition, DistJacobi, LocalExec};
+use temporal_blocking::dist::{solver, Decomposition, DistJacobi, ExchangeMode, LocalExec};
 use temporal_blocking::grid::{init, norm, Dims3, Grid3, Region3};
 use temporal_blocking::net::{CartComm, Universe};
 use temporal_blocking::prelude::*;
@@ -21,8 +23,8 @@ fn main() {
 
     println!("hybrid distributed Jacobi, halo width h = {halo}, {sweeps} sweeps");
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>10}",
-        "ranks", "grid", "local", "MLUP/s", "verified"
+        "{:>6} {:>10} {:>12} {:>14} {:>10} {:>10} {:>11} {:>10}",
+        "ranks", "grid", "local", "exchange", "MLUP/s", "halo[KB]", "gather[KB]", "verified"
     );
 
     for (pgrid, edge) in [
@@ -49,39 +51,56 @@ fn main() {
             audit: false,
         };
 
-        let global_ref = &global;
-        let want_ref = &want;
-        let cfg_ref = &cfg;
-        let results = Universe::run(ranks, None, move |comm| {
-            let mut cart = CartComm::new(comm, pgrid);
-            let mut s = DistJacobi::from_global(
-                &dec,
-                cart.coords(),
-                global_ref,
-                LocalExec::Pipelined(cfg_ref.clone()),
-            )
-            .expect("valid hybrid config");
-            let stats = s.run_sweeps(&mut cart, sweeps);
-            let verified = match s.gather_global(&mut cart, &dec, global_ref) {
-                Some(got) => {
-                    norm::count_mismatches(want_ref, &got, &Region3::interior_of(dims)) == 0
-                }
-                None => true,
-            };
-            (stats.mlups(), verified)
-        });
+        for (mode, mode_name) in [
+            (ExchangeMode::Sync, "sync"),
+            (ExchangeMode::OverlappedCommThread, "overlapped-ct"),
+        ] {
+            let global_ref = &global;
+            let want_ref = &want;
+            let cfg_ref = &cfg;
+            let dec_ref = &dec;
+            let results = Universe::run(ranks, None, move |comm| {
+                let mut cart = CartComm::new(comm, pgrid);
+                let mut s = DistJacobi::from_global(
+                    dec_ref,
+                    cart.coords(),
+                    global_ref,
+                    LocalExec::Pipelined(cfg_ref.clone()),
+                )
+                .expect("valid hybrid config")
+                .with_exchange_mode(mode);
+                let stats = s.run_sweeps(&mut cart, sweeps);
+                let verified = match s.gather_global(&mut cart, dec_ref, global_ref) {
+                    Some(got) => {
+                        norm::count_mismatches(want_ref, &got, &Region3::interior_of(dims)) == 0
+                    }
+                    None => true,
+                };
+                (
+                    stats.mlups(),
+                    verified,
+                    s.halo_bytes_sent,
+                    s.gather_bytes_sent,
+                )
+            });
 
-        let agg: f64 = results.iter().map(|(m, _)| m).sum();
-        let all_ok = results.iter().all(|&(_, v)| v);
-        println!(
-            "{:>6} {:>10} {:>12} {:>12.1} {:>10}",
-            ranks,
-            format!("{dims}"),
-            format!("{:?}", pgrid),
-            agg,
-            all_ok
-        );
-        assert!(all_ok, "distributed result diverged from serial reference");
+            let agg: f64 = results.iter().map(|(m, ..)| m).sum();
+            let all_ok = results.iter().all(|&(_, v, ..)| v);
+            let halo_kb: u64 = results.iter().map(|r| r.2).sum();
+            let gather_kb: u64 = results.iter().map(|r| r.3).sum();
+            println!(
+                "{:>6} {:>10} {:>12} {:>14} {:>10.1} {:>10.1} {:>11.1} {:>10}",
+                ranks,
+                format!("{dims}"),
+                format!("{:?}", pgrid),
+                mode_name,
+                agg,
+                halo_kb as f64 / 1e3,
+                gather_kb as f64 / 1e3,
+                all_ok
+            );
+            assert!(all_ok, "distributed result diverged from serial reference");
+        }
     }
     println!("\nevery configuration matched the serial solver bitwise");
 }
