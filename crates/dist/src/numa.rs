@@ -8,6 +8,15 @@
 //! the team pipeline depth `t·T`, so a team communicates once per `t·T`
 //! sweeps, just like a rank of the cluster solver.
 //!
+//! On a persistent [`Runtime`] ([`run_numa_node_on`]) the subdomain
+//! grids come from the runtime's pool and are **first-touched by the
+//! team that later computes on them**: worker `k·t` fills team `k`'s
+//! pair before the first cycle, so with pinned workers the pages land on
+//! the right NUMA domain — the point of the whole exercise. Each cycle
+//! then dispatches all teams at once; team `k` occupies workers
+//! `k·t .. (k+1)·t`, each running its slice of the team's
+//! [`PipelineRun`].
+//!
 //! Results remain bitwise identical to the sequential solver; the
 //! redundant overlap-ring updates are the price, which
 //! [`RunStats::cell_updates`] here *includes* (unlike
@@ -16,9 +25,12 @@
 
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use tb_grid::{Grid3, GridPair, Real, Region3};
+use tb_runtime::Runtime;
 use tb_stencil::config::GridScheme;
-use tb_stencil::{pipeline, PipelineConfig, RunStats};
+use tb_stencil::pipeline::PipelineRun;
+use tb_stencil::{Jacobi6, PipelineConfig, RunStats};
 use tb_sync::SyncMode;
 use tb_topology::{Machine, TeamLayout};
 
@@ -63,17 +75,28 @@ fn group_layout(machine: &Machine, team: usize, team_size: usize) -> TeamLayout 
 }
 
 /// Run `sweeps` Jacobi sweeps on `initial` with one pipelined team per
-/// subdomain, coupled by multi-layer slab halos along z. Returns the
-/// final grid and merged stats (updates *include* the redundant ring
-/// work).
-pub fn run_numa_node<T: Real>(
+/// subdomain, coupled by multi-layer slab halos along z, on the given
+/// persistent runtime (at least `team_size * n_teams` workers; team `k`
+/// uses workers `k·t .. (k+1)·t`, so pin the runtime with a layout whose
+/// teams match). Returns the final grid and merged stats (updates
+/// *include* the redundant ring work).
+pub fn run_numa_node_on<T: Real>(
+    rt: &Runtime,
     initial: &Grid3<T>,
-    machine: &Machine,
     cfg: &NumaNodeConfig,
     sweeps: usize,
 ) -> Result<(Grid3<T>, RunStats), String> {
     if cfg.n_teams == 0 || cfg.team_size == 0 || cfg.updates_per_thread == 0 {
         return Err("team_size, n_teams, updates_per_thread must be >= 1".into());
+    }
+    let threads_total = cfg.n_teams * cfg.team_size;
+    if rt.threads() < threads_total {
+        return Err(format!(
+            "runtime has {} workers but {} teams of {} need {threads_total}",
+            rt.threads(),
+            cfg.n_teams,
+            cfg.team_size
+        ));
     }
     let dims = initial.dims();
     let h = cfg.team_size * cfg.updates_per_thread;
@@ -85,7 +108,8 @@ pub fn run_numa_node<T: Real>(
         cfg: PipelineConfig,
     }
 
-    let mut teams: Vec<Team<T>> = Vec::with_capacity(cfg.n_teams);
+    // Validate every team's pipeline before touching the pool.
+    let mut team_cfgs = Vec::with_capacity(cfg.n_teams);
     for k in 0..cfg.n_teams {
         let local = dec.local([0, 0, k]);
         let team_cfg = PipelineConfig {
@@ -95,20 +119,48 @@ pub fn run_numa_node<T: Real>(
             block: cfg.block,
             sync: cfg.sync,
             scheme: GridScheme::TwoGrid,
-            layout: cfg.pin.then(|| group_layout(machine, k, cfg.team_size)),
+            layout: None, // placement belongs to the runtime's workers
             audit: false,
         };
         team_cfg
             .validate(local.dims)
             .map_err(|e| format!("team {k}: {e}"))?;
-        let mut g = Grid3::zeroed(local.dims);
-        copy_region(initial, &local.region, &mut g, &Region3::whole(local.dims));
-        teams.push(Team {
-            local,
-            pair: GridPair::from_initial(g),
-            cfg: team_cfg,
+        team_cfgs.push((local, team_cfg));
+    }
+
+    // First-touch init on the workers that will compute: worker `k·t`
+    // builds team `k`'s pair from pooled grids, writing every cell of
+    // the local box (so stale pool contents never survive), before any
+    // cycle runs.
+    let pool = rt.grid_pool::<T>();
+    let slots: Vec<Mutex<Option<GridPair<T>>>> =
+        (0..cfg.n_teams).map(|_| Mutex::new(None)).collect();
+    {
+        let team_cfgs = &team_cfgs;
+        let slots = &slots;
+        let pool = &pool;
+        rt.run(threads_total, &|w| {
+            if w % cfg.team_size != 0 {
+                return;
+            }
+            let k = w / cfg.team_size;
+            let local = &team_cfgs[k].0;
+            let mut a = pool.acquire(local.dims);
+            copy_region(initial, &local.region, &mut a, &Region3::whole(local.dims));
+            let mut b = pool.acquire(local.dims);
+            b.as_mut_slice().copy_from_slice(a.as_slice());
+            *slots[k].lock() = Some(GridPair::from_parts(a, b));
         });
     }
+    let mut teams: Vec<Team<T>> = team_cfgs
+        .into_iter()
+        .zip(slots)
+        .map(|((local, cfg), slot)| Team {
+            local,
+            pair: slot.into_inner().expect("init task filled every team"),
+            cfg,
+        })
+        .collect();
 
     let t0 = Instant::now();
     let mut updates = 0u64;
@@ -153,24 +205,20 @@ pub fn run_numa_node<T: Real>(
                 copy_region(src.pair.a(), &src_local, dst.pair.a_mut(), &dst_local);
             }
         }
-        // Advance every team `c` sweeps in parallel, one pipeline each.
-        let cycle_updates = std::thread::scope(|scope| {
-            let handles: Vec<_> = teams
-                .iter_mut()
-                .map(|t| {
-                    scope.spawn(move || {
-                        pipeline::run(&mut t.pair, &t.cfg, c)
-                            .expect("validated above")
-                            .cell_updates
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("team panicked"))
-                .sum::<u64>()
+        // Advance every team `c` sweeps at once: one dispatch, team `k`
+        // on its own worker slice, each team driving its own pipeline.
+        let op = Jacobi6;
+        let runs: Vec<PipelineRun<'_, T, Jacobi6>> = teams
+            .iter_mut()
+            .map(|t| PipelineRun::new(&op, &mut t.pair, &t.cfg, c).expect("validated above"))
+            .collect();
+        rt.run(threads_total, &|w| {
+            // SAFETY: each team's run sees exactly `team_size` distinct
+            // member tids, dispatched once, and its pair is exclusively
+            // borrowed by `runs` for the dispatch.
+            unsafe { runs[w / cfg.team_size].worker(w % cfg.team_size) }
         });
-        updates += cycle_updates;
+        updates += runs.iter().map(|r| r.cells()).sum::<u64>();
         parity = c % 2;
         remaining -= c;
     }
@@ -178,12 +226,38 @@ pub fn run_numa_node<T: Real>(
     // Assemble: initial supplies the physical boundary, teams supply
     // their owned interiors.
     let mut out = initial.clone();
-    for t in &teams {
+    for t in teams {
         let cur = if parity == 0 { t.pair.a() } else { t.pair.b() };
         let r = t.local.owned;
         copy_region(cur, &t.local.to_local(&r), &mut out, &r);
+        let (a, b) = t.pair.into_parts();
+        pool.release(a);
+        pool.release(b);
     }
     Ok((out, RunStats::new(updates, t0.elapsed())))
+}
+
+/// [`run_numa_node_on`] on a one-shot runtime: pinned per cache group
+/// when `cfg.pin` is set (team `k`'s workers on group `k`'s CPUs) —
+/// the classic entry point.
+pub fn run_numa_node<T: Real>(
+    initial: &Grid3<T>,
+    machine: &Machine,
+    cfg: &NumaNodeConfig,
+    sweeps: usize,
+) -> Result<(Grid3<T>, RunStats), String> {
+    if cfg.n_teams == 0 || cfg.team_size == 0 || cfg.updates_per_thread == 0 {
+        return Err("team_size, n_teams, updates_per_thread must be >= 1".into());
+    }
+    let cpus: Vec<Option<usize>> = if cfg.pin {
+        (0..cfg.n_teams)
+            .flat_map(|k| group_layout(machine, k, cfg.team_size).cpus)
+            .collect()
+    } else {
+        vec![None; cfg.n_teams * cfg.team_size]
+    };
+    let rt = Runtime::from_cpus(cpus, None);
+    run_numa_node_on(&rt, initial, cfg, sweeps)
 }
 
 #[cfg(test)]
@@ -255,6 +329,34 @@ mod tests {
             &Region3::interior_of(dims),
             "pinned",
         );
+    }
+
+    #[test]
+    fn shared_runtime_reuses_pooled_team_grids() {
+        let dims = Dims3::cube(24);
+        let initial: Grid3<f64> = init::random(dims, 3);
+        let rt = Runtime::with_threads(4);
+        let want = reference(&initial, 6);
+        for round in 0..3 {
+            let (got, _) = run_numa_node_on(&rt, &initial, &cfg(2, 2, 1), 6).unwrap();
+            norm::assert_grids_identical(
+                &want,
+                &got,
+                &Region3::interior_of(dims),
+                &format!("shared-runtime round {round}"),
+            );
+        }
+        // Both teams' pairs went back to the pool after each run.
+        assert_eq!(rt.grid_pool::<f64>().free_grids(), 4);
+    }
+
+    #[test]
+    fn undersized_runtime_rejected() {
+        let dims = Dims3::cube(24);
+        let initial: Grid3<f64> = init::random(dims, 3);
+        let rt = Runtime::with_threads(3);
+        let err = run_numa_node_on(&rt, &initial, &cfg(2, 2, 1), 4).unwrap_err();
+        assert!(err.contains("workers"), "{err}");
     }
 
     #[test]

@@ -53,11 +53,11 @@ use std::time::Instant;
 
 use tb_grid::{BlockPartition, Grid3, GridPair, Real, Region3, SharedGrid};
 use tb_net::{CartComm, Comm, Request};
+use tb_runtime::{PooledGrid, Runtime};
 use tb_stencil::config::GridScheme;
 use tb_stencil::pipeline::PipelinePlan;
 use tb_stencil::{baseline, kernel, pipeline, Jacobi6, PipelineConfig, RunStats, StencilOp};
 use tb_sync::Handoff;
-use tb_topology::affinity;
 
 use crate::decomp::{annulus_slabs, Decomposition, LocalDomain};
 use crate::halo::{copy_region, exchange_regions, pack_region, unpack_region};
@@ -103,12 +103,15 @@ pub struct DistSolver<T: Real, Op: StencilOp<T>> {
     sweeps_done: usize,
     /// Staging grid for the overlapped exchange: boundary-shell snapshot
     /// plus unpacked ghosts, so the comm side never touches cells the
-    /// compute side is updating. Allocated on first overlapped cycle.
-    /// Sized like the local box (only the depth-wide annulus and the
-    /// ghost shells are ever touched): the full frame keeps the
-    /// pack/unpack region arithmetic identical to the working grid's,
-    /// at +1 grid of footprint in overlapped modes.
-    scratch: Option<Grid3<T>>,
+    /// compute side is updating. Acquired from the runtime's
+    /// [`tb_runtime::GridPool`] on the first overlapped cycle and held
+    /// for the solver's lifetime (returning to the pool on drop, so many
+    /// solves sharing a runtime share one staging grid). Sized like the
+    /// local box (only the depth-wide annulus and the ghost shells are
+    /// ever touched): the full frame keeps the pack/unpack region
+    /// arithmetic identical to the working grid's, at +1 grid of
+    /// footprint in overlapped modes.
+    scratch: Option<PooledGrid<T>>,
     /// Modeled compute rate (LUP/s) charged to the virtual clock; `None`
     /// leaves the clock to communication costs only.
     virtual_lups: Option<f64>,
@@ -257,10 +260,64 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
     /// layers, run `c` local sweeps) until done. Collective — every rank
     /// of the communicator must call it with the same `sweeps`.
     ///
+    /// Builds a one-shot [`Runtime`] matching this rank's config (pinned
+    /// per the pipelined layout, with a communication worker in
+    /// [`ExchangeMode::OverlappedCommThread`]) and delegates to
+    /// [`DistSolver::run_sweeps_on`]; repeated-solve callers should
+    /// build the runtime once themselves.
+    ///
     /// The returned stats count *useful* updates (owned ∩ interior
     /// cells × sweeps); redundant overlap-ring updates are excluded so
     /// that per-rank numbers sum to the serial solver's update count.
     pub fn run_sweeps(&mut self, cart: &mut CartComm, sweeps: usize) -> RunStats {
+        let rt = self.one_shot_runtime();
+        self.run_sweeps_on(&rt, cart, sweeps)
+    }
+
+    /// A runtime sized for this rank: one pinned worker per pipeline
+    /// thread (none for sequential local execution) plus a dedicated
+    /// communication worker when the exchange mode wants one.
+    fn one_shot_runtime(&self) -> Runtime {
+        let cpus = match &self.exec {
+            LocalExec::Pipelined(cfg) => match &cfg.layout {
+                Some(layout) if layout.threads() == cfg.threads() => layout.cpus.clone(),
+                _ => vec![None; cfg.threads()],
+            },
+            LocalExec::Seq => Vec::new(),
+        };
+        let comm = (self.mode == ExchangeMode::OverlappedCommThread).then(|| self.comm_core());
+        Runtime::from_cpus(cpus, comm)
+    }
+
+    /// CPU reserved for the communication thread by the pipelined
+    /// layout, if any.
+    fn comm_core(&self) -> Option<usize> {
+        match &self.exec {
+            LocalExec::Pipelined(cfg) => cfg.layout.as_ref().and_then(|l| l.comm_core),
+            LocalExec::Seq => None,
+        }
+    }
+
+    /// [`DistSolver::run_sweeps`] on a caller-provided persistent
+    /// runtime: the compute team runs on its workers and, in
+    /// [`ExchangeMode::OverlappedCommThread`], the exchange is driven by
+    /// its dedicated communication worker, coupled by the "halos ready"
+    /// [`Handoff`]. With no communication worker that mode degrades to
+    /// the inline [`ExchangeMode::Overlapped`] drive — bitwise and
+    /// virtual-clock identical, just without the wall-clock overlap.
+    ///
+    /// # Panics
+    /// Panics if the local execution is pipelined and the runtime has
+    /// fewer workers than the pipeline needs.
+    pub fn run_sweeps_on(&mut self, rt: &Runtime, cart: &mut CartComm, sweeps: usize) -> RunStats {
+        if let LocalExec::Pipelined(cfg) = &self.exec {
+            assert!(
+                rt.threads() >= cfg.threads(),
+                "runtime has {} workers but the rank's pipeline needs {}",
+                rt.threads(),
+                cfg.threads()
+            );
+        }
         let t0 = Instant::now();
         let sweeps_per_cycle = self.h / Op::RADIUS;
         let mut remaining = sweeps;
@@ -275,8 +332,8 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
                             baseline::seq_sweeps_op(&self.op, &mut self.pair, c);
                         }
                         LocalExec::Pipelined(cfg) => {
-                            pipeline::run_op(&self.op, &mut self.pair, cfg, c)
-                                .expect("config validated in from_global_op");
+                            pipeline::run_op_on(rt, &self.op, &mut self.pair, cfg, c)
+                                .expect("config validated in from_global_op, runtime size above");
                         }
                     }
                     if let Some(lups) = self.virtual_lups {
@@ -285,7 +342,7 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
                     }
                 }
                 ExchangeMode::Overlapped | ExchangeMode::OverlappedCommThread => {
-                    self.overlapped_cycle(cart, c);
+                    self.overlapped_cycle(rt, cart, c);
                 }
             }
             self.parity = c % 2;
@@ -340,7 +397,7 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
     /// 4. "halos ready" handoff; fold the hidden compute time into the
     ///    virtual clock,
     /// 5. copy the ghosts into the working grid and finish the shells.
-    fn overlapped_cycle(&mut self, cart: &mut CartComm, c: usize) {
+    fn overlapped_cycle(&mut self, rt: &Runtime, cart: &mut CartComm, c: usize) {
         debug_assert_eq!(self.parity, 0, "exchange runs on a normalized pair");
         let radius = Op::RADIUS;
         let depth = c * radius;
@@ -381,8 +438,13 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
         if has_neighbor {
             // The staging grid exists only where there is traffic: a
             // neighborless rank runs the same trapezoid+shell schedule
-            // without paying the extra footprint.
-            let scratch = scratch.get_or_insert_with(|| Grid3::zeroed(local.dims));
+            // without paying the extra footprint. It comes from the
+            // runtime's pool (stale contents are fine: every region the
+            // comm side reads is written earlier in the same cycle —
+            // shells snapshotted, ghosts unpacked) and is held for the
+            // solver's lifetime.
+            let scratch = &mut **scratch
+                .get_or_insert_with(|| rt.grid_pool::<T>().acquire_pooled(local.dims));
 
             // Stage the boundary shells for the comm side: every owned
             // cell any send region reads lies within `depth` of a face.
@@ -398,47 +460,47 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
 
             // Interior trapezoid concurrent with the exchange drive.
             let (cells, (fwd_bytes, ghost_regions)) = match mode {
-                ExchangeMode::OverlappedCommThread => {
+                // The persistent communication worker (pinned to the
+                // layout's comm core at runtime construction) drives the
+                // exchange while this thread dispatches the compute team.
+                // Panics on the comm worker are carried through the
+                // handoff — the compute side would otherwise spin in
+                // `take()` forever — and the handle join afterwards
+                // releases the task borrow.
+                ExchangeMode::OverlappedCommThread if rt.has_comm_worker() => {
                     let comm = &mut *cart.comm;
-                    let comm_core = match &*exec {
-                        LocalExec::Pipelined(cfg) => cfg.layout.as_ref().and_then(|l| l.comm_core),
-                        LocalExec::Seq => None,
-                    };
-                    // One scoped comm thread per cycle: the spawn cost is
-                    // paid once per c sweeps and keeps `Comm` exclusively
-                    // on one side at a time (a persistent thread would need
-                    // to hand the communicator back every cycle anyway).
-                    // Panics on the comm thread are carried through the
-                    // handoff — the compute side would otherwise spin in
-                    // `take()` forever and the scope's join would never run.
                     type CommOutcome = std::thread::Result<(u64, Vec<Region3>)>;
                     let handoff: Handoff<CommOutcome> = Handoff::new();
                     let handoff_ref = &handoff;
                     let scratch_ref = &mut *scratch;
                     let sends = &send_by_dim;
-                    std::thread::scope(|scope| {
-                        scope.spawn(move || {
-                            let _ = affinity::pin_opt(comm_core);
-                            handoff_ref.signal(std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| {
-                                    drive_exchange(comm, scratch_ref, recv_by_dim, sends)
-                                }),
-                            ));
-                        });
-                        let cells = interior_trapezoid(op, pair, exec, local, c);
-                        // "Halos ready" — the compute team blocks here only
-                        // if it finished the interior before the traffic.
-                        match handoff_ref.take() {
-                            Ok(out) => (cells, out),
-                            Err(payload) => std::panic::resume_unwind(payload),
-                        }
-                    })
+                    let mut recv_slot = Some(recv_by_dim);
+                    let mut comm_task = move || {
+                        let recv = recv_slot.take().expect("one exchange per cycle");
+                        handoff_ref.signal(std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || drive_exchange(&mut *comm, &mut *scratch_ref, recv, sends),
+                        )));
+                    };
+                    let handle = rt.submit_comm(&mut comm_task);
+                    let cells = interior_trapezoid(rt, op, pair, exec, local, c);
+                    // "Halos ready" — the compute team blocks here only
+                    // if it finished the interior before the traffic.
+                    let out = match handoff.take() {
+                        Ok(out) => out,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    };
+                    handle.join();
+                    (cells, out)
                 }
+                // Inline drive: compute first, then the exchange, on
+                // this thread. Same `Comm` mutation order, so virtual
+                // times and results are identical to the comm-worker
+                // path; only the wall-clock overlap is forfeited.
                 _ => {
-                    let cells = interior_trapezoid(op, pair, exec, local, c);
+                    let cells = interior_trapezoid(rt, op, pair, exec, local, c);
                     (
                         cells,
-                        drive_exchange(cart.comm, &mut *scratch, recv_by_dim, &send_by_dim),
+                        drive_exchange(cart.comm, scratch, recv_by_dim, &send_by_dim),
                     )
                 }
             };
@@ -450,7 +512,7 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
                 copy_region(scratch, r, pair.a_mut(), r);
             }
         } else {
-            interior_cells = interior_trapezoid(op, pair, exec, local, c);
+            interior_cells = interior_trapezoid(rt, op, pair, exec, local, c);
         }
 
         // Fold the compute that ran under the exchange into the clock;
@@ -548,11 +610,12 @@ fn drive_exchange<T: Real>(
 
 /// Advance the interior trapezoid of one overlapped cycle: sweep
 /// `j ∈ 1..=c` updates `local.sweep_core(j, RADIUS)`. Uses the
-/// pipelined team executor over a shrinking-domain [`PipelinePlan`]
-/// whenever that plan is constructible (radius 1, non-empty cores,
-/// blocks at least as long as the stage count), and plain region sweeps
-/// otherwise. Returns cells updated.
+/// pipelined team executor (on the runtime's persistent workers) over a
+/// shrinking-domain [`PipelinePlan`] whenever that plan is constructible
+/// (radius 1, non-empty cores, blocks at least as long as the stage
+/// count), and plain region sweeps otherwise. Returns cells updated.
 fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
     op: &Op,
     pair: &mut GridPair<T>,
     exec: &LocalExec,
@@ -576,7 +639,9 @@ fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
             .collect();
         cells += domains.iter().map(|r| r.count() as u64).sum::<u64>();
         let piped = match cfg {
-            Some(cfg) if radius == 1 && plan_fits(&domains, cfg) => {
+            Some(cfg)
+                if radius == 1 && rt.threads() >= cfg.threads() && plan_fits(&domains, cfg) =>
+            {
                 let dims = pair.dims();
                 let ptrs = pair.base_ptrs();
                 let views = [
@@ -588,7 +653,7 @@ fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
                 // sweep_core(j+1).expand(RADIUS) == sweep_core(j) — and
                 // the pair is exclusively borrowed for the call (the
                 // comm side only touches the staging grid).
-                unsafe { pipeline::run_team_sweep_op(op, &views, &plan, cfg, base, now) };
+                unsafe { pipeline::run_team_sweep_op_on(rt, op, &views, &plan, cfg, base, now) };
                 true
             }
             _ => false,

@@ -32,13 +32,8 @@ impl<T: Real> CompressedGrid<T> {
     /// accumulated shift of `margin` cells (= updates per team sweep,
     /// `t*T` in the paper's notation).
     pub fn zeroed(logical: Dims3, margin: usize) -> Self {
-        let alloc = Dims3::new(
-            logical.nx + margin,
-            logical.ny + margin,
-            logical.nz + margin,
-        );
         Self {
-            storage: Grid3::zeroed(alloc),
+            storage: Grid3::zeroed(Self::alloc_dims_for(logical, margin)),
             logical,
             margin,
             displacement: 0,
@@ -47,7 +42,43 @@ impl<T: Real> CompressedGrid<T> {
 
     /// Build from an initial state (displacement 0).
     pub fn from_grid(initial: &Grid3<T>, margin: usize) -> Self {
-        let mut cg = Self::zeroed(initial.dims(), margin);
+        Self::from_grid_in(
+            initial,
+            margin,
+            Grid3::zeroed(Self::alloc_dims_for(initial.dims(), margin)),
+        )
+    }
+
+    /// Allocation extents for a logical domain with the given margin.
+    pub fn alloc_dims_for(logical: Dims3, margin: usize) -> Dims3 {
+        Dims3::new(
+            logical.nx + margin,
+            logical.ny + margin,
+            logical.nz + margin,
+        )
+    }
+
+    /// [`CompressedGrid::from_grid`] into caller-provided storage (e.g.
+    /// recycled from a staging pool — reclaim it afterwards with
+    /// [`CompressedGrid::into_storage`]). Stale storage contents outside
+    /// the logical frame are harmless: every frame an executor reads was
+    /// written either here or by an earlier stage of the run.
+    ///
+    /// # Panics
+    /// Panics if `storage.dims()` is not exactly
+    /// [`CompressedGrid::alloc_dims_for`]`(initial.dims(), margin)`.
+    pub fn from_grid_in(initial: &Grid3<T>, margin: usize, storage: Grid3<T>) -> Self {
+        assert_eq!(
+            storage.dims(),
+            Self::alloc_dims_for(initial.dims(), margin),
+            "storage extents must match logical dims + margin"
+        );
+        let mut cg = Self {
+            storage,
+            logical: initial.dims(),
+            margin,
+            displacement: 0,
+        };
         for z in 0..initial.dims().nz {
             for y in 0..initial.dims().ny {
                 let (px, py, pz) = cg.physical(0, y, z);
@@ -57,6 +88,11 @@ impl<T: Real> CompressedGrid<T> {
             }
         }
         cg
+    }
+
+    /// Give the backing allocation back (e.g. to a pool).
+    pub fn into_storage(self) -> Grid3<T> {
+        self.storage
     }
 
     pub fn logical_dims(&self) -> Dims3 {

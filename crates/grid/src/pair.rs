@@ -32,6 +32,24 @@ impl<T: Real> GridPair<T> {
         Self { a: initial, b }
     }
 
+    /// Assemble a pair from two existing buffers (e.g. recycled from a
+    /// staging pool). `b` must hold the same boundary values as `a` —
+    /// sweeps never write the boundary, so callers typically copy `a`
+    /// into `b` wholesale before handing both over.
+    ///
+    /// # Panics
+    /// Panics if the dims differ.
+    pub fn from_parts(a: Grid3<T>, b: Grid3<T>) -> Self {
+        assert_eq!(a.dims(), b.dims(), "pair buffers must match");
+        Self { a, b }
+    }
+
+    /// Disassemble into `(a, b)`, e.g. to keep the result buffer and
+    /// return the other one to a pool.
+    pub fn into_parts(self) -> (Grid3<T>, Grid3<T>) {
+        (self.a, self.b)
+    }
+
     pub fn dims(&self) -> Dims3 {
         self.a.dims()
     }

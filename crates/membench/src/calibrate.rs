@@ -9,9 +9,10 @@
 //! the machine actually running the benchmarks (experiments E1/E5).
 
 use tb_model::MachineParams;
+use tb_runtime::Runtime;
 use tb_topology::Machine;
 
-use crate::runner::{measure_bandwidth, StreamKind};
+use crate::runner::{measure_bandwidth_on, StreamKind};
 
 /// Calibration effort: quick (CI-friendly) or thorough.
 #[derive(Clone, Copy, Debug)]
@@ -45,9 +46,38 @@ impl CalibrationProfile {
 }
 
 /// Measure the host and fill in a parameter set. The `machine` topology
-/// supplies team geometry and cache capacity.
+/// supplies team geometry and cache capacity. Builds one runtime for
+/// all three measurements and delegates to [`calibrate_host_on`].
 pub fn calibrate_host(machine: &Machine, profile: CalibrationProfile) -> MachineParams {
     let group = machine.cores_per_socket().max(1);
+    let rt = if profile.pin {
+        Runtime::from_cpus((0..group).map(Some).collect(), None)
+    } else {
+        Runtime::with_threads(group)
+    };
+    calibrate_host_on(&rt, machine, profile)
+}
+
+/// [`calibrate_host`] on a caller-provided runtime: all three
+/// measurements (`M_{s,1}`, `M_s`, `M_c`) share its workers, so the
+/// arrays each worker streams are first-touched where they will be read.
+///
+/// # Panics
+/// Panics if the runtime has fewer workers than
+/// `machine.cores_per_socket()` — a smaller team would silently
+/// understate the saturated bandwidths and skew every model downstream.
+pub fn calibrate_host_on(
+    rt: &Runtime,
+    machine: &Machine,
+    profile: CalibrationProfile,
+) -> MachineParams {
+    let group = machine.cores_per_socket().max(1);
+    assert!(
+        rt.threads() >= group,
+        "runtime has {} workers but calibrating {} needs a full cache group of {group}",
+        rt.threads(),
+        machine.name
+    );
     // Size the cache set to (at most) half the shared cache per the
     // paper's "block small enough to stay resident" requirement.
     let cache_bytes = machine
@@ -56,30 +86,18 @@ pub fn calibrate_host(machine: &Machine, profile: CalibrationProfile) -> Machine
         .unwrap_or(8 * 1024 * 1024);
     let cache_elems = profile.cache_elems.min(cache_bytes / (3 * 8) / 2).max(1024);
 
-    let ms1 = measure_bandwidth(
-        StreamKind::Copy,
-        1,
-        profile.mem_elems,
-        profile.reps,
-        profile.pin,
-    )
-    .bytes_per_sec;
-    let ms = measure_bandwidth(
+    let ms1 = measure_bandwidth_on(rt, StreamKind::Copy, 1, profile.mem_elems, profile.reps)
+        .bytes_per_sec;
+    let ms = measure_bandwidth_on(
+        rt,
         StreamKind::Copy,
         group,
         profile.mem_elems / group.max(1),
         profile.reps,
-        profile.pin,
     )
     .bytes_per_sec;
-    let mc = measure_bandwidth(
-        StreamKind::Copy,
-        group,
-        cache_elems,
-        profile.reps + 2,
-        profile.pin,
-    )
-    .bytes_per_sec;
+    let mc = measure_bandwidth_on(rt, StreamKind::Copy, group, cache_elems, profile.reps + 2)
+        .bytes_per_sec;
 
     MachineParams {
         // Guard against measurement inversion on noisy/virtualized hosts:

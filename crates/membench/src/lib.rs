@@ -16,5 +16,7 @@ pub mod calibrate;
 pub mod kernels;
 pub mod runner;
 
-pub use calibrate::{calibrate_host, CalibrationProfile};
-pub use runner::{measure_bandwidth, working_set_sweep, BandwidthSample, StreamKind};
+pub use calibrate::{calibrate_host, calibrate_host_on, CalibrationProfile};
+pub use runner::{
+    measure_bandwidth, measure_bandwidth_on, working_set_sweep, BandwidthSample, StreamKind,
+};

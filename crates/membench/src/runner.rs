@@ -3,8 +3,8 @@
 use std::time::Instant;
 
 use tb_grid::AlignedVec;
+use tb_runtime::Runtime;
 use tb_sync::SpinBarrier;
-use tb_topology::affinity;
 
 use crate::kernels;
 
@@ -40,54 +40,52 @@ pub struct BandwidthSample {
     pub bytes_per_sec: f64,
 }
 
-/// Measure kernel bandwidth with `threads` threads, each on its own
-/// arrays of `elems` elements, `reps` repetitions (best rep wins, as in
-/// STREAM). Threads are optionally pinned to consecutive CPUs.
-pub fn measure_bandwidth(
+/// Measure kernel bandwidth with `threads` workers of a persistent
+/// runtime, each on its own arrays of `elems` elements, `reps`
+/// repetitions (best rep wins, as in STREAM). The arrays are allocated
+/// *inside* the worker task, so first touch happens on the (pinned)
+/// worker that streams them.
+pub fn measure_bandwidth_on(
+    rt: &Runtime,
     kind: StreamKind,
     threads: usize,
     elems: usize,
     reps: usize,
-    pin: bool,
 ) -> BandwidthSample {
     assert!(threads >= 1 && elems >= 2 && reps >= 1);
+    assert!(
+        rt.threads() >= threads,
+        "runtime has {} workers but the measurement needs {threads}",
+        rt.threads()
+    );
     let barrier = SpinBarrier::new(threads);
     // Per-rep wall time = max over threads (a rep is as slow as its
     // slowest participant); best rep = min over non-warmup reps.
     let mut rep_times = vec![0.0f64; reps];
     let times = parking_lot::Mutex::new(&mut rep_times);
 
-    std::thread::scope(|scope| {
-        for k in 0..threads {
-            let barrier = &barrier;
-            let times = &times;
-            scope.spawn(move || {
-                if pin {
-                    let _ = affinity::pin_current_thread(k);
-                }
-                let a = AlignedVec::<f64>::filled(elems, 1.0);
-                let mut b = AlignedVec::<f64>::filled(elems, 2.0);
-                let mut c = AlignedVec::<f64>::zeroed(elems);
-                for rep in 0..reps {
-                    barrier.wait();
-                    let t0 = Instant::now();
-                    match kind {
-                        StreamKind::Copy => kernels::copy(&a, &mut c),
-                        StreamKind::CopyNt => kernels::copy_nt(&a, &mut c),
-                        StreamKind::Scale => kernels::scale(&a, &mut b, 3.0),
-                        StreamKind::Add => kernels::add(&a, &b, &mut c),
-                        StreamKind::Triad => kernels::triad(&a, &b, &mut c, 3.0),
-                    }
-                    let dt = t0.elapsed().as_secs_f64();
-                    barrier.wait();
-                    let mut guard = times.lock();
-                    if dt > guard[rep] {
-                        guard[rep] = dt;
-                    }
-                }
-                std::hint::black_box(c[0]);
-            });
+    rt.run(threads, &|_k| {
+        let a = AlignedVec::<f64>::filled(elems, 1.0);
+        let mut b = AlignedVec::<f64>::filled(elems, 2.0);
+        let mut c = AlignedVec::<f64>::zeroed(elems);
+        for rep in 0..reps {
+            barrier.wait();
+            let t0 = Instant::now();
+            match kind {
+                StreamKind::Copy => kernels::copy(&a, &mut c),
+                StreamKind::CopyNt => kernels::copy_nt(&a, &mut c),
+                StreamKind::Scale => kernels::scale(&a, &mut b, 3.0),
+                StreamKind::Add => kernels::add(&a, &b, &mut c),
+                StreamKind::Triad => kernels::triad(&a, &b, &mut c, 3.0),
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            barrier.wait();
+            let mut guard = times.lock();
+            if dt > guard[rep] {
+                guard[rep] = dt;
+            }
         }
+        std::hint::black_box(c[0]);
     });
 
     // First rep is warm-up when reps > 1.
@@ -104,6 +102,24 @@ pub fn measure_bandwidth(
         working_set: elems * 3 * 8,
         bytes_per_sec: bytes / best.max(1e-12),
     }
+}
+
+/// [`measure_bandwidth_on`] on a one-shot runtime — the classic entry
+/// point. `pin` pins worker `k` to CPU `k`.
+pub fn measure_bandwidth(
+    kind: StreamKind,
+    threads: usize,
+    elems: usize,
+    reps: usize,
+    pin: bool,
+) -> BandwidthSample {
+    assert!(threads >= 1);
+    let rt = if pin {
+        Runtime::from_cpus((0..threads).map(Some).collect(), None)
+    } else {
+        Runtime::with_threads(threads)
+    };
+    measure_bandwidth_on(&rt, kind, threads, elems, reps)
 }
 
 /// Sweep working-set sizes to expose the cache hierarchy: returns

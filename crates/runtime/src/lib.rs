@@ -1,0 +1,67 @@
+//! # tb-runtime — persistent core-pinned worker teams
+//!
+//! The paper's multicore-aware design assumes *long-lived* thread groups
+//! pinned to cores that repeatedly execute sweeps, with one group member
+//! optionally dedicated to communication (§2.2–2.3). Spawning and
+//! re-pinning a thread team on every sweep — what `std::thread::scope`
+//! inside an executor amounts to — costs tens of microseconds per
+//! worker, which is exactly the per-iteration management overhead that
+//! kills temporal blocking at small block sizes.
+//!
+//! [`Runtime`] spawns its workers **once**, pins them according to a
+//! [`tb_topology::TeamLayout`], and then executes submitted tasks until
+//! dropped. Between tasks the workers spin briefly (cheap re-dispatch
+//! when sweeps come back to back) and then park (no idle burn between
+//! solves).
+//!
+//! ## Lifecycle
+//!
+//! 1. **Build** — [`Runtime::new`] (pinned per layout, with a dedicated
+//!    communication worker iff the layout reserved a
+//!    [`comm_core`](tb_topology::TeamLayout::comm_core)),
+//!    [`Runtime::with_threads`] (unpinned), or [`Runtime::from_cpus`]
+//!    (full control). Workers pin themselves on their first instruction,
+//!    so everything they later first-touch lands on their NUMA domain.
+//! 2. **Execute** — [`Runtime::run`] broadcasts a task to the first `n`
+//!    compute workers and blocks until all of them finished; a worker
+//!    panic is re-raised on the caller. [`Runtime::submit_comm`] hands a
+//!    one-shot task to the communication worker and returns a
+//!    [`CommHandle`] that joins on drop.
+//! 3. **Drop** — workers are woken, told to shut down, and joined.
+//!
+//! ## When to share one runtime
+//!
+//! Share a single runtime whenever the same team geometry executes more
+//! than one solve: autotune loops, repeated-solve services, long
+//! time-stepping with convergence checks, calibration sweeps. Each
+//! executor entry point also exists as a `*_on(&Runtime, …)` form in
+//! `tb-stencil`/`tb-dist`/`tb-membench`; the classic forms build a
+//! one-shot runtime per call, so they keep their historical signatures
+//! and bitwise behaviour at roughly the historical cost. Do **not** call
+//! [`Runtime::run`] from inside a task running on the same runtime — the
+//! workers are occupied and the nested dispatch would deadlock.
+//!
+//! ## Comm-core reservation
+//!
+//! [`TeamLayout::with_comm_core`](tb_topology::TeamLayout::with_comm_core)
+//! carves the machine's last CPU out of the compute layout;
+//! [`Runtime::new`] turns that reservation into a dedicated communication
+//! worker pinned there. The distributed solver couples it to the compute
+//! team with the existing `tb_sync::Handoff` — the comm worker drives the
+//! halo exchange while the compute workers advance the interior
+//! trapezoid.
+//!
+//! ## Staging-buffer pool
+//!
+//! [`GridPool`] recycles staging grids (overlapped-exchange snapshots,
+//! second buffers of two-grid pipelines, compressed-grid storage, NUMA
+//! subdomain grids) across solves sharing a runtime
+//! ([`Runtime::grid_pool`]). Reused grids keep their stale contents; every
+//! consumer in this workspace writes a region before reading it, which
+//! the bitwise verification suites hold them to.
+
+mod pool;
+mod team;
+
+pub use pool::{GridPool, PooledGrid};
+pub use team::{CommHandle, Runtime};

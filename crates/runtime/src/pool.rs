@@ -1,0 +1,171 @@
+//! Staging-grid recycling.
+//!
+//! Per-cycle staging allocations — overlapped-exchange snapshot grids,
+//! the B buffer of a two-grid pipeline, compressed-grid storage, NUMA
+//! subdomain boxes — are the allocator-side twin of per-sweep thread
+//! spawning: cheap once, expensive times ten thousand. [`GridPool`]
+//! keeps returned grids and hands them back to the next acquirer with
+//! matching dimensions.
+//!
+//! **Reuse contract:** a reused grid keeps the *stale contents* of its
+//! previous life (a fresh one is zeroed by allocation). Every consumer
+//! in this workspace writes a region before reading it — staging shells
+//! are snapshotted, ghost slabs unpacked, pipeline B buffers copied from
+//! the initial state — and the bitwise verification suites hold them to
+//! that, so no zeroing pass is spent per acquire.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tb_grid::{Dims3, Grid3, Real};
+
+/// Most grids a pool parks before evicting the oldest: long-running
+/// services solving many distinct problem shapes must not accumulate
+/// dead allocations without bound. Large enough for every concurrent
+/// consumer in this workspace (a NUMA node run parks two grids per
+/// team).
+const MAX_FREE_GRIDS: usize = 8;
+
+/// A pool of same-typed grids, keyed by their dimensions.
+pub struct GridPool<T: Real> {
+    free: Mutex<Vec<Grid3<T>>>,
+}
+
+impl<T: Real> GridPool<T> {
+    pub fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take a grid of exactly `dims`: a recycled one when available
+    /// (stale contents — see the module docs), else a fresh zeroed
+    /// allocation.
+    pub fn acquire(&self, dims: Dims3) -> Grid3<T> {
+        let mut free = self.free.lock();
+        if let Some(i) = free.iter().position(|g| g.dims() == dims) {
+            free.swap_remove(i)
+        } else {
+            drop(free);
+            Grid3::zeroed(dims)
+        }
+    }
+
+    /// Return a grid for later reuse. The oldest parked grid is dropped
+    /// when the pool is already full (`MAX_FREE_GRIDS`), so a pool
+    /// shared across many problem shapes stays bounded.
+    pub fn release(&self, grid: Grid3<T>) {
+        let mut free = self.free.lock();
+        if free.len() >= MAX_FREE_GRIDS {
+            free.remove(0);
+        }
+        free.push(grid);
+    }
+
+    /// [`GridPool::acquire`] wrapped so the grid returns automatically.
+    pub fn acquire_pooled(self: &Arc<Self>, dims: Dims3) -> PooledGrid<T> {
+        PooledGrid {
+            grid: Some(self.acquire(dims)),
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Number of grids currently waiting for reuse (diagnostics/tests).
+    pub fn free_grids(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+impl<T: Real> Default for GridPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII wrapper: dereferences to the grid, returns it to its pool on
+/// drop. Keeps the pool alive through an `Arc`, so it may outlive the
+/// [`crate::Runtime`] that handed it out.
+pub struct PooledGrid<T: Real> {
+    grid: Option<Grid3<T>>,
+    pool: Arc<GridPool<T>>,
+}
+
+impl<T: Real> std::ops::Deref for PooledGrid<T> {
+    type Target = Grid3<T>;
+    fn deref(&self) -> &Grid3<T> {
+        self.grid.as_ref().expect("grid present until drop")
+    }
+}
+
+impl<T: Real> std::ops::DerefMut for PooledGrid<T> {
+    fn deref_mut(&mut self) -> &mut Grid3<T> {
+        self.grid.as_mut().expect("grid present until drop")
+    }
+}
+
+impl<T: Real> Drop for PooledGrid<T> {
+    fn drop(&mut self) {
+        if let Some(grid) = self.grid.take() {
+            self.pool.release(grid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_reuses_matching_dims_only() {
+        let pool: GridPool<f64> = GridPool::new();
+        let mut g = pool.acquire(Dims3::cube(6));
+        g.set(1, 1, 1, 42.0);
+        pool.release(g);
+        assert_eq!(pool.free_grids(), 1);
+
+        // Different dims: fresh allocation, the cached grid stays.
+        let other = pool.acquire(Dims3::cube(8));
+        assert_eq!(other.dims(), Dims3::cube(8));
+        assert_eq!(pool.free_grids(), 1);
+
+        // Matching dims: the recycled grid comes back, stale contents
+        // and all (the documented contract).
+        let again = pool.acquire(Dims3::cube(6));
+        assert_eq!(again.get(1, 1, 1), 42.0);
+        assert_eq!(pool.free_grids(), 0);
+    }
+
+    #[test]
+    fn pooled_grid_returns_on_drop() {
+        let pool: Arc<GridPool<f64>> = Arc::new(GridPool::new());
+        {
+            let mut p = pool.acquire_pooled(Dims3::cube(5));
+            p.set(2, 2, 2, 7.0);
+            assert_eq!(pool.free_grids(), 0);
+        }
+        assert_eq!(pool.free_grids(), 1);
+        assert_eq!(pool.acquire(Dims3::cube(5)).get(2, 2, 2), 7.0);
+    }
+
+    #[test]
+    fn release_evicts_the_oldest_beyond_the_cap() {
+        let pool: GridPool<f64> = GridPool::new();
+        for edge in 3..(3 + MAX_FREE_GRIDS + 2) {
+            pool.release(Grid3::zeroed(Dims3::cube(edge)));
+        }
+        assert_eq!(pool.free_grids(), MAX_FREE_GRIDS);
+        // The two oldest (smallest) grids were evicted: acquiring their
+        // dims allocates fresh zeroed storage instead of reusing.
+        let g = pool.acquire(Dims3::cube(3));
+        assert_eq!(g.dims(), Dims3::cube(3));
+        assert_eq!(pool.free_grids(), MAX_FREE_GRIDS, "cube(3) was not parked");
+    }
+
+    #[test]
+    fn pooled_grid_outlives_nothing_but_its_pool() {
+        let pool: Arc<GridPool<f32>> = Arc::new(GridPool::new());
+        let p = pool.acquire_pooled(Dims3::cube(4));
+        drop(pool); // the Arc inside `p` keeps the pool alive
+        assert_eq!(p.dims(), Dims3::cube(4));
+    }
+}

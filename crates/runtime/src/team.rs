@@ -1,0 +1,599 @@
+//! The persistent worker team: spawn once, pin once, dispatch many.
+//!
+//! Dispatch protocol (one *epoch* per submitted task):
+//!
+//! 1. the dispatcher resets the completion counter, publishes the task
+//!    pointer + participant count under the slot lock, bumps the epoch,
+//!    and unparks the participating workers;
+//! 2. every worker spins briefly on the epoch (cheap pickup when sweeps
+//!    come back to back), then parks with a timeout (no idle burn
+//!    between solves); on a new epoch it snapshots the slot, runs the
+//!    task with its worker index if it participates, and increments the
+//!    completion counter;
+//! 3. the dispatcher spin-waits for all participants, clears the task
+//!    pointer, and re-raises the first worker panic, if any.
+//!
+//! The dispatcher blocks until every participant finished, so the task
+//! closure may borrow the caller's stack — the lifetime erasure below is
+//! sound for exactly that reason. Dispatches are serialized by a lock;
+//! the communication lane has its own slot and may run concurrently
+//! with a compute dispatch (that is its purpose).
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_utils::Backoff;
+use parking_lot::Mutex;
+use tb_grid::Real;
+use tb_topology::{affinity, TeamLayout};
+
+use crate::pool::GridPool;
+
+/// Lifetime-erased broadcast task; valid only while its dispatcher
+/// blocks in [`Runtime::run`].
+type TaskRef = *const (dyn Fn(usize) + Sync + 'static);
+/// Lifetime-erased one-shot comm task; valid until its [`CommHandle`]
+/// joined.
+type CommTaskRef = *mut (dyn FnMut() + Send + 'static);
+
+/// Raw task pointers cross the `Mutex` into worker threads; the dispatch
+/// protocol (dispatcher blocks until completion) is what makes that safe.
+struct SendPtr<P>(P);
+unsafe impl<P> Send for SendPtr<P> {}
+
+struct TaskSlot {
+    epoch: usize,
+    task: Option<SendPtr<TaskRef>>,
+    /// Workers `0..active` participate in this epoch.
+    active: usize,
+}
+
+struct Lane {
+    slot: Mutex<TaskSlot>,
+    /// Mirrors `slot.epoch` so workers can poll without the lock.
+    epoch: AtomicUsize,
+    /// Participants that completed the current epoch.
+    done: AtomicUsize,
+    /// Thread blocked in [`Runtime::run`] for the current epoch; the
+    /// last finishing participant unparks it, so the dispatcher does
+    /// not have to burn a core spinning for the whole solve.
+    waiter: Mutex<Option<std::thread::Thread>>,
+    shutdown: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(TaskSlot {
+                epoch: 0,
+                task: None,
+                active: 0,
+            }),
+            epoch: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            waiter: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+struct CommSlot {
+    epoch: usize,
+    task: Option<SendPtr<CommTaskRef>>,
+}
+
+struct CommLane {
+    slot: Mutex<CommSlot>,
+    epoch: AtomicUsize,
+    /// Highest epoch whose task has completed.
+    done_epoch: AtomicUsize,
+    /// Thread blocked in a [`CommHandle`] wait; unparked on completion.
+    waiter: Mutex<Option<std::thread::Thread>>,
+    shutdown: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Spin briefly, then park with a timeout, until `changed` returns true.
+/// The unpark token posted by the dispatcher makes the park race-free;
+/// the timeout is belt and braces.
+fn wait_until(changed: impl Fn() -> bool) {
+    let backoff = Backoff::new();
+    let mut yields = 0u32;
+    while !changed() {
+        if !backoff.is_completed() {
+            backoff.snooze();
+        } else if yields < 64 {
+            std::thread::yield_now();
+            yields += 1;
+        } else {
+            std::thread::park_timeout(Duration::from_micros(500));
+        }
+    }
+}
+
+fn worker_loop(lane: Arc<Lane>, index: usize, cpu: Option<usize>) {
+    let _ = affinity::pin_opt(cpu);
+    let mut seen = 0usize;
+    loop {
+        wait_until(|| {
+            lane.epoch.load(Ordering::Acquire) != seen || lane.shutdown.load(Ordering::Acquire)
+        });
+        if lane.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let (epoch, task, active) = {
+            let slot = lane.slot.lock();
+            (slot.epoch, slot.task.as_ref().map(|t| t.0), slot.active)
+        };
+        if epoch == seen {
+            continue; // spurious wake; the slot is already consistent
+        }
+        seen = epoch;
+        if index < active {
+            let task = task.expect("dispatch published a task for this epoch");
+            // SAFETY: the dispatcher blocks in `run` until all `active`
+            // workers incremented `done`, so the closure (and everything
+            // it borrows) outlives this call.
+            let f = unsafe { &*task };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)));
+            if let Err(payload) = result {
+                lane.panic.lock().get_or_insert(payload);
+            }
+            if lane.done.fetch_add(1, Ordering::AcqRel) + 1 == active {
+                // Last participant: wake the (parked) dispatcher.
+                if let Some(waiter) = lane.waiter.lock().as_ref() {
+                    waiter.unpark();
+                }
+            }
+        }
+    }
+}
+
+fn comm_loop(lane: Arc<CommLane>, cpu: Option<usize>) {
+    let _ = affinity::pin_opt(cpu);
+    let mut seen = 0usize;
+    loop {
+        wait_until(|| {
+            lane.epoch.load(Ordering::Acquire) != seen || lane.shutdown.load(Ordering::Acquire)
+        });
+        if lane.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let (epoch, task) = {
+            let slot = lane.slot.lock();
+            (slot.epoch, slot.task.as_ref().map(|t| t.0))
+        };
+        if epoch == seen {
+            continue;
+        }
+        seen = epoch;
+        let task = task.expect("comm submit published a task");
+        // SAFETY: the `CommHandle` returned by `submit_comm` borrows the
+        // task for its own lifetime and waits for `done_epoch` before
+        // releasing it (latest in its drop), so the closure is live.
+        let f = unsafe { &mut *task };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        if let Err(payload) = result {
+            lane.panic.lock().get_or_insert(payload);
+        }
+        lane.done_epoch.store(epoch, Ordering::Release);
+        if let Some(waiter) = lane.waiter.lock().as_ref() {
+            waiter.unpark();
+        }
+    }
+}
+
+/// A persistent team of compute workers (plus an optional dedicated
+/// communication worker), pinned once at spawn and reused for every
+/// dispatched task until dropped. See the crate docs for the lifecycle.
+pub struct Runtime {
+    lane: Arc<Lane>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes compute dispatches (the comm lane is independent).
+    dispatch: Mutex<()>,
+    comm_lane: Option<Arc<CommLane>>,
+    comm_worker: Option<JoinHandle<()>>,
+    comm_core: Option<usize>,
+    pools: Mutex<HashMap<TypeId, Box<dyn Any + Send>>>,
+}
+
+impl Runtime {
+    /// Spawn one pinned worker per layout slot, plus a dedicated
+    /// communication worker iff the layout reserved a
+    /// [`comm_core`](TeamLayout::comm_core).
+    pub fn new(layout: &TeamLayout) -> Self {
+        Self::from_cpus(layout.cpus.clone(), layout.comm_core.map(Some))
+    }
+
+    /// `threads` unpinned compute workers, no communication worker.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::from_cpus(vec![None; threads], None)
+    }
+
+    /// The general constructor: one compute worker per `cpus` entry
+    /// (`Some(c)` pins to CPU `c`, `None` leaves the worker floating).
+    /// `comm` controls the communication worker: `None` spawns none,
+    /// `Some(pin)` spawns one with the given pin.
+    pub fn from_cpus(cpus: Vec<Option<usize>>, comm: Option<Option<usize>>) -> Self {
+        let lane = Arc::new(Lane::new());
+        let workers = cpus
+            .into_iter()
+            .enumerate()
+            .map(|(index, cpu)| {
+                let lane = Arc::clone(&lane);
+                std::thread::Builder::new()
+                    .name(format!("tb-runtime-w{index}"))
+                    .spawn(move || worker_loop(lane, index, cpu))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        let comm_core = comm.flatten();
+        let (comm_lane, comm_worker) = match comm {
+            None => (None, None),
+            Some(cpu) => {
+                let lane = Arc::new(CommLane {
+                    slot: Mutex::new(CommSlot {
+                        epoch: 0,
+                        task: None,
+                    }),
+                    epoch: AtomicUsize::new(0),
+                    done_epoch: AtomicUsize::new(0),
+                    waiter: Mutex::new(None),
+                    shutdown: AtomicBool::new(false),
+                    panic: Mutex::new(None),
+                });
+                let worker = {
+                    let lane = Arc::clone(&lane);
+                    std::thread::Builder::new()
+                        .name("tb-runtime-comm".into())
+                        .spawn(move || comm_loop(lane, cpu))
+                        .expect("spawn runtime comm worker")
+                };
+                (Some(lane), Some(worker))
+            }
+        };
+        Self {
+            lane,
+            workers,
+            dispatch: Mutex::new(()),
+            comm_lane,
+            comm_worker,
+            comm_core,
+            pools: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of compute workers (the communication worker not included).
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether a dedicated communication worker exists.
+    pub fn has_comm_worker(&self) -> bool {
+        self.comm_lane.is_some()
+    }
+
+    /// CPU the communication worker is pinned to, if any.
+    pub fn comm_core(&self) -> Option<usize> {
+        self.comm_core
+    }
+
+    /// Execute `task(index)` on compute workers `0..threads` and block
+    /// until all of them finished. A worker panic is re-raised here.
+    ///
+    /// # Panics
+    /// Panics if `threads` exceeds [`Runtime::threads`]. Must not be
+    /// called from a task running on this same runtime (the workers are
+    /// occupied; the dispatch would deadlock).
+    pub fn run(&self, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        assert!(
+            threads <= self.workers.len(),
+            "dispatch of {threads} threads on a runtime with {} workers",
+            self.workers.len()
+        );
+        if threads == 0 {
+            return;
+        }
+        let _serial = self.dispatch.lock();
+        self.lane.done.store(0, Ordering::Release);
+        // Register this thread before the task is visible, so the last
+        // worker cannot miss the unpark target.
+        *self.lane.waiter.lock() = Some(std::thread::current());
+        {
+            let mut slot = self.lane.slot.lock();
+            slot.epoch += 1;
+            // SAFETY (lifetime erasure): we block below until all
+            // participants completed, so the borrow outlives every use.
+            slot.task = Some(SendPtr(unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), TaskRef>(task)
+            }));
+            slot.active = threads;
+            self.lane.epoch.store(slot.epoch, Ordering::Release);
+        }
+        for worker in &self.workers[..threads] {
+            worker.thread().unpark();
+        }
+        // Spin briefly (cheap for short sweeps), then park until the
+        // last worker unparks us — the dispatcher must not burn a core
+        // that a pinned worker needs for the whole solve.
+        wait_until(|| self.lane.done.load(Ordering::Acquire) == threads);
+        *self.lane.waiter.lock() = None;
+        self.lane.slot.lock().task = None;
+        if let Some(payload) = self.lane.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Hand `task` to the dedicated communication worker and return a
+    /// handle that joins it. The task runs concurrently with compute
+    /// dispatches; the returned handle borrows `task` (and `self`), so
+    /// the closure cannot be touched or dropped until joined.
+    ///
+    /// # Panics
+    /// Panics if the runtime has no communication worker, or if the
+    /// previous comm task has not been joined yet (one in flight at a
+    /// time — the protocol of one exchange per cycle).
+    pub fn submit_comm<'a>(&'a self, task: &'a mut (dyn FnMut() + Send)) -> CommHandle<'a> {
+        let lane = self
+            .comm_lane
+            .as_ref()
+            .expect("runtime was built without a communication worker");
+        let epoch = {
+            let mut slot = lane.slot.lock();
+            assert!(
+                lane.done_epoch.load(Ordering::Acquire) == slot.epoch,
+                "previous comm task still in flight"
+            );
+            slot.epoch += 1;
+            // SAFETY (lifetime erasure): the returned handle holds the
+            // `'a` borrow and waits for completion no later than drop.
+            slot.task = Some(SendPtr(unsafe {
+                std::mem::transmute::<*mut (dyn FnMut() + Send), CommTaskRef>(task)
+            }));
+            lane.epoch.store(slot.epoch, Ordering::Release);
+            slot.epoch
+        };
+        if let Some(worker) = &self.comm_worker {
+            worker.thread().unpark();
+        }
+        CommHandle {
+            runtime: self,
+            epoch,
+            joined: false,
+            _task: PhantomData,
+        }
+    }
+
+    /// The runtime's staging-grid pool for element type `T`. Pools are
+    /// created on first use and shared by everything running on this
+    /// runtime; see [`GridPool`] for the reuse contract.
+    pub fn grid_pool<T: Real>(&self) -> Arc<GridPool<T>> {
+        let mut pools = self.pools.lock();
+        let entry = pools
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Arc::new(GridPool::<T>::new())));
+        entry
+            .downcast_ref::<Arc<GridPool<T>>>()
+            .expect("pool registered under its own TypeId")
+            .clone()
+    }
+
+    fn comm_wait(&self, epoch: usize) -> Option<Box<dyn Any + Send>> {
+        let lane = self.comm_lane.as_ref().expect("handle implies comm lane");
+        *lane.waiter.lock() = Some(std::thread::current());
+        wait_until(|| lane.done_epoch.load(Ordering::Acquire) >= epoch);
+        *lane.waiter.lock() = None;
+        lane.slot.lock().task = None;
+        lane.panic.lock().take()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.lane.shutdown.store(true, Ordering::Release);
+        for worker in &self.workers {
+            worker.thread().unpark();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(lane) = &self.comm_lane {
+            lane.shutdown.store(true, Ordering::Release);
+        }
+        if let Some(worker) = self.comm_worker.take() {
+            worker.thread().unpark();
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Join handle of a task submitted with [`Runtime::submit_comm`]. Holds
+/// the borrow of the task closure; joining (explicitly or on drop) waits
+/// for the communication worker to finish it.
+pub struct CommHandle<'a> {
+    runtime: &'a Runtime,
+    epoch: usize,
+    joined: bool,
+    _task: PhantomData<&'a mut ()>,
+}
+
+impl CommHandle<'_> {
+    /// Block until the comm task completed; re-raises its panic, if any.
+    pub fn join(mut self) {
+        self.joined = true;
+        if let Some(payload) = self.runtime.comm_wait(self.epoch) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for CommHandle<'_> {
+    fn drop(&mut self) {
+        if self.joined {
+            return;
+        }
+        let payload = self.runtime.comm_wait(self.epoch);
+        if let (Some(payload), false) = (payload, std::thread::panicking()) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_every_index_exactly_once() {
+        let rt = Runtime::with_threads(4);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        for _ in 0..50 {
+            rt.run(4, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn subset_dispatch_leaves_other_workers_idle() {
+        let rt = Runtime::with_threads(4);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        rt.run(2, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        rt.run(3, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        let got: Vec<u64> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn zero_thread_dispatch_is_a_noop() {
+        let rt = Runtime::with_threads(1);
+        rt.run(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime with 2 workers")]
+    fn oversized_dispatch_is_rejected() {
+        let rt = Runtime::with_threads(2);
+        rt.run(3, &|_| {});
+    }
+
+    #[test]
+    fn tasks_can_borrow_the_callers_stack() {
+        let rt = Runtime::with_threads(3);
+        let inputs = [1u64, 10, 100];
+        let sum = AtomicU64::new(0);
+        rt.run(3, &|i| {
+            sum.fetch_add(inputs[i], Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 111);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_runtime_survives() {
+        let rt = Runtime::with_threads(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(2, &|i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must re-raise on the caller");
+        // The team stays usable after a task panic.
+        let ok = AtomicU64::new(0);
+        rt.run(2, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn comm_worker_runs_concurrently_with_compute() {
+        let rt = Runtime::from_cpus(vec![None; 2], Some(None));
+        assert!(rt.has_comm_worker());
+        let flag = AtomicBool::new(false);
+        let mut comm = || {
+            flag.store(true, Ordering::Release);
+        };
+        let handle = rt.submit_comm(&mut comm);
+        let sum = AtomicU64::new(0);
+        rt.run(2, &|i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        handle.join();
+        assert!(flag.load(Ordering::Acquire));
+        assert_eq!(sum.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn comm_tasks_are_reusable_across_cycles() {
+        let rt = Runtime::from_cpus(Vec::new(), Some(None));
+        let mut total = 0u64;
+        for cycle in 0..20 {
+            let mut task = || total += cycle;
+            rt.submit_comm(&mut task).join();
+        }
+        assert_eq!(total, (0..20).sum::<u64>());
+    }
+
+    #[test]
+    fn comm_panic_reraises_at_join() {
+        let rt = Runtime::from_cpus(Vec::new(), Some(None));
+        let mut task = || panic!("comm boom");
+        let handle = rt.submit_comm(&mut task);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
+        assert!(caught.is_err());
+        // And the comm worker survives for the next cycle.
+        let mut ok = false;
+        rt.submit_comm(&mut || ok = true).join();
+        assert!(ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a communication worker")]
+    fn submit_without_comm_worker_is_a_protocol_error() {
+        let rt = Runtime::with_threads(1);
+        let mut task = || {};
+        let _ = rt.submit_comm(&mut task);
+    }
+
+    #[test]
+    fn layout_constructor_reflects_comm_core() {
+        let m = tb_topology::Machine::flat(4);
+        let layout = TeamLayout::with_comm_core(&m, 3, 1);
+        let rt = Runtime::new(&layout);
+        assert_eq!(rt.threads(), 3);
+        assert!(rt.has_comm_worker());
+        assert_eq!(rt.comm_core(), layout.comm_core);
+        let plain = Runtime::new(&TeamLayout::new(&m, 2, 2));
+        assert_eq!(plain.threads(), 4);
+        assert!(!plain.has_comm_worker());
+    }
+
+    #[test]
+    fn grid_pool_is_shared_per_element_type() {
+        let rt = Runtime::with_threads(1);
+        let p1 = rt.grid_pool::<f64>();
+        let p2 = rt.grid_pool::<f64>();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let q = rt.grid_pool::<f32>();
+        q.release(tb_grid::Grid3::zeroed(tb_grid::Dims3::cube(4)));
+        assert_eq!(q.free_grids(), 1);
+        assert_eq!(p1.free_grids(), 0, "f32 and f64 pools are distinct");
+    }
+}

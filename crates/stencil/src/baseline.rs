@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tb_grid::{BlockPartition, GridPair, Real, Region3, SharedGrid};
+use tb_runtime::Runtime;
 use tb_sync::SpinBarrier;
-use tb_topology::affinity;
 
 use crate::kernel::{self, StoreMode};
 use crate::op::{Jacobi6, StencilOp};
@@ -70,20 +70,22 @@ pub fn seq_blocked_sweeps<T: Real>(
     seq_blocked_sweeps_op(&Jacobi6, pair, sweeps, block)
 }
 
-/// Thread-parallel standard sweeps: the interior is split into contiguous
-/// z-slabs, one per thread; every thread sweeps its slab and a barrier
-/// separates sweeps. `store` selects plain or non-temporal stores (the
-/// paper's baseline uses the latter; operators without a streaming row
-/// fall back to plain stores, bitwise identically).
+/// Thread-parallel standard sweeps on `threads` workers of a persistent
+/// runtime: the interior is split into contiguous z-slabs, one per
+/// worker; every worker sweeps its slab and a barrier separates sweeps.
+/// `store` selects plain or non-temporal stores (the paper's baseline
+/// uses the latter; operators without a streaming row fall back to plain
+/// stores, bitwise identically).
 ///
-/// `cpus` optionally pins thread `k` to `cpus[k]`.
-pub fn par_sweeps_op<T: Real, Op: StencilOp<T>>(
+/// # Panics
+/// Panics if `threads == 0` or `threads > rt.threads()`.
+pub fn par_sweeps_op_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
     op: &Op,
     pair: &mut GridPair<T>,
     sweeps: usize,
     threads: usize,
     store: StoreMode,
-    cpus: Option<&[usize]>,
 ) -> RunStats {
     assert!(threads >= 1);
     let dims = pair.dims();
@@ -102,47 +104,73 @@ pub fn par_sweeps_op<T: Real, Op: StencilOp<T>>(
     // Contiguous z-slabs, remainder spread over the first slabs.
     let nz = interior.extent(2);
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for k in 0..threads {
-            let barrier = &barrier;
-            let total = &total;
-            scope.spawn(move || {
-                if let Some(cpus) = cpus {
-                    if let Some(&c) = cpus.get(k) {
-                        let _ = affinity::pin_current_thread(c);
-                    }
+    rt.run(threads, &|k| {
+        let (z0, z1) = slab(nz, threads, k);
+        let mut slab_region = interior;
+        slab_region.lo[2] = interior.lo[2] + z0;
+        slab_region.hi[2] = interior.lo[2] + z1;
+        let mut cells = 0u64;
+        for s in 0..sweeps {
+            let (sg, dg) = (s % 2, (s + 1) % 2);
+            if !slab_region.is_empty() {
+                // SAFETY: slabs are disjoint between workers and
+                // the barrier separates sweeps, so no cell is
+                // concurrently written while read: reads of
+                // sweep s come from the grid written in sweep
+                // s-1, sealed by the barrier below.
+                unsafe {
+                    kernel::update_region_shared_op(
+                        op,
+                        &views[sg],
+                        &views[dg],
+                        &slab_region,
+                        store,
+                    );
                 }
-                let (z0, z1) = slab(nz, threads, k);
-                let mut slab_region = interior;
-                slab_region.lo[2] = interior.lo[2] + z0;
-                slab_region.hi[2] = interior.lo[2] + z1;
-                let mut cells = 0u64;
-                for s in 0..sweeps {
-                    let (sg, dg) = (s % 2, (s + 1) % 2);
-                    if !slab_region.is_empty() {
-                        // SAFETY: slabs are disjoint between threads and
-                        // the barrier separates sweeps, so no cell is
-                        // concurrently written while read: reads of
-                        // sweep s come from the grid written in sweep
-                        // s-1, sealed by the barrier below.
-                        unsafe {
-                            kernel::update_region_shared_op(
-                                op,
-                                &views[sg],
-                                &views[dg],
-                                &slab_region,
-                                store,
-                            );
-                        }
-                        cells += slab_region.count() as u64;
-                    }
-                    barrier.wait();
-                }
-                total.fetch_add(cells, Ordering::Relaxed);
-            });
+                cells += slab_region.count() as u64;
+            }
+            barrier.wait();
         }
+        total.fetch_add(cells, Ordering::Relaxed);
     });
     RunStats::new(total.load(Ordering::Relaxed), t0.elapsed())
+}
+
+/// [`par_sweeps_op_on`] on a one-shot runtime — the classic entry
+/// point. `cpus` optionally pins worker `k` to `cpus[k]`; the reported
+/// elapsed time includes the team spawn/join, as it always did.
+pub fn par_sweeps_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    pair: &mut GridPair<T>,
+    sweeps: usize,
+    threads: usize,
+    store: StoreMode,
+    cpus: Option<&[usize]>,
+) -> RunStats {
+    assert!(threads >= 1);
+    if Region3::interior_of(pair.dims()).is_empty() || sweeps == 0 {
+        return RunStats::new(0, std::time::Duration::ZERO);
+    }
+    let t0 = Instant::now();
+    let rt = match cpus {
+        Some(cpus) => {
+            Runtime::from_cpus((0..threads).map(|k| cpus.get(k).copied()).collect(), None)
+        }
+        None => Runtime::with_threads(threads),
+    };
+    let stats = par_sweeps_op_on(&rt, op, pair, sweeps, threads, store);
+    RunStats::new(stats.cell_updates, t0.elapsed())
+}
+
+/// Classic-Jacobi form of [`par_sweeps_op_on`].
+pub fn par_sweeps_on<T: Real>(
+    rt: &Runtime,
+    pair: &mut GridPair<T>,
+    sweeps: usize,
+    threads: usize,
+    store: StoreMode,
+) -> RunStats {
+    par_sweeps_op_on(rt, &Jacobi6, pair, sweeps, threads, store)
 }
 
 /// Classic-Jacobi form of [`par_sweeps_op`].

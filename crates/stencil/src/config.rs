@@ -78,6 +78,20 @@ impl PipelineConfig {
         self.team_size * self.n_teams
     }
 
+    /// A one-shot [`tb_runtime::Runtime`] for this config: one worker
+    /// per pipeline thread, pinned per [`PipelineConfig::layout`] when
+    /// present. The classic (non-`_on`) executor entry points build one
+    /// of these per call; repeated solves should build a runtime once
+    /// and use the `*_on` forms instead.
+    pub fn one_shot_runtime(&self) -> tb_runtime::Runtime {
+        match &self.layout {
+            Some(layout) if layout.threads() == self.threads() => {
+                tb_runtime::Runtime::from_cpus(layout.cpus.clone(), None)
+            }
+            _ => tb_runtime::Runtime::with_threads(self.threads()),
+        }
+    }
+
     /// Total pipeline stages per team sweep, `n * t * T`.
     pub fn stages(&self) -> usize {
         self.threads() * self.updates_per_thread

@@ -24,6 +24,14 @@
 //! * [`stats`] — LUP/s and FLOP/s accounting shared by examples and
 //!   benches.
 //!
+//! # Execution
+//!
+//! Every parallel entry point has a `*_on(&tb_runtime::Runtime, …)`
+//! form running on a persistent, core-pinned worker team (share one
+//! runtime across repeated solves), and a classic form that builds a
+//! one-shot runtime per call — same signature and bitwise behaviour as
+//! before the runtime existed.
+//!
 //! # Determinism
 //!
 //! Every operator evaluates its update in one fixed operand order (e.g.

@@ -13,25 +13,31 @@
 //! Besides saving nearly half the memory, the paper notes non-temporal
 //! stores are pointless here: blocks are evicted naturally after their
 //! `n·t·T` in-cache updates.
+//!
+//! Like the two-grid executor, the entry points come in `*_on(&Runtime,
+//! …)` and classic (one-shot runtime per call) forms.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tb_grid::{AccessKind, CompressedGrid, Real, Region3, RegionAuditor};
+use tb_runtime::Runtime;
 use tb_sync::{PipelineSync, SpinBarrier};
-use tb_topology::affinity;
 
 use crate::config::PipelineConfig;
 use crate::kernel;
 use crate::op::{Jacobi6, StencilOp};
 use crate::pipeline::plan::PipelinePlan;
+use crate::pipeline::schedule::team_sweep_schedule;
 use crate::stats::RunStats;
 
 /// Run `sweeps` sweeps of `op` on a compressed grid with pipelined
-/// temporal blocking. The grid must start at displacement 0 and have
-/// `margin >= cfg.stages()`; on return its displacement records where the
-/// data landed.
-pub fn run_compressed_op<T: Real, Op: StencilOp<T>>(
+/// temporal blocking, executing on the given persistent runtime (at
+/// least `cfg.threads()` workers). The grid must start at displacement 0
+/// and have `margin >= cfg.stages()`; on return its displacement records
+/// where the data landed.
+pub fn run_compressed_op_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
     op: &Op,
     cg: &mut CompressedGrid<T>,
     cfg: &PipelineConfig,
@@ -52,11 +58,17 @@ pub fn run_compressed_op<T: Real, Op: StencilOp<T>>(
     if sweeps == 0 {
         return Ok(RunStats::new(0, std::time::Duration::ZERO));
     }
+    let threads = cfg.threads();
+    if rt.threads() < threads {
+        return Err(format!(
+            "runtime has {} workers but the pipeline needs {threads}",
+            rt.threads()
+        ));
+    }
 
     let interior = Region3::interior_of(logical);
     let plan = PipelinePlan::uniform(interior, cfg.block, depth);
     let nblocks = plan.num_blocks();
-    let threads = cfg.threads();
     let team_sweeps = sweeps.div_ceil(depth);
     let margin = cg.margin();
 
@@ -65,67 +77,43 @@ pub fn run_compressed_op<T: Real, Op: StencilOp<T>>(
     let auditor = cfg.audit.then(RegionAuditor::new);
     let total_cells = AtomicU64::new(0);
     let view = cg.shared();
+    let upt = cfg.updates_per_thread;
 
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for tid in 0..threads {
-            let plan = &plan;
-            let barrier = &barrier;
-            let psync = psync.as_ref();
-            let auditor = auditor.as_ref();
-            let total_cells = &total_cells;
-            let view = &view;
-            scope.spawn(move || {
-                if let Some(layout) = &cfg.layout {
-                    let _ = affinity::pin_opt(layout.cpus[tid]);
-                }
-                let upt = cfg.updates_per_thread;
-                let mut my_cells = 0u64;
-                for ts in 0..team_sweeps {
-                    let base = ts * depth;
-                    let stages_now = depth.min(sweeps - base);
-                    let down = ts % 2 == 0;
-                    let work = |j: usize, cells: &mut u64| {
-                        *cells += update_block(
-                            op, view, plan, auditor, logical, margin, depth, tid, j, stages_now,
-                            upt, down,
-                        );
-                    };
-                    match psync {
-                        Some(psync) => {
-                            barrier.wait();
-                            if tid == 0 {
-                                psync.reset();
-                            }
-                            barrier.wait();
-                            if tid * upt >= stages_now {
-                                psync.mark_complete(tid, nblocks as u64);
-                                continue;
-                            }
-                            for k in 0..nblocks {
-                                let j = if down { k } else { nblocks - 1 - k };
-                                psync.wait_for_turn(tid, nblocks as u64);
-                                work(j, &mut my_cells);
-                                psync.complete_block(tid);
-                            }
-                        }
-                        None => {
-                            let rounds = nblocks + threads - 1;
-                            for r in 0..rounds {
-                                if let Some(k) = r.checked_sub(tid) {
-                                    if k < nblocks && tid * upt < stages_now {
-                                        let j = if down { k } else { nblocks - 1 - k };
-                                        work(j, &mut my_cells);
-                                    }
-                                }
-                                barrier.wait();
-                            }
-                        }
-                    }
-                }
-                total_cells.fetch_add(my_cells, Ordering::Relaxed);
-            });
+    rt.run(threads, &|tid| {
+        let mut my_cells = 0u64;
+        for ts in 0..team_sweeps {
+            let base = ts * depth;
+            let stages_now = depth.min(sweeps - base);
+            let down = ts % 2 == 0;
+            my_cells += team_sweep_schedule(
+                &barrier,
+                psync.as_ref(),
+                tid,
+                threads,
+                upt,
+                nblocks,
+                stages_now,
+                |k| if down { k } else { nblocks - 1 - k },
+                |j| {
+                    update_block(
+                        op,
+                        &view,
+                        &plan,
+                        auditor.as_ref(),
+                        logical,
+                        margin,
+                        depth,
+                        tid,
+                        j,
+                        stages_now,
+                        upt,
+                        down,
+                    )
+                },
+            );
         }
+        total_cells.fetch_add(my_cells, Ordering::Relaxed);
     });
     let elapsed = t0.elapsed();
 
@@ -139,6 +127,35 @@ pub fn run_compressed_op<T: Real, Op: StencilOp<T>>(
     };
     cg.set_displacement(final_disp);
     Ok(RunStats::new(total_cells.load(Ordering::Relaxed), elapsed))
+}
+
+/// [`run_compressed_op_on`] on a one-shot runtime built from `cfg` —
+/// the classic entry point. The reported elapsed time includes the
+/// team spawn/join, as it always did.
+pub fn run_compressed_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    cg: &mut CompressedGrid<T>,
+    cfg: &PipelineConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    cfg.validate(cg.logical_dims())?;
+    let t0 = Instant::now();
+    let stats = run_compressed_op_on(&cfg.one_shot_runtime(), op, cg, cfg, sweeps)?;
+    Ok(if sweeps == 0 {
+        stats
+    } else {
+        RunStats::new(stats.cell_updates, t0.elapsed())
+    })
+}
+
+/// Classic-Jacobi form of [`run_compressed_op_on`].
+pub fn run_compressed_on<T: Real>(
+    rt: &Runtime,
+    cg: &mut CompressedGrid<T>,
+    cfg: &PipelineConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_compressed_op_on(rt, &Jacobi6, cg, cfg, sweeps)
 }
 
 /// Classic-Jacobi form of [`run_compressed_op`].

@@ -9,23 +9,145 @@
 //! are separated by barriers; a trailing partial team sweep handles sweep
 //! counts that are not multiples of the pipeline depth, so `run` performs
 //! *exactly* `sweeps` Jacobi sweeps for any request.
+//!
+//! Every entry point exists in two forms: `*_on(&Runtime, …)` executes
+//! on a persistent [`tb_runtime::Runtime`] worker team (the paper's
+//! long-lived pinned thread groups — share one runtime across repeated
+//! solves to pay the spawn/pin cost once), and the classic form, which
+//! builds a one-shot runtime per call and so keeps its historical
+//! signature and cost profile.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tb_grid::{AccessKind, GridPair, Real, Region3, RegionAuditor};
+use tb_grid::{AccessKind, GridPair, Real, Region3, RegionAuditor, SharedGrid};
+use tb_runtime::Runtime;
 use tb_sync::{PipelineSync, SpinBarrier};
-use tb_topology::affinity;
 
 use crate::config::PipelineConfig;
 use crate::kernel::{self, StoreMode};
 use crate::op::{Jacobi6, StencilOp};
 use crate::pipeline::plan::PipelinePlan;
+use crate::pipeline::schedule::team_sweep_schedule;
 use crate::stats::RunStats;
 
+/// The shared state of one pipelined run: plan, grid views, and the
+/// synchronization objects every worker of the team touches. Build it
+/// once per run, then have each worker of the team call
+/// [`PipelineRun::worker`]. This is the reusable core behind
+/// [`run_op_on`]; `tb-dist`'s NUMA node solver drives one `PipelineRun`
+/// per subdomain team on slices of a larger runtime.
+pub struct PipelineRun<'a, T: Real, Op: StencilOp<T>> {
+    op: &'a Op,
+    views: [SharedGrid<T>; 2],
+    plan: PipelinePlan,
+    barrier: SpinBarrier,
+    psync: Option<PipelineSync>,
+    auditor: Option<RegionAuditor>,
+    total_cells: AtomicU64,
+    threads: usize,
+    upt: usize,
+    depth: usize,
+    sweeps: usize,
+    _pair: std::marker::PhantomData<&'a mut GridPair<T>>,
+}
+
+impl<'a, T: Real, Op: StencilOp<T>> PipelineRun<'a, T, Op> {
+    /// Validate `cfg` against the pair and set up the run state for
+    /// `sweeps` sweeps of `op`.
+    pub fn new(
+        op: &'a Op,
+        pair: &'a mut GridPair<T>,
+        cfg: &PipelineConfig,
+        sweeps: usize,
+    ) -> Result<Self, String> {
+        cfg.validate(pair.dims())?;
+        let dims = pair.dims();
+        let interior = Region3::interior_of(dims);
+        let depth = cfg.stages();
+        let plan = PipelinePlan::uniform(interior, cfg.block, depth);
+        let threads = cfg.threads();
+        let ptrs = pair.base_ptrs();
+        Ok(Self {
+            op,
+            views: [
+                SharedGrid::from_raw(ptrs[0], dims),
+                SharedGrid::from_raw(ptrs[1], dims),
+            ],
+            plan,
+            barrier: SpinBarrier::new(threads),
+            psync: PipelineSync::from_mode(threads, cfg.team_size, cfg.sync),
+            auditor: cfg.audit.then(RegionAuditor::new),
+            total_cells: AtomicU64::new(0),
+            threads,
+            upt: cfg.updates_per_thread,
+            depth,
+            sweeps,
+            _pair: std::marker::PhantomData,
+        })
+    }
+
+    /// Pipeline threads of this run (`n·t`).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute pipeline thread `tid`'s share of the whole run: every
+    /// team sweep, including the trailing partial one.
+    ///
+    /// # Safety
+    /// Exactly [`PipelineRun::threads`] workers must call this
+    /// concurrently, with distinct `tid`s in `0..threads`, and nothing
+    /// else may touch the underlying grid pair for the duration — the
+    /// plan geometry plus the synchronization distances then guarantee
+    /// the disjointness contract of the shared-grid kernels.
+    pub unsafe fn worker(&self, tid: usize) {
+        let nblocks = self.plan.num_blocks();
+        let team_sweeps = self.sweeps.div_ceil(self.depth);
+        let mut my_cells = 0u64;
+        for ts in 0..team_sweeps {
+            let base = ts * self.depth;
+            let stages_now = self.depth.min(self.sweeps - base);
+            my_cells += team_sweep_schedule(
+                &self.barrier,
+                self.psync.as_ref(),
+                tid,
+                self.threads,
+                self.upt,
+                nblocks,
+                stages_now,
+                |k| k,
+                |j| {
+                    update_block(
+                        self.op,
+                        &self.views,
+                        &self.plan,
+                        self.auditor.as_ref(),
+                        tid,
+                        j,
+                        base,
+                        stages_now,
+                        self.upt,
+                    )
+                },
+            );
+        }
+        self.total_cells.fetch_add(my_cells, Ordering::Relaxed);
+    }
+
+    /// Cell updates performed so far (complete once all workers joined).
+    pub fn cells(&self) -> u64 {
+        self.total_cells.load(Ordering::Relaxed)
+    }
+}
+
 /// Run `sweeps` sweeps of `op` over `pair` with pipelined temporal
-/// blocking. On return the result lives in `pair.current(sweeps)`.
-pub fn run_op<T: Real, Op: StencilOp<T>>(
+/// blocking on the given persistent runtime (which must have at least
+/// `cfg.threads()` workers; placement belongs to the runtime, so a
+/// `cfg.layout` pin list is ignored here). On return the result lives
+/// in `pair.current(sweeps)`.
+pub fn run_op_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
     op: &Op,
     pair: &mut GridPair<T>,
     cfg: &PipelineConfig,
@@ -35,88 +157,49 @@ pub fn run_op<T: Real, Op: StencilOp<T>>(
     if sweeps == 0 {
         return Ok(RunStats::new(0, std::time::Duration::ZERO));
     }
-    let dims = pair.dims();
-    let interior = Region3::interior_of(dims);
-    let depth = cfg.stages();
-    let plan = PipelinePlan::uniform(interior, cfg.block, depth);
-    let nblocks = plan.num_blocks();
-    let threads = cfg.threads();
-    let team_sweeps = sweeps.div_ceil(depth);
-
-    let barrier = SpinBarrier::new(threads);
-    let psync = PipelineSync::from_mode(threads, cfg.team_size, cfg.sync);
-    let auditor = cfg.audit.then(RegionAuditor::new);
-    let total_cells = AtomicU64::new(0);
-    let ptrs = pair.base_ptrs();
-    let views = [
-        tb_grid::SharedGrid::from_raw(ptrs[0], dims),
-        tb_grid::SharedGrid::from_raw(ptrs[1], dims),
-    ];
-
+    if rt.threads() < cfg.threads() {
+        return Err(format!(
+            "runtime has {} workers but the pipeline needs {}",
+            rt.threads(),
+            cfg.threads()
+        ));
+    }
+    let run = PipelineRun::new(op, pair, cfg, sweeps)?;
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for tid in 0..threads {
-            let plan = &plan;
-            let barrier = &barrier;
-            let psync = psync.as_ref();
-            let auditor = auditor.as_ref();
-            let total_cells = &total_cells;
-            scope.spawn(move || {
-                if let Some(layout) = &cfg.layout {
-                    let _ = affinity::pin_opt(layout.cpus[tid]);
-                }
-                let upt = cfg.updates_per_thread;
-                let mut my_cells = 0u64;
-                for ts in 0..team_sweeps {
-                    let base = ts * depth;
-                    let stages_now = depth.min(sweeps - base);
-                    match psync {
-                        Some(psync) => {
-                            barrier.wait();
-                            if tid == 0 {
-                                psync.reset();
-                            }
-                            barrier.wait();
-                            if tid * upt >= stages_now {
-                                // All my stages fall outside this partial
-                                // sweep: report completion so neighbours
-                                // never wait for me.
-                                psync.mark_complete(tid, nblocks as u64);
-                                continue;
-                            }
-                            for j in 0..nblocks {
-                                psync.wait_for_turn(tid, nblocks as u64);
-                                my_cells += update_block(
-                                    op, &views, plan, auditor, tid, j, base, stages_now, upt,
-                                );
-                                psync.complete_block(tid);
-                            }
-                        }
-                        None => {
-                            // Global barrier after every block update:
-                            // lock-step rounds, thread `tid` handles block
-                            // `r - tid` in round `r`.
-                            let rounds = nblocks + threads - 1;
-                            for r in 0..rounds {
-                                if let Some(j) = r.checked_sub(tid) {
-                                    if j < nblocks && tid * upt < stages_now {
-                                        my_cells += update_block(
-                                            op, &views, plan, auditor, tid, j, base, stages_now,
-                                            upt,
-                                        );
-                                    }
-                                }
-                                barrier.wait();
-                            }
-                        }
-                    }
-                }
-                total_cells.fetch_add(my_cells, Ordering::Relaxed);
-            });
-        }
-    });
-    let elapsed = t0.elapsed();
-    Ok(RunStats::new(total_cells.load(Ordering::Relaxed), elapsed))
+    // SAFETY: the runtime dispatch hands out distinct tids 0..threads
+    // and blocks until every worker finished; the pair stays exclusively
+    // borrowed by `run` for that whole window.
+    rt.run(run.threads(), &|tid| unsafe { run.worker(tid) });
+    Ok(RunStats::new(run.cells(), t0.elapsed()))
+}
+
+/// [`run_op_on`] on a one-shot runtime built from `cfg` (pinned per
+/// `cfg.layout` when present) — the classic entry point. The reported
+/// elapsed time includes the team spawn/join, as it always did.
+pub fn run_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    pair: &mut GridPair<T>,
+    cfg: &PipelineConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    cfg.validate(pair.dims())?;
+    let t0 = Instant::now();
+    let stats = run_op_on(&cfg.one_shot_runtime(), op, pair, cfg, sweeps)?;
+    Ok(if sweeps == 0 {
+        stats
+    } else {
+        RunStats::new(stats.cell_updates, t0.elapsed())
+    })
+}
+
+/// Classic-Jacobi form of [`run_op_on`].
+pub fn run_on<T: Real>(
+    rt: &Runtime,
+    pair: &mut GridPair<T>,
+    cfg: &PipelineConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_op_on(rt, &Jacobi6, pair, cfg, sweeps)
 }
 
 /// Classic-Jacobi form of [`run_op`].
@@ -130,7 +213,8 @@ pub fn run<T: Real>(
 
 /// One pipelined team sweep over an externally built plan — the entry
 /// point for the distributed solver, whose stage domains are shrinking
-/// ghost rings rather than the plain interior.
+/// ghost rings rather than the plain interior. Executes on the given
+/// persistent runtime (at least `cfg.threads()` workers).
 ///
 /// * `views` — the two grid buffers (`views[s % 2]` is read by sweep `s`),
 /// * `base_sweep` — global sweep number of stage 0 (fixes parity),
@@ -144,80 +228,85 @@ pub fn run<T: Real>(
 /// plan's grid extents and that no other thread accesses them during the
 /// call. The plan must satisfy the `pipeline::plan` geometry contract
 /// (construction via [`PipelinePlan::with_domains`] enforces it).
-pub unsafe fn run_team_sweep_op<T: Real, Op: StencilOp<T>>(
+pub unsafe fn run_team_sweep_op_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
     op: &Op,
-    views: &[tb_grid::SharedGrid<T>; 2],
+    views: &[SharedGrid<T>; 2],
     plan: &PipelinePlan,
     cfg: &PipelineConfig,
     base_sweep: usize,
     stages_now: usize,
 ) -> u64 {
     let threads = cfg.threads();
+    assert!(
+        rt.threads() >= threads,
+        "runtime has {} workers but the team sweep needs {threads}",
+        rt.threads()
+    );
     let nblocks = plan.num_blocks();
     let barrier = SpinBarrier::new(threads);
     let psync = PipelineSync::from_mode(threads, cfg.team_size, cfg.sync);
     let auditor = cfg.audit.then(RegionAuditor::new);
     let total_cells = AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        for tid in 0..threads {
-            let plan = &plan;
-            let barrier = &barrier;
-            let psync = psync.as_ref();
-            let auditor = auditor.as_ref();
-            let total_cells = &total_cells;
-            scope.spawn(move || {
-                if let Some(layout) = &cfg.layout {
-                    let _ = affinity::pin_opt(layout.cpus[tid]);
-                }
-                let upt = cfg.updates_per_thread;
-                let mut my_cells = 0u64;
-                match psync {
-                    Some(psync) => {
-                        barrier.wait();
-                        if tid == 0 {
-                            psync.reset();
-                        }
-                        barrier.wait();
-                        if tid * upt >= stages_now {
-                            psync.mark_complete(tid, nblocks as u64);
-                        } else {
-                            for j in 0..nblocks {
-                                psync.wait_for_turn(tid, nblocks as u64);
-                                my_cells += update_block(
-                                    op, views, plan, auditor, tid, j, base_sweep, stages_now, upt,
-                                );
-                                psync.complete_block(tid);
-                            }
-                        }
-                    }
-                    None => {
-                        let rounds = nblocks + threads - 1;
-                        for r in 0..rounds {
-                            if let Some(j) = r.checked_sub(tid) {
-                                if j < nblocks && tid * upt < stages_now {
-                                    my_cells += update_block(
-                                        op, views, plan, auditor, tid, j, base_sweep, stages_now,
-                                        upt,
-                                    );
-                                }
-                            }
-                            barrier.wait();
-                        }
-                    }
-                }
-                total_cells.fetch_add(my_cells, Ordering::Relaxed);
-            });
-        }
+    let upt = cfg.updates_per_thread;
+    rt.run(threads, &|tid| {
+        let cells = team_sweep_schedule(
+            &barrier,
+            psync.as_ref(),
+            tid,
+            threads,
+            upt,
+            nblocks,
+            stages_now,
+            |k| k,
+            |j| {
+                update_block(
+                    op,
+                    views,
+                    plan,
+                    auditor.as_ref(),
+                    tid,
+                    j,
+                    base_sweep,
+                    stages_now,
+                    upt,
+                )
+            },
+        );
+        total_cells.fetch_add(cells, Ordering::Relaxed);
     });
     total_cells.load(Ordering::Relaxed)
+}
+
+/// [`run_team_sweep_op_on`] on a one-shot runtime built from `cfg`.
+///
+/// # Safety
+/// Same contract as [`run_team_sweep_op_on`].
+pub unsafe fn run_team_sweep_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    views: &[SharedGrid<T>; 2],
+    plan: &PipelinePlan,
+    cfg: &PipelineConfig,
+    base_sweep: usize,
+    stages_now: usize,
+) -> u64 {
+    run_team_sweep_op_on(
+        &cfg.one_shot_runtime(),
+        op,
+        views,
+        plan,
+        cfg,
+        base_sweep,
+        stages_now,
+    )
 }
 
 /// Classic-Jacobi form of [`run_team_sweep_op`].
 ///
 /// # Safety
-/// Same contract as [`run_team_sweep_op`].
+/// Same contract as [`run_team_sweep_op_on`].
 pub unsafe fn run_team_sweep<T: Real>(
-    views: &[tb_grid::SharedGrid<T>; 2],
+    views: &[SharedGrid<T>; 2],
     plan: &PipelinePlan,
     cfg: &PipelineConfig,
     base_sweep: usize,
@@ -231,7 +320,7 @@ pub unsafe fn run_team_sweep<T: Real>(
 #[allow(clippy::too_many_arguments)]
 fn update_block<T: Real, Op: StencilOp<T>>(
     op: &Op,
-    views: &[tb_grid::SharedGrid<T>; 2],
+    views: &[SharedGrid<T>; 2],
     plan: &PipelinePlan,
     auditor: Option<&RegionAuditor>,
     tid: usize,
@@ -447,5 +536,33 @@ mod tests {
         let mut cfg = PipelineConfig::small();
         cfg.updates_per_thread = 50;
         assert!(run(&mut pair, &cfg, 2).is_err());
+    }
+
+    #[test]
+    fn shared_runtime_reproduces_the_one_shot_result() {
+        let dims = Dims3::cube(20);
+        let cfg = audit_cfg(2, 1, 2, SyncMode::relaxed_default(), [8, 8, 8]);
+        let want = run_cfg(dims, 9, 6, &cfg);
+        let rt = Runtime::with_threads(cfg.threads());
+        for _ in 0..3 {
+            let mut pair = GridPair::from_initial(init::random(dims, 9));
+            run_on(&rt, &mut pair, &cfg, 6).unwrap();
+            norm::assert_grids_identical(
+                &want,
+                pair.current(6),
+                &Region3::whole(dims),
+                "shared runtime",
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_runtime_is_rejected() {
+        let dims = Dims3::cube(20);
+        let mut pair: GridPair<f64> = GridPair::from_initial(init::random(dims, 1));
+        let cfg = audit_cfg(3, 1, 1, SyncMode::relaxed_default(), [8, 8, 8]);
+        let rt = Runtime::with_threads(2);
+        let err = run_on(&rt, &mut pair, &cfg, 2).unwrap_err();
+        assert!(err.contains("workers"), "{err}");
     }
 }

@@ -1,0 +1,74 @@
+//! The per-worker block schedule of one pipelined team sweep, shared by
+//! the two-grid and compressed executors (and, through
+//! [`super::exec::run_team_sweep_op_on`], by the distributed solver).
+//!
+//! Before this helper existed the barrier-vs-relaxed dispatch below was
+//! copy-pasted into every executor; the schedules must stay literally
+//! identical for the bitwise guarantees to mean anything, so they now
+//! live in exactly one place.
+
+use tb_sync::{PipelineSync, SpinBarrier};
+
+/// Execute worker `tid`'s share of one team sweep over `nblocks` blocks.
+///
+/// * With relaxed sync (`psync = Some`): a barrier pair brackets the
+///   counter reset, a worker whose stages all fall outside a partial
+///   sweep reports completion so neighbours never wait for it, and the
+///   rest walk the blocks in `order`, gated by Eq. 3 distances.
+/// * With a global barrier (`psync = None`): lock-step rounds, worker
+///   `tid` handles block `order(r - tid)` in round `r`, one barrier per
+///   round.
+///
+/// `order` maps the worker's k-th turn to a block index (identity for
+/// the two-grid executor, reversed on the compressed executor's up
+/// sweeps); `work` performs the block update and returns cells updated.
+/// Returns this worker's total.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn team_sweep_schedule(
+    barrier: &SpinBarrier,
+    psync: Option<&PipelineSync>,
+    tid: usize,
+    threads: usize,
+    updates_per_thread: usize,
+    nblocks: usize,
+    stages_now: usize,
+    order: impl Fn(usize) -> usize,
+    mut work: impl FnMut(usize) -> u64,
+) -> u64 {
+    let mut cells = 0u64;
+    match psync {
+        Some(psync) => {
+            barrier.wait();
+            if tid == 0 {
+                psync.reset();
+            }
+            barrier.wait();
+            if tid * updates_per_thread >= stages_now {
+                // All my stages fall outside this partial sweep: report
+                // completion so neighbours never wait for me.
+                psync.mark_complete(tid, nblocks as u64);
+            } else {
+                for k in 0..nblocks {
+                    let j = order(k);
+                    psync.wait_for_turn(tid, nblocks as u64);
+                    cells += work(j);
+                    psync.complete_block(tid);
+                }
+            }
+        }
+        None => {
+            // Global barrier after every block update: lock-step rounds,
+            // thread `tid` handles turn `r - tid` in round `r`.
+            let rounds = nblocks + threads - 1;
+            for r in 0..rounds {
+                if let Some(k) = r.checked_sub(tid) {
+                    if k < nblocks && tid * updates_per_thread < stages_now {
+                        cells += work(order(k));
+                    }
+                }
+                barrier.wait();
+            }
+        }
+    }
+    cells
+}

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tb_grid::{GridPair, Real, Region3, SharedGrid};
+use tb_runtime::Runtime;
 use tb_sync::{PipelineSync, SpinBarrier};
 
 use crate::kernel::{self, StoreMode};
@@ -30,9 +31,10 @@ use crate::stats::RunStats;
 const PLANE_DISTANCE: u64 = 2;
 
 /// Run `sweeps` sweeps of `op` with wavefront temporal blocking using
-/// `threads` threads (= updates per traversal). On return the result is
-/// in `pair.current(sweeps)`.
-pub fn run_wavefront_op<T: Real, Op: StencilOp<T>>(
+/// `threads` workers (= updates per traversal) of the given persistent
+/// runtime. On return the result is in `pair.current(sweeps)`.
+pub fn run_wavefront_op_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
     op: &Op,
     pair: &mut GridPair<T>,
     threads: usize,
@@ -40,6 +42,12 @@ pub fn run_wavefront_op<T: Real, Op: StencilOp<T>>(
 ) -> Result<RunStats, String> {
     if threads == 0 {
         return Err("wavefront needs at least one thread".into());
+    }
+    if rt.threads() < threads {
+        return Err(format!(
+            "runtime has {} workers but the wavefront needs {threads}",
+            rt.threads()
+        ));
     }
     let dims = pair.dims();
     let interior = Region3::interior_of(dims);
@@ -64,63 +72,86 @@ pub fn run_wavefront_op<T: Real, Op: StencilOp<T>>(
     ];
 
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for tid in 0..threads {
-            let barrier = &barrier;
-            let psync = &psync;
-            let total_cells = &total_cells;
-            let views = &views;
-            scope.spawn(move || {
-                let mut my_cells = 0u64;
-                for tr in 0..traversals {
-                    let base = tr * threads;
-                    let stages_now = threads.min(sweeps - base);
-                    barrier.wait();
-                    if tid == 0 {
-                        psync.reset();
-                    }
-                    barrier.wait();
-                    let stage = tid;
-                    if stage >= stages_now {
-                        psync.mark_complete(tid, nplanes as u64);
-                        continue;
-                    }
-                    let sweep = base + stage;
-                    let (sg, dg) = (sweep % 2, (sweep + 1) % 2);
-                    for p in 0..nplanes {
-                        psync.wait_for_turn(tid, nplanes as u64);
-                        let z = interior.lo[2] + p;
-                        let mut plane = interior;
-                        plane.lo[2] = z;
-                        plane.hi[2] = z + 1;
-                        // SAFETY: thread i works on plane p while thread
-                        // i-1 (stage s-1) has completed plane p+1 (lead
-                        // >= 2) — all reads of planes z-1..=z+1 in the
-                        // source grid (corners included: plane claims
-                        // cover whole planes) are sealed, and writes of
-                        // distinct stages go to alternating grids at
-                        // plane distance >= 2.
-                        unsafe {
-                            kernel::update_region_shared_op(
-                                op,
-                                &views[sg],
-                                &views[dg],
-                                &plane,
-                                StoreMode::Normal,
-                            );
-                        }
-                        my_cells += plane.count() as u64;
-                        psync.complete_block(tid);
-                    }
+    rt.run(threads, &|tid| {
+        let mut my_cells = 0u64;
+        for tr in 0..traversals {
+            let base = tr * threads;
+            let stages_now = threads.min(sweeps - base);
+            barrier.wait();
+            if tid == 0 {
+                psync.reset();
+            }
+            barrier.wait();
+            let stage = tid;
+            if stage >= stages_now {
+                psync.mark_complete(tid, nplanes as u64);
+                continue;
+            }
+            let sweep = base + stage;
+            let (sg, dg) = (sweep % 2, (sweep + 1) % 2);
+            for p in 0..nplanes {
+                psync.wait_for_turn(tid, nplanes as u64);
+                let z = interior.lo[2] + p;
+                let mut plane = interior;
+                plane.lo[2] = z;
+                plane.hi[2] = z + 1;
+                // SAFETY: thread i works on plane p while thread
+                // i-1 (stage s-1) has completed plane p+1 (lead
+                // >= 2) — all reads of planes z-1..=z+1 in the
+                // source grid (corners included: plane claims
+                // cover whole planes) are sealed, and writes of
+                // distinct stages go to alternating grids at
+                // plane distance >= 2.
+                unsafe {
+                    kernel::update_region_shared_op(
+                        op,
+                        &views[sg],
+                        &views[dg],
+                        &plane,
+                        StoreMode::Normal,
+                    );
                 }
-                total_cells.fetch_add(my_cells, Ordering::Relaxed);
-            });
+                my_cells += plane.count() as u64;
+                psync.complete_block(tid);
+            }
         }
+        total_cells.fetch_add(my_cells, Ordering::Relaxed);
     });
     Ok(RunStats::new(
         total_cells.load(Ordering::Relaxed),
         t0.elapsed(),
     ))
+}
+
+/// [`run_wavefront_op_on`] on a one-shot runtime — the classic form.
+/// The reported elapsed time includes the team spawn/join, as it
+/// always did.
+pub fn run_wavefront_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    pair: &mut GridPair<T>,
+    threads: usize,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    if threads == 0 {
+        return Err("wavefront needs at least one thread".into());
+    }
+    let t0 = Instant::now();
+    let stats = run_wavefront_op_on(&Runtime::with_threads(threads), op, pair, threads, sweeps)?;
+    Ok(if sweeps == 0 {
+        stats
+    } else {
+        RunStats::new(stats.cell_updates, t0.elapsed())
+    })
+}
+
+/// Classic-Jacobi form of [`run_wavefront_op_on`].
+pub fn run_wavefront_on<T: Real>(
+    rt: &Runtime,
+    pair: &mut GridPair<T>,
+    threads: usize,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_wavefront_op_on(rt, &Jacobi6, pair, threads, sweeps)
 }
 
 /// Classic-Jacobi form of [`run_wavefront_op`].

@@ -9,7 +9,7 @@
 //! ```
 
 use temporal_blocking::prelude::*;
-use temporal_blocking::{grid, membench, model, solve, Method};
+use temporal_blocking::{grid, membench, model, solve_on, Method};
 
 fn main() {
     let dims = temporal_blocking::cube_for_memory_budget(48);
@@ -17,10 +17,29 @@ fn main() {
     let machine = temporal_blocking::topology::detect::detect();
     let base = PipelineConfig::for_machine(&machine, 1, 1);
 
-    println!("autotuning pipelined temporal blocking on {dims} ({sweeps} sweeps)");
+    // One persistent worker team for the whole tuning sweep: dozens of
+    // measured solves (plus the calibration) share these pinned threads
+    // instead of respawning them per configuration. Calibration needs a
+    // full cache group, so grow past the pipeline layout if required.
+    let layout = base
+        .layout
+        .clone()
+        .unwrap_or_else(|| TeamLayout::new(&machine, base.team_size, base.n_teams));
+    let rt = if layout.threads() >= machine.cores_per_socket() {
+        Runtime::new(&layout)
+    } else {
+        Runtime::with_threads(base.threads().max(machine.cores_per_socket()))
+    };
 
-    // Calibrate the host so the diagnostic model has real bandwidths.
-    let params = membench::calibrate_host(&machine, membench::CalibrationProfile::quick());
+    println!("autotuning pipelined temporal blocking on {dims} ({sweeps} sweeps)");
+    println!(
+        "persistent runtime: {} pinned workers shared by every trial",
+        rt.threads()
+    );
+
+    // Calibrate the host so the diagnostic model has real bandwidths —
+    // on the same workers that later run the solves.
+    let params = membench::calibrate_host_on(&rt, &machine, membench::CalibrationProfile::quick());
     println!(
         "calibrated: Ms,1 = {:.1} GB/s, Ms = {:.1} GB/s, Mc = {:.1} GB/s",
         params.ms1 / 1e9,
@@ -47,7 +66,7 @@ fn main() {
                 }
                 let label = format!("T={updates} block={block:?} du={du}");
                 let (_, stats) =
-                    solve(initial.clone(), sweeps, Method::Pipelined(cfg.clone())).unwrap();
+                    solve_on(&rt, initial.clone(), sweeps, Method::Pipelined(cfg.clone())).unwrap();
                 let predicted =
                     model::pipeline_speedup(&params, cfg.team_size * cfg.n_teams, updates);
                 println!(

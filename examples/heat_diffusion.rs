@@ -16,7 +16,7 @@
 //! ```
 
 use temporal_blocking::prelude::*;
-use temporal_blocking::{grid, solve_with, Method};
+use temporal_blocking::{grid, solve_with, solve_with_on, Method};
 
 fn arg(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -25,7 +25,7 @@ fn arg(args: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
-fn relax<Op: StencilOp<f64>>(op: &Op, dims: Dims3, cfg: PipelineConfig, tol: f64) {
+fn relax<Op: StencilOp<f64>>(op: &Op, rt: &Runtime, dims: Dims3, cfg: PipelineConfig, tol: f64) {
     let chunk = cfg.stages().max(4) * 2; // sweeps per convergence check
     let mut current = grid::init::hot_plate::<f64>(dims, 100.0, 0.0);
     let mut total_sweeps = 0usize;
@@ -39,7 +39,9 @@ fn relax<Op: StencilOp<f64>>(op: &Op, dims: Dims3, cfg: PipelineConfig, tol: f64
     println!("{:>8} {:>14} {:>12}", "sweeps", "max |delta|", "MLUP/s");
     for _ in 0..200 {
         let before = current.clone();
-        let (after, stats) = solve_with(op, current, chunk, Method::Pipelined(cfg.clone()))
+        // Every chunk reuses the persistent team (and its pooled B
+        // buffer) instead of spawning threads per convergence step.
+        let (after, stats) = solve_with_on(rt, op, current, chunk, Method::Pipelined(cfg.clone()))
             .expect("pipeline config must be valid");
         total_sweeps += chunk;
         total_updates += stats.cell_updates;
@@ -99,11 +101,18 @@ fn main() {
     let mut cfg = PipelineConfig::for_machine(&machine, 1, 1);
     cfg.block = [48, 12, 12];
 
+    // One pinned worker team for the whole relaxation.
+    let layout = cfg
+        .layout
+        .clone()
+        .unwrap_or_else(|| TeamLayout::new(&machine, cfg.team_size, cfg.n_teams));
+    let rt = Runtime::new(&layout);
+
     match op_name.as_str() {
-        "jacobi" => relax(&Jacobi6, dims, cfg, tol),
-        "heat" => relax(&Jacobi7::heat(0.12), dims, cfg, tol),
-        "varcoeff" => relax(&VarCoeff7::banded(dims), dims, cfg, tol),
-        "avg27" => relax(&Avg27, dims, cfg, tol),
+        "jacobi" => relax(&Jacobi6, &rt, dims, cfg, tol),
+        "heat" => relax(&Jacobi7::heat(0.12), &rt, dims, cfg, tol),
+        "varcoeff" => relax(&VarCoeff7::banded(dims), &rt, dims, cfg, tol),
+        "avg27" => relax(&Avg27, &rt, dims, cfg, tol),
         other => {
             eprintln!("unknown --op {other}; expected jacobi | heat | varcoeff | avg27");
             std::process::exit(2);

@@ -12,6 +12,7 @@
 //! | [`grid`] | aligned 3D grids, grid pairs, compressed grids, regions, blocks, race auditor |
 //! | [`sync`] | spin barrier, padded progress counters, relaxed pipeline sync (Eq. 3) |
 //! | [`topology`] | cache groups, Nehalem EP preset, team layout, affinity |
+//! | [`runtime`] | **persistent core-pinned worker teams** (spawn once, dispatch per solve), comm worker, staging-grid pool |
 //! | [`stencil`] | **stencil operators**, baselines, **pipelined temporal blocking**, wavefront comparator |
 //! | [`model`] | Eq. 2 roofline, §1.4 diagnostic model, Fig. 5 halo model, Fig. 6 scaling model — all fed by per-operator code balance |
 //! | [`membench`] | STREAM COPY/SCALE/ADD/TRIAD + machine calibration |
@@ -73,28 +74,32 @@ pub use tb_grid as grid;
 pub use tb_membench as membench;
 pub use tb_model as model;
 pub use tb_net as net;
+pub use tb_runtime as runtime;
 pub use tb_stencil as stencil;
 pub use tb_sync as sync;
 pub use tb_topology as topology;
 
+pub use tb_runtime::Runtime;
 pub use tb_stencil::{
     Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode, VarCoeff7,
 };
 
 use tb_grid::{CompressedGrid, Dims3, Grid3, GridPair, Real};
+use tb_runtime::GridPool;
 use tb_stencil::config::GridScheme;
 use tb_stencil::kernel::StoreMode;
 use tb_stencil::{baseline, pipeline, wavefront};
 
 /// Everything an application typically needs.
 pub mod prelude {
-    pub use crate::{solve, solve_with, Method};
+    pub use crate::{solve, solve_on, solve_with, solve_with_on, Method};
     pub use tb_grid::{self as grid, Dims3, Grid3, GridPair, Real, Region3};
     pub use tb_model::MachineParams;
+    pub use tb_runtime::Runtime;
     pub use tb_stencil::{
         Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode, VarCoeff7,
     };
-    pub use tb_topology::Machine;
+    pub use tb_topology::{Machine, TeamLayout};
 }
 
 /// Solver selection for [`solve`] / [`solve_with`].
@@ -117,8 +122,103 @@ pub enum Method {
     Wavefront { threads: usize },
 }
 
+/// [`solve_with`] on a persistent [`Runtime`]: parallel methods run on
+/// its (pinned) workers — which must number at least the method's
+/// thread count — and the second grid buffer / compressed storage come
+/// from the runtime's staging pool, so repeated solves stop paying
+/// spawn-per-solve and allocation-per-solve. Sequential methods ignore
+/// the runtime.
+pub fn solve_with_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
+    op: &Op,
+    initial: Grid3<T>,
+    sweeps: usize,
+    method: Method,
+) -> Result<(Grid3<T>, RunStats), String> {
+    /// Pair the initial grid with a pooled B buffer (a full copy, so
+    /// boundary cells are right in both buffers).
+    fn pooled_pair<T: Real>(pool: &GridPool<T>, initial: Grid3<T>) -> GridPair<T> {
+        let mut b = pool.acquire(initial.dims());
+        b.as_mut_slice().copy_from_slice(initial.as_slice());
+        GridPair::from_parts(initial, b)
+    }
+    /// Keep the buffer holding the result, return the other to the pool.
+    fn split_result<T: Real>(pool: &GridPool<T>, pair: GridPair<T>, sweeps: usize) -> Grid3<T> {
+        let (a, b) = pair.into_parts();
+        let (result, spare) = if sweeps.is_multiple_of(2) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        pool.release(spare);
+        result
+    }
+    let pool = rt.grid_pool::<T>();
+    match method {
+        Method::Sequential | Method::Blocked { .. } => solve_with(op, initial, sweeps, method),
+        Method::Parallel {
+            threads,
+            streaming_stores,
+        } => {
+            if threads == 0 {
+                return Err("threads must be >= 1".into());
+            }
+            if threads > rt.threads() {
+                return Err(format!(
+                    "runtime has {} workers but the method needs {threads}",
+                    rt.threads()
+                ));
+            }
+            let store = if streaming_stores {
+                StoreMode::Streaming
+            } else {
+                StoreMode::Normal
+            };
+            let mut pair = pooled_pair(&pool, initial);
+            let stats = baseline::par_sweeps_op_on(rt, op, &mut pair, sweeps, threads, store);
+            Ok((split_result(&pool, pair, sweeps), stats))
+        }
+        Method::Pipelined(mut cfg) => {
+            cfg.scheme = GridScheme::TwoGrid;
+            cfg.validate(initial.dims())?;
+            let mut pair = pooled_pair(&pool, initial);
+            let stats = pipeline::run_op_on(rt, op, &mut pair, &cfg, sweeps)?;
+            Ok((split_result(&pool, pair, sweeps), stats))
+        }
+        Method::PipelinedCompressed(mut cfg) => {
+            cfg.scheme = GridScheme::Compressed;
+            cfg.validate(initial.dims())?;
+            let margin = cfg.stages();
+            let storage = pool.acquire(CompressedGrid::<T>::alloc_dims_for(initial.dims(), margin));
+            let mut cg = CompressedGrid::from_grid_in(&initial, margin, storage);
+            let stats = pipeline::run_compressed_op_on(rt, op, &mut cg, &cfg, sweeps)?;
+            let out = cg.to_grid();
+            pool.release(cg.into_storage());
+            Ok((out, stats))
+        }
+        Method::Wavefront { threads } => {
+            let mut pair = pooled_pair(&pool, initial);
+            let stats = wavefront::run_wavefront_op_on(rt, op, &mut pair, threads, sweeps)?;
+            Ok((split_result(&pool, pair, sweeps), stats))
+        }
+    }
+}
+
+/// [`solve_with_on`] specialized to the classic 6-point Jacobi operator.
+pub fn solve_on<T: Real>(
+    rt: &Runtime,
+    initial: Grid3<T>,
+    sweeps: usize,
+    method: Method,
+) -> Result<(Grid3<T>, RunStats), String> {
+    solve_with_on(rt, &Jacobi6, initial, sweeps, method)
+}
+
 /// Run `sweeps` sweeps of the stencil operator `op` on `initial` with the
 /// chosen method. Returns the final grid and the run statistics.
+///
+/// Parallel methods execute on a one-shot worker team per call; build a
+/// [`Runtime`] and use [`solve_with_on`] when solving repeatedly.
 ///
 /// For a fixed operator, all methods produce bitwise identical results
 /// (see crate docs).
@@ -264,6 +364,47 @@ mod tests {
         check(&Jacobi7::heat(0.11), &initial, sweeps);
         check(&VarCoeff7::banded(dims), &initial, sweeps);
         check(&Avg27, &initial, sweeps);
+    }
+
+    #[test]
+    fn solve_on_shared_runtime_agrees_with_solve_for_every_method() {
+        let dims = Dims3::cube(20);
+        let initial: Grid3<f64> = init::random(dims, 21);
+        let sweeps = 5;
+        let (want, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
+        let rt = Runtime::with_threads(3);
+        for round in 0..2 {
+            for (name, m) in all_methods() {
+                let (got, stats) = solve_on(&rt, initial.clone(), sweeps, m).unwrap();
+                norm::assert_grids_identical(
+                    &want,
+                    &got,
+                    &Region3::whole(dims),
+                    &format!("{name} on shared runtime, round {round}"),
+                );
+                assert_eq!(stats.cell_updates, (sweeps * dims.interior_len()) as u64);
+            }
+        }
+        // The staging pool is being reused, not grown per solve: at most
+        // one two-grid B buffer and one compressed storage block parked.
+        assert!(rt.grid_pool::<f64>().free_grids() <= 2);
+    }
+
+    #[test]
+    fn solve_on_rejects_undersized_runtime() {
+        let dims = Dims3::cube(20);
+        let g: Grid3<f64> = init::random(dims, 1);
+        let rt = Runtime::with_threads(1);
+        assert!(solve_on(
+            &rt,
+            g,
+            2,
+            Method::Parallel {
+                threads: 4,
+                streaming_stores: false
+            }
+        )
+        .is_err());
     }
 
     #[test]
