@@ -1,0 +1,194 @@
+//! Diamond vs pipelined vs wavefront throughput across team sizes —
+//! the perf artifact of the wavefront-diamond scheme.
+//!
+//! For each team size the three temporal-blocking schemes advance the
+//! same problem on one persistent runtime; every run is bitwise-
+//! verified against the sequential oracle before its MLUP/s number is
+//! trusted. Emits `BENCH_diamond.json`, including per-team flags for
+//! where diamond matches or beats the wavefront comparator.
+//!
+//! ```sh
+//! cargo run --release -p tb-bench --bin diamond_sweep -- --size 64 --sweeps 12
+//! cargo run --release -p tb-bench --bin diamond_sweep -- --smoke   # CI cell
+//! ```
+
+use std::io::Write as _;
+
+use tb_bench::{best_of, problem, Args};
+use tb_grid::{norm, Grid3, GridPair, Region3};
+use tb_runtime::Runtime;
+use tb_stencil::config::GridScheme;
+use tb_stencil::{
+    baseline, diamond, pipeline, wavefront, DiamondConfig, Jacobi6, PipelineConfig, SyncMode,
+};
+
+struct Row {
+    team: usize,
+    method: String,
+    mlups: f64,
+    verified: bool,
+}
+
+fn pipeline_cfg(team: usize) -> PipelineConfig {
+    PipelineConfig {
+        team_size: team,
+        n_teams: 1,
+        updates_per_thread: 1,
+        block: [16, 8, 8],
+        sync: SyncMode::relaxed_default(),
+        scheme: GridScheme::TwoGrid,
+        layout: None,
+        audit: false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    rt: &Runtime,
+    team: usize,
+    method: &str,
+    initial: &Grid3<f64>,
+    oracle: &Grid3<f64>,
+    sweeps: usize,
+    reps: usize,
+    run: impl Fn(&Runtime, &mut GridPair<f64>) -> Result<tb_stencil::RunStats, String>,
+) -> Row {
+    let mut last: Option<GridPair<f64>> = None;
+    let stats = best_of(reps, || {
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = run(rt, &mut pair).expect("valid config");
+        last = Some(pair);
+        s
+    });
+    let grid = last.expect("reps >= 1").current(sweeps).clone();
+    let verified = norm::first_mismatch(oracle, &grid, &Region3::whole(oracle.dims())).is_none();
+    Row {
+        team,
+        method: method.to_string(),
+        mlups: stats.mlups(),
+        verified,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("--smoke");
+    let edge = args.get_usize("--size", if smoke { 28 } else { 64 });
+    let sweeps = args.get_usize("--sweeps", if smoke { 6 } else { 12 });
+    let reps = args.get_usize("--reps", if smoke { 2 } else { 3 });
+    let width = args.get_usize("--width", 8);
+    let teams: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4] };
+
+    let initial = problem(edge, 0xD1A);
+    let mut oracle_pair = GridPair::from_initial(initial.clone());
+    baseline::seq_sweeps(&mut oracle_pair, sweeps);
+    let oracle = oracle_pair.current(sweeps).clone();
+
+    println!(
+        "diamond vs pipelined vs wavefront — {edge}^3, {sweeps} sweeps, \
+         best of {reps}, diamond width {width}\n"
+    );
+    println!(
+        "{:>5} {:<12} {:>10} {:>9}",
+        "team", "method", "MLUP/s", "verified"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &team in &teams {
+        let rt = Runtime::with_threads(team);
+        rows.push(run_cell(
+            &rt,
+            team,
+            "diamond",
+            &initial,
+            &oracle,
+            sweeps,
+            reps,
+            |rt, pair| {
+                diamond::run_diamond_op_on(
+                    rt,
+                    &Jacobi6,
+                    pair,
+                    &DiamondConfig::with_width(team, width),
+                    sweeps,
+                )
+            },
+        ));
+        rows.push(run_cell(
+            &rt,
+            team,
+            "pipelined",
+            &initial,
+            &oracle,
+            sweeps,
+            reps,
+            |rt, pair| pipeline::run_op_on(rt, &Jacobi6, pair, &pipeline_cfg(team), sweeps),
+        ));
+        rows.push(run_cell(
+            &rt,
+            team,
+            "wavefront",
+            &initial,
+            &oracle,
+            sweeps,
+            reps,
+            |rt, pair| wavefront::run_wavefront_op_on(rt, &Jacobi6, pair, team, sweeps),
+        ));
+        for r in rows.iter().skip(rows.len() - 3) {
+            println!(
+                "{:>5} {:<12} {:>10.1} {:>9}",
+                r.team, r.method, r.mlups, r.verified
+            );
+        }
+    }
+
+    // Where does diamond at least match the wavefront comparator?
+    let lookup = |team: usize, method: &str| {
+        rows.iter()
+            .find(|r| r.team == team && r.method == method)
+            .map(|r| r.mlups)
+            .unwrap_or(0.0)
+    };
+    let diamond_ge_wavefront: Vec<usize> = teams
+        .iter()
+        .copied()
+        .filter(|&t| lookup(t, "diamond") >= lookup(t, "wavefront"))
+        .collect();
+    let all_verified = rows.iter().all(|r| r.verified);
+
+    println!(
+        "\ndiamond >= wavefront on team sizes {diamond_ge_wavefront:?} \
+         (of {teams:?})"
+    );
+
+    let json = format!(
+        "{{\n  \"edge\": {edge},\n  \"sweeps\": {sweeps},\n  \"reps\": {reps},\n  \
+         \"width\": {width},\n  \"teams\": {teams:?},\n  \
+         \"diamond_ge_wavefront_teams\": {diamond_ge_wavefront:?},\n  \
+         \"all_verified\": {all_verified},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "    {{\"team\": {}, \"method\": \"{}\", \"mlups\": {:.2}, \
+                     \"verified\": {}}}",
+                    r.team, r.method, r.mlups, r.verified
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = args.get("--out").unwrap_or("BENCH_diamond.json");
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_diamond.json");
+    println!("wrote {path}");
+
+    assert!(
+        all_verified,
+        "some runs diverged from the sequential oracle"
+    );
+    println!(
+        "all {} scheme × team runs matched the sequential oracle bitwise",
+        rows.len()
+    );
+}

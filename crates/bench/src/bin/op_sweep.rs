@@ -21,8 +21,8 @@ use tb_net::{CartComm, Universe};
 use tb_stencil::config::GridScheme;
 use tb_stencil::kernel::StoreMode;
 use tb_stencil::{
-    baseline, pipeline, wavefront, Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp,
-    SyncMode, VarCoeff7,
+    baseline, diamond, pipeline, wavefront, Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig,
+    RunStats, StencilOp, SyncMode, VarCoeff7,
 };
 
 struct Row {
@@ -127,28 +127,49 @@ fn sweep_op<Op: StencilOp<f64>>(
         let s = wavefront::run_wavefront_op(op, &mut pair, 2, sweeps).expect("valid threads");
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "dist", &oracle, reps, || {
-        let pgrid = [2, 1, 1];
-        let dec = Decomposition::new(initial.dims(), pgrid, 2);
-        let (g, op_ref) = (&initial, op);
-        let results = Universe::run(dec.ranks(), None, move |comm| {
-            let mut cart = CartComm::new(comm, pgrid);
-            let mut s =
-                DistSolver::from_global_op(&dec, cart.coords(), g, LocalExec::Seq, op_ref.clone())
-                    .expect("valid decomposition");
-            let stats = s.run_sweeps(&mut cart, sweeps);
-            (s.gather_global(&mut cart, &dec, g), stats)
-        });
-        let mut grid = None;
-        let mut agg = RunStats::new(0, std::time::Duration::ZERO);
-        for (g, s) in results {
-            agg = agg.merge_parallel(&s);
-            if let Some(g) = g {
-                grid = Some(g);
-            }
-        }
-        (grid.expect("rank 0 gathers"), agg)
+    rows.push(cell(op, "diamond", &oracle, reps, || {
+        let cfg = DiamondConfig::with_width(2, 8);
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = diamond::run_diamond_op(op, &mut pair, &cfg, sweeps).expect("valid config");
+        (pair.current(sweeps).clone(), s)
     }));
+    rows.push(cell(op, "dist", &oracle, reps, || {
+        dist_run(op, &initial, sweeps, [2, 1, 1], &LocalExec::Seq)
+    }));
+    rows.push(cell(op, "dist-diamond", &oracle, reps, || {
+        // 8 ranks, each advancing its box with diamond blocking.
+        let exec = LocalExec::Diamond(DiamondConfig::with_width(2, 6));
+        dist_run(op, &initial, sweeps, [2, 2, 2], &exec)
+    }));
+}
+
+/// One distributed run: every rank advances with `exec`, rank 0 gathers
+/// the global grid, stats are merged across ranks.
+fn dist_run<Op: StencilOp<f64>>(
+    op: &Op,
+    initial: &Grid3<f64>,
+    sweeps: usize,
+    pgrid: [usize; 3],
+    exec: &LocalExec,
+) -> (Grid3<f64>, RunStats) {
+    let dec = Decomposition::new(initial.dims(), pgrid, 2);
+    let results = Universe::run(dec.ranks(), None, move |comm| {
+        let mut cart = CartComm::new(comm, pgrid);
+        let mut s =
+            DistSolver::from_global_op(&dec, cart.coords(), initial, exec.clone(), op.clone())
+                .expect("valid decomposition");
+        let stats = s.run_sweeps(&mut cart, sweeps);
+        (s.gather_global(&mut cart, &dec, initial), stats)
+    });
+    let mut grid = None;
+    let mut agg = RunStats::new(0, std::time::Duration::ZERO);
+    for (g, s) in results {
+        agg = agg.merge_parallel(&s);
+        if let Some(g) = g {
+            grid = Some(g);
+        }
+    }
+    (grid.expect("rank 0 gathers"), agg)
 }
 
 fn main() {

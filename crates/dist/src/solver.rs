@@ -51,12 +51,15 @@
 
 use std::time::Instant;
 
-use tb_grid::{BlockPartition, Grid3, GridPair, Real, Region3, SharedGrid};
+use tb_grid::{BlockPartition, Grid3, GridPair, Real, Region3};
 use tb_net::{CartComm, Comm, Request};
 use tb_runtime::{PooledGrid, Runtime};
 use tb_stencil::config::GridScheme;
+use tb_stencil::diamond::{self, DiamondTiling};
 use tb_stencil::pipeline::PipelinePlan;
-use tb_stencil::{baseline, kernel, pipeline, Jacobi6, PipelineConfig, RunStats, StencilOp};
+use tb_stencil::{
+    baseline, kernel, pipeline, DiamondConfig, Jacobi6, PipelineConfig, RunStats, StencilOp,
+};
 use tb_sync::Handoff;
 
 use crate::decomp::{annulus_slabs, Decomposition, LocalDomain};
@@ -72,6 +75,13 @@ pub enum LocalExec {
     /// sweeps one exchange sustains (`h / Op::RADIUS`), or the pipeline
     /// would need ghost data the exchange did not provide.
     Pipelined(PipelineConfig),
+    /// Wavefront-diamond temporal blocking inside the rank
+    /// ([`tb_stencil::diamond`]). Diamond tiles clamp to whatever sweep
+    /// count a cycle provides, so unlike the pipelined scheme there is
+    /// no depth/halo coupling to validate — any halo `h >= Op::RADIUS`
+    /// works, and in the overlapped modes the diamonds run directly on
+    /// the shrinking interior trapezoid.
+    Diamond(DiamondConfig),
 }
 
 /// How a rank schedules its halo exchange against its local compute.
@@ -182,6 +192,10 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
                 }
                 LocalExec::Pipelined(cfg)
             }
+            LocalExec::Diamond(cfg) => {
+                cfg.validate(local.dims, Op::RADIUS)?;
+                LocalExec::Diamond(cfg)
+            }
         };
         // Carve the local box (owned + ghosts) out of the global grid.
         let mut g = Grid3::zeroed(local.dims);
@@ -283,6 +297,7 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
                 Some(layout) if layout.threads() == cfg.threads() => layout.cpus.clone(),
                 _ => vec![None; cfg.threads()],
             },
+            LocalExec::Diamond(cfg) => vec![None; cfg.threads],
             LocalExec::Seq => Vec::new(),
         };
         let comm = (self.mode == ExchangeMode::OverlappedCommThread).then(|| self.comm_core());
@@ -294,7 +309,7 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
     fn comm_core(&self) -> Option<usize> {
         match &self.exec {
             LocalExec::Pipelined(cfg) => cfg.layout.as_ref().and_then(|l| l.comm_core),
-            LocalExec::Seq => None,
+            LocalExec::Seq | LocalExec::Diamond(_) => None,
         }
     }
 
@@ -310,13 +325,20 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
     /// Panics if the local execution is pipelined and the runtime has
     /// fewer workers than the pipeline needs.
     pub fn run_sweeps_on(&mut self, rt: &Runtime, cart: &mut CartComm, sweeps: usize) -> RunStats {
-        if let LocalExec::Pipelined(cfg) = &self.exec {
-            assert!(
+        match &self.exec {
+            LocalExec::Pipelined(cfg) => assert!(
                 rt.threads() >= cfg.threads(),
                 "runtime has {} workers but the rank's pipeline needs {}",
                 rt.threads(),
                 cfg.threads()
-            );
+            ),
+            LocalExec::Diamond(cfg) => assert!(
+                rt.threads() >= cfg.threads,
+                "runtime has {} workers but the rank's diamond team needs {}",
+                rt.threads(),
+                cfg.threads
+            ),
+            LocalExec::Seq => {}
         }
         let t0 = Instant::now();
         let sweeps_per_cycle = self.h / Op::RADIUS;
@@ -333,6 +355,10 @@ impl<T: Real, Op: StencilOp<T>> DistSolver<T, Op> {
                         }
                         LocalExec::Pipelined(cfg) => {
                             pipeline::run_op_on(rt, &self.op, &mut self.pair, cfg, c)
+                                .expect("config validated in from_global_op, runtime size above");
+                        }
+                        LocalExec::Diamond(cfg) => {
+                            diamond::run_diamond_op_on(rt, &self.op, &mut self.pair, cfg, c)
                                 .expect("config validated in from_global_op, runtime size above");
                         }
                     }
@@ -613,7 +639,10 @@ fn drive_exchange<T: Real>(
 /// pipelined team executor (on the runtime's persistent workers) over a
 /// shrinking-domain [`PipelinePlan`] whenever that plan is constructible
 /// (radius 1, non-empty cores, blocks at least as long as the stage
-/// count), and plain region sweeps otherwise. Returns cells updated.
+/// count), the diamond team executor over the same shrinking domains
+/// for [`LocalExec::Diamond`] (diamonds clamp, so no constructibility
+/// precondition), and plain region sweeps otherwise. Returns cells
+/// updated.
 fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
     rt: &Runtime,
     op: &Op,
@@ -624,6 +653,7 @@ fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
 ) -> u64 {
     let radius = Op::RADIUS;
     let cfg = match exec {
+        LocalExec::Diamond(dcfg) => return diamond_trapezoid(rt, op, pair, dcfg, local, c),
         LocalExec::Pipelined(cfg) => Some(cfg),
         LocalExec::Seq => None,
     };
@@ -642,12 +672,7 @@ fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
             Some(cfg)
                 if radius == 1 && rt.threads() >= cfg.threads() && plan_fits(&domains, cfg) =>
             {
-                let dims = pair.dims();
-                let ptrs = pair.base_ptrs();
-                let views = [
-                    SharedGrid::from_raw(ptrs[0], dims),
-                    SharedGrid::from_raw(ptrs[1], dims),
-                ];
+                let views = pair.shared_views();
                 let plan = PipelinePlan::with_domains(domains.clone(), cfg.block);
                 // SAFETY: the trapezoid satisfies the plan contract —
                 // sweep_core(j+1).expand(RADIUS) == sweep_core(j) — and
@@ -669,6 +694,37 @@ fn interior_trapezoid<T: Real, Op: StencilOp<T>>(
         }
         base += now;
     }
+    cells
+}
+
+/// The diamond form of the interior trapezoid: one diamond schedule
+/// over the `c` shrinking cores, executed in a single team dispatch.
+/// The trapezoid chain `sweep_core(j+1).expand(R) == sweep_core(j)` is
+/// exactly the tiling's per-sweep domain contract, and empty cores are
+/// tolerated by the geometry, so unlike the pipelined path there is no
+/// constructibility precondition and no fallback (`run_sweeps_on`
+/// rejects undersized runtimes up front; the executor re-asserts).
+fn diamond_trapezoid<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
+    op: &Op,
+    pair: &mut GridPair<T>,
+    cfg: &DiamondConfig,
+    local: &LocalDomain,
+    c: usize,
+) -> u64 {
+    let radius = Op::RADIUS;
+    let domains: Vec<Region3> = (1..=c).map(|j| local.sweep_core(j, radius)).collect();
+    let cells: u64 = domains.iter().map(|r| r.count() as u64).sum();
+    if cells == 0 {
+        return 0;
+    }
+    let views = pair.shared_views();
+    let tiling = DiamondTiling::new(domains, cfg.width, radius);
+    // SAFETY: the trapezoid chain satisfies the tiling's domain
+    // contract, the tiling carries the operator's radius, and the
+    // pair is exclusively borrowed for the dispatch (the comm side
+    // only touches the staging grid).
+    unsafe { diamond::run_diamond_schedule_on(rt, op, &views, &tiling, cfg, 0) };
     cells
 }
 
@@ -862,6 +918,63 @@ mod tests {
         verify_modes_op(Jacobi6, Dims3::cube(24), [2, 1, 1], 4, 9, move || {
             LocalExec::Pipelined(cfg.clone())
         });
+    }
+
+    #[test]
+    fn diamond_local_exec_matches_serial_in_every_mode() {
+        // The diamond scheme drives both the Sync local advance and the
+        // overlapped interior trapezoid (shrinking cores), with the
+        // race auditor on.
+        let cfg = DiamondConfig {
+            threads: 2,
+            width: 4,
+            audit: true,
+        };
+        let c = cfg.clone();
+        verify_modes_op(Jacobi6, Dims3::cube(20), [2, 1, 1], 3, 8, move || {
+            LocalExec::Diamond(c.clone())
+        });
+        let c = cfg.clone();
+        verify_modes_op(Avg27, Dims3::new(18, 14, 16), [1, 2, 1], 2, 5, move || {
+            LocalExec::Diamond(c.clone())
+        });
+    }
+
+    #[test]
+    fn diamond_local_exec_with_empty_interior_core() {
+        // Depth-4 cycles on edge-8 owned boxes: the trapezoid is empty,
+        // everything lands in the shell phase, and the diamond schedule
+        // must cope with all-empty domains.
+        let cfg = DiamondConfig::with_width(2, 4);
+        verify_modes_op(Jacobi6, Dims3::cube(16), [2, 2, 2], 4, 8, move || {
+            LocalExec::Diamond(cfg.clone())
+        });
+    }
+
+    #[test]
+    fn diamond_wider_than_local_box_is_fine() {
+        let cfg = DiamondConfig::with_width(2, 64);
+        verify_modes_op(
+            Jacobi7::heat(0.08),
+            Dims3::cube(18),
+            [2, 1, 1],
+            2,
+            6,
+            move || LocalExec::Diamond(cfg.clone()),
+        );
+    }
+
+    #[test]
+    fn invalid_diamond_config_rejected() {
+        let dims = Dims3::cube(16);
+        let dec = Decomposition::new(dims, [1, 1, 1], 1);
+        let global: Grid3<f64> = init::random(dims, 2);
+        let cfg = DiamondConfig::with_width(2, 1); // width < 2·radius
+        let err = match DistJacobi::from_global(&dec, [0, 0, 0], &global, LocalExec::Diamond(cfg)) {
+            Err(e) => e,
+            Ok(_) => panic!("too-narrow diamond width must be rejected"),
+        };
+        assert!(err.contains("2·radius"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The A/B grid pair used by out-of-place Jacobi sweeps.
 
-use crate::{Dims3, Grid3, Real};
+use crate::{Dims3, Grid3, Real, SharedGrid};
 
 /// Double buffer of two equally sized grids.
 ///
@@ -93,6 +93,22 @@ impl<T: Real> GridPair<T> {
     /// grid read by sweep `s`. Used by the unsafe shared executors.
     pub fn base_ptrs(&mut self) -> [*mut T; 2] {
         [self.a.as_mut_ptr(), self.b.as_mut_ptr()]
+    }
+
+    /// Both buffers as unsynchronized [`SharedGrid`] views, indexed by
+    /// parity like [`GridPair::base_ptrs`]: `views[s % 2]` is the buffer
+    /// sweep `s` reads, `views[(s + 1) % 2]` the one it writes. The one
+    /// definition of the view↔parity convention for every multi-threaded
+    /// executor. Constructing the views is safe; the disjointness
+    /// contract of their unsafe accessors falls on the executor (see
+    /// [`SharedGrid`]).
+    pub fn shared_views(&mut self) -> [SharedGrid<T>; 2] {
+        let dims = self.dims();
+        let ptrs = self.base_ptrs();
+        [
+            SharedGrid::from_raw(ptrs[0], dims),
+            SharedGrid::from_raw(ptrs[1], dims),
+        ]
     }
 
     /// Swap the two buffers (an O(1) pointer swap). Lets a caller that

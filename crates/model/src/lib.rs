@@ -10,11 +10,15 @@
 //!   operator ([`tb_stencil::StencilOp::bytes_per_lup`]);
 //! * [`pipeline`] — the single-cache diagnostic model of §1.4 (Eqs. 4–5)
 //!   predicting the speedup of pipelined temporal blocking;
+//! * [`diamond`] — the same cost structure transplanted to
+//!   wavefront-diamond tiles: working set `(w + 2R)` planes per buffer,
+//!   reuse `w/(2R)` sweeps per memory traversal;
 //! * [`network`] — the latency/bandwidth message time model;
 //! * [`halo`] — the multi-layer halo advantage model behind Fig. 5;
 //! * [`scaling`] — strong/weak scaling predictions and ideal lines for
 //!   Fig. 6.
 
+pub mod diamond;
 pub mod halo;
 pub mod machine;
 pub mod network;
@@ -22,6 +26,10 @@ pub mod pipeline;
 pub mod roofline;
 pub mod scaling;
 
+pub use diamond::{
+    diamond_block_time_op, diamond_reuse, diamond_speedup, diamond_working_set_bytes,
+    max_cached_width,
+};
 pub use halo::{
     computational_efficiency, fig5_network, halo_advantage, halo_cycle_time, HaloWorkload,
 };

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tb_grid::{BlockPartition, GridPair, Real, Region3, SharedGrid};
+use tb_grid::{BlockPartition, GridPair, Real, Region3};
 use tb_runtime::Runtime;
 use tb_sync::SpinBarrier;
 
@@ -95,11 +95,7 @@ pub fn par_sweeps_op_on<T: Real, Op: StencilOp<T>>(
     }
     let barrier = SpinBarrier::new(threads);
     let total = AtomicU64::new(0);
-    let ptrs = pair.base_ptrs();
-    let views = [
-        SharedGrid::from_raw(ptrs[0], dims),
-        SharedGrid::from_raw(ptrs[1], dims),
-    ];
+    let views = pair.shared_views();
 
     // Contiguous z-slabs, remainder spread over the first slabs.
     let nz = interior.extent(2);

@@ -1,0 +1,410 @@
+//! Wavefront-diamond temporal blocking (Malas, Hager et al. 2015).
+//!
+//! The successor of the paper's pipelined scheme: instead of pushing
+//! spatial blocks through a thread pipeline (which needs a block size,
+//! per-thread update counts and `d_l`/`d_u` distances, and wastes
+//! wind-up/wind-down work at team-sweep boundaries), the z × sweep
+//! plane is tiled with *diamonds* whose edges follow the stencil's
+//! dependence slopes. Geometry and its correctness argument live in
+//! [`geometry`]; this module executes the schedule:
+//!
+//! * tiles of one diamond **row** are mutually independent, so the team
+//!   walks the rows in order — one [`tb_sync::SpinBarrier`] epoch per
+//!   row — with tiles assigned to workers statically (round-robin, no
+//!   work stealing, no per-tile synchronization);
+//! * within a tile, sweeps advance in order on the two-grid buffers,
+//!   each sweep updating full x/y planes of the tile's z-slab.
+//!
+//! Exactly like the pipelined executors, the whole run is one dispatch
+//! on a persistent [`tb_runtime::Runtime`] team, results are **bitwise
+//! identical** to the sequential oracle for every operator, and a
+//! classic (one-shot-runtime) entry point keeps the historical
+//! signature shape. The in-cache working set is `≈ 2·(w + 2R)` grid
+//! planes (see `tb-model`'s diamond estimate), tuned by the single
+//! width parameter `w`.
+
+pub mod geometry;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tb_grid::{AccessKind, Dims3, GridPair, Real, Region3, RegionAuditor, SharedGrid};
+use tb_runtime::Runtime;
+use tb_sync::SpinBarrier;
+
+use crate::kernel::{self, StoreMode};
+use crate::op::{Jacobi6, StencilOp};
+use crate::stats::RunStats;
+
+pub use geometry::{DiamondRow, DiamondTile, DiamondTiling};
+
+/// Parameters of a diamond-blocked run. Compared to
+/// [`crate::PipelineConfig`] there is deliberately little to tune: the
+/// team size and one width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiamondConfig {
+    /// Workers executing each diamond row.
+    pub threads: usize,
+    /// Diamond width `w` in transformed coordinates (`z + R·s`); the
+    /// widest z-slab of a tile. Larger widths raise in-cache reuse
+    /// (`w / 2R` updates per memory traversal) and the working set
+    /// (`≈ 2·(w + 2R)` planes) together.
+    pub width: usize,
+    /// Run the debug region auditor (serializes claims; test/debug only).
+    pub audit: bool,
+}
+
+impl DiamondConfig {
+    /// A small, always-valid configuration for quick starts and tests.
+    pub fn small() -> Self {
+        Self {
+            threads: 2,
+            width: 8,
+            audit: false,
+        }
+    }
+
+    /// Config with explicit team size and width, auditing off.
+    pub fn with_width(threads: usize, width: usize) -> Self {
+        Self {
+            threads,
+            width,
+            audit: false,
+        }
+    }
+
+    /// Validate against a grid and operator radius. Unlike the
+    /// pipelined scheme there is no depth/block-size coupling to check —
+    /// diamonds clamp to the domain, and any sweep count works.
+    pub fn validate(&self, dims: Dims3, radius: usize) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("diamond needs at least one thread".into());
+        }
+        if radius == 0 {
+            return Err("operator radius must be >= 1".into());
+        }
+        if self.width < 2 * radius {
+            return Err(format!(
+                "diamond width {} is narrower than 2·radius = {}; \
+                 reads would skip a diamond row",
+                self.width,
+                2 * radius
+            ));
+        }
+        if Region3::interior_of(dims).is_empty() {
+            return Err(format!("grid {dims} has no interior"));
+        }
+        Ok(())
+    }
+}
+
+/// Execute a prebuilt diamond schedule on the runtime's workers: one
+/// dispatch, one barrier epoch per diamond row, tiles round-robin per
+/// worker. `base_sweep` is the global sweep number of schedule sweep 0
+/// (it fixes which buffer of `views` each sweep reads). Returns cells
+/// updated.
+///
+/// # Safety
+/// `views` must point at live allocations covering every region of the
+/// tiling, nothing else may access them during the call, and the
+/// tiling's domains must satisfy the trapezoid contract documented in
+/// [`geometry`] (uniform domains satisfy it trivially). Radius safety:
+/// the tiling must have been built with the operator's radius.
+pub unsafe fn run_diamond_schedule_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
+    op: &Op,
+    views: &[SharedGrid<T>; 2],
+    tiling: &DiamondTiling,
+    cfg: &DiamondConfig,
+    base_sweep: usize,
+) -> u64 {
+    assert_eq!(
+        tiling.radius(),
+        Op::RADIUS,
+        "tiling radius must match the operator"
+    );
+    let threads = cfg.threads;
+    assert!(
+        rt.threads() >= threads,
+        "runtime has {} workers but the diamond team needs {threads}",
+        rt.threads()
+    );
+    let barrier = SpinBarrier::new(threads);
+    let auditor = cfg.audit.then(RegionAuditor::new);
+    let total_cells = AtomicU64::new(0);
+    rt.run(threads, &|tid| {
+        let mut my_cells = 0u64;
+        for row in tiling.rows() {
+            for tile in row.tiles.iter().skip(tid).step_by(threads) {
+                // SAFETY: forwarded from this function's contract; the
+                // static row-major assignment hands concurrent workers
+                // tiles of the same row only.
+                my_cells += unsafe {
+                    update_tile(op, views, tiling, auditor.as_ref(), tid, tile, base_sweep)
+                };
+            }
+            // Row epoch: every dependency of the next row is sealed once
+            // all workers pass this barrier.
+            barrier.wait();
+        }
+        total_cells.fetch_add(my_cells, Ordering::Relaxed);
+    });
+    total_cells.load(Ordering::Relaxed)
+}
+
+/// Advance one tile through its sweeps. Returns cells updated.
+///
+/// # Safety
+/// See [`run_diamond_schedule_on`]; additionally the caller guarantees
+/// concurrent callers hold tiles of the same row only.
+unsafe fn update_tile<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    views: &[SharedGrid<T>; 2],
+    tiling: &DiamondTiling,
+    auditor: Option<&RegionAuditor>,
+    tid: usize,
+    tile: &DiamondTile,
+    base_sweep: usize,
+) -> u64 {
+    let mut cells = 0u64;
+    for (k, region) in tile.regions.iter().enumerate() {
+        if region.is_empty() {
+            continue;
+        }
+        let sweep = base_sweep + tile.s_lo + k;
+        let (sg, dg) = (sweep % 2, (sweep + 1) % 2);
+        let claims = auditor.map(|a| {
+            let read = a.claim(tid, sg, AccessKind::Read, region.expand(tiling.radius()));
+            let write = a.claim(tid, dg, AccessKind::Write, *region);
+            (read, write)
+        });
+        // SAFETY: row ordering seals every cross-row dependency and the
+        // same-row disjointness argument in `geometry` covers concurrent
+        // tiles — re-checked by the auditor when enabled.
+        kernel::update_region_shared_op(op, &views[sg], &views[dg], region, StoreMode::Normal);
+        if let (Some(a), Some((r, w))) = (auditor, claims) {
+            a.release(r);
+            a.release(w);
+        }
+        cells += region.count() as u64;
+    }
+    cells
+}
+
+/// Run `sweeps` sweeps of `op` with wavefront-diamond temporal blocking
+/// on the given persistent runtime (which must have at least
+/// `cfg.threads` workers). On return the result is in
+/// `pair.current(sweeps)`.
+pub fn run_diamond_op_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
+    op: &Op,
+    pair: &mut GridPair<T>,
+    cfg: &DiamondConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    let dims = pair.dims();
+    cfg.validate(dims, Op::RADIUS)?;
+    if rt.threads() < cfg.threads {
+        return Err(format!(
+            "runtime has {} workers but the diamond team needs {}",
+            rt.threads(),
+            cfg.threads
+        ));
+    }
+    if sweeps == 0 {
+        return Ok(RunStats::new(0, std::time::Duration::ZERO));
+    }
+    let tiling = DiamondTiling::uniform(Region3::interior_of(dims), cfg.width, Op::RADIUS, sweeps);
+    let views = pair.shared_views();
+    let t0 = Instant::now();
+    // SAFETY: the pair is exclusively borrowed for the whole dispatch,
+    // the tiling was built over this grid's interior with the operator's
+    // radius, and uniform domains satisfy the trapezoid contract.
+    let cells = unsafe { run_diamond_schedule_on(rt, op, &views, &tiling, cfg, 0) };
+    Ok(RunStats::new(cells, t0.elapsed()))
+}
+
+/// [`run_diamond_op_on`] on a one-shot runtime — the classic form. The
+/// reported elapsed time includes the team spawn/join, matching the
+/// other classic entry points.
+pub fn run_diamond_op<T: Real, Op: StencilOp<T>>(
+    op: &Op,
+    pair: &mut GridPair<T>,
+    cfg: &DiamondConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    cfg.validate(pair.dims(), Op::RADIUS)?;
+    let t0 = Instant::now();
+    let stats = run_diamond_op_on(&Runtime::with_threads(cfg.threads), op, pair, cfg, sweeps)?;
+    Ok(if sweeps == 0 {
+        stats
+    } else {
+        RunStats::new(stats.cell_updates, t0.elapsed())
+    })
+}
+
+/// Classic-Jacobi form of [`run_diamond_op_on`].
+pub fn run_diamond_on<T: Real>(
+    rt: &Runtime,
+    pair: &mut GridPair<T>,
+    cfg: &DiamondConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_diamond_op_on(rt, &Jacobi6, pair, cfg, sweeps)
+}
+
+/// Classic-Jacobi form of [`run_diamond_op`].
+pub fn run_diamond<T: Real>(
+    pair: &mut GridPair<T>,
+    cfg: &DiamondConfig,
+    sweeps: usize,
+) -> Result<RunStats, String> {
+    run_diamond_op(&Jacobi6, pair, cfg, sweeps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use crate::op::{Avg27, Jacobi7, VarCoeff7};
+    use tb_grid::{init, norm, Dims3};
+
+    fn reference(dims: Dims3, seed: u64, sweeps: usize) -> tb_grid::Grid3<f64> {
+        let mut pair = GridPair::from_initial(init::random(dims, seed));
+        baseline::seq_sweeps(&mut pair, sweeps);
+        pair.current(sweeps).clone()
+    }
+
+    fn audit_cfg(threads: usize, width: usize) -> DiamondConfig {
+        DiamondConfig {
+            threads,
+            width,
+            audit: true,
+        }
+    }
+
+    fn check(dims: Dims3, threads: usize, width: usize, sweeps: usize) {
+        let want = reference(dims, 23, sweeps);
+        let mut pair = GridPair::from_initial(init::random(dims, 23));
+        run_diamond(&mut pair, &audit_cfg(threads, width), sweeps).unwrap();
+        norm::assert_grids_identical(
+            &want,
+            pair.current(sweeps),
+            &Region3::whole(dims),
+            &format!("diamond t={threads} w={width} sweeps={sweeps}"),
+        );
+    }
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        check(Dims3::cube(12), 1, 4, 5);
+    }
+
+    #[test]
+    fn team_matches_sequential_various_widths() {
+        for width in [2, 4, 6, 8, 16] {
+            check(Dims3::cube(16), 3, width, 6);
+        }
+    }
+
+    #[test]
+    fn width_larger_than_grid_is_fine() {
+        // One diamond column swallows the whole z-extent: degenerates to
+        // plain multi-sweep blocking, still exact.
+        check(Dims3::new(10, 12, 8), 2, 64, 5);
+    }
+
+    #[test]
+    fn thin_grids_and_odd_widths() {
+        check(Dims3::new(14, 6, 20), 2, 5, 7);
+        check(Dims3::new(6, 14, 4), 4, 3, 4);
+    }
+
+    #[test]
+    fn every_operator_matches_its_oracle() {
+        let dims = Dims3::cube(14);
+        let initial: tb_grid::Grid3<f64> = init::random(dims, 31);
+        fn run_both<Op: StencilOp<f64>>(op: &Op, initial: &tb_grid::Grid3<f64>, sweeps: usize) {
+            let dims = initial.dims();
+            let mut want = GridPair::from_initial(initial.clone());
+            baseline::seq_sweeps_op(op, &mut want, sweeps);
+            let mut pair = GridPair::from_initial(initial.clone());
+            run_diamond_op(op, &mut pair, &audit_cfg(2, 6), sweeps).unwrap();
+            norm::assert_grids_identical(
+                want.current(sweeps),
+                pair.current(sweeps),
+                &Region3::whole(dims),
+                &format!("diamond {}", op.name()),
+            );
+        }
+        run_both(&Jacobi6, &initial, 5);
+        run_both(&Jacobi7::heat(0.12), &initial, 5);
+        run_both(&VarCoeff7::banded(dims), &initial, 5);
+        run_both(&Avg27, &initial, 5);
+    }
+
+    #[test]
+    fn shared_runtime_reproduces_one_shot_result() {
+        let dims = Dims3::cube(16);
+        let cfg = audit_cfg(2, 6);
+        let want = {
+            let mut pair: GridPair<f64> = GridPair::from_initial(init::random(dims, 3));
+            run_diamond(&mut pair, &cfg, 6).unwrap();
+            pair.current(6).clone()
+        };
+        let rt = Runtime::with_threads(4); // oversized: subset dispatch
+        for round in 0..3 {
+            let mut pair = GridPair::from_initial(init::random(dims, 3));
+            run_diamond_on(&rt, &mut pair, &cfg, 6).unwrap();
+            norm::assert_grids_identical(
+                &want,
+                pair.current(6),
+                &Region3::whole(dims),
+                &format!("shared runtime round {round}"),
+            );
+        }
+    }
+
+    #[test]
+    fn stats_account_all_updates() {
+        let dims = Dims3::cube(14);
+        let mut pair: GridPair<f64> = GridPair::from_initial(init::random(dims, 8));
+        let s = run_diamond(&mut pair, &DiamondConfig::with_width(2, 4), 5).unwrap();
+        assert_eq!(s.cell_updates, (5 * dims.interior_len()) as u64);
+    }
+
+    #[test]
+    fn zero_sweeps_noop() {
+        let dims = Dims3::cube(10);
+        let initial: tb_grid::Grid3<f64> = init::random(dims, 4);
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = run_diamond(&mut pair, &DiamondConfig::small(), 0).unwrap();
+        assert_eq!(s.cell_updates, 0);
+        norm::assert_grids_identical(&initial, pair.current(0), &Region3::whole(dims), "noop");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let dims = Dims3::cube(10);
+        let mut pair: GridPair<f64> = GridPair::zeroed(dims);
+        let mut cfg = DiamondConfig::small();
+        cfg.threads = 0;
+        assert!(run_diamond(&mut pair, &cfg, 1).is_err());
+        let mut cfg = DiamondConfig::small();
+        cfg.width = 1;
+        let err = run_diamond(&mut pair, &cfg, 1).unwrap_err();
+        assert!(err.contains("2·radius"), "{err}");
+        assert!(DiamondConfig::small()
+            .validate(Dims3::new(2, 8, 8), 1)
+            .is_err());
+    }
+
+    #[test]
+    fn undersized_runtime_rejected() {
+        let dims = Dims3::cube(12);
+        let mut pair: GridPair<f64> = GridPair::from_initial(init::random(dims, 2));
+        let rt = Runtime::with_threads(1);
+        let err = run_diamond_on(&rt, &mut pair, &DiamondConfig::with_width(3, 4), 2).unwrap_err();
+        assert!(err.contains("workers"), "{err}");
+    }
+}

@@ -20,6 +20,10 @@
 //!   executor;
 //! * [`wavefront`] — the wavefront method of Wellein et al. (ref. 2),
 //!   implemented as a comparator;
+//! * [`diamond`] — **wavefront-diamond temporal blocking** (Malas,
+//!   Hager et al. 2015): diamond tiles along z × time executed row by
+//!   row, removing the pipelined scheme's wind-up/wind-down waste and
+//!   its block/delay tuning knobs;
 //! * [`residual`] — operator-agnostic convergence diagnostics;
 //! * [`stats`] — LUP/s and FLOP/s accounting shared by examples and
 //!   benches.
@@ -44,6 +48,7 @@
 
 pub mod baseline;
 pub mod config;
+pub mod diamond;
 pub mod kernel;
 pub mod op;
 pub mod pipeline;
@@ -52,6 +57,7 @@ pub mod stats;
 pub mod wavefront;
 
 pub use config::PipelineConfig;
+pub use diamond::DiamondConfig;
 pub use op::{Avg27, Jacobi6, Jacobi7, Rows9, StencilOp, VarCoeff7};
 pub use stats::RunStats;
 pub use tb_sync::SyncMode;

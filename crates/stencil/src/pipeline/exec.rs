@@ -67,13 +67,9 @@ impl<'a, T: Real, Op: StencilOp<T>> PipelineRun<'a, T, Op> {
         let depth = cfg.stages();
         let plan = PipelinePlan::uniform(interior, cfg.block, depth);
         let threads = cfg.threads();
-        let ptrs = pair.base_ptrs();
         Ok(Self {
             op,
-            views: [
-                SharedGrid::from_raw(ptrs[0], dims),
-                SharedGrid::from_raw(ptrs[1], dims),
-            ],
+            views: pair.shared_views(),
             plan,
             barrier: SpinBarrier::new(threads),
             psync: PipelineSync::from_mode(threads, cfg.team_size, cfg.sync),

@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tb_grid::{GridPair, Real, Region3, SharedGrid};
+use tb_grid::{GridPair, Real, Region3};
 use tb_runtime::Runtime;
 use tb_sync::{PipelineSync, SpinBarrier};
 
@@ -65,11 +65,7 @@ pub fn run_wavefront_op_on<T: Real, Op: StencilOp<T>>(
     // not correctness, and the comparator keeps the scheme minimal).
     let psync = PipelineSync::new(threads, threads, PLANE_DISTANCE, u64::MAX / 2, 0);
     let total_cells = AtomicU64::new(0);
-    let ptrs = pair.base_ptrs();
-    let views = [
-        SharedGrid::from_raw(ptrs[0], dims),
-        SharedGrid::from_raw(ptrs[1], dims),
-    ];
+    let views = pair.shared_views();
 
     let t0 = Instant::now();
     rt.run(threads, &|tid| {

@@ -1,8 +1,9 @@
 //! Parameter auto-tuning, the way the paper found its optimal settings
 //! ("The optimal choices reported here have been obtained
-//! experimentally", §1.5): sweep T, the block size and d_u, measure each
-//! configuration, and report the winner alongside the §1.4 model's
-//! prediction.
+//! experimentally", §1.5): sweep T, the block size and d_u for the
+//! pipelined scheme, then the width for the diamond scheme, measure
+//! each configuration, and report the overall winner alongside the
+//! models' predictions (Eq. 5 and its diamond analogue).
 //!
 //! ```sh
 //! cargo run --release --example autotune
@@ -85,6 +86,47 @@ fn main() {
                     best = Some((stats.mlups(), label));
                 }
             }
+        }
+    }
+
+    // Diamond trials: one knob. Start from the model's largest cached
+    // width and sweep down; the model column is the diamond Eq. 5
+    // analogue for direct comparison with the pipelined predictions.
+    let team = base.threads().min(rt.threads());
+    let w_cache = model::max_cached_width::<f64, _>(&params, &Jacobi6, dims.nx, dims.ny, team);
+    println!(
+        "\n{:>9} {:>6} {:>12} {:>14}",
+        "width", "team", "MLUP/s", "model speedup"
+    );
+    let mut widths = vec![4usize, 8, 16, 32, w_cache];
+    widths.sort_unstable();
+    widths.dedup();
+    for width in widths {
+        let cfg = DiamondConfig {
+            threads: team,
+            width,
+            audit: false,
+        };
+        if cfg.validate(dims, 1).is_err() {
+            continue;
+        }
+        let label = format!("diamond width={width} team={team}");
+        let (_, stats) =
+            solve_on(&rt, initial.clone(), sweeps, Method::Diamond(cfg.clone())).unwrap();
+        let predicted = model::diamond_speedup(&params, width, 1);
+        println!(
+            "{:>9} {:>6} {:>12.1} {:>14.2}",
+            width,
+            team,
+            stats.mlups(),
+            predicted
+        );
+        if best
+            .as_ref()
+            .map(|(m, _)| stats.mlups() > *m)
+            .unwrap_or(true)
+        {
+            best = Some((stats.mlups(), label));
         }
     }
 

@@ -54,6 +54,14 @@ fn main() {
             Method::PipelinedCompressed(pipe_cfg),
         ),
         ("wavefront (comparator)", Method::Wavefront { threads }),
+        (
+            "wavefront-diamond blocking",
+            Method::Diamond(DiamondConfig {
+                threads,
+                width: 16,
+                audit: false,
+            }),
+        ),
     ];
 
     let mut reference: Option<Grid3<f64>> = None;

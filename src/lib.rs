@@ -35,8 +35,8 @@
 //!
 //! Each operator is held to **bitwise identity** across all execution
 //! strategies (sequential, blocked, parallel ± streaming stores,
-//! pipelined, compressed, wavefront, distributed/hybrid) against its own
-//! sequential oracle.
+//! pipelined, compressed, wavefront, diamond, distributed/hybrid)
+//! against its own sequential oracle.
 //!
 //! ## Quick start
 //!
@@ -81,14 +81,15 @@ pub use tb_topology as topology;
 
 pub use tb_runtime::Runtime;
 pub use tb_stencil::{
-    Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode, VarCoeff7,
+    Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode,
+    VarCoeff7,
 };
 
 use tb_grid::{CompressedGrid, Dims3, Grid3, GridPair, Real};
 use tb_runtime::GridPool;
 use tb_stencil::config::GridScheme;
 use tb_stencil::kernel::StoreMode;
-use tb_stencil::{baseline, pipeline, wavefront};
+use tb_stencil::{baseline, diamond, pipeline, wavefront};
 
 /// Everything an application typically needs.
 pub mod prelude {
@@ -97,7 +98,8 @@ pub mod prelude {
     pub use tb_model::MachineParams;
     pub use tb_runtime::Runtime;
     pub use tb_stencil::{
-        Avg27, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode, VarCoeff7,
+        Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode,
+        VarCoeff7,
     };
     pub use tb_topology::{Machine, TeamLayout};
 }
@@ -120,6 +122,10 @@ pub enum Method {
     PipelinedCompressed(PipelineConfig),
     /// Wavefront temporal blocking (the paper's ref. 2, comparator).
     Wavefront { threads: usize },
+    /// Wavefront-diamond temporal blocking (Malas, Hager et al. 2015):
+    /// diamond tiles along z × time, no wind-up/wind-down waste, one
+    /// width knob instead of block sizes and sync distances.
+    Diamond(DiamondConfig),
 }
 
 /// [`solve_with`] on a persistent [`Runtime`]: parallel methods run on
@@ -201,6 +207,11 @@ pub fn solve_with_on<T: Real, Op: StencilOp<T>>(
             let stats = wavefront::run_wavefront_op_on(rt, op, &mut pair, threads, sweeps)?;
             Ok((split_result(&pool, pair, sweeps), stats))
         }
+        Method::Diamond(cfg) => {
+            let mut pair = pooled_pair(&pool, initial);
+            let stats = diamond::run_diamond_op_on(rt, op, &mut pair, &cfg, sweeps)?;
+            Ok((split_result(&pool, pair, sweeps), stats))
+        }
     }
 }
 
@@ -272,6 +283,11 @@ pub fn solve_with<T: Real, Op: StencilOp<T>>(
             let stats = wavefront::run_wavefront_op(op, &mut pair, threads, sweeps)?;
             Ok((pair.current(sweeps).clone(), stats))
         }
+        Method::Diamond(cfg) => {
+            let mut pair = GridPair::from_initial(initial);
+            let stats = diamond::run_diamond_op(op, &mut pair, &cfg, sweeps)?;
+            Ok((pair.current(sweeps).clone(), stats))
+        }
     }
 }
 
@@ -322,6 +338,14 @@ mod tests {
                 Method::PipelinedCompressed(PipelineConfig::small()),
             ),
             ("wavefront", Method::Wavefront { threads: 2 }),
+            (
+                "diamond",
+                Method::Diamond(DiamondConfig {
+                    threads: 2,
+                    width: 6,
+                    audit: true,
+                }),
+            ),
         ]
     }
 

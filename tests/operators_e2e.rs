@@ -11,7 +11,8 @@ use temporal_blocking::grid::{init, norm, Dims3, Grid3, Region3};
 use temporal_blocking::net::{CartComm, Universe};
 use temporal_blocking::stencil::config::GridScheme;
 use temporal_blocking::{
-    solve_with, Avg27, Jacobi6, Jacobi7, Method, PipelineConfig, StencilOp, SyncMode, VarCoeff7,
+    solve_with, Avg27, DiamondConfig, Jacobi6, Jacobi7, Method, PipelineConfig, StencilOp,
+    SyncMode, VarCoeff7,
 };
 
 fn cfg(team: usize, upt: usize, sync: SyncMode, block: [usize; 3]) -> PipelineConfig {
@@ -60,6 +61,22 @@ fn shared_memory_matrix<Op: StencilOp<f64>>(op: &Op, dims: Dims3, seed: u64, swe
             Method::PipelinedCompressed(cfg(2, 1, SyncMode::relaxed_default(), [10, 10, 10])),
         ),
         ("wavefront", Method::Wavefront { threads: 3 }),
+        (
+            "diamond",
+            Method::Diamond(DiamondConfig {
+                threads: 3,
+                width: 6,
+                audit: true,
+            }),
+        ),
+        (
+            "diamond-wide",
+            Method::Diamond(DiamondConfig {
+                threads: 2,
+                width: 16,
+                audit: true,
+            }),
+        ),
     ];
     for (name, m) in methods {
         let (got, _) = solve_with(op, initial.clone(), sweeps, m)
@@ -73,14 +90,39 @@ fn shared_memory_matrix<Op: StencilOp<f64>>(op: &Op, dims: Dims3, seed: u64, swe
     }
 }
 
-/// Run the distributed matrix (pure-MPI and hybrid) for one operator.
+/// Which local advance the distributed matrix drives inside each rank.
+#[derive(Clone, Copy, Debug)]
+enum Local {
+    Seq,
+    Hybrid,
+    Diamond,
+}
+
+impl Local {
+    fn exec(self) -> LocalExec {
+        match self {
+            Local::Seq => LocalExec::Seq,
+            Local::Hybrid => {
+                LocalExec::Pipelined(cfg(2, 1, SyncMode::relaxed_default(), [8, 8, 8]))
+            }
+            Local::Diamond => LocalExec::Diamond(DiamondConfig {
+                threads: 2,
+                width: 4,
+                audit: true,
+            }),
+        }
+    }
+}
+
+/// Run the distributed matrix (pure-MPI, hybrid pipelined, or hybrid
+/// diamond) for one operator.
 fn distributed_matrix<Op: StencilOp<f64>>(
     op: &Op,
     dims: Dims3,
     pgrid: [usize; 3],
     h: usize,
     sweeps: usize,
-    hybrid: bool,
+    local: Local,
 ) {
     let global: Grid3<f64> = init::random(dims, 77);
     let want = solver::serial_reference_op(op, &global, sweeps);
@@ -88,20 +130,16 @@ fn distributed_matrix<Op: StencilOp<f64>>(
     let (g, w, op_ref) = (&global, &want, op);
     Universe::run(dec.ranks(), None, move |comm| {
         let mut cart = CartComm::new(comm, pgrid);
-        let exec = if hybrid {
-            LocalExec::Pipelined(cfg(2, 1, SyncMode::relaxed_default(), [8, 8, 8]))
-        } else {
-            LocalExec::Seq
-        };
         let mut s =
-            DistSolver::from_global_op(&dec, cart.coords(), g, exec, op_ref.clone()).unwrap();
+            DistSolver::from_global_op(&dec, cart.coords(), g, local.exec(), op_ref.clone())
+                .unwrap();
         s.run_sweeps(&mut cart, sweeps);
         if let Some(got) = s.gather_global(&mut cart, &dec, g) {
             norm::assert_grids_identical(
                 w,
                 &got,
                 &Region3::interior_of(dims),
-                &format!("dist {} {pgrid:?} h={h} hybrid={hybrid}", op_ref.name()),
+                &format!("dist {} {pgrid:?} h={h} {local:?}", op_ref.name()),
             );
         }
     });
@@ -131,20 +169,45 @@ fn avg27_matrix() {
 #[test]
 fn distributed_matrix_per_operator() {
     let dims = Dims3::new(20, 18, 16);
-    distributed_matrix(&Jacobi6, dims, [2, 2, 1], 2, 5, false);
-    distributed_matrix(&Jacobi7::heat(0.13), dims, [2, 1, 2], 2, 5, false);
-    distributed_matrix(&VarCoeff7::banded(dims), dims, [1, 2, 2], 2, 5, false);
-    distributed_matrix(&Avg27, dims, [2, 2, 2], 3, 7, false);
+    distributed_matrix(&Jacobi6, dims, [2, 2, 1], 2, 5, Local::Seq);
+    distributed_matrix(&Jacobi7::heat(0.13), dims, [2, 1, 2], 2, 5, Local::Seq);
+    distributed_matrix(&VarCoeff7::banded(dims), dims, [1, 2, 2], 2, 5, Local::Seq);
+    distributed_matrix(&Avg27, dims, [2, 2, 2], 3, 7, Local::Seq);
 }
 
 #[test]
 fn hybrid_distributed_per_operator() {
     // Pipelined temporal blocking inside each rank: depth 2 needs h >= 2.
     let dims = Dims3::cube(26);
-    distributed_matrix(&Jacobi6, dims, [2, 1, 1], 2, 5, true);
-    distributed_matrix(&Jacobi7::heat(0.1), dims, [2, 1, 1], 2, 5, true);
-    distributed_matrix(&VarCoeff7::banded(dims), dims, [1, 2, 1], 2, 5, true);
-    distributed_matrix(&Avg27, dims, [1, 1, 2], 2, 5, true);
+    distributed_matrix(&Jacobi6, dims, [2, 1, 1], 2, 5, Local::Hybrid);
+    distributed_matrix(&Jacobi7::heat(0.1), dims, [2, 1, 1], 2, 5, Local::Hybrid);
+    distributed_matrix(
+        &VarCoeff7::banded(dims),
+        dims,
+        [1, 2, 1],
+        2,
+        5,
+        Local::Hybrid,
+    );
+    distributed_matrix(&Avg27, dims, [1, 1, 2], 2, 5, Local::Hybrid);
+}
+
+#[test]
+fn diamond_distributed_per_operator_eight_ranks() {
+    // Diamond blocking inside each of 8 ranks: every operator, corner
+    // forwarding included, gathers the exact serial-oracle grid.
+    let dims = Dims3::new(20, 18, 16);
+    distributed_matrix(&Jacobi6, dims, [2, 2, 2], 2, 5, Local::Diamond);
+    distributed_matrix(&Jacobi7::heat(0.1), dims, [2, 2, 2], 2, 5, Local::Diamond);
+    distributed_matrix(
+        &VarCoeff7::banded(dims),
+        dims,
+        [2, 2, 2],
+        2,
+        5,
+        Local::Diamond,
+    );
+    distributed_matrix(&Avg27, dims, [2, 2, 2], 3, 7, Local::Diamond);
 }
 
 #[test]
@@ -164,6 +227,14 @@ fn f32_operators_match_their_oracle_too() {
             Method::Pipelined(cfg(2, 1, SyncMode::relaxed_default(), [8, 8, 8])),
         ),
         ("wavefront", Method::Wavefront { threads: 2 }),
+        (
+            "diamond",
+            Method::Diamond(DiamondConfig {
+                threads: 2,
+                width: 4,
+                audit: true,
+            }),
+        ),
     ] {
         let op = Jacobi7::heat(0.1);
         let (want, _) = solve_with(&op, initial.clone(), 4, Method::Sequential).unwrap();

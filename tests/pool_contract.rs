@@ -1,0 +1,155 @@
+//! Regression tests pinning the [`GridPool`] contract.
+//!
+//! Every executor that acquires staging storage from a runtime's pool
+//! leans on three promises that were previously only exercised
+//! implicitly through the solver suites:
+//!
+//! 1. **Stale contents** — a reused grid keeps the contents of its
+//!    previous life; consumers must write before reading (the solver
+//!    suites hold them to that bitwise), and the pool must *not* spend
+//!    a zeroing pass per acquire.
+//! 2. **Bounded parking, oldest evicted** — at most 8 grids wait for
+//!    reuse; releasing a ninth drops the oldest parked grid, so
+//!    long-running services cycling through problem shapes stay
+//!    bounded.
+//! 3. **Per-element-type keying** — `grid_pool::<f32>()` and
+//!    `grid_pool::<f64>()` are distinct pools on the same runtime;
+//!    dimensions are matched exactly within a pool.
+
+use std::sync::Arc;
+
+use temporal_blocking::grid::{Dims3, Grid3};
+use temporal_blocking::runtime::{GridPool, Runtime};
+
+/// The documented parking bound: releasing beyond it evicts the oldest.
+const MAX_FREE_GRIDS: usize = 8;
+
+#[test]
+fn reused_grids_keep_stale_contents_and_fresh_ones_are_zeroed() {
+    let pool: GridPool<f64> = GridPool::new();
+    let mut g = pool.acquire(Dims3::cube(6));
+    assert!(
+        g.as_slice().iter().all(|v| *v == 0.0),
+        "a fresh allocation must be zeroed"
+    );
+    g.set(2, 3, 4, 7.5);
+    pool.release(g);
+
+    let again = pool.acquire(Dims3::cube(6));
+    assert_eq!(
+        again.get(2, 3, 4),
+        7.5,
+        "a recycled grid must hand back its stale contents (no zeroing pass)"
+    );
+}
+
+#[test]
+fn oldest_parked_grid_is_evicted_at_the_bound() {
+    let pool: GridPool<f64> = GridPool::new();
+    // Park MAX + 2 distinguishable grids (distinct dims, marked cells).
+    for k in 0..MAX_FREE_GRIDS + 2 {
+        let mut g = Grid3::zeroed(Dims3::cube(3 + k));
+        g.set(1, 1, 1, k as f64 + 1.0);
+        pool.release(g);
+    }
+    assert_eq!(
+        pool.free_grids(),
+        MAX_FREE_GRIDS,
+        "the pool must park at most {MAX_FREE_GRIDS} grids"
+    );
+    // The two oldest (k = 0, 1) were dropped: acquiring their dims
+    // yields fresh zeroed storage and leaves the parked set alone.
+    for k in 0..2 {
+        let g = pool.acquire(Dims3::cube(3 + k));
+        assert_eq!(
+            g.get(1, 1, 1),
+            0.0,
+            "evicted shape {k} must come back fresh"
+        );
+        assert_eq!(pool.free_grids(), MAX_FREE_GRIDS);
+    }
+    // The newest MAX are all still there, stale marks intact, and the
+    // pool drains one grid per matching acquire.
+    for k in 2..MAX_FREE_GRIDS + 2 {
+        let g = pool.acquire(Dims3::cube(3 + k));
+        assert_eq!(g.get(1, 1, 1), k as f64 + 1.0, "shape {k} must be recycled");
+    }
+    assert_eq!(pool.free_grids(), 0);
+}
+
+#[test]
+fn eviction_is_fifo_not_lifo() {
+    let pool: GridPool<f64> = GridPool::new();
+    // Fill to the bound with one shape, then overflow with another:
+    // the dropped grid must be the *first* released, not the last.
+    let mut first = Grid3::zeroed(Dims3::cube(4));
+    first.set(1, 1, 1, 42.0);
+    pool.release(first);
+    for _ in 0..MAX_FREE_GRIDS - 1 {
+        pool.release(Grid3::zeroed(Dims3::cube(5)));
+    }
+    pool.release(Grid3::zeroed(Dims3::cube(6))); // overflow
+    assert_eq!(pool.free_grids(), MAX_FREE_GRIDS);
+    let g = pool.acquire(Dims3::cube(4));
+    assert_eq!(
+        g.get(1, 1, 1),
+        0.0,
+        "the oldest grid (the mark) was evicted"
+    );
+}
+
+#[test]
+fn dims_are_matched_exactly_within_a_pool() {
+    let pool: GridPool<f32> = GridPool::new();
+    pool.release(Grid3::zeroed(Dims3::new(8, 4, 2)));
+    // Same cell count, different shape: must not be handed out.
+    let g = pool.acquire(Dims3::new(2, 4, 8));
+    assert_eq!(g.dims(), Dims3::new(2, 4, 8));
+    assert_eq!(pool.free_grids(), 1, "the mismatched grid stays parked");
+    let h = pool.acquire(Dims3::new(8, 4, 2));
+    assert_eq!(h.dims(), Dims3::new(8, 4, 2));
+    assert_eq!(pool.free_grids(), 0);
+}
+
+#[test]
+fn runtime_pools_are_keyed_per_element_type() {
+    let rt = Runtime::with_threads(1);
+    let p64 = rt.grid_pool::<f64>();
+    let p32 = rt.grid_pool::<f32>();
+    p64.release(Grid3::zeroed(Dims3::cube(5)));
+    assert_eq!(p64.free_grids(), 1);
+    assert_eq!(
+        p32.free_grids(),
+        0,
+        "an f64 release must not surface in the f32 pool"
+    );
+    // Repeated lookups return the same pool object.
+    assert!(Arc::ptr_eq(&p64, &rt.grid_pool::<f64>()));
+    // The eviction bound applies per pool, not across types.
+    for k in 0..MAX_FREE_GRIDS {
+        p32.release(Grid3::zeroed(Dims3::cube(3 + k)));
+    }
+    assert_eq!(p32.free_grids(), MAX_FREE_GRIDS);
+    assert_eq!(
+        p64.free_grids(),
+        1,
+        "the f64 pool is untouched by f32 churn"
+    );
+}
+
+#[test]
+fn pooled_grids_return_on_drop_and_outlive_the_runtime() {
+    let rt = Runtime::with_threads(1);
+    let pool = rt.grid_pool::<f64>();
+    {
+        let mut p = pool.acquire_pooled(Dims3::cube(7));
+        p.set(1, 2, 3, 9.0);
+        assert_eq!(pool.free_grids(), 0, "a live PooledGrid is not parked");
+    }
+    assert_eq!(pool.free_grids(), 1, "drop returns the grid to the pool");
+    // A PooledGrid may outlive the runtime that handed it out: the Arc
+    // inside keeps the pool alive.
+    let p = pool.acquire_pooled(Dims3::cube(7));
+    drop(rt);
+    assert_eq!(p.get(1, 2, 3), 9.0, "stale contents survive the runtime");
+}
