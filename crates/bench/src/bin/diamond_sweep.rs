@@ -2,14 +2,19 @@
 //! the perf artifact of the wavefront-diamond scheme.
 //!
 //! For each team size the three temporal-blocking schemes advance the
-//! same problem on one persistent runtime; every run is bitwise-
+//! same problem on one persistent runtime, each both through the
+//! explicitly vectorized row kernels (`simd: on`) and pinned to the
+//! scalar path via [`ScalarPath`] (`simd: off`); every run is bitwise-
 //! verified against the sequential oracle before its MLUP/s number is
-//! trusted. Emits `BENCH_diamond.json`, including per-team flags for
-//! where diamond matches or beats the wavefront comparator.
+//! trusted. The diamond cells honor `--threads-per-tile` (MWD: that
+//! many workers cooperate inside each tile) wherever it divides the
+//! team. Emits `BENCH_diamond.json`, including per-team flags for
+//! where diamond matches or beats the wavefront comparator and the
+//! team-1 SIMD-over-scalar speedup.
 //!
 //! ```sh
 //! cargo run --release -p tb-bench --bin diamond_sweep -- --size 64 --sweeps 12
-//! cargo run --release -p tb-bench --bin diamond_sweep -- --smoke   # CI cell
+//! cargo run --release -p tb-bench --bin diamond_sweep -- --smoke --threads-per-tile 2
 //! ```
 
 use std::io::Write as _;
@@ -19,12 +24,14 @@ use tb_grid::{norm, Grid3, GridPair, Region3};
 use tb_runtime::Runtime;
 use tb_stencil::config::GridScheme;
 use tb_stencil::{
-    baseline, diamond, pipeline, wavefront, DiamondConfig, Jacobi6, PipelineConfig, SyncMode,
+    baseline, diamond, pipeline, wavefront, DiamondConfig, Jacobi6, PipelineConfig, ScalarPath,
+    StencilOp, SyncMode,
 };
 
 struct Row {
     team: usize,
     method: String,
+    simd: bool,
     mlups: f64,
     verified: bool,
 }
@@ -47,6 +54,7 @@ fn run_cell(
     rt: &Runtime,
     team: usize,
     method: &str,
+    simd: bool,
     initial: &Grid3<f64>,
     oracle: &Grid3<f64>,
     sweeps: usize,
@@ -65,8 +73,73 @@ fn run_cell(
     Row {
         team,
         method: method.to_string(),
+        simd,
         mlups: stats.mlups(),
         verified,
+    }
+}
+
+/// The three schemes at one (team, simd-path) point. The operator value
+/// carries the path choice: `Jacobi6` rides the vectorized row kernels,
+/// `ScalarPath(Jacobi6)` pins the same arithmetic to the scalar rows.
+#[allow(clippy::too_many_arguments)]
+fn run_schemes<Op: StencilOp<f64>>(
+    rt: &Runtime,
+    op: &Op,
+    team: usize,
+    tpt: usize,
+    simd: bool,
+    initial: &Grid3<f64>,
+    oracle: &Grid3<f64>,
+    sweeps: usize,
+    reps: usize,
+    width: usize,
+    rows: &mut Vec<Row>,
+) {
+    let dia_cfg = DiamondConfig::with_width(team, width).with_threads_per_tile(tpt);
+    rows.push(run_cell(
+        rt,
+        team,
+        "diamond",
+        simd,
+        initial,
+        oracle,
+        sweeps,
+        reps,
+        |rt, pair| diamond::run_diamond_op_on(rt, op, pair, &dia_cfg, sweeps),
+    ));
+    rows.push(run_cell(
+        rt,
+        team,
+        "pipelined",
+        simd,
+        initial,
+        oracle,
+        sweeps,
+        reps,
+        |rt, pair| pipeline::run_op_on(rt, op, pair, &pipeline_cfg(team), sweeps),
+    ));
+    rows.push(run_cell(
+        rt,
+        team,
+        "wavefront",
+        simd,
+        initial,
+        oracle,
+        sweeps,
+        reps,
+        |rt, pair| wavefront::run_wavefront_op_on(rt, op, pair, team, sweeps),
+    ));
+    for r in rows.iter().skip(rows.len() - 3) {
+        println!(
+            "{:>5} {:<12} {:>5} {:>4} {:>10.1} {:>9}",
+            r.team,
+            r.method,
+            if r.simd { "on" } else { "off" },
+            tpt,
+            r.mlups,
+            r.verified
+        );
     }
 }
 
@@ -77,6 +150,7 @@ fn main() {
     let sweeps = args.get_usize("--sweeps", if smoke { 6 } else { 12 });
     let reps = args.get_usize("--reps", if smoke { 2 } else { 3 });
     let width = args.get_usize("--width", 8);
+    let tpt = args.get_usize("--threads-per-tile", 1);
     let teams: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4] };
 
     let initial = problem(edge, 0xD1A);
@@ -86,92 +160,75 @@ fn main() {
 
     println!(
         "diamond vs pipelined vs wavefront — {edge}^3, {sweeps} sweeps, \
-         best of {reps}, diamond width {width}\n"
+         best of {reps}, diamond width {width}, threads/tile {tpt}\n"
     );
     println!(
-        "{:>5} {:<12} {:>10} {:>9}",
-        "team", "method", "MLUP/s", "verified"
+        "{:>5} {:<12} {:>5} {:>4} {:>10} {:>9}",
+        "team", "method", "simd", "tpt", "MLUP/s", "verified"
     );
 
     let mut rows: Vec<Row> = Vec::new();
     for &team in &teams {
         let rt = Runtime::with_threads(team);
-        rows.push(run_cell(
+        // MWD sub-teams must divide the team; fall back to 1 elsewhere.
+        let team_tpt = if team.is_multiple_of(tpt) { tpt } else { 1 };
+        run_schemes(
+            &rt, &Jacobi6, team, team_tpt, true, &initial, &oracle, sweeps, reps, width, &mut rows,
+        );
+        run_schemes(
             &rt,
+            &ScalarPath(Jacobi6),
             team,
-            "diamond",
+            team_tpt,
+            false,
             &initial,
             &oracle,
             sweeps,
             reps,
-            |rt, pair| {
-                diamond::run_diamond_op_on(
-                    rt,
-                    &Jacobi6,
-                    pair,
-                    &DiamondConfig::with_width(team, width),
-                    sweeps,
-                )
-            },
-        ));
-        rows.push(run_cell(
-            &rt,
-            team,
-            "pipelined",
-            &initial,
-            &oracle,
-            sweeps,
-            reps,
-            |rt, pair| pipeline::run_op_on(rt, &Jacobi6, pair, &pipeline_cfg(team), sweeps),
-        ));
-        rows.push(run_cell(
-            &rt,
-            team,
-            "wavefront",
-            &initial,
-            &oracle,
-            sweeps,
-            reps,
-            |rt, pair| wavefront::run_wavefront_op_on(rt, &Jacobi6, pair, team, sweeps),
-        ));
-        for r in rows.iter().skip(rows.len() - 3) {
-            println!(
-                "{:>5} {:<12} {:>10.1} {:>9}",
-                r.team, r.method, r.mlups, r.verified
-            );
-        }
+            width,
+            &mut rows,
+        );
     }
 
-    // Where does diamond at least match the wavefront comparator?
-    let lookup = |team: usize, method: &str| {
+    let lookup = |team: usize, method: &str, simd: bool| {
         rows.iter()
-            .find(|r| r.team == team && r.method == method)
+            .find(|r| r.team == team && r.method == method && r.simd == simd)
             .map(|r| r.mlups)
             .unwrap_or(0.0)
     };
+    // Where does diamond at least match the wavefront comparator?
+    // (Compared on the vectorized path — the configuration that ships.)
     let diamond_ge_wavefront: Vec<usize> = teams
         .iter()
         .copied()
-        .filter(|&t| lookup(t, "diamond") >= lookup(t, "wavefront"))
+        .filter(|&t| lookup(t, "diamond", true) >= lookup(t, "wavefront", true))
         .collect();
+    // Does the explicit SIMD path pay off where it is easiest to see —
+    // a single worker, no synchronization noise?
+    let simd_speedup_team1 = lookup(1, "diamond", true) / lookup(1, "diamond", false).max(1e-9);
     let all_verified = rows.iter().all(|r| r.verified);
 
     println!(
         "\ndiamond >= wavefront on team sizes {diamond_ge_wavefront:?} \
-         (of {teams:?})"
+         (of {teams:?}); team-1 diamond simd/scalar = {simd_speedup_team1:.2}x"
     );
 
     let json = format!(
         "{{\n  \"edge\": {edge},\n  \"sweeps\": {sweeps},\n  \"reps\": {reps},\n  \
-         \"width\": {width},\n  \"teams\": {teams:?},\n  \
+         \"width\": {width},\n  \"threads_per_tile\": {tpt},\n  \"teams\": {teams:?},\n  \
          \"diamond_ge_wavefront_teams\": {diamond_ge_wavefront:?},\n  \
+         \"simd_speedup_team1\": {simd_speedup_team1:.3},\n  \
          \"all_verified\": {all_verified},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.iter()
             .map(|r| {
                 format!(
-                    "    {{\"team\": {}, \"method\": \"{}\", \"mlups\": {:.2}, \
-                     \"verified\": {}}}",
-                    r.team, r.method, r.mlups, r.verified
+                    "    {{\"team\": {}, \"method\": \"{}\", \"simd\": \"{}\", \
+                     \"mlups\": {:.2}, \"verified\": {}}}",
+                    r.team,
+                    r.method,
+                    if r.simd { "on" } else { "off" },
+                    r.mlups,
+                    r.verified
                 )
             })
             .collect::<Vec<_>>()
@@ -188,7 +245,7 @@ fn main() {
         "some runs diverged from the sequential oracle"
     );
     println!(
-        "all {} scheme × team runs matched the sequential oracle bitwise",
+        "all {} scheme × team × path runs matched the sequential oracle bitwise",
         rows.len()
     );
 }

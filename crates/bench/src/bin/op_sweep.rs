@@ -22,12 +22,13 @@ use tb_stencil::config::GridScheme;
 use tb_stencil::kernel::StoreMode;
 use tb_stencil::{
     baseline, diamond, pipeline, wavefront, Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig,
-    RunStats, StencilOp, SyncMode, VarCoeff7,
+    RunStats, ScalarPath, StencilOp, SyncMode, VarCoeff7,
 };
 
 struct Row {
     op: &'static str,
     method: &'static str,
+    simd: &'static str,
     mlups: f64,
     mflops: f64,
     verified: bool,
@@ -47,10 +48,14 @@ fn pipeline_cfg(scheme: GridScheme) -> PipelineConfig {
 }
 
 /// Run one (operator, method) cell `reps` times, keep the best, verify
-/// bitwise against the oracle.
+/// bitwise against the oracle. `simd` records which row path the
+/// operator value routes through (plain ops vectorize, [`ScalarPath`]
+/// pins the scalar kernel) — the arithmetic is bitwise identical either
+/// way, only the throughput differs.
 fn cell<Op: StencilOp<f64>>(
     op: &Op,
     method: &'static str,
+    simd: &'static str,
     oracle: &Grid3<f64>,
     reps: usize,
     mut run: impl FnMut() -> (Grid3<f64>, RunStats),
@@ -71,6 +76,7 @@ fn cell<Op: StencilOp<f64>>(
     Row {
         op: op.name(),
         method,
+        simd,
         mlups: stats.mlups(),
         mflops: stats.mflops(op.flops_per_lup()),
         verified,
@@ -83,6 +89,7 @@ fn sweep_op<Op: StencilOp<f64>>(
     sweeps: usize,
     reps: usize,
     threads: usize,
+    tpt: usize,
     rows: &mut Vec<Row>,
 ) {
     let initial = problem(edge, 0xBEEF);
@@ -90,55 +97,71 @@ fn sweep_op<Op: StencilOp<f64>>(
     baseline::seq_sweeps_op(op, &mut oracle_pair, sweeps);
     let oracle = oracle_pair.current(sweeps).clone();
 
-    rows.push(cell(op, "seq", &oracle, reps, || {
+    rows.push(cell(op, "seq", "on", &oracle, reps, || {
         let mut pair = GridPair::from_initial(initial.clone());
         let s = baseline::seq_sweeps_op(op, &mut pair, sweeps);
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "blocked", &oracle, reps, || {
+    rows.push(cell(op, "seq", "off", &oracle, reps, || {
+        let scalar = ScalarPath(op.clone());
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s = baseline::seq_sweeps_op(&scalar, &mut pair, sweeps);
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "blocked", "on", &oracle, reps, || {
         let mut pair = GridPair::from_initial(initial.clone());
         let s = baseline::seq_blocked_sweeps_op(op, &mut pair, sweeps, [32, 8, 8]);
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "parallel", &oracle, reps, || {
+    rows.push(cell(op, "parallel", "on", &oracle, reps, || {
         let mut pair = GridPair::from_initial(initial.clone());
         let s = baseline::par_sweeps_op(op, &mut pair, sweeps, threads, StoreMode::Normal, None);
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "parallel-nt", &oracle, reps, || {
+    rows.push(cell(op, "parallel-nt", "on", &oracle, reps, || {
         let mut pair = GridPair::from_initial(initial.clone());
         let s = baseline::par_sweeps_op(op, &mut pair, sweeps, threads, StoreMode::Streaming, None);
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "pipelined", &oracle, reps, || {
+    rows.push(cell(op, "pipelined", "on", &oracle, reps, || {
         let cfg = pipeline_cfg(GridScheme::TwoGrid);
         let mut pair = GridPair::from_initial(initial.clone());
         let s = pipeline::run_op(op, &mut pair, &cfg, sweeps).expect("valid config");
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "compressed", &oracle, reps, || {
+    rows.push(cell(op, "compressed", "on", &oracle, reps, || {
         let cfg = pipeline_cfg(GridScheme::Compressed);
         let mut cg = CompressedGrid::from_grid(&initial, cfg.stages());
         let s = pipeline::run_compressed_op(op, &mut cg, &cfg, sweeps).expect("valid config");
         (cg.to_grid(), s)
     }));
-    rows.push(cell(op, "wavefront", &oracle, reps, || {
+    rows.push(cell(op, "wavefront", "on", &oracle, reps, || {
         let mut pair = GridPair::from_initial(initial.clone());
         let s = wavefront::run_wavefront_op(op, &mut pair, 2, sweeps).expect("valid threads");
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "diamond", &oracle, reps, || {
-        let cfg = DiamondConfig::with_width(2, 8);
+    // MWD sub-teams must divide the (fixed, 2-thread) diamond team.
+    let team_tpt = if 2usize.is_multiple_of(tpt) { tpt } else { 1 };
+    let dia_cfg = DiamondConfig::with_width(2, 8).with_threads_per_tile(team_tpt);
+    rows.push(cell(op, "diamond", "on", &oracle, reps, || {
         let mut pair = GridPair::from_initial(initial.clone());
-        let s = diamond::run_diamond_op(op, &mut pair, &cfg, sweeps).expect("valid config");
+        let s = diamond::run_diamond_op(op, &mut pair, &dia_cfg, sweeps).expect("valid config");
         (pair.current(sweeps).clone(), s)
     }));
-    rows.push(cell(op, "dist", &oracle, reps, || {
+    rows.push(cell(op, "diamond", "off", &oracle, reps, || {
+        let scalar = ScalarPath(op.clone());
+        let mut pair = GridPair::from_initial(initial.clone());
+        let s =
+            diamond::run_diamond_op(&scalar, &mut pair, &dia_cfg, sweeps).expect("valid config");
+        (pair.current(sweeps).clone(), s)
+    }));
+    rows.push(cell(op, "dist", "on", &oracle, reps, || {
         dist_run(op, &initial, sweeps, [2, 1, 1], &LocalExec::Seq)
     }));
-    rows.push(cell(op, "dist-diamond", &oracle, reps, || {
+    rows.push(cell(op, "dist-diamond", "on", &oracle, reps, || {
         // 8 ranks, each advancing its box with diamond blocking.
-        let exec = LocalExec::Diamond(DiamondConfig::with_width(2, 6));
+        let exec =
+            LocalExec::Diamond(DiamondConfig::with_width(2, 6).with_threads_per_tile(team_tpt));
         dist_run(op, &initial, sweeps, [2, 2, 2], &exec)
     }));
 }
@@ -177,46 +200,59 @@ fn main() {
     let edge = args.get_usize("--size", 40);
     let sweeps = args.get_usize("--sweeps", 8);
     let reps = args.get_usize("--reps", 2);
+    let tpt = args.get_usize("--threads-per-tile", 1);
     let machine = tb_topology::detect::detect();
     let threads = machine.cores_per_socket().max(2);
     let dims = tb_grid::Dims3::cube(edge);
 
-    println!("operator × method sweep — {edge}^3, {sweeps} sweeps, best of {reps}\n");
+    println!(
+        "operator × method sweep — {edge}^3, {sweeps} sweeps, best of {reps}, \
+         threads/tile {tpt}\n"
+    );
 
     let mut rows = Vec::new();
-    sweep_op(&Jacobi6, edge, sweeps, reps, threads, &mut rows);
-    sweep_op(&Jacobi7::heat(0.1), edge, sweeps, reps, threads, &mut rows);
+    sweep_op(&Jacobi6, edge, sweeps, reps, threads, tpt, &mut rows);
+    sweep_op(
+        &Jacobi7::heat(0.1),
+        edge,
+        sweeps,
+        reps,
+        threads,
+        tpt,
+        &mut rows,
+    );
     sweep_op(
         &VarCoeff7::banded(dims),
         edge,
         sweeps,
         reps,
         threads,
+        tpt,
         &mut rows,
     );
-    sweep_op(&Avg27, edge, sweeps, reps, threads, &mut rows);
+    sweep_op(&Avg27, edge, sweeps, reps, threads, tpt, &mut rows);
 
     println!(
-        "{:<11} {:<12} {:>10} {:>10} {:>9}",
-        "op", "method", "MLUP/s", "MFLOP/s", "verified"
+        "{:<11} {:<12} {:>5} {:>10} {:>10} {:>9}",
+        "op", "method", "simd", "MLUP/s", "MFLOP/s", "verified"
     );
     for r in &rows {
         println!(
-            "{:<11} {:<12} {:>10.1} {:>10.1} {:>9}",
-            r.op, r.method, r.mlups, r.mflops, r.verified
+            "{:<11} {:<12} {:>5} {:>10.1} {:>10.1} {:>9}",
+            r.op, r.method, r.simd, r.mlups, r.mflops, r.verified
         );
     }
 
     let all_verified = rows.iter().all(|r| r.verified);
     let json = format!(
         "{{\n  \"edge\": {edge},\n  \"sweeps\": {sweeps},\n  \"threads\": {threads},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"threads_per_tile\": {tpt},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.iter()
             .map(|r| {
                 format!(
-                    "    {{\"op\": \"{}\", \"method\": \"{}\", \"mlups\": {:.2}, \
-                     \"mflops\": {:.2}, \"verified\": {}}}",
-                    r.op, r.method, r.mlups, r.mflops, r.verified
+                    "    {{\"op\": \"{}\", \"method\": \"{}\", \"simd\": \"{}\", \
+                     \"mlups\": {:.2}, \"mflops\": {:.2}, \"verified\": {}}}",
+                    r.op, r.method, r.simd, r.mlups, r.mflops, r.verified
                 )
             })
             .collect::<Vec<_>>()

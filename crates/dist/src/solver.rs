@@ -928,6 +928,7 @@ mod tests {
         let cfg = DiamondConfig {
             threads: 2,
             width: 4,
+            threads_per_tile: 2, // MWD through the distributed trapezoid
             audit: true,
         };
         let c = cfg.clone();

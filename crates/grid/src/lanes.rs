@@ -1,0 +1,183 @@
+//! Fixed-width SIMD-style lanes for the stencil row kernels.
+//!
+//! The paper's roofline analysis (Eq. 2/4) prices bytes per LUP and
+//! assumes the in-cache phases created by temporal blocking run at the
+//! core's *vector* compute ceiling. Scalar loops over `&[T]` rely on
+//! LLVM spotting the vectorization opportunity through bounds checks and
+//! slice recombination; this module makes the shape explicit instead:
+//! a [`Lane`] is a plain `[T; LANES]` array, and every arithmetic op is
+//! an element-wise loop over a fixed, compile-time width. That form
+//! autovectorizes deterministically on **stable** Rust (no nightly
+//! `std::simd`, MSRV 1.87 holds) on every backend, and degrades to the
+//! scalar loop — never to something slower — where the target has no
+//! vector units.
+//!
+//! # Bitwise contract
+//!
+//! Lane arithmetic is *element-wise only*: `a + b` performs `LANES`
+//! independent scalar additions, never a horizontal reduction, so an
+//! expression tree over [`Lane`]s evaluates each slot in exactly the
+//! same operand order as the equivalent scalar expression. That is what
+//! lets `StencilOp::apply_row_simd` (in `tb-stencil`) promise **bitwise
+//! identity** with the scalar `apply_row` oracle.
+//!
+//! # Alignment
+//!
+//! [`LANES`] is 8, so one `f64` lane is 64 bytes — exactly
+//! [`crate::aligned::ALIGN`], the alignment every [`crate::AlignedVec`]
+//! (and therefore every `Grid3` allocation) guarantees. Kernels peel a
+//! scalar head until the destination pointer reaches a lane boundary
+//! ([`head_len`]), run aligned lane stores over the body, and mop up a
+//! scalar tail; because the per-element arithmetic is identical in all
+//! three phases, where the split falls never changes results.
+
+use std::ops::{Add, Mul, Sub};
+
+use crate::real::Real;
+
+/// Number of elements per [`Lane`]. 8 × `f64` = 64 bytes (one x86 cache
+/// line / one AVX-512 register), 8 × `f32` = 32 bytes (one AVX register).
+pub const LANES: usize = 8;
+
+/// A fixed-width vector of `LANES` elements with element-wise
+/// arithmetic. See the module docs for the bitwise contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lane<T>([T; LANES]);
+
+impl<T: Real> Lane<T> {
+    /// All `LANES` slots set to `v`.
+    #[inline(always)]
+    pub fn splat(v: T) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Load the first `LANES` elements of `src`.
+    ///
+    /// # Panics
+    /// Panics if `src.len() < LANES`.
+    #[inline(always)]
+    pub fn load(src: &[T]) -> Self {
+        assert!(src.len() >= LANES, "lane load");
+        // SAFETY: length checked above.
+        Self(unsafe { *(src.as_ptr() as *const [T; LANES]) })
+    }
+
+    /// Store into the first `LANES` elements of `dst`.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() < LANES`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [T]) {
+        let arr: &mut [T; LANES] = (&mut dst[..LANES]).try_into().expect("lane store");
+        *arr = self.0;
+    }
+
+    /// Slot `i` of the lane (test/debug helper).
+    #[inline(always)]
+    pub fn get(self, i: usize) -> T {
+        self.0[i]
+    }
+}
+
+macro_rules! elementwise {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl<T: Real> $trait for Lane<T> {
+            type Output = Self;
+            #[inline(always)]
+            // One macro body serves +, - and *; the `a = a op b` shape
+            // is deliberate (`+=` exists only for Add).
+            #[allow(clippy::assign_op_pattern)]
+            fn $method(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                // Fixed-width loop with no early exit: the exact shape
+                // LLVM turns into straight vector instructions.
+                for i in 0..LANES {
+                    out[i] = out[i] $op rhs.0[i];
+                }
+                Self(out)
+            }
+        }
+    };
+}
+
+elementwise!(Add, add, +);
+elementwise!(Sub, sub, -);
+elementwise!(Mul, mul, *);
+
+/// Number of scalar elements to peel off the front of a row starting at
+/// `ptr` before the write pointer reaches a lane-width byte boundary
+/// (`LANES · size_of::<T>()`), capped at `n`. Rows handed out by
+/// [`crate::AlignedVec`]-backed grids start 64-byte aligned, so for full
+/// rows of `f64` this is 0 and the whole body runs aligned.
+#[inline(always)]
+pub fn head_len<T>(ptr: *const T, n: usize) -> usize {
+    let lane_bytes = LANES * std::mem::size_of::<T>();
+    let misalign = (ptr as usize) % lane_bytes;
+    if misalign == 0 {
+        0
+    } else {
+        ((lane_bytes - misalign) / std::mem::size_of::<T>()).min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aligned::{AlignedVec, ALIGN};
+
+    #[test]
+    fn splat_load_store_roundtrip() {
+        let src: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let lane = Lane::load(&src[2..]);
+        for i in 0..LANES {
+            assert_eq!(lane.get(i), (i + 2) as f64);
+        }
+        let mut dst = vec![0.0f64; LANES + 1];
+        lane.store(&mut dst);
+        assert_eq!(&dst[..LANES], &src[2..2 + LANES]);
+        assert_eq!(dst[LANES], 0.0);
+        assert_eq!(Lane::splat(3.5f32).get(7), 3.5);
+    }
+
+    #[test]
+    fn arithmetic_is_elementwise_and_order_preserving() {
+        let a: Vec<f64> = (0..LANES).map(|i| 1.0 + i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..LANES).map(|i| 0.3 + i as f64 * 0.7).collect();
+        let c: Vec<f64> = (0..LANES).map(|i| 2.0 - i as f64 * 0.01).collect();
+        let (la, lb, lc) = (Lane::load(&a), Lane::load(&b), Lane::load(&c));
+        let got = (la + lb) * lc - la;
+        for i in 0..LANES {
+            // Bitwise equality with the scalar expression, slot by slot.
+            assert_eq!(got.get(i), (a[i] + b[i]) * c[i] - a[i], "slot {i}");
+        }
+    }
+
+    #[test]
+    fn head_len_reaches_alignment() {
+        let v: AlignedVec<f64> = AlignedVec::zeroed(64);
+        let lane_bytes = LANES * std::mem::size_of::<f64>();
+        assert_eq!(lane_bytes, ALIGN); // one f64 lane is one cache line
+        assert_eq!(head_len(v.as_ptr(), 64), 0);
+        for off in 1..LANES {
+            let h = head_len(unsafe { v.as_ptr().add(off) }, 64);
+            assert_eq!(h, LANES - off, "offset {off}");
+            let p = unsafe { v.as_ptr().add(off + h) };
+            assert_eq!(p as usize % lane_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn head_len_caps_at_row_length() {
+        let v: AlignedVec<f64> = AlignedVec::zeroed(16);
+        let h = head_len(unsafe { v.as_ptr().add(1) }, 3);
+        assert_eq!(h, 3);
+    }
+
+    #[test]
+    fn f32_lane_is_half_a_cache_line() {
+        let v: AlignedVec<f32> = AlignedVec::zeroed(64);
+        assert_eq!(head_len(v.as_ptr(), 64), 0);
+        // Misaligned by one f32: 7 scalars reach the 32-byte boundary.
+        assert_eq!(head_len(unsafe { v.as_ptr().add(1) }, 64), 7);
+    }
+}

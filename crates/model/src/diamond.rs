@@ -79,6 +79,46 @@ pub fn max_cached_width<T: Real, Op: StencilOp<T>>(
     planes.saturating_sub(2 * radius).max(2 * radius)
 }
 
+/// Number of tiles a team holds live at once under MWD: with
+/// `threads_per_tile` lanes cooperating on each tile, only
+/// `⌈team / threads_per_tile⌉` tile working sets compete for the shared
+/// cache. This is the whole point of Malas et al.'s multi-dimensional
+/// intra-tile parallelization — the per-tile working set
+/// ([`diamond_working_set_bytes`]) is **unchanged** (lanes partition
+/// the same planes, they do not add any), the *count* of concurrent
+/// working sets shrinks.
+pub fn concurrent_tiles(team: usize, threads_per_tile: usize) -> usize {
+    let team = team.max(1);
+    let tpt = threads_per_tile.max(1).min(team);
+    team.div_ceil(tpt)
+}
+
+/// [`max_cached_width`] under MWD: the shared cache is split between
+/// [`concurrent_tiles`] live tiles instead of one per worker, so larger
+/// sub-teams afford wider (higher-reuse) diamonds at equal cache
+/// pressure. `threads_per_tile = 1` reduces to [`max_cached_width`].
+///
+/// Note what the lane count of the SIMD row kernels does *not* do here:
+/// vectorization raises the in-cache compute ceiling but moves no extra
+/// bytes, so it enters neither the working set nor the code balance —
+/// see the module docs of `tb-model`.
+pub fn max_cached_width_mwd<T: Real, Op: StencilOp<T>>(
+    machine: &MachineParams,
+    op: &Op,
+    nx: usize,
+    ny: usize,
+    team: usize,
+    threads_per_tile: usize,
+) -> usize {
+    max_cached_width::<T, Op>(
+        machine,
+        op,
+        nx,
+        ny,
+        concurrent_tiles(team, threads_per_tile),
+    )
+}
+
 /// Eq. 4 transplanted to diamond tiles: wall time (seconds per lattice
 /// site × `u`) for the `u = w/(2R)` updates a tile performs per memory
 /// traversal. First update streams from memory, the rest hit the
@@ -179,5 +219,24 @@ mod tests {
         assert!(w4 <= w);
         let tiny = max_cached_width::<f64, _>(&m, &Jacobi6, 4000, 4000, 4);
         assert_eq!(tiny, 2);
+    }
+
+    #[test]
+    fn mwd_shrinks_concurrent_tiles_not_the_working_set() {
+        assert_eq!(concurrent_tiles(8, 1), 8);
+        assert_eq!(concurrent_tiles(8, 2), 4);
+        assert_eq!(concurrent_tiles(8, 8), 1);
+        assert_eq!(concurrent_tiles(6, 4), 2); // non-divisor rounds up
+        assert_eq!(concurrent_tiles(0, 0), 1); // degenerate clamps
+                                               // Full-team tiles see the whole cache: same width as team = 1.
+        let m = MachineParams::nehalem_ep();
+        let solo = max_cached_width::<f64, _>(&m, &Jacobi6, 100, 100, 1);
+        let mwd = max_cached_width_mwd::<f64, _>(&m, &Jacobi6, 100, 100, 8, 8);
+        assert_eq!(mwd, solo);
+        // Sub-teams interpolate monotonically between the extremes.
+        let w1 = max_cached_width_mwd::<f64, _>(&m, &Jacobi6, 100, 100, 8, 1);
+        let w2 = max_cached_width_mwd::<f64, _>(&m, &Jacobi6, 100, 100, 8, 2);
+        assert_eq!(w1, max_cached_width::<f64, _>(&m, &Jacobi6, 100, 100, 8));
+        assert!(w1 <= w2 && w2 <= mwd);
     }
 }

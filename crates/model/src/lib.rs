@@ -12,7 +12,14 @@
 //!   predicting the speedup of pipelined temporal blocking;
 //! * [`diamond`] — the same cost structure transplanted to
 //!   wavefront-diamond tiles: working set `(w + 2R)` planes per buffer,
-//!   reuse `w/(2R)` sweeps per memory traversal;
+//!   reuse `w/(2R)` sweeps per memory traversal, and the MWD variant
+//!   where sub-teams share tiles (fewer concurrent working sets);
+//!
+//! All models price *memory traffic*, so the SIMD lane width of the row
+//! kernels never appears: vectorization raises the in-cache compute
+//! ceiling but moves no extra bytes, leaving `B_c` and every working-set
+//! bound unchanged (see [`diamond::concurrent_tiles`] for the one place
+//! thread counts — not lane counts — enter the cache model);
 //! * [`network`] — the latency/bandwidth message time model;
 //! * [`halo`] — the multi-layer halo advantage model behind Fig. 5;
 //! * [`scaling`] — strong/weak scaling predictions and ideal lines for
@@ -27,8 +34,8 @@ pub mod roofline;
 pub mod scaling;
 
 pub use diamond::{
-    diamond_block_time_op, diamond_reuse, diamond_speedup, diamond_working_set_bytes,
-    max_cached_width,
+    concurrent_tiles, diamond_block_time_op, diamond_reuse, diamond_speedup,
+    diamond_working_set_bytes, max_cached_width, max_cached_width_mwd,
 };
 pub use halo::{
     computational_efficiency, fig5_network, halo_advantage, halo_cycle_time, HaloWorkload,

@@ -232,6 +232,48 @@ impl DiamondTiling {
     }
 }
 
+/// Balanced contiguous z-partition of one tile region for the MWD
+/// (multi-threaded wavefront diamond) executor: lane `part` of a
+/// `parts`-lane sub-team gets the `part`-th of `parts` near-equal
+/// z-chunks of `region` (the first `extent % parts` chunks are one
+/// plane larger). Chunks of one region are pairwise disjoint and cover
+/// it exactly; lanes whose chunk is empty get [`Region3::empty`].
+///
+/// # Intra-tile ordering
+///
+/// The partition is *per sweep*: each lane updates its chunk of the
+/// tile's sweep-`k` region. A chunk's reads reach `radius` planes past
+/// its z-bounds, i.e. possibly into a *neighboring lane's* chunk of
+/// sweep `k − 1` — which is why the MWD executor runs one intra-tile
+/// barrier between consecutive sweeps of a tile (and needs none within
+/// a sweep: same-sweep chunks write disjoint planes of the destination
+/// grid and only read the source grid, which no lane writes at that
+/// sweep). Reads leaving the tile entirely land in strictly earlier
+/// diamond rows, sealed by the row barrier exactly as in the
+/// single-threaded-tile schedule; `mwd_chunk_reads_stay_ordered` below
+/// verifies both claims exhaustively.
+///
+/// # Panics
+/// Panics unless `parts >= 1` and `part < parts`.
+pub fn split_z(region: &Region3, parts: usize, part: usize) -> Region3 {
+    assert!(parts >= 1, "split_z needs at least one part");
+    assert!(part < parts, "part {part} out of range for {parts} parts");
+    if region.is_empty() {
+        return Region3::empty();
+    }
+    let n = region.hi[2] - region.lo[2];
+    let (base, rem) = (n / parts, n % parts);
+    let lo = region.lo[2] + part * base + part.min(rem);
+    let len = base + usize::from(part < rem);
+    if len == 0 {
+        return Region3::empty();
+    }
+    Region3 {
+        lo: [region.lo[0], region.lo[1], lo],
+        hi: [region.hi[0], region.hi[1], lo + len],
+    }
+}
+
 /// Enumerate the rows intersecting sweeps `0..domains.len()` and their
 /// non-empty tiles, clamped to the per-sweep domains.
 fn build_rows(domains: &[Region3], w: i64, radius: i64) -> Vec<DiamondRow> {
@@ -610,6 +652,149 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn split_z_partitions_exactly() {
+        let base = Region3::new([1, 1, 3], [9, 7, 17]); // 14 z-planes
+        for parts in 1..=6usize {
+            let chunks: Vec<Region3> = (0..parts).map(|p| split_z(&base, parts, p)).collect();
+            // Disjoint, ordered, covering exactly.
+            let total: usize = chunks.iter().map(Region3::count).sum();
+            assert_eq!(total, base.count(), "parts={parts}");
+            let mut z = base.lo[2];
+            for (p, c) in chunks.iter().enumerate() {
+                if c.is_empty() {
+                    continue;
+                }
+                assert_eq!(c.lo[2], z, "parts={parts} part={p} leaves a gap");
+                assert_eq!(c.lo[0..2], base.lo[0..2]);
+                assert_eq!(c.hi[0..2], base.hi[0..2]);
+                z = c.hi[2];
+            }
+            assert_eq!(z, base.hi[2], "parts={parts} does not reach the end");
+            // Balanced: extents differ by at most one plane.
+            let extents: Vec<usize> = chunks.iter().map(|c| c.extent(2)).collect();
+            let (lo, hi) = (extents.iter().min().unwrap(), extents.iter().max().unwrap());
+            assert!(hi - lo <= 1, "parts={parts}: unbalanced {extents:?}");
+        }
+    }
+
+    #[test]
+    fn split_z_degenerate_inputs() {
+        // More parts than planes: trailing lanes get empty chunks.
+        let thin = Region3::new([0, 0, 5], [4, 4, 7]); // 2 planes
+        let chunks: Vec<Region3> = (0..4).map(|p| split_z(&thin, 4, p)).collect();
+        assert!(!chunks[0].is_empty() && !chunks[1].is_empty());
+        assert!(chunks[2].is_empty() && chunks[3].is_empty());
+        assert_eq!(chunks[0].count() + chunks[1].count(), thin.count());
+        // Empty region in, empty chunks out.
+        assert!(split_z(&Region3::empty(), 3, 1).is_empty());
+        // One part is the identity.
+        assert_eq!(split_z(&thin, 1, 0), thin);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn split_z_rejects_bad_part() {
+        let _ = split_z(&Region3::new([0, 0, 0], [2, 2, 2]), 2, 2);
+    }
+
+    /// The MWD executor's ordering argument, checked exhaustively: for
+    /// every tile, lane count and sweep, every read of lane `l`'s chunk
+    /// at sweep `s` lands in (a) the tile's own sweep `s − 1` region —
+    /// own chunk (program order) or another lane's chunk (sealed by the
+    /// intra-tile barrier between consecutive sweeps) — or (b) a tile
+    /// of a strictly earlier diamond row (sealed by the row barrier).
+    /// Same-sweep chunks of one tile never overlap (two-grid writes are
+    /// disjoint). The test also proves the intra-tile barrier is
+    /// load-bearing: cross-lane sweep-(s−1) reads must actually occur.
+    #[test]
+    fn mwd_chunk_reads_stay_ordered() {
+        let mut cross_lane_reads = 0usize;
+        for (n, w, radius, sweeps) in [(14, 4, 1, 6), (12, 6, 1, 5), (12, 6, 2, 5)] {
+            let dom = interior(n);
+            let t = DiamondTiling::uniform(dom, w, radius, sweeps);
+            for tpt in [2usize, 3, 4] {
+                for row in t.rows() {
+                    for tile in &row.tiles {
+                        for (k, region) in tile.regions.iter().enumerate() {
+                            let s = tile.s_lo + k;
+                            let chunks: Vec<Region3> =
+                                (0..tpt).map(|l| split_z(region, tpt, l)).collect();
+                            for (a, ca) in chunks.iter().enumerate() {
+                                for cb in chunks.iter().skip(a + 1) {
+                                    assert!(
+                                        !ca.intersects(cb),
+                                        "same-sweep chunks overlap in tile ({},{})",
+                                        tile.i,
+                                        tile.j
+                                    );
+                                }
+                            }
+                            if s == 0 {
+                                continue;
+                            }
+                            let prev = tile.region_at(s - 1).unwrap_or_else(Region3::empty);
+                            for (l, chunk) in chunks.iter().enumerate() {
+                                if chunk.is_empty() {
+                                    continue;
+                                }
+                                let own_prev = split_z(&prev, tpt, l);
+                                let r = radius as i64;
+                                for dz in -r..=r {
+                                    for z in chunk.lo[2]..chunk.hi[2] {
+                                        let zr = z as i64 + dz;
+                                        if zr < 0 {
+                                            continue;
+                                        }
+                                        let zr = zr as usize;
+                                        if zr < dom.lo[2] || zr >= dom.hi[2] {
+                                            // Boundary plane: never written by
+                                            // any sweep, no ordering needed.
+                                            continue;
+                                        }
+                                        let owner = t.tile_of(zr, s - 1);
+                                        if owner == (tile.i, tile.j) {
+                                            // Intra-tile read: must lie in the
+                                            // previous sweep's region...
+                                            assert!(
+                                                prev.lo[2] <= zr && zr < prev.hi[2],
+                                                "tile ({},{}) sweep {s}: intra-tile read \
+                                                 z={zr} outside the sweep-{} region",
+                                                tile.i,
+                                                tile.j,
+                                                s - 1
+                                            );
+                                            // ...and cross-lane ones are what
+                                            // the intra-tile barrier seals.
+                                            if !(own_prev.lo[2] <= zr && zr < own_prev.hi[2])
+                                                || own_prev.is_empty()
+                                            {
+                                                cross_lane_reads += 1;
+                                            }
+                                        } else {
+                                            assert!(
+                                                owner.0 - owner.1 < tile.row(),
+                                                "tile ({},{}) lane {l} sweep {s} reads \
+                                                 z={zr} owned by same-or-later row",
+                                                tile.i,
+                                                tile.j
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            cross_lane_reads > 0,
+            "no cross-lane intra-tile reads found — the intra-tile barrier \
+             would be dead code and this test vacuous"
+        );
     }
 
     #[test]

@@ -50,6 +50,14 @@ pub struct DiamondConfig {
     /// (`w / 2R` updates per memory traversal) and the working set
     /// (`≈ 2·(w + 2R)` planes) together.
     pub width: usize,
+    /// MWD (Malas et al.'s multi-dimensional intra-tile
+    /// parallelization): workers cooperating on *one* tile. `1` is the
+    /// classic one-thread-per-tile schedule; larger values split each
+    /// tile's z-extent into a per-lane wavefront (one intra-tile
+    /// barrier per sweep), so `threads / threads_per_tile` tiles run
+    /// concurrently and they *share* one tile working set in cache
+    /// instead of each dragging in their own. Must divide `threads`.
+    pub threads_per_tile: usize,
     /// Run the debug region auditor (serializes claims; test/debug only).
     pub audit: bool,
 }
@@ -60,17 +68,26 @@ impl DiamondConfig {
         Self {
             threads: 2,
             width: 8,
+            threads_per_tile: 1,
             audit: false,
         }
     }
 
-    /// Config with explicit team size and width, auditing off.
+    /// Config with explicit team size and width, one thread per tile,
+    /// auditing off.
     pub fn with_width(threads: usize, width: usize) -> Self {
         Self {
             threads,
             width,
+            threads_per_tile: 1,
             audit: false,
         }
+    }
+
+    /// Builder-style override of the MWD sub-team size.
+    pub fn with_threads_per_tile(mut self, threads_per_tile: usize) -> Self {
+        self.threads_per_tile = threads_per_tile;
+        self
     }
 
     /// Validate against a grid and operator radius. Unlike the
@@ -79,6 +96,17 @@ impl DiamondConfig {
     pub fn validate(&self, dims: Dims3, radius: usize) -> Result<(), String> {
         if self.threads == 0 {
             return Err("diamond needs at least one thread".into());
+        }
+        if self.threads_per_tile == 0 {
+            return Err("threads_per_tile must be >= 1".into());
+        }
+        if self.threads_per_tile > self.threads
+            || !self.threads.is_multiple_of(self.threads_per_tile)
+        {
+            return Err(format!(
+                "threads_per_tile {} must divide the team size {}",
+                self.threads_per_tile, self.threads
+            ));
         }
         if radius == 0 {
             return Err("operator radius must be >= 1".into());
@@ -129,18 +157,44 @@ pub unsafe fn run_diamond_schedule_on<T: Real, Op: StencilOp<T>>(
         "runtime has {} workers but the diamond team needs {threads}",
         rt.threads()
     );
+    let tpt = cfg.threads_per_tile.max(1);
+    assert!(
+        threads.is_multiple_of(tpt),
+        "threads_per_tile {tpt} must divide the team size {threads}"
+    );
+    // MWD: the team splits into `groups` sub-teams of `tpt` lanes; each
+    // sub-team advances one tile cooperatively, so only `groups` tile
+    // working sets are live in cache at a time. tpt == 1 degenerates to
+    // the classic one-thread-per-tile schedule (same tile assignment,
+    // no intra-tile barriers).
+    let groups = threads / tpt;
     let barrier = SpinBarrier::new(threads);
+    let intra: Vec<SpinBarrier> = (0..groups).map(|_| SpinBarrier::new(tpt)).collect();
     let auditor = cfg.audit.then(RegionAuditor::new);
     let total_cells = AtomicU64::new(0);
     rt.run(threads, &|tid| {
+        let (group, lane) = (tid / tpt, tid % tpt);
+        let intra_b = (tpt > 1).then(|| &intra[group]);
         let mut my_cells = 0u64;
         for row in tiling.rows() {
-            for tile in row.tiles.iter().skip(tid).step_by(threads) {
+            for tile in row.tiles.iter().skip(group).step_by(groups) {
                 // SAFETY: forwarded from this function's contract; the
-                // static row-major assignment hands concurrent workers
-                // tiles of the same row only.
+                // static row-major assignment hands concurrent sub-teams
+                // tiles of the same row only, and within a sub-team the
+                // lanes partition each sweep's z-extent disjointly.
                 my_cells += unsafe {
-                    update_tile(op, views, tiling, auditor.as_ref(), tid, tile, base_sweep)
+                    update_tile(
+                        op,
+                        views,
+                        tiling,
+                        auditor.as_ref(),
+                        tid,
+                        tile,
+                        base_sweep,
+                        lane,
+                        tpt,
+                        intra_b,
+                    )
                 };
             }
             // Row epoch: every dependency of the next row is sealed once
@@ -152,11 +206,25 @@ pub unsafe fn run_diamond_schedule_on<T: Real, Op: StencilOp<T>>(
     total_cells.load(Ordering::Relaxed)
 }
 
-/// Advance one tile through its sweeps. Returns cells updated.
+/// Advance one tile through its sweeps — lane `lane` of a `tpt`-lane
+/// sub-team updates its `geometry::split_z` chunk of each sweep's
+/// region, with one intra-tile barrier *between* consecutive sweeps
+/// (`intra`, present iff `tpt > 1`): a chunk's reads reach `radius`
+/// planes past its bounds, i.e. into neighboring lanes' sweep-`k−1`
+/// writes, which the barrier seals. No barrier is needed after the last
+/// sweep — same-row tiles are disjoint at arbitrary relative progress
+/// (see `geometry`), so sub-teams never wait on each other's tiles.
+/// Returns cells updated by this lane.
+///
+/// Every lane of a sub-team walks the same tiles and the same sweep
+/// indices (empty chunks are skipped *after* the barrier), so the
+/// barrier participation count always matches.
 ///
 /// # Safety
 /// See [`run_diamond_schedule_on`]; additionally the caller guarantees
-/// concurrent callers hold tiles of the same row only.
+/// concurrent sub-teams hold tiles of the same row only and that lanes
+/// of one sub-team call this for the same tiles in the same order.
+#[allow(clippy::too_many_arguments)]
 unsafe fn update_tile<T: Real, Op: StencilOp<T>>(
     op: &Op,
     views: &[SharedGrid<T>; 2],
@@ -165,28 +233,42 @@ unsafe fn update_tile<T: Real, Op: StencilOp<T>>(
     tid: usize,
     tile: &DiamondTile,
     base_sweep: usize,
+    lane: usize,
+    tpt: usize,
+    intra: Option<&SpinBarrier>,
 ) -> u64 {
     let mut cells = 0u64;
     for (k, region) in tile.regions.iter().enumerate() {
-        if region.is_empty() {
+        if let (Some(b), true) = (intra, k > 0) {
+            // Seal the other lanes' sweep-(k−1) writes before any lane
+            // reads across a chunk boundary at sweep k.
+            b.wait();
+        }
+        let chunk = if tpt > 1 {
+            geometry::split_z(region, tpt, lane)
+        } else {
+            *region
+        };
+        if chunk.is_empty() {
             continue;
         }
         let sweep = base_sweep + tile.s_lo + k;
         let (sg, dg) = (sweep % 2, (sweep + 1) % 2);
         let claims = auditor.map(|a| {
-            let read = a.claim(tid, sg, AccessKind::Read, region.expand(tiling.radius()));
-            let write = a.claim(tid, dg, AccessKind::Write, *region);
+            let read = a.claim(tid, sg, AccessKind::Read, chunk.expand(tiling.radius()));
+            let write = a.claim(tid, dg, AccessKind::Write, chunk);
             (read, write)
         });
-        // SAFETY: row ordering seals every cross-row dependency and the
+        // SAFETY: row ordering seals every cross-row dependency, the
         // same-row disjointness argument in `geometry` covers concurrent
-        // tiles — re-checked by the auditor when enabled.
-        kernel::update_region_shared_op(op, &views[sg], &views[dg], region, StoreMode::Normal);
+        // tiles, and the intra-tile barrier above orders cross-lane
+        // chunk dependencies — re-checked by the auditor when enabled.
+        kernel::update_region_shared_op(op, &views[sg], &views[dg], &chunk, StoreMode::Normal);
         if let (Some(a), Some((r, w))) = (auditor, claims) {
             a.release(r);
             a.release(w);
         }
-        cells += region.count() as u64;
+        cells += chunk.count() as u64;
     }
     cells
 }
@@ -279,6 +361,7 @@ mod tests {
         DiamondConfig {
             threads,
             width,
+            threads_per_tile: 1,
             audit: true,
         }
     }
@@ -362,6 +445,75 @@ mod tests {
                 &Region3::whole(dims),
                 &format!("shared runtime round {round}"),
             );
+        }
+    }
+
+    #[test]
+    fn mwd_matches_sequential_for_every_subteam_shape() {
+        // threads_per_tile ∈ {1, 2, 3, 4, 6} over a 6-thread team (audit
+        // on): the intra-tile wavefront must stay bitwise-exact however
+        // the team is split between tiles and lanes.
+        let dims = Dims3::new(14, 10, 18);
+        let sweeps = 6;
+        let want = reference(dims, 41, sweeps);
+        for tpt in [1usize, 2, 3, 6] {
+            for width in [3usize, 6, 10] {
+                let cfg = audit_cfg(6, width).with_threads_per_tile(tpt);
+                let mut pair = GridPair::from_initial(init::random(dims, 41));
+                run_diamond(&mut pair, &cfg, sweeps).unwrap();
+                norm::assert_grids_identical(
+                    &want,
+                    pair.current(sweeps),
+                    &Region3::whole(dims),
+                    &format!("mwd tpt={tpt} w={width}"),
+                );
+            }
+        }
+        // Whole team on one tile at a time (threads == threads_per_tile).
+        let cfg = audit_cfg(4, 5).with_threads_per_tile(4);
+        let mut pair = GridPair::from_initial(init::random(dims, 41));
+        let s = run_diamond(&mut pair, &cfg, sweeps).unwrap();
+        norm::assert_grids_identical(
+            &want,
+            pair.current(sweeps),
+            &Region3::whole(dims),
+            "mwd full-team tile",
+        );
+        assert_eq!(s.cell_updates, (sweeps * dims.interior_len()) as u64);
+    }
+
+    #[test]
+    fn mwd_every_operator_matches_its_oracle() {
+        let dims = Dims3::cube(13);
+        let initial: tb_grid::Grid3<f64> = init::random(dims, 53);
+        fn run_both<Op: StencilOp<f64>>(op: &Op, initial: &tb_grid::Grid3<f64>, sweeps: usize) {
+            let dims = initial.dims();
+            let mut want = GridPair::from_initial(initial.clone());
+            baseline::seq_sweeps_op(op, &mut want, sweeps);
+            let mut pair = GridPair::from_initial(initial.clone());
+            let cfg = audit_cfg(4, 6).with_threads_per_tile(2);
+            run_diamond_op(op, &mut pair, &cfg, sweeps).unwrap();
+            norm::assert_grids_identical(
+                want.current(sweeps),
+                pair.current(sweeps),
+                &Region3::whole(dims),
+                &format!("mwd diamond {}", op.name()),
+            );
+        }
+        run_both(&Jacobi6, &initial, 5);
+        run_both(&Jacobi7::heat(0.12), &initial, 5);
+        run_both(&VarCoeff7::banded(dims), &initial, 5);
+        run_both(&Avg27, &initial, 5); // corner reads cross chunk bounds
+    }
+
+    #[test]
+    fn mwd_invalid_subteam_rejected() {
+        let dims = Dims3::cube(10);
+        let mut pair: GridPair<f64> = GridPair::zeroed(dims);
+        for (threads, tpt) in [(4, 3), (2, 4), (3, 0)] {
+            let cfg = DiamondConfig::with_width(threads, 6).with_threads_per_tile(tpt);
+            let err = run_diamond(&mut pair, &cfg, 1).unwrap_err();
+            assert!(err.contains("threads_per_tile"), "({threads},{tpt}): {err}");
         }
     }
 

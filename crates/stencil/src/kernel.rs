@@ -30,8 +30,13 @@ use crate::op::{Jacobi6, Rows9, StencilOp};
 /// * `ym`/`yp` — source rows `(y∓1, z)` covering `x0..x1`,
 /// * `zm`/`zp` — source rows `(y, z∓1)` covering `x0..x1`.
 ///
-/// The slice-based formulation lets LLVM auto-vectorize the loop (the
-/// paper's SIMD requirement) without any intrinsics.
+/// This is the **scalar oracle** form of Eq. 1. The paper's SIMD
+/// requirement is met elsewhere: the region drivers below route row
+/// updates through [`StencilOp::apply_row_simd`], whose operator impls
+/// are built on the explicit fixed-width lane module
+/// (`tb_grid::lanes`) — aligned lane-wide body plus scalar head/tail,
+/// bitwise identical to this kernel. Wrapping an operator in
+/// [`crate::op::ScalarPath`] pins execution back to this scalar path.
 #[inline]
 pub fn jacobi_row<T: Real>(dst: &mut [T], c: &[T], ym: &[T], yp: &[T], zm: &[T], zp: &[T]) {
     let n = dst.len();
@@ -154,7 +159,7 @@ pub fn update_region_op<T: Real, Op: StencilOp<T>>(
         for y in region.lo[1]..region.hi[1] {
             let rows = Rows9::from_grid(src, x0, x1, y, z);
             let d = &mut dst.row_mut(y, z)[x0..x1];
-            op.apply_row(d, &rows, x0, y, z);
+            op.apply_row_simd(d, &rows, x0, y, z);
         }
     }
 }
@@ -219,7 +224,7 @@ pub unsafe fn update_region_shared_op<T: Real, Op: StencilOp<T>>(
             let rows = rows9_shared(src, x0, x1, y, z);
             let d = dst.row_mut(x0, x1, y, z);
             match store {
-                StoreMode::Normal => op.apply_row(d, &rows, x0, y, z),
+                StoreMode::Normal => op.apply_row_simd(d, &rows, x0, y, z),
                 StoreMode::Streaming => op.apply_row_streaming(d, &rows, x0, y, z),
             }
         }
@@ -354,11 +359,11 @@ pub unsafe fn update_region_compressed_op<T: Real, Op: StencilOp<T>>(
                     [segs[6], segs[7], segs[8]],
                 ]);
                 let d = view.row_mut(xs + dst_off, xe + dst_off, y + dst_off, z + dst_off);
-                op.apply_row(d, &rows, xs, y, z);
+                op.apply_row_simd(d, &rows, xs, y, z);
             } else {
                 let rows = rows9_shared(view, xs + src_off, xe + src_off, y + src_off, z + src_off);
                 let d = view.row_mut(xs + dst_off, xe + dst_off, y + dst_off, z + dst_off);
-                op.apply_row(d, &rows, xs, y, z);
+                op.apply_row_simd(d, &rows, xs, y, z);
             }
         }
     }

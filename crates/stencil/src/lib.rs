@@ -18,6 +18,9 @@
 //!   schedule ([`pipeline::plan`]), the global-barrier executor, the
 //!   relaxed-synchronization executor (Eq. 3), and the compressed-grid
 //!   executor;
+//! * [`simd`] — runtime-dispatched explicit AVX row kernels behind the
+//!   portable lane path of [`op`] (stable `std::arch`, selected via
+//!   `is_x86_feature_detected!`, bitwise identical to the scalar rows);
 //! * [`wavefront`] — the wavefront method of Wellein et al. (ref. 2),
 //!   implemented as a comparator;
 //! * [`diamond`] — **wavefront-diamond temporal blocking** (Malas,
@@ -53,11 +56,12 @@ pub mod kernel;
 pub mod op;
 pub mod pipeline;
 pub mod residual;
+pub mod simd;
 pub mod stats;
 pub mod wavefront;
 
 pub use config::PipelineConfig;
 pub use diamond::DiamondConfig;
-pub use op::{Avg27, Jacobi6, Jacobi7, Rows9, StencilOp, VarCoeff7};
+pub use op::{Avg27, Jacobi6, Jacobi7, Rows9, ScalarPath, StencilOp, VarCoeff7};
 pub use stats::RunStats;
 pub use tb_sync::SyncMode;

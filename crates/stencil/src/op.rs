@@ -30,9 +30,11 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
+use tb_grid::lanes::{head_len, Lane, LANES};
 use tb_grid::{Dims3, Grid3, Real, Region3};
 
 use crate::kernel::{self, StoreMode};
+use crate::simd;
 
 /// The nine radius-1 source row segments available to update cells
 /// `x0 .. x0 + n` of row `(y, z)`.
@@ -191,6 +193,22 @@ pub trait StencilOp<T: Real>: Clone + Send + Sync + 'static {
         self.apply_row(dst, src, x0, y, z);
     }
 
+    /// Explicitly vectorized variant of [`StencilOp::apply_row`] built on
+    /// the fixed-width [`Lane`] type (`tb_grid::lanes`): scalar head to a
+    /// lane-aligned store pointer, lane-wide body, scalar tail (see
+    /// [`vectorize_row`]). Every region driver in [`crate::kernel`] calls
+    /// this, so overriding it accelerates *all* executors at once.
+    ///
+    /// The contract is strict: results must be **bitwise identical** to
+    /// [`StencilOp::apply_row`] — lane arithmetic is element-wise, so
+    /// implementations keep the scalar operand order per slot and never
+    /// introduce horizontal reductions or FMA contraction. The default
+    /// falls back to the scalar path, which is what [`ScalarPath`] relies
+    /// on to force the oracle route.
+    fn apply_row_simd(&self, dst: &mut [T], src: &Rows9<'_, T>, x0: usize, y: usize, z: usize) {
+        self.apply_row(dst, src, x0, y, z);
+    }
+
     /// Operator for a sub-box of the global problem whose local cell
     /// `(0,0,0)` sits at `local_box.lo` in global coordinates. The
     /// distributed decomposition calls this once per rank; operators with
@@ -199,6 +217,96 @@ pub trait StencilOp<T: Real>: Clone + Send + Sync + 'static {
     fn restricted(&self, local_box: &Region3) -> Self {
         let _ = local_box;
         self.clone()
+    }
+}
+
+/// Drive one row update through the three-phase SIMD shape: a scalar
+/// head until the *store* pointer reaches a lane-width byte boundary,
+/// [`LANES`]-wide stores over the body, and a scalar tail.
+///
+/// `scalar(i)` and `lane(i)` must compute cell `i` (respectively cells
+/// `i .. i + LANES`) of the row with identical per-slot operand order —
+/// then where the head/body/tail split falls can never change results,
+/// which is how the `apply_row_simd` impls below keep their bitwise
+/// promise for arbitrary `x0` offsets and row lengths.
+#[inline(always)]
+pub fn vectorize_row<T: Real>(
+    dst: &mut [T],
+    scalar: impl Fn(usize) -> T,
+    lane: impl Fn(usize) -> Lane<T>,
+) {
+    let n = dst.len();
+    let mut i = 0usize;
+    let head = head_len(dst.as_ptr(), n);
+    while i < head {
+        dst[i] = scalar(i);
+        i += 1;
+    }
+    while i + LANES <= n {
+        lane(i).store(&mut dst[i..]);
+        i += LANES;
+    }
+    while i < n {
+        dst[i] = scalar(i);
+        i += 1;
+    }
+}
+
+/// Adapter that pins an operator to its scalar row kernel: it delegates
+/// everything to the wrapped operator but leaves
+/// [`StencilOp::apply_row_simd`] at the trait default (→ scalar
+/// `apply_row`), so every executor runs the unvectorized path.
+///
+/// This is the oracle side of the SIMD verification story — benches and
+/// the `simd_property` suite solve with `op` and `ScalarPath(op)` and
+/// assert bitwise equality — and doubles as the `simd: off` rows in the
+/// sweep bins. No global toggle, no config plumbing: the choice is in
+/// the operator value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScalarPath<Op>(pub Op);
+
+impl<T: Real, Op: StencilOp<T>> StencilOp<T> for ScalarPath<Op> {
+    const RADIUS: usize = Op::RADIUS;
+    const READS_CORNERS: bool = Op::READS_CORNERS;
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn flops_per_lup(&self) -> f64 {
+        self.0.flops_per_lup()
+    }
+
+    fn extra_read_streams(&self) -> f64 {
+        self.0.extra_read_streams()
+    }
+
+    fn bytes_per_lup(&self, store: StoreMode) -> f64 {
+        self.0.bytes_per_lup(store)
+    }
+
+    #[inline]
+    fn apply_row(&self, dst: &mut [T], src: &Rows9<'_, T>, x0: usize, y: usize, z: usize) {
+        self.0.apply_row(dst, src, x0, y, z);
+    }
+
+    #[inline]
+    fn apply_row_streaming(
+        &self,
+        dst: &mut [T],
+        src: &Rows9<'_, T>,
+        x0: usize,
+        y: usize,
+        z: usize,
+    ) {
+        self.0.apply_row_streaming(dst, src, x0, y, z);
+    }
+
+    // apply_row_simd deliberately NOT overridden: the trait default
+    // routes it to `self.apply_row`, i.e. the wrapped scalar kernel.
+
+    fn restricted(&self, local_box: &Region3) -> Self {
+        ScalarPath(self.0.restricted(local_box))
     }
 }
 
@@ -267,6 +375,39 @@ impl<T: Real> StencilOp<T> for Jacobi6 {
             );
         }
     }
+
+    #[inline]
+    fn apply_row_simd(&self, dst: &mut [T], src: &Rows9<'_, T>, _x0: usize, _y: usize, _z: usize) {
+        if simd::jacobi6(dst, src) {
+            return;
+        }
+        let sixth = T::ONE / T::from_f64(6.0);
+        let c = src.row(0, 0);
+        let ym = src.row(-1, 0);
+        let yp = src.row(1, 0);
+        let zm = src.row(0, -1);
+        let zp = src.row(0, 1);
+        // Laundering the shifted view of `c` hides that it aliases `c`:
+        // otherwise LLVM's SLP pass "optimizes" the two overlapping lane
+        // loads into one load plus an element-shuffle network, which is
+        // far slower than the two plain vector loads we want.
+        let e = std::hint::black_box(&c[2..]);
+        let vs = Lane::splat(sixth);
+        vectorize_row(
+            dst,
+            // Eq. 1 in the canonical left-to-right order of jacobi_row.
+            |i| (c[i] + e[i] + ym[i + 1] + yp[i + 1] + zm[i + 1] + zp[i + 1]) * sixth,
+            |i| {
+                (Lane::load(&c[i..])
+                    + Lane::load(&e[i..])
+                    + Lane::load(&ym[i + 1..])
+                    + Lane::load(&yp[i + 1..])
+                    + Lane::load(&zm[i + 1..])
+                    + Lane::load(&zp[i + 1..]))
+                    * vs
+            },
+        );
+    }
 }
 
 /// 7-point cross with an explicit center weight:
@@ -321,6 +462,41 @@ impl<T: Real> StencilOp<T> for Jacobi7 {
             let sum = c[i] + c[i + 2] + ym[i + 1] + yp[i + 1] + zm[i + 1] + zp[i + 1];
             dst[i] = c[i + 1] * cw + sum * nw;
         }
+    }
+
+    #[inline]
+    fn apply_row_simd(&self, dst: &mut [T], src: &Rows9<'_, T>, _x0: usize, _y: usize, _z: usize) {
+        let cw = T::from_f64(self.center);
+        let nw = T::from_f64(self.neighbor);
+        if simd::jacobi7(dst, src, cw, nw) {
+            return;
+        }
+        let c = src.row(0, 0);
+        let ym = src.row(-1, 0);
+        let yp = src.row(1, 0);
+        let zm = src.row(0, -1);
+        let zp = src.row(0, 1);
+        // See Jacobi6: hide the aliasing between the three views of `c`
+        // so SLP emits three plain loads, not a shuffle network.
+        let u = std::hint::black_box(&c[1..]);
+        let e = std::hint::black_box(&c[2..]);
+        let (vcw, vnw) = (Lane::splat(cw), Lane::splat(nw));
+        vectorize_row(
+            dst,
+            |i| {
+                let sum = c[i] + e[i] + ym[i + 1] + yp[i + 1] + zm[i + 1] + zp[i + 1];
+                u[i] * cw + sum * nw
+            },
+            |i| {
+                let sum = Lane::load(&c[i..])
+                    + Lane::load(&e[i..])
+                    + Lane::load(&ym[i + 1..])
+                    + Lane::load(&yp[i + 1..])
+                    + Lane::load(&zm[i + 1..])
+                    + Lane::load(&zp[i + 1..]);
+                Lane::load(&u[i..]) * vcw + sum * vnw
+            },
+        );
     }
 }
 
@@ -397,6 +573,45 @@ impl<T: Real> StencilOp<T> for VarCoeff7<T> {
         }
     }
 
+    #[inline]
+    fn apply_row_simd(&self, dst: &mut [T], src: &Rows9<'_, T>, x0: usize, y: usize, z: usize) {
+        let n = dst.len();
+        let six = T::from_f64(6.0);
+        let gx = x0 + self.origin[0];
+        let k = &self.kappa.row(y + self.origin[1], z + self.origin[2])[gx..gx + n];
+        if simd::varcoeff7(dst, src, k) {
+            return;
+        }
+        let c = src.row(0, 0);
+        let ym = src.row(-1, 0);
+        let yp = src.row(1, 0);
+        let zm = src.row(0, -1);
+        let zp = src.row(0, 1);
+        // See Jacobi6: hide the aliasing between the three views of `c`
+        // so SLP emits three plain loads, not a shuffle network.
+        let u = std::hint::black_box(&c[1..]);
+        let e = std::hint::black_box(&c[2..]);
+        let vsix = Lane::splat(six);
+        vectorize_row(
+            dst,
+            |i| {
+                let u = u[i];
+                let sum = c[i] + e[i] + ym[i + 1] + yp[i + 1] + zm[i + 1] + zp[i + 1];
+                u + (sum - u * six) * k[i]
+            },
+            |i| {
+                let u = Lane::load(&u[i..]);
+                let sum = Lane::load(&c[i..])
+                    + Lane::load(&e[i..])
+                    + Lane::load(&ym[i + 1..])
+                    + Lane::load(&yp[i + 1..])
+                    + Lane::load(&zm[i + 1..])
+                    + Lane::load(&zp[i + 1..]);
+                u + (sum - u * vsix) * Lane::load(&k[i..])
+            },
+        );
+    }
+
     fn restricted(&self, local_box: &Region3) -> Self {
         Self {
             kappa: self.kappa.clone(),
@@ -453,6 +668,50 @@ impl<T: Real> StencilOp<T> for Avg27 {
             }
             dst[i] = acc * w;
         }
+    }
+
+    #[inline]
+    fn apply_row_simd(&self, dst: &mut [T], src: &Rows9<'_, T>, _x0: usize, _y: usize, _z: usize) {
+        if simd::avg27(dst, src) {
+            return;
+        }
+        let w = T::ONE / T::from_f64(27.0);
+        let rows = [
+            [src.row(-1, -1), src.row(0, -1), src.row(1, -1)],
+            [src.row(-1, 0), src.row(0, 0), src.row(1, 0)],
+            [src.row(-1, 1), src.row(0, 1), src.row(1, 1)],
+        ];
+        // See Jacobi6: hide that the three x-offset views of each row
+        // alias, so SLP emits plain loads instead of shuffle networks.
+        let rows1 = rows.map(|p| p.map(|r| std::hint::black_box(&r[1..])));
+        let rows2 = rows.map(|p| p.map(|r| std::hint::black_box(&r[2..])));
+        let vw = Lane::splat(w);
+        vectorize_row(
+            dst,
+            |i| {
+                let mut acc = T::ZERO;
+                for ((p0, p1), p2) in rows.iter().zip(&rows1).zip(&rows2) {
+                    for ((r0, r1), r2) in p0.iter().zip(p1).zip(p2) {
+                        acc += r0[i];
+                        acc += r1[i];
+                        acc += r2[i];
+                    }
+                }
+                acc * w
+            },
+            |i| {
+                // Same 27-term accumulation order, lane-wide.
+                let mut acc = Lane::splat(T::ZERO);
+                for ((p0, p1), p2) in rows.iter().zip(&rows1).zip(&rows2) {
+                    for ((r0, r1), r2) in p0.iter().zip(p1).zip(p2) {
+                        acc = acc + Lane::load(&r0[i..]);
+                        acc = acc + Lane::load(&r1[i..]);
+                        acc = acc + Lane::load(&r2[i..]);
+                    }
+                }
+                acc * vw
+            },
+        );
     }
 }
 
@@ -587,6 +846,60 @@ mod tests {
         // Same value to rounding; bitwise equality is only promised
         // across executors, not against a reordered sum.
         assert!((dst[1] - sum / 27.0).abs() < 1e-12);
+    }
+
+    /// SIMD path ≡ scalar path, bitwise, for every shipped operator —
+    /// including offsets that leave the store pointer unaligned and row
+    /// lengths that are not lane multiples.
+    #[test]
+    fn simd_rows_bitwise_equal_scalar_rows() {
+        fn check<Op: StencilOp<f64>>(op: &Op, dims: Dims3) {
+            let g: Grid3<f64> = init::random(dims, 31);
+            for (x0, x1) in [(1, dims.nx - 1), (3, dims.nx - 2), (5, 5 + LANES + 3)] {
+                let n = x1 - x0;
+                let rows = rows_from_grid(&g, x0, x1, 2, 3);
+                let mut scalar = vec![0.0; n];
+                let mut simd = vec![0.0; n];
+                op.apply_row(&mut scalar, &rows, x0, 2, 3);
+                op.apply_row_simd(&mut simd, &rows, x0, 2, 3);
+                assert_eq!(scalar, simd, "{} x0={x0} n={n}", op.name());
+                // The ScalarPath wrapper must route apply_row_simd back
+                // to the scalar kernel.
+                let mut wrapped = vec![0.0; n];
+                ScalarPath(op.clone()).apply_row_simd(&mut wrapped, &rows, x0, 2, 3);
+                assert_eq!(scalar, wrapped, "{} ScalarPath", op.name());
+            }
+        }
+        let dims = Dims3::new(37, 6, 7); // nx not a lane multiple
+        check(&Jacobi6, dims);
+        check(&Jacobi7::heat(0.07), dims);
+        check(&VarCoeff7::banded(dims), dims);
+        check(&Avg27, dims);
+    }
+
+    #[test]
+    fn scalar_path_preserves_metadata_and_restriction() {
+        let dims = Dims3::cube(8);
+        let op = ScalarPath(VarCoeff7::<f64>::banded(dims));
+        assert_eq!(op.name(), "varcoeff7");
+        assert_eq!(op.extra_read_streams(), 1.0);
+        assert_eq!(
+            op.bytes_per_lup(StoreMode::Normal),
+            VarCoeff7::<f64>::banded(dims).bytes_per_lup(StoreMode::Normal)
+        );
+        const {
+            assert!(<ScalarPath<Avg27> as StencilOp<f64>>::READS_CORNERS);
+            assert!(!<ScalarPath<Jacobi6> as StencilOp<f64>>::READS_CORNERS);
+        }
+        // Restriction re-anchors through the wrapper.
+        let g: Grid3<f64> = init::random(dims, 13);
+        let rows = rows_from_grid(&g, 2, 6, 3, 4);
+        let mut want = vec![0.0; 4];
+        op.apply_row(&mut want, &rows, 2, 3, 4);
+        let local = op.restricted(&Region3::new([1, 2, 2], [8, 8, 8]));
+        let mut got = vec![0.0; 4];
+        local.apply_row(&mut got, &rows, 1, 1, 2);
+        assert_eq!(want, got);
     }
 
     #[test]

@@ -24,7 +24,7 @@ fn fold_defect<T: Real, Op: StencilOp<T>>(g: &Grid3<T>, op: &Op, mut f: impl FnM
     for z in interior.lo[2]..interior.hi[2] {
         for y in interior.lo[1]..interior.hi[1] {
             let rows = Rows9::from_grid(g, x0, x1, y, z);
-            op.apply_row(&mut next, &rows, x0, y, z);
+            op.apply_row_simd(&mut next, &rows, x0, y, z);
             let cur = &g.row(y, z)[x0..x1];
             for (n, c) in next.iter().zip(cur) {
                 f(n.to_f64(), c.to_f64());

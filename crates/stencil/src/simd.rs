@@ -1,0 +1,635 @@
+//! Runtime-dispatched explicit SIMD row kernels (x86-64 AVX).
+//!
+//! The portable `apply_row_simd` path in [`crate::op`] expresses the row
+//! update over fixed-width [`tb_grid::Lane`]s and leaves the vector
+//! instruction selection to LLVM. That is the right *portable* default,
+//! but it caps the achievable width at whatever the build target
+//! guarantees — a stock `x86_64-unknown-linux-gnu` binary is compiled
+//! for SSE2 and never issues a 256-bit operation, no matter what the
+//! host supports. This module closes that gap the classic
+//! function-multiversioning way: each operator's row kernel also exists
+//! as an explicit `std::arch` AVX implementation (stable since Rust
+//! 1.27, well inside the MSRV), compiled under
+//! `#[target_feature(enable = "avx")]` and selected at **runtime** via
+//! a cached CPUID probe. Non-x86 targets, pre-AVX hardware, and exotic
+//! element types all fall back to the portable lane path — the dispatch
+//! functions simply return `false` and the caller keeps going.
+//!
+//! # Call-overhead discipline
+//!
+//! A `#[target_feature]` function can never inline into its
+//! feature-less caller, so every row pays one real call. Stencil rows
+//! are short (a 64³ problem has 62-element rows), which makes that
+//! fixed cost the difference between a speedup and a slowdown; the
+//! kernels therefore take a compact raw-pointer ABI (neighbor rows
+//! pre-offset to their `+1` read position, the nine `Avg27` rows passed
+//! as one pointer-table argument) instead of twelve slice halves, and
+//! the feature probe is one relaxed atomic load off a module-local
+//! cache.
+//!
+//! # Bitwise contract
+//!
+//! These kernels inherit the module-level determinism contract of
+//! [`crate::op`]: every vector slot evaluates the *same expression tree
+//! in the same operand order* as the scalar kernel — plain loads, adds
+//! and multiplies, never FMA contraction (which would change results)
+//! and never horizontal reductions. Each kernel peels a scalar head
+//! until the store pointer reaches the 32-byte vector boundary, runs
+//! aligned vector stores over the body (unrolled two vectors deep), and
+//! finishes with a scalar tail; because per-slot arithmetic is
+//! identical in all three phases, where the splits fall can never
+//! change a bit. The `kernels_match_scalar_rows` test below pins that
+//! promise for every operator at deliberately misaligned offsets.
+
+use tb_grid::Real;
+
+use crate::op::Rows9;
+
+/// Whether the explicit AVX row kernels are active on this host (true
+/// iff we are on x86-64 and the CPU reports AVX). Benches report this
+/// so `simd: on` rows can be interpreted; on `false`, `apply_row_simd`
+/// still runs — through the portable lane path.
+#[inline(always)]
+pub fn active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        detect::avx()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod detect {
+    //! One-word cache in front of `is_x86_feature_detected!`. The std
+    //! macro resolves to an out-of-line libstd call; paying that per
+    //! *row* is measurable, a relaxed load of a module-local atomic is
+    //! not.
+    use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+
+    /// 0 = unknown, 1 = AVX available, 2 = not available.
+    static AVX: AtomicU8 = AtomicU8::new(0);
+
+    #[inline(always)]
+    pub fn avx() -> bool {
+        match AVX.load(Relaxed) {
+            0 => init(),
+            v => v == 1,
+        }
+    }
+
+    #[cold]
+    fn init() -> bool {
+        let yes = std::arch::is_x86_feature_detected!("avx");
+        AVX.store(if yes { 1 } else { 2 }, Relaxed);
+        yes
+    }
+}
+
+/// `true` iff `T` is exactly `U` — the guard under which the pointer
+/// casts below are sound.
+#[inline(always)]
+fn is<T: 'static, U: 'static>() -> bool {
+    std::any::TypeId::of::<T>() == std::any::TypeId::of::<U>()
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The `#[target_feature(enable = "avx")]` kernel bodies.
+    //!
+    //! All pointer arguments follow the read convention of
+    //! [`crate::op::Rows9`] with the `+1` neighbor offset already
+    //! applied by the dispatcher: for destination cell `i`, the center
+    //! row is read at `c[i]`, `c[i + 1]`, `c[i + 2]` and every neighbor
+    //! row at exactly `[i]`. Everything here is `unsafe fn`: callers
+    //! must have verified AVX support (see [`super::active`]) and that
+    //! each pointer covers the stated range for `n` cells.
+    #![allow(clippy::missing_safety_doc)]
+
+    use std::arch::x86_64::*;
+
+    /// One macro instantiation per element type: `$ty` is the scalar,
+    /// `$w` the vector width (32 bytes / `$ty`), and the remaining
+    /// idents name the matching `_mm256` intrinsics.
+    macro_rules! avx_kernels {
+        ($mod_:ident, $ty:ty, $w:expr,
+         $loadu:ident, $store:ident, $add:ident, $sub:ident, $mul:ident, $set1:ident) => {
+            pub mod $mod_ {
+                use super::*;
+
+                /// Scalar elements to peel before `dst` reaches a
+                /// 32-byte (one-vector) store boundary, capped at `n`.
+                #[inline(always)]
+                fn head(dst: *const $ty, n: usize) -> usize {
+                    let mis = (dst as usize) % 32;
+                    if mis == 0 {
+                        0
+                    } else {
+                        ((32 - mis) / std::mem::size_of::<$ty>()).min(n)
+                    }
+                }
+
+                /// The six-face cross sum with the canonical operand
+                /// order `c[i] + c[i+2] + ym + yp + zm + zp`, one vector
+                /// at offset `i`.
+                macro_rules! cross_sum {
+                    ($i:expr, $c:expr, $ym:expr, $yp:expr, $zm:expr, $zp:expr) => {
+                        $add(
+                            $add(
+                                $add(
+                                    $add(
+                                        $add($loadu($c.add($i)), $loadu($c.add($i + 2))),
+                                        $loadu($ym.add($i)),
+                                    ),
+                                    $loadu($yp.add($i)),
+                                ),
+                                $loadu($zm.add($i)),
+                            ),
+                            $loadu($zp.add($i)),
+                        )
+                    };
+                }
+
+                /// `(west + east + south + north + bottom + top) / 6`.
+                #[target_feature(enable = "avx")]
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn jacobi6(
+                    n: usize,
+                    dst: *mut $ty,
+                    c: *const $ty,
+                    ym: *const $ty,
+                    yp: *const $ty,
+                    zm: *const $ty,
+                    zp: *const $ty,
+                ) {
+                    let s = (1.0 as $ty) / (6.0 as $ty);
+                    let vs = $set1(s);
+                    macro_rules! scalar {
+                        ($i:expr) => {
+                            *dst.add($i) = (*c.add($i)
+                                + *c.add($i + 2)
+                                + *ym.add($i)
+                                + *yp.add($i)
+                                + *zm.add($i)
+                                + *zp.add($i))
+                                * s;
+                        };
+                    }
+                    let mut i = 0;
+                    let h = head(dst, n);
+                    while i < h {
+                        scalar!(i);
+                        i += 1;
+                    }
+                    while i + 2 * $w <= n {
+                        let a = cross_sum!(i, c, ym, yp, zm, zp);
+                        let b = cross_sum!(i + $w, c, ym, yp, zm, zp);
+                        $store(dst.add(i), $mul(a, vs));
+                        $store(dst.add(i + $w), $mul(b, vs));
+                        i += 2 * $w;
+                    }
+                    while i + $w <= n {
+                        let a = cross_sum!(i, c, ym, yp, zm, zp);
+                        $store(dst.add(i), $mul(a, vs));
+                        i += $w;
+                    }
+                    while i < n {
+                        scalar!(i);
+                        i += 1;
+                    }
+                }
+
+                /// `center·u + neighbor·Σ(6 faces)`.
+                #[target_feature(enable = "avx")]
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn jacobi7(
+                    n: usize,
+                    cw: $ty,
+                    nw: $ty,
+                    dst: *mut $ty,
+                    c: *const $ty,
+                    ym: *const $ty,
+                    yp: *const $ty,
+                    zm: *const $ty,
+                    zp: *const $ty,
+                ) {
+                    let (vcw, vnw) = ($set1(cw), $set1(nw));
+                    macro_rules! scalar {
+                        ($i:expr) => {
+                            let sum = *c.add($i)
+                                + *c.add($i + 2)
+                                + *ym.add($i)
+                                + *yp.add($i)
+                                + *zm.add($i)
+                                + *zp.add($i);
+                            *dst.add($i) = *c.add($i + 1) * cw + sum * nw;
+                        };
+                    }
+                    macro_rules! vector {
+                        ($i:expr) => {{
+                            let sum = cross_sum!($i, c, ym, yp, zm, zp);
+                            let u = $loadu(c.add($i + 1));
+                            $store(dst.add($i), $add($mul(u, vcw), $mul(sum, vnw)));
+                        }};
+                    }
+                    let mut i = 0;
+                    let h = head(dst, n);
+                    while i < h {
+                        scalar!(i);
+                        i += 1;
+                    }
+                    while i + 2 * $w <= n {
+                        vector!(i);
+                        vector!(i + $w);
+                        i += 2 * $w;
+                    }
+                    while i + $w <= n {
+                        vector!(i);
+                        i += $w;
+                    }
+                    while i < n {
+                        scalar!(i);
+                        i += 1;
+                    }
+                }
+
+                /// `u + (Σ(6 faces) − 6u)·k(x,y,z)`; `k` points at the
+                /// coefficient row pre-sliced to the destination cells.
+                #[target_feature(enable = "avx")]
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn varcoeff7(
+                    n: usize,
+                    dst: *mut $ty,
+                    k: *const $ty,
+                    c: *const $ty,
+                    ym: *const $ty,
+                    yp: *const $ty,
+                    zm: *const $ty,
+                    zp: *const $ty,
+                ) {
+                    let six = 6.0 as $ty;
+                    let vsix = $set1(six);
+                    macro_rules! scalar {
+                        ($i:expr) => {
+                            let u = *c.add($i + 1);
+                            let sum = *c.add($i)
+                                + *c.add($i + 2)
+                                + *ym.add($i)
+                                + *yp.add($i)
+                                + *zm.add($i)
+                                + *zp.add($i);
+                            *dst.add($i) = u + (sum - u * six) * *k.add($i);
+                        };
+                    }
+                    macro_rules! vector {
+                        ($i:expr) => {{
+                            let sum = cross_sum!($i, c, ym, yp, zm, zp);
+                            let u = $loadu(c.add($i + 1));
+                            let vk = $loadu(k.add($i));
+                            $store(dst.add($i), $add(u, $mul($sub(sum, $mul(u, vsix)), vk)));
+                        }};
+                    }
+                    let mut i = 0;
+                    let h = head(dst, n);
+                    while i < h {
+                        scalar!(i);
+                        i += 1;
+                    }
+                    while i + 2 * $w <= n {
+                        vector!(i);
+                        vector!(i + $w);
+                        i += 2 * $w;
+                    }
+                    while i + $w <= n {
+                        vector!(i);
+                        i += $w;
+                    }
+                    while i < n {
+                        scalar!(i);
+                        i += 1;
+                    }
+                }
+
+                /// Mean of the dense 3×3×3 neighborhood, accumulated in
+                /// the scalar kernel's plane-by-plane left-fold order.
+                /// `rows` is the pointer table `rows[3·dz + dy]`, each
+                /// entry at its `x0 - 1` base (offsets 0, 1, 2 read).
+                #[target_feature(enable = "avx")]
+                pub unsafe fn avg27(n: usize, dst: *mut $ty, rows: &[*const $ty; 9]) {
+                    let w = (1.0 as $ty) / (27.0 as $ty);
+                    let vw = $set1(w);
+                    macro_rules! scalar {
+                        ($i:expr) => {
+                            let mut acc = 0.0 as $ty;
+                            for r in rows {
+                                acc += *r.add($i);
+                                acc += *r.add($i + 1);
+                                acc += *r.add($i + 2);
+                            }
+                            *dst.add($i) = acc * w;
+                        };
+                    }
+                    let mut i = 0;
+                    let h = head(dst, n);
+                    while i < h {
+                        scalar!(i);
+                        i += 1;
+                    }
+                    while i + $w <= n {
+                        let mut acc = $set1(0.0 as $ty);
+                        for r in rows {
+                            acc = $add(acc, $loadu(r.add(i)));
+                            acc = $add(acc, $loadu(r.add(i + 1)));
+                            acc = $add(acc, $loadu(r.add(i + 2)));
+                        }
+                        $store(dst.add(i), $mul(acc, vw));
+                        i += $w;
+                    }
+                    while i < n {
+                        scalar!(i);
+                        i += 1;
+                    }
+                }
+            }
+        };
+    }
+
+    avx_kernels!(
+        f64k,
+        f64,
+        4,
+        _mm256_loadu_pd,
+        _mm256_store_pd,
+        _mm256_add_pd,
+        _mm256_sub_pd,
+        _mm256_mul_pd,
+        _mm256_set1_pd
+    );
+    avx_kernels!(
+        f32k,
+        f32,
+        8,
+        _mm256_loadu_ps,
+        _mm256_store_ps,
+        _mm256_add_ps,
+        _mm256_sub_ps,
+        _mm256_mul_ps,
+        _mm256_set1_ps
+    );
+}
+
+/// Reinterpret a `T` pointer/value as `U`; sound only under an
+/// [`is::<T, U>()`] guard (same type, hence same layout).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn cast_ptr<T, U>(p: *const T) -> *const U {
+    p as *const U
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn cast_val<T: Copy, U: Copy>(v: T) -> U {
+    *(&v as *const T as *const U)
+}
+
+/// The cross-stencil read pointers `(c, ym, yp, zm, zp)` with the
+/// neighbor rows pre-offset to their `+1` read position.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn cross_ptrs<T: Real>(src: &Rows9<'_, T>) -> [*const T; 5] {
+    [
+        src.row(0, 0).as_ptr(),
+        // SAFETY: rows have length n + 2 ≥ 2, so `+1` stays in bounds.
+        unsafe { src.row(-1, 0).as_ptr().add(1) },
+        unsafe { src.row(1, 0).as_ptr().add(1) },
+        unsafe { src.row(0, -1).as_ptr().add(1) },
+        unsafe { src.row(0, 1).as_ptr().add(1) },
+    ]
+}
+
+/// Jacobi6 through the AVX kernels. Returns `false` (having written
+/// nothing) when no kernel applies — caller falls back to the portable
+/// lane path.
+#[inline(always)]
+pub(crate) fn jacobi6<T: Real>(dst: &mut [T], src: &Rows9<'_, T>) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let n = dst.len();
+        let [c, ym, yp, zm, zp] = cross_ptrs(src);
+        if is::<T, f64>() && active() {
+            // SAFETY: T == f64 (guard above), AVX verified by `active`,
+            // pointers cover n (+2 for the center row) reads per Rows9.
+            unsafe {
+                x86::f64k::jacobi6(
+                    n,
+                    dst.as_mut_ptr() as *mut f64,
+                    cast_ptr(c),
+                    cast_ptr(ym),
+                    cast_ptr(yp),
+                    cast_ptr(zm),
+                    cast_ptr(zp),
+                );
+            }
+            return true;
+        }
+        if is::<T, f32>() && active() {
+            // SAFETY: as above with T == f32.
+            unsafe {
+                x86::f32k::jacobi6(
+                    n,
+                    dst.as_mut_ptr() as *mut f32,
+                    cast_ptr(c),
+                    cast_ptr(ym),
+                    cast_ptr(yp),
+                    cast_ptr(zm),
+                    cast_ptr(zp),
+                );
+            }
+            return true;
+        }
+    }
+    let _ = (dst, src);
+    false
+}
+
+/// Jacobi7 (weights already converted to `T`) through the AVX kernels.
+#[inline(always)]
+pub(crate) fn jacobi7<T: Real>(dst: &mut [T], src: &Rows9<'_, T>, cw: T, nw: T) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let n = dst.len();
+        let [c, ym, yp, zm, zp] = cross_ptrs(src);
+        if is::<T, f64>() && active() {
+            // SAFETY: T == f64 (guard above), AVX verified by `active`,
+            // pointers cover n (+2 for the center row) reads per Rows9.
+            unsafe {
+                x86::f64k::jacobi7(
+                    n,
+                    cast_val(cw),
+                    cast_val(nw),
+                    dst.as_mut_ptr() as *mut f64,
+                    cast_ptr(c),
+                    cast_ptr(ym),
+                    cast_ptr(yp),
+                    cast_ptr(zm),
+                    cast_ptr(zp),
+                );
+            }
+            return true;
+        }
+        if is::<T, f32>() && active() {
+            // SAFETY: as above with T == f32.
+            unsafe {
+                x86::f32k::jacobi7(
+                    n,
+                    cast_val(cw),
+                    cast_val(nw),
+                    dst.as_mut_ptr() as *mut f32,
+                    cast_ptr(c),
+                    cast_ptr(ym),
+                    cast_ptr(yp),
+                    cast_ptr(zm),
+                    cast_ptr(zp),
+                );
+            }
+            return true;
+        }
+    }
+    let _ = (dst, src, cw, nw);
+    false
+}
+
+/// VarCoeff7 (`k` is the pre-sliced coefficient row of length `n`)
+/// through the AVX kernels.
+#[inline(always)]
+pub(crate) fn varcoeff7<T: Real>(dst: &mut [T], src: &Rows9<'_, T>, k: &[T]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let n = dst.len();
+        debug_assert_eq!(k.len(), n);
+        let [c, ym, yp, zm, zp] = cross_ptrs(src);
+        if is::<T, f64>() && active() {
+            // SAFETY: T == f64 (guard above), AVX verified by `active`,
+            // pointers cover n (+2 for the center row) reads per Rows9.
+            unsafe {
+                x86::f64k::varcoeff7(
+                    n,
+                    dst.as_mut_ptr() as *mut f64,
+                    cast_ptr(k.as_ptr()),
+                    cast_ptr(c),
+                    cast_ptr(ym),
+                    cast_ptr(yp),
+                    cast_ptr(zm),
+                    cast_ptr(zp),
+                );
+            }
+            return true;
+        }
+        if is::<T, f32>() && active() {
+            // SAFETY: as above with T == f32.
+            unsafe {
+                x86::f32k::varcoeff7(
+                    n,
+                    dst.as_mut_ptr() as *mut f32,
+                    cast_ptr(k.as_ptr()),
+                    cast_ptr(c),
+                    cast_ptr(ym),
+                    cast_ptr(yp),
+                    cast_ptr(zm),
+                    cast_ptr(zp),
+                );
+            }
+            return true;
+        }
+    }
+    let _ = (dst, src, k);
+    false
+}
+
+/// Avg27 (all nine rows, as a pointer table) through the AVX kernels.
+#[inline(always)]
+pub(crate) fn avg27<T: Real>(dst: &mut [T], src: &Rows9<'_, T>) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let n = dst.len();
+        // Plane-major (dz outer, dy inner) — the scalar summation order.
+        let rows: [*const T; 9] = [
+            src.row(-1, -1).as_ptr(),
+            src.row(0, -1).as_ptr(),
+            src.row(1, -1).as_ptr(),
+            src.row(-1, 0).as_ptr(),
+            src.row(0, 0).as_ptr(),
+            src.row(1, 0).as_ptr(),
+            src.row(-1, 1).as_ptr(),
+            src.row(0, 1).as_ptr(),
+            src.row(1, 1).as_ptr(),
+        ];
+        if is::<T, f64>() && active() {
+            // SAFETY: T == f64 (guard above), AVX verified by `active`,
+            // every row covers n + 2 reads per Rows9.
+            unsafe {
+                let rows: [*const f64; 9] = std::array::from_fn(|j| cast_ptr(rows[j]));
+                x86::f64k::avg27(n, dst.as_mut_ptr() as *mut f64, &rows);
+            }
+            return true;
+        }
+        if is::<T, f32>() && active() {
+            // SAFETY: as above with T == f32.
+            unsafe {
+                let rows: [*const f32; 9] = std::array::from_fn(|j| cast_ptr(rows[j]));
+                x86::f32k::avg27(n, dst.as_mut_ptr() as *mut f32, &rows);
+            }
+            return true;
+        }
+    }
+    let _ = (dst, src);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Avg27, Jacobi6, Jacobi7, ScalarPath, StencilOp, VarCoeff7};
+    use tb_grid::{init, Dims3, Grid3};
+
+    /// Every AVX kernel is bitwise identical to its scalar oracle at
+    /// deliberately awkward offsets and row lengths (head/tail splits in
+    /// play). On hosts without AVX the dispatchers return `false` and
+    /// this test degenerates to scalar-vs-scalar — still a valid check
+    /// that `apply_row_simd` writes the oracle rows.
+    #[test]
+    fn kernels_match_scalar_rows() {
+        fn check<T: Real, Op: StencilOp<T>>(op: &Op, dims: Dims3, seed: u64) {
+            let g: Grid3<T> = init::random(dims, seed);
+            let sp = ScalarPath(op.clone());
+            for (x0, x1) in [(1, dims.nx - 1), (2, dims.nx - 2), (5, 5 + 9)] {
+                for (y, z) in [(1, 1), (2, 3)] {
+                    let rows = Rows9::from_grid(&g, x0, x1, y, z);
+                    let mut simd = vec![T::ZERO; x1 - x0];
+                    let mut scalar = vec![T::ZERO; x1 - x0];
+                    op.apply_row_simd(&mut simd, &rows, x0, y, z);
+                    sp.apply_row_simd(&mut scalar, &rows, x0, y, z);
+                    // f32 → f64 widening is exact, so comparing the f64
+                    // bit patterns is bitwise equality for both types.
+                    let bits = |v: &T| v.to_f64().to_bits();
+                    assert!(
+                        simd.iter().zip(&scalar).all(|(a, b)| bits(a) == bits(b)),
+                        "{} x0={x0} x1={x1} y={y} z={z}: simd diverged from scalar",
+                        op.name()
+                    );
+                }
+            }
+        }
+        let dims = Dims3::new(23, 6, 6);
+        check::<f64, _>(&Jacobi6, dims, 1);
+        check::<f64, _>(&Jacobi7::heat(0.12), dims, 2);
+        check::<f64, _>(&VarCoeff7::banded(dims), dims, 3);
+        check::<f64, _>(&Avg27, dims, 4);
+        check::<f32, _>(&Jacobi6, dims, 5);
+        check::<f32, _>(&Jacobi7::heat(0.12), dims, 6);
+        check::<f32, _>(&VarCoeff7::banded(dims), dims, 7);
+        check::<f32, _>(&Avg27, dims, 8);
+    }
+}

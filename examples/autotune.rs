@@ -89,44 +89,54 @@ fn main() {
         }
     }
 
-    // Diamond trials: one knob. Start from the model's largest cached
-    // width and sweep down; the model column is the diamond Eq. 5
+    // Diamond trials: two knobs now — width, and the MWD sub-team size
+    // (threads per tile). Larger sub-teams mean fewer concurrent tile
+    // working sets, which the model rewards with a larger cached width;
+    // trial both together. The model column is the diamond Eq. 5
     // analogue for direct comparison with the pipelined predictions.
     let team = base.threads().min(rt.threads());
-    let w_cache = model::max_cached_width::<f64, _>(&params, &Jacobi6, dims.nx, dims.ny, team);
     println!(
-        "\n{:>9} {:>6} {:>12} {:>14}",
-        "width", "team", "MLUP/s", "model speedup"
+        "\n{:>9} {:>6} {:>4} {:>12} {:>14}",
+        "width", "team", "tpt", "MLUP/s", "model speedup"
     );
-    let mut widths = vec![4usize, 8, 16, 32, w_cache];
-    widths.sort_unstable();
-    widths.dedup();
-    for width in widths {
-        let cfg = DiamondConfig {
-            threads: team,
-            width,
-            audit: false,
-        };
-        if cfg.validate(dims, 1).is_err() {
+    for tpt in [1usize, 2, 4] {
+        if tpt > team || team % tpt != 0 {
             continue;
         }
-        let label = format!("diamond width={width} team={team}");
-        let (_, stats) =
-            solve_on(&rt, initial.clone(), sweeps, Method::Diamond(cfg.clone())).unwrap();
-        let predicted = model::diamond_speedup(&params, width, 1);
-        println!(
-            "{:>9} {:>6} {:>12.1} {:>14.2}",
-            width,
-            team,
-            stats.mlups(),
-            predicted
-        );
-        if best
-            .as_ref()
-            .map(|(m, _)| stats.mlups() > *m)
-            .unwrap_or(true)
-        {
-            best = Some((stats.mlups(), label));
+        let w_cache =
+            model::max_cached_width_mwd::<f64, _>(&params, &Jacobi6, dims.nx, dims.ny, team, tpt);
+        let mut widths = vec![4usize, 8, 16, 32, w_cache];
+        widths.sort_unstable();
+        widths.dedup();
+        for width in widths {
+            let cfg = DiamondConfig {
+                threads: team,
+                width,
+                threads_per_tile: tpt,
+                audit: false,
+            };
+            if cfg.validate(dims, 1).is_err() {
+                continue;
+            }
+            let label = format!("diamond width={width} team={team} tpt={tpt}");
+            let (_, stats) =
+                solve_on(&rt, initial.clone(), sweeps, Method::Diamond(cfg.clone())).unwrap();
+            let predicted = model::diamond_speedup(&params, width, 1);
+            println!(
+                "{:>9} {:>6} {:>4} {:>12.1} {:>14.2}",
+                width,
+                team,
+                tpt,
+                stats.mlups(),
+                predicted
+            );
+            if best
+                .as_ref()
+                .map(|(m, _)| stats.mlups() > *m)
+                .unwrap_or(true)
+            {
+                best = Some((stats.mlups(), label));
+            }
         }
     }
 

@@ -59,6 +59,7 @@ fn main() {
             Method::Diamond(DiamondConfig {
                 threads,
                 width: 16,
+                threads_per_tile: 1,
                 audit: false,
             }),
         ),

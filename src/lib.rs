@@ -81,8 +81,8 @@ pub use tb_topology as topology;
 
 pub use tb_runtime::Runtime;
 pub use tb_stencil::{
-    Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode,
-    VarCoeff7,
+    Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, ScalarPath, StencilOp,
+    SyncMode, VarCoeff7,
 };
 
 use tb_grid::{CompressedGrid, Dims3, Grid3, GridPair, Real};
@@ -98,8 +98,8 @@ pub mod prelude {
     pub use tb_model::MachineParams;
     pub use tb_runtime::Runtime;
     pub use tb_stencil::{
-        Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, StencilOp, SyncMode,
-        VarCoeff7,
+        Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, ScalarPath, StencilOp,
+        SyncMode, VarCoeff7,
     };
     pub use tb_topology::{Machine, TeamLayout};
 }
@@ -343,6 +343,16 @@ mod tests {
                 Method::Diamond(DiamondConfig {
                     threads: 2,
                     width: 6,
+                    threads_per_tile: 1,
+                    audit: true,
+                }),
+            ),
+            (
+                "diamond-mwd",
+                Method::Diamond(DiamondConfig {
+                    threads: 2,
+                    width: 6,
+                    threads_per_tile: 2,
                     audit: true,
                 }),
             ),

@@ -34,11 +34,13 @@ fn assert_diamond_matches_everything<Op: StencilOp<f64>>(
     sweeps: usize,
     threads: usize,
     width: usize,
+    threads_per_tile: usize,
 ) -> Result<(), TestCaseError> {
     let initial: Grid3<f64> = init::random(dims, seed);
     let cfg = DiamondConfig {
         threads,
         width,
+        threads_per_tile,
         audit: true,
     };
     let method = Method::Diamond(cfg);
@@ -97,16 +99,22 @@ proptest! {
         sweeps in 1usize..11,
         threads in 1usize..5,
         width in 2usize..17,
+        tpt_pick in 0usize..8,
         which_op in 0usize..4,
     ) {
         let dims = Dims3::new(nx, ny, nz);
+        // Random MWD sub-team size: any divisor of the team size.
+        let divisors: Vec<usize> = (1..=threads).filter(|d| threads % d == 0).collect();
+        let tpt = divisors[tpt_pick % divisors.len()];
         match which_op {
-            0 => assert_diamond_matches_everything(&Jacobi6, dims, seed, sweeps, threads, width)?,
+            0 => assert_diamond_matches_everything(
+                &Jacobi6, dims, seed, sweeps, threads, width, tpt)?,
             1 => assert_diamond_matches_everything(
-                &Jacobi7::heat(0.11), dims, seed, sweeps, threads, width)?,
+                &Jacobi7::heat(0.11), dims, seed, sweeps, threads, width, tpt)?,
             2 => assert_diamond_matches_everything(
-                &VarCoeff7::banded(dims), dims, seed, sweeps, threads, width)?,
-            _ => assert_diamond_matches_everything(&Avg27, dims, seed, sweeps, threads, width)?,
+                &VarCoeff7::banded(dims), dims, seed, sweeps, threads, width, tpt)?,
+            _ => assert_diamond_matches_everything(
+                &Avg27, dims, seed, sweeps, threads, width, tpt)?,
         }
     }
 
@@ -130,7 +138,7 @@ proptest! {
         let want = solver::serial_reference(&global, sweeps);
         let dec = Decomposition::new(dims, pgrid, h);
         let mode = if overlapped { ExchangeMode::Overlapped } else { ExchangeMode::Sync };
-        let cfg = DiamondConfig { threads: 2, width, audit: true };
+        let cfg = DiamondConfig { threads: 2, width, threads_per_tile: 1, audit: true };
         let (g, w, cfg_ref, dec_ref) = (&global, &want, &cfg, &dec);
         let ok = Universe::run(dec.ranks(), None, move |comm| {
             let mut cart = CartComm::new(comm, pgrid);
@@ -171,6 +179,7 @@ fn eight_rank_diamond_avg27_matches_serial() {
     let cfg = DiamondConfig {
         threads: 2,
         width: 4,
+        threads_per_tile: 2, // corner-reading op + MWD + corner forwarding
         audit: true,
     };
     for mode in [ExchangeMode::Sync, ExchangeMode::OverlappedCommThread] {

@@ -66,6 +66,7 @@ fn shared_memory_matrix<Op: StencilOp<f64>>(op: &Op, dims: Dims3, seed: u64, swe
             Method::Diamond(DiamondConfig {
                 threads: 3,
                 width: 6,
+                threads_per_tile: 1,
                 audit: true,
             }),
         ),
@@ -74,6 +75,16 @@ fn shared_memory_matrix<Op: StencilOp<f64>>(op: &Op, dims: Dims3, seed: u64, swe
             Method::Diamond(DiamondConfig {
                 threads: 2,
                 width: 16,
+                threads_per_tile: 1,
+                audit: true,
+            }),
+        ),
+        (
+            "diamond-mwd",
+            Method::Diamond(DiamondConfig {
+                threads: 4,
+                width: 8,
+                threads_per_tile: 2,
                 audit: true,
             }),
         ),
@@ -108,6 +119,7 @@ impl Local {
             Local::Diamond => LocalExec::Diamond(DiamondConfig {
                 threads: 2,
                 width: 4,
+                threads_per_tile: 2, // MWD inside every rank
                 audit: true,
             }),
         }
@@ -232,6 +244,7 @@ fn f32_operators_match_their_oracle_too() {
             Method::Diamond(DiamondConfig {
                 threads: 2,
                 width: 4,
+                threads_per_tile: 2,
                 audit: true,
             }),
         ),

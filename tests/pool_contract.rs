@@ -44,6 +44,43 @@ fn reused_grids_keep_stale_contents_and_fresh_ones_are_zeroed() {
 }
 
 #[test]
+fn row_alignment_survives_pool_reuse() {
+    // The SIMD row kernels lean on AlignedVec's 64-byte guarantee; a pool
+    // that handed back misaligned recycled storage would silently push
+    // every row through the scalar head peel. Alignment is a property of
+    // the allocation, so it must hold for fresh AND recycled grids — for
+    // an x-extent that is a whole number of f64 lanes, on every row.
+    use temporal_blocking::grid::lanes::LANES;
+    let pool: GridPool<f64> = GridPool::new();
+    let dims = Dims3::new(2 * LANES, 5, 4); // nx = two f64 lanes
+    let check = |g: &Grid3<f64>, life: &str| {
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                assert_eq!(
+                    g.row(y, z).as_ptr() as usize % 64,
+                    0,
+                    "{life}: row ({y},{z}) lost 64-byte alignment"
+                );
+            }
+        }
+    };
+    let g = pool.acquire(dims);
+    check(&g, "fresh");
+    let first_ptr = g.row(0, 0).as_ptr();
+    pool.release(g);
+    for round in 0..3 {
+        let g = pool.acquire(dims);
+        check(&g, "recycled");
+        assert_eq!(
+            g.row(0, 0).as_ptr(),
+            first_ptr,
+            "round {round}: pool reallocated instead of recycling"
+        );
+        pool.release(g);
+    }
+}
+
+#[test]
 fn oldest_parked_grid_is_evicted_at_the_bound() {
     let pool: GridPool<f64> = GridPool::new();
     // Park MAX + 2 distinguishable grids (distinct dims, marked cells).
