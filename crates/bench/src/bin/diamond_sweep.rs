@@ -19,7 +19,7 @@
 
 use std::io::Write as _;
 
-use tb_bench::{best_of, problem, Args};
+use tb_bench::{problem, warmed_best_of, Args};
 use tb_grid::{norm, Grid3, GridPair, Region3};
 use tb_runtime::Runtime;
 use tb_stencil::config::GridScheme;
@@ -62,7 +62,7 @@ fn run_cell(
     run: impl Fn(&Runtime, &mut GridPair<f64>) -> Result<tb_stencil::RunStats, String>,
 ) -> Row {
     let mut last: Option<GridPair<f64>> = None;
-    let stats = best_of(reps, || {
+    let stats = warmed_best_of(reps, || {
         let mut pair = GridPair::from_initial(initial.clone());
         let s = run(rt, &mut pair).expect("valid config");
         last = Some(pair);

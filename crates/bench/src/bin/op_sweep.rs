@@ -14,7 +14,7 @@
 
 use std::io::Write as _;
 
-use tb_bench::{problem, Args};
+use tb_bench::{problem, warmed_best_of, Args};
 use tb_dist::{Decomposition, DistSolver, LocalExec};
 use tb_grid::{norm, CompressedGrid, Grid3, GridPair, Region3};
 use tb_net::{CartComm, Universe};
@@ -47,11 +47,12 @@ fn pipeline_cfg(scheme: GridScheme) -> PipelineConfig {
     }
 }
 
-/// Run one (operator, method) cell `reps` times, keep the best, verify
-/// bitwise against the oracle. `simd` records which row path the
-/// operator value routes through (plain ops vectorize, [`ScalarPath`]
-/// pins the scalar kernel) — the arithmetic is bitwise identical either
-/// way, only the throughput differs.
+/// Run one (operator, method) cell with a discarded warm-up rep plus
+/// `reps` timed ones, keep the best, verify bitwise against the oracle.
+/// `simd` records which row path the operator value routes through
+/// (plain ops vectorize, [`ScalarPath`] pins the scalar kernel) — the
+/// arithmetic is bitwise identical either way, only the throughput
+/// differs.
 fn cell<Op: StencilOp<f64>>(
     op: &Op,
     method: &'static str,
@@ -60,18 +61,13 @@ fn cell<Op: StencilOp<f64>>(
     reps: usize,
     mut run: impl FnMut() -> (Grid3<f64>, RunStats),
 ) -> Row {
-    let mut best: Option<(Grid3<f64>, RunStats)> = None;
-    for _ in 0..reps {
+    let mut last: Option<Grid3<f64>> = None;
+    let stats = warmed_best_of(reps, || {
         let (g, s) = run();
-        if best
-            .as_ref()
-            .map(|(_, b)| s.mlups() > b.mlups())
-            .unwrap_or(true)
-        {
-            best = Some((g, s));
-        }
-    }
-    let (grid, stats) = best.unwrap();
+        last = Some(g);
+        s
+    });
+    let grid = last.expect("reps >= 1");
     let verified = norm::first_mismatch(oracle, &grid, &Region3::whole(oracle.dims())).is_none();
     Row {
         op: op.name(),

@@ -75,6 +75,15 @@ pub fn best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> RunStats {
     best.unwrap()
 }
 
+/// [`best_of`] preceded by one discarded warm-up repetition: the warm-up
+/// faults in pages, populates caches, and spins up lazy worker state, so
+/// the timed repetitions measure steady state instead of first-touch
+/// noise (the mean-vs-best gap that made early sweeps jittery).
+pub fn warmed_best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> RunStats {
+    let _ = f();
+    best_of(reps, f)
+}
+
 /// The standard random problem used by all measurement binaries.
 pub fn problem(edge: usize, seed: u64) -> Grid3<f64> {
     init::random(Dims3::cube(edge), seed)
@@ -119,6 +128,16 @@ mod tests {
             RunStats::new(1000, Duration::from_millis(times.next().unwrap()))
         });
         assert_eq!(s.elapsed, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn warmed_best_of_discards_the_first_rep() {
+        // The warm-up rep is the fastest here; it must not win.
+        let mut times = [1u64, 5, 3, 4].iter().copied();
+        let s = warmed_best_of(3, move || {
+            RunStats::new(1000, Duration::from_millis(times.next().unwrap()))
+        });
+        assert_eq!(s.elapsed, Duration::from_millis(3));
     }
 
     #[test]

@@ -24,6 +24,20 @@
 //! * [`halo`] — the multi-layer halo advantage model behind Fig. 5;
 //! * [`scaling`] — strong/weak scaling predictions and ideal lines for
 //!   Fig. 6.
+//!
+//! ## Predictions as a search pruner
+//!
+//! Beyond reproducing the paper's figures, these models drive the
+//! `tb-plan` autotuner: every candidate configuration is *scored*
+//! analytically before anything runs — Eq. 2 sets the baseline, Eq. 5 /
+//! [`diamond_speedup`] / [`pipeline::wavefront_speedup`] the temporal
+//! gain, and the working-set bounds ([`diamond_working_set_bytes`],
+//! [`max_cached_width`], the `(t·T)·d_u` blocks the pipeline keeps
+//! resident) demote any candidate whose tiles cannot stay cached to
+//! baseline speed. Only the top-scoring few are ever measured, so the
+//! models discard most of the candidate space for free; the measured
+//! rows in a `TuneReport` record predicted vs. achieved MLUP/s so model
+//! error stays visible instead of silently steering the search.
 
 pub mod diamond;
 pub mod halo;
@@ -42,6 +56,6 @@ pub use halo::{
 };
 pub use machine::MachineParams;
 pub use network::NetworkParams;
-pub use pipeline::{pipeline_speedup, team_block_time, team_block_time_op};
+pub use pipeline::{pipeline_speedup, team_block_time, team_block_time_op, wavefront_speedup};
 pub use roofline::{jacobi_roofline_lups, op_roofline_lups, roofline_lups};
 pub use scaling::{ScalingConfig, ScalingMode, ScalingPoint};

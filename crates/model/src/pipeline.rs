@@ -52,6 +52,16 @@ pub fn pipeline_speedup(machine: &MachineParams, t: usize, updates: usize) -> f6
     (machine.ms1 / machine.ms) * tt / (1.0 + (tt - 1.0) * r)
 }
 
+/// Expected speedup of wavefront temporal blocking over the standard
+/// solver: with `t` threads stacked along the time axis, one memory
+/// traversal performs `t` updates — Eq. 5 at depth `t·T` with `T = 1`.
+/// Valid while the wavefront's working set (≈ `2R·t + 2R` planes of
+/// both buffers) stays in the shared cache; the tuner in `tb-plan`
+/// checks that bound before trusting this number.
+pub fn wavefront_speedup(machine: &MachineParams, threads: usize) -> f64 {
+    pipeline_speedup(machine, threads.max(1), 1)
+}
+
 /// Predicted socket performance in LUP/s: Eq. 2 baseline times Eq. 5.
 pub fn predicted_socket_lups(machine: &MachineParams, t: usize, updates: usize) -> f64 {
     crate::roofline::jacobi_roofline_default(machine) * pipeline_speedup(machine, t, updates)
@@ -127,6 +137,15 @@ mod tests {
         // Direct check: core2-like saturation ratio is closer to 1 so its
         // relative gain at equal tT is larger.
         assert!(pipeline_speedup(&core2, 4, 1) > pipeline_speedup(&nehalem, 4, 1));
+    }
+
+    #[test]
+    fn wavefront_matches_pipeline_at_unit_updates() {
+        let m = MachineParams::nehalem_ep();
+        for t in [1usize, 2, 4, 8] {
+            assert_eq!(wavefront_speedup(&m, t), pipeline_speedup(&m, t, 1));
+        }
+        assert_eq!(wavefront_speedup(&m, 0), pipeline_speedup(&m, 1, 1));
     }
 
     #[test]

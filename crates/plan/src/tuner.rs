@@ -1,0 +1,568 @@
+//! The model-pruned tuner.
+//!
+//! [`enumerate_family`] spans the candidate space of one method family;
+//! [`predicted_mlups`] scores every candidate with the `tb-model`
+//! analytic predictions (Eq. 2 roofline × Eq. 5 / diamond / wavefront
+//! speedup, demoted to baseline wherever the working set cannot stay in
+//! the shared cache); [`tune`] measures only the top-K predicted
+//! candidates plus the incumbent and returns a ranked [`TuneReport`]
+//! with predicted-vs-measured MLUP/s, so the model's pruning *and* its
+//! error are both visible.
+
+use tb_grid::{Dims3, Real};
+use tb_model::{
+    diamond_speedup, diamond_working_set_bytes, max_cached_width_mwd, op_roofline_lups,
+    pipeline_speedup, wavefront_speedup, MachineParams,
+};
+use tb_stencil::kernel::StoreMode;
+use tb_stencil::{StencilOp, SyncMode};
+
+use crate::ir::{MethodFamily, PipeParams, Plan, PlanMethod};
+
+/// Tuner knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneConfig {
+    /// Measure at most this many model-ranked candidates (the incumbent
+    /// rides along inside this budget). The tuner additionally caps the
+    /// measured set at half the enumerated candidates, so the model
+    /// always discards at least as many candidates as are run.
+    pub top_k: usize,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig { top_k: 8 }
+    }
+}
+
+/// One candidate in a [`TuneReport`].
+#[derive(Clone, Debug)]
+pub struct TuneRow {
+    pub plan: Plan,
+    /// Analytic score (MLUP/s) from the `tb-model` predictions.
+    pub predicted_mlups: f64,
+    /// Measured MLUP/s; `None` for candidates the model pruned away or
+    /// whose measurement failed.
+    pub measured_mlups: Option<f64>,
+    /// Whether this row is the caller's incumbent (default config).
+    pub incumbent: bool,
+}
+
+impl TuneRow {
+    /// Relative model error `|predicted - measured| / measured`, when
+    /// this row was measured.
+    pub fn model_rel_error(&self) -> Option<f64> {
+        let m = self.measured_mlups?;
+        (m > 0.0).then(|| (self.predicted_mlups - m).abs() / m)
+    }
+}
+
+/// Ranked outcome of one tuning run: every enumerated candidate with
+/// its prediction, measured MLUP/s for the survivors, sorted measured
+/// rows first (best measured on top), then the pruned remainder by
+/// prediction.
+#[derive(Clone, Debug, Default)]
+pub struct TuneReport {
+    pub rows: Vec<TuneRow>,
+    /// Candidates enumerated before pruning.
+    pub enumerated: usize,
+    /// Candidates actually measured.
+    pub measured: usize,
+}
+
+impl TuneReport {
+    /// `measured / enumerated` — the acceptance metric of the pruning
+    /// (≤ 0.5 by construction for non-degenerate candidate sets).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.enumerated == 0 {
+            return 1.0;
+        }
+        self.measured as f64 / self.enumerated as f64
+    }
+
+    /// Best measured candidate.
+    pub fn winner(&self) -> Option<&TuneRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.measured_mlups.is_some())
+            .max_by(|a, b| {
+                a.measured_mlups
+                    .partial_cmp(&b.measured_mlups)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The incumbent's row, if it was measured.
+    pub fn incumbent(&self) -> Option<&TuneRow> {
+        self.rows
+            .iter()
+            .find(|r| r.incumbent && r.measured_mlups.is_some())
+    }
+
+    /// Mean relative model error over the measured rows.
+    pub fn mean_model_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(TuneRow::model_rel_error)
+            .collect();
+        if errs.is_empty() {
+            return None;
+        }
+        Some(errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+}
+
+/// The incumbent (library-default) plan of a family, sized to `team`
+/// compute threads — what a caller who never tunes would run.
+pub fn default_plan(family: MethodFamily, team: usize) -> Plan {
+    let team = team.max(1);
+    let pipe = PipeParams {
+        team_size: team,
+        n_teams: 1,
+        updates_per_thread: 1,
+        block: [32.max(team), 8.max(team), 8.max(team)],
+        sync: SyncMode::relaxed_default(),
+    };
+    Plan::new(match family {
+        MethodFamily::Parallel => PlanMethod::Parallel {
+            threads: team,
+            streaming_stores: false,
+        },
+        MethodFamily::Pipelined => PlanMethod::Pipelined(pipe),
+        MethodFamily::Compressed => PlanMethod::Compressed(pipe),
+        MethodFamily::Wavefront => PlanMethod::Wavefront { threads: team },
+        MethodFamily::Diamond => PlanMethod::Diamond {
+            threads: team,
+            width: 8,
+            threads_per_tile: 1,
+        },
+    })
+}
+
+/// Enumerate the candidate space of one family for a problem, keeping
+/// only candidates that validate against `dims` and fit `team` threads.
+pub fn enumerate_family<T: Real, Op: StencilOp<T>>(
+    family: MethodFamily,
+    params: &MachineParams,
+    op: &Op,
+    dims: Dims3,
+    team: usize,
+) -> Vec<Plan> {
+    let team = team.max(1);
+    let radius = Op::RADIUS;
+    let mut plans = Vec::new();
+    match family {
+        MethodFamily::Parallel => {
+            let mut threads: Vec<usize> = vec![1, team / 2, team];
+            threads.retain(|&t| t >= 1);
+            threads.sort_unstable();
+            threads.dedup();
+            for t in threads {
+                for streaming in [false, true] {
+                    plans.push(Plan::new(PlanMethod::Parallel {
+                        threads: t,
+                        streaming_stores: streaming,
+                    }));
+                }
+            }
+        }
+        MethodFamily::Pipelined | MethodFamily::Compressed => {
+            for updates in [1usize, 2, 4] {
+                for block in [[dims.nx, 16, 16], [120, 20, 20], [64, 16, 16], [32, 8, 8]] {
+                    for du in [1u64, 4] {
+                        let p = PipeParams {
+                            team_size: team,
+                            n_teams: 1,
+                            updates_per_thread: updates,
+                            block,
+                            sync: SyncMode::Relaxed { dl: 1, du, dt: 0 },
+                        };
+                        let method = if family == MethodFamily::Pipelined {
+                            PlanMethod::Pipelined(p)
+                        } else {
+                            PlanMethod::Compressed(p)
+                        };
+                        plans.push(Plan::new(method));
+                    }
+                }
+            }
+        }
+        MethodFamily::Wavefront => {
+            let mut threads: Vec<usize> = vec![1, 2.min(team), team];
+            threads.sort_unstable();
+            threads.dedup();
+            for t in threads {
+                plans.push(Plan::new(PlanMethod::Wavefront { threads: t }));
+            }
+        }
+        MethodFamily::Diamond => {
+            let mut tpts: Vec<usize> = [1usize, 2, 4]
+                .into_iter()
+                .filter(|&tpt| tpt <= team && team.is_multiple_of(tpt))
+                .collect();
+            tpts.dedup();
+            for tpt in tpts {
+                let w_cache =
+                    max_cached_width_mwd::<T, Op>(params, op, dims.nx, dims.ny, team, tpt);
+                let mut widths = vec![4usize, 8, 16, 32, w_cache];
+                widths.retain(|&w| w >= 2 * radius);
+                widths.sort_unstable();
+                widths.dedup();
+                for width in widths {
+                    plans.push(Plan::new(PlanMethod::Diamond {
+                        threads: team,
+                        width,
+                        threads_per_tile: tpt,
+                    }));
+                }
+            }
+        }
+    }
+    plans.retain(|p| p.validate_for(dims, radius).is_ok());
+    plans
+}
+
+/// [`enumerate_family`] over every family.
+pub fn enumerate_all<T: Real, Op: StencilOp<T>>(
+    params: &MachineParams,
+    op: &Op,
+    dims: Dims3,
+    team: usize,
+) -> Vec<Plan> {
+    MethodFamily::ALL
+        .into_iter()
+        .flat_map(|f| enumerate_family::<T, Op>(f, params, op, dims, team))
+        .collect()
+}
+
+/// Analytic score of a plan in MLUP/s, from the `tb-model` predictions.
+///
+/// The structure mirrors the paper: Eq. 2 sets the streaming baseline,
+/// the per-method speedup (Eq. 5, its diamond/wavefront analogues)
+/// multiplies it, and any candidate whose working set cannot stay in
+/// the shared cache collapses to baseline speed — which is exactly what
+/// lets the tuner discard it without a measurement.
+pub fn predicted_mlups<T: Real, Op: StencilOp<T>>(
+    params: &MachineParams,
+    op: &Op,
+    dims: Dims3,
+    plan: &Plan,
+) -> f64 {
+    let radius = Op::RADIUS;
+    let p0_stream = op_roofline_lups(params, op, StoreMode::Streaming);
+    let lups = match &plan.method {
+        PlanMethod::Parallel {
+            threads,
+            streaming_stores,
+        } => {
+            let store = if *streaming_stores {
+                StoreMode::Streaming
+            } else {
+                StoreMode::Normal
+            };
+            let p0 = op_roofline_lups(params, op, store);
+            // One thread runs at its Ms,1 share of the socket roofline;
+            // more threads scale linearly until the bus saturates.
+            let single = p0 * params.ms1 / params.ms;
+            (single * *threads as f64).min(p0)
+        }
+        PlanMethod::Pipelined(p) | PlanMethod::Compressed(p) => {
+            let speedup = pipeline_speedup(params, p.team_size, p.updates_per_thread);
+            // §1.4's standing assumption: the shared cache holds the
+            // (t·T)·d_u blocks in flight. The compressed scheme keeps a
+            // single grid, halving the resident buffer count.
+            let grids = if matches!(plan.method, PlanMethod::Compressed(_)) {
+                1.0
+            } else {
+                2.0
+            };
+            let streams = grids + op.extra_read_streams();
+            let block_cells =
+                p.block[0].min(dims.nx) * p.block[1].min(dims.ny) * p.block[2].min(dims.nz);
+            let block_bytes = streams * (block_cells * T::bytes()) as f64;
+            let du = match p.sync {
+                SyncMode::Barrier => 1.0,
+                SyncMode::Relaxed { du, .. } => du as f64,
+            };
+            let resident = (p.team_size * p.updates_per_thread) as f64 * du.max(1.0) * block_bytes;
+            let fits = resident <= params.cache_bytes as f64;
+            p0_stream * if fits { speedup } else { 1.0 }
+        }
+        PlanMethod::Wavefront { threads } => {
+            // The wavefront keeps ~2R planes live per stacked sweep; its
+            // working set is that of a diamond of width 2R·t.
+            let proxy_width = (2 * radius * threads.max(&1)).max(2 * radius);
+            let ws = diamond_working_set_bytes::<T, Op>(op, dims.nx, dims.ny, proxy_width);
+            let fits = ws <= params.cache_bytes;
+            p0_stream
+                * if fits {
+                    wavefront_speedup(params, *threads)
+                } else {
+                    1.0
+                }
+        }
+        PlanMethod::Diamond {
+            threads,
+            width,
+            threads_per_tile,
+        } => {
+            let w_max = max_cached_width_mwd::<T, Op>(
+                params,
+                op,
+                dims.nx,
+                dims.ny,
+                *threads,
+                *threads_per_tile,
+            );
+            let fits = *width <= w_max;
+            p0_stream
+                * if fits {
+                    diamond_speedup(params, *width, radius)
+                } else {
+                    1.0
+                }
+        }
+    };
+    lups / 1.0e6
+}
+
+/// Score, prune, measure. `measure` runs one plan and returns its
+/// MLUP/s; it is called for at most `min(top_k, enumerated/2)`
+/// candidates — the model-ranked top of the field, with the `incumbent`
+/// guaranteed a slot (replacing the weakest-ranked pick if needed) so a
+/// tuned winner can never regress below the default configuration
+/// without that being measured and visible.
+pub fn tune<T: Real, Op: StencilOp<T>>(
+    params: &MachineParams,
+    op: &Op,
+    dims: Dims3,
+    mut candidates: Vec<Plan>,
+    incumbent: Plan,
+    cfg: &TuneConfig,
+    mut measure: impl FnMut(&Plan) -> Result<f64, String>,
+) -> TuneReport {
+    if !candidates.contains(&incumbent) && incumbent.validate_for(dims, Op::RADIUS).is_ok() {
+        candidates.push(incumbent.clone());
+    }
+    let enumerated = candidates.len();
+    let mut rows: Vec<TuneRow> = candidates
+        .into_iter()
+        .map(|plan| {
+            let predicted_mlups = predicted_mlups(params, op, dims, &plan);
+            let incumbent = plan == incumbent;
+            TuneRow {
+                plan,
+                predicted_mlups,
+                measured_mlups: None,
+                incumbent,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.predicted_mlups
+            .partial_cmp(&a.predicted_mlups)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // The measurement budget: top-k by prediction, capped so at least
+    // half of the enumerated field is never run, incumbent always in.
+    let cap = (enumerated / 2).max(1);
+    let k = cfg.top_k.clamp(1, cap);
+    let mut picks: Vec<usize> = (0..rows.len().min(k)).collect();
+    if let Some(inc) = rows.iter().position(|r| r.incumbent) {
+        if !picks.contains(&inc) {
+            picks.pop();
+            picks.push(inc);
+        }
+    }
+
+    let mut measured = 0usize;
+    for i in picks {
+        if let Ok(mlups) = measure(&rows[i].plan) {
+            rows[i].measured_mlups = Some(mlups);
+        }
+        measured += 1;
+    }
+
+    // Measured rows first (best measured on top), pruned rows after,
+    // still ordered by prediction.
+    rows.sort_by(|a, b| match (a.measured_mlups, b.measured_mlups) {
+        (Some(x), Some(y)) => y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => b
+            .predicted_mlups
+            .partial_cmp(&a.predicted_mlups)
+            .unwrap_or(std::cmp::Ordering::Equal),
+    });
+
+    TuneReport {
+        rows,
+        enumerated,
+        measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_stencil::{Jacobi6, VarCoeff7};
+
+    fn nehalem() -> MachineParams {
+        MachineParams::nehalem_ep()
+    }
+
+    #[test]
+    fn enumeration_spans_every_family_and_validates() {
+        let p = nehalem();
+        let dims = Dims3::cube(64);
+        for family in MethodFamily::ALL {
+            let plans = enumerate_family::<f64, _>(family, &p, &Jacobi6, dims, 4);
+            assert!(!plans.is_empty(), "{family:?}");
+            for plan in &plans {
+                assert_eq!(plan.method.family(), family);
+                plan.validate_for(dims, 1).unwrap();
+                assert!(plan.method.threads() <= 4);
+            }
+        }
+        let all = enumerate_all::<f64, _>(&p, &Jacobi6, dims, 4);
+        assert!(all.len() >= 40, "rich candidate space, got {}", all.len());
+    }
+
+    #[test]
+    fn enumeration_respects_small_grids() {
+        // On a tiny grid the deep-pipeline candidates must be filtered.
+        let p = nehalem();
+        let plans =
+            enumerate_family::<f64, _>(MethodFamily::Pipelined, &p, &Jacobi6, Dims3::cube(12), 4);
+        for plan in &plans {
+            plan.validate_for(Dims3::cube(12), 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn model_demotes_uncacheable_candidates() {
+        let p = nehalem();
+        let dims = Dims3::cube(64);
+        // A diamond too wide for the cache scores at baseline...
+        let narrow = Plan::new(PlanMethod::Diamond {
+            threads: 4,
+            width: 8,
+            threads_per_tile: 1,
+        });
+        let huge = Plan::new(PlanMethod::Diamond {
+            threads: 4,
+            width: 1 << 14,
+            threads_per_tile: 1,
+        });
+        let s_narrow = predicted_mlups::<f64, _>(&p, &Jacobi6, dims, &narrow);
+        let s_huge = predicted_mlups::<f64, _>(&p, &Jacobi6, dims, &huge);
+        assert!(s_narrow > s_huge, "{s_narrow} vs {s_huge}");
+        // ...and MWD widens the cacheable range at equal width.
+        let mwd = Plan::new(PlanMethod::Diamond {
+            threads: 4,
+            width: 8,
+            threads_per_tile: 4,
+        });
+        assert!(predicted_mlups::<f64, _>(&p, &Jacobi6, dims, &mwd) >= s_narrow);
+        // Extra read streams lower every score.
+        let v: VarCoeff7<f64> = VarCoeff7::banded(dims);
+        assert!(predicted_mlups::<f64, _>(&p, &v, dims, &narrow) < s_narrow);
+    }
+
+    #[test]
+    fn parallel_score_saturates() {
+        let p = nehalem();
+        let dims = Dims3::cube(64);
+        let at = |threads| {
+            predicted_mlups::<f64, _>(
+                &p,
+                &Jacobi6,
+                dims,
+                &Plan::new(PlanMethod::Parallel {
+                    threads,
+                    streaming_stores: true,
+                }),
+            )
+        };
+        assert!(at(2) > at(1));
+        assert!((at(4) - at(8)).abs() < 1e-9, "bus saturated past Ms/Ms,1");
+    }
+
+    #[test]
+    fn tune_prunes_at_least_half_and_keeps_incumbent() {
+        let p = nehalem();
+        let dims = Dims3::cube(64);
+        let candidates = enumerate_all::<f64, _>(&p, &Jacobi6, dims, 4);
+        let n = candidates.len();
+        let incumbent = default_plan(MethodFamily::Parallel, 4);
+        let mut calls = 0usize;
+        let report = tune::<f64, _>(
+            &p,
+            &Jacobi6,
+            dims,
+            candidates,
+            incumbent.clone(),
+            &TuneConfig { top_k: 8 },
+            |plan| {
+                calls += 1;
+                // Fake measurement: deterministic, favors diamond.
+                Ok(match plan.method.family() {
+                    MethodFamily::Diamond => 1000.0,
+                    _ => 500.0,
+                })
+            },
+        );
+        assert_eq!(report.measured, calls);
+        assert!(report.measured <= 8);
+        assert!(report.pruning_ratio() <= 0.5, "{}", report.pruning_ratio());
+        assert!(report.enumerated >= n);
+        let inc = report.incumbent().expect("incumbent measured");
+        assert_eq!(inc.plan, incumbent);
+        let winner = report.winner().expect("winner");
+        assert_eq!(winner.plan.method.family(), MethodFamily::Diamond);
+        assert!(winner.measured_mlups >= inc.measured_mlups);
+        // Measured rows lead the ranking.
+        assert!(report.rows[0].measured_mlups.is_some());
+        assert!(report.rows.last().unwrap().measured_mlups.is_none());
+        assert!(report.mean_model_error().is_some());
+    }
+
+    #[test]
+    fn tune_survives_measurement_failures() {
+        let p = nehalem();
+        let dims = Dims3::cube(64);
+        let candidates = enumerate_all::<f64, _>(&p, &Jacobi6, dims, 2);
+        let incumbent = default_plan(MethodFamily::Parallel, 2);
+        let mut n = 0usize;
+        let report = tune::<f64, _>(
+            &p,
+            &Jacobi6,
+            dims,
+            candidates,
+            incumbent,
+            &TuneConfig { top_k: 4 },
+            |_| {
+                n += 1;
+                if n == 1 {
+                    Err("transient".into())
+                } else {
+                    Ok(100.0 + n as f64)
+                }
+            },
+        );
+        assert!(report.winner().is_some());
+        assert!(report.rows.iter().any(|r| r.measured_mlups.is_none()));
+    }
+
+    #[test]
+    fn default_plans_are_valid_on_reasonable_problems() {
+        let dims = Dims3::cube(64);
+        for family in MethodFamily::ALL {
+            for team in [1usize, 2, 4, 8] {
+                default_plan(family, team).validate_for(dims, 1).unwrap();
+            }
+        }
+    }
+}

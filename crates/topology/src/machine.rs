@@ -74,6 +74,24 @@ impl Machine {
         }
     }
 
+    /// Compact, stable description of the topology: socket count, cores
+    /// per socket, and the outermost shared cache. This is the machine
+    /// half of a plan-cache fingerprint (`tb-plan`), so it must be
+    /// deterministic across detect runs on the same host and must change
+    /// whenever the team geometry or cache capacity the tuner saw does.
+    pub fn signature(&self) -> String {
+        match self.shared_cache() {
+            Some(c) => format!(
+                "{}x{}+L{}:{}",
+                self.num_sockets(),
+                self.cores_per_socket(),
+                c.level,
+                c.size_bytes
+            ),
+            None => format!("{}x{}+nocache", self.num_sockets(), self.cores_per_socket()),
+        }
+    }
+
     /// The paper's test system: dual-socket Intel Nehalem EP (Xeon 5550),
     /// 4 cores/socket @ 2.66 GHz, shared 8 MB L3 per socket, 256 kB L2 and
     /// 32 kB L1D per core (§1.1).
@@ -189,6 +207,17 @@ mod tests {
         let m = Machine::flat(6);
         assert_eq!(m.num_cpus(), 6);
         assert_eq!(m.cache_groups(), vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn signature_is_stable_and_discriminating() {
+        let m = Machine::nehalem_ep();
+        assert_eq!(m.signature(), "2x4+L3:8388608");
+        assert_eq!(m.signature(), Machine::nehalem_ep().signature());
+        assert_ne!(m.signature(), Machine::core2_quad().signature());
+        let mut bare = Machine::flat(3);
+        bare.caches.clear();
+        assert_eq!(bare.signature(), "1x3+nocache");
     }
 
     #[test]

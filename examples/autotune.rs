@@ -1,146 +1,98 @@
-//! Parameter auto-tuning, the way the paper found its optimal settings
-//! ("The optimal choices reported here have been obtained
-//! experimentally", §1.5): sweep T, the block size and d_u for the
-//! pipelined scheme, then the width for the diamond scheme, measure
-//! each configuration, and report the overall winner alongside the
-//! models' predictions (Eq. 5 and its diamond analogue).
+//! Plan-cache autotuning, the mechanized version of the paper's hand
+//! search ("The optimal choices reported here have been obtained
+//! experimentally", §1.5): enumerate every method family's candidate
+//! space, score the candidates with the analytic models, measure only
+//! the model-ranked top few, and persist the winner — the next run
+//! replays it from the cache with zero measurements.
 //!
 //! ```sh
 //! cargo run --release --example autotune
 //! ```
 
+use temporal_blocking::plan::{PlanCache, TuneRow};
 use temporal_blocking::prelude::*;
-use temporal_blocking::{grid, membench, model, solve_on, Method};
+use temporal_blocking::{grid, solve_tuned_on, tuning_runtime, TuneOptions};
 
 fn main() {
     let dims = temporal_blocking::cube_for_memory_budget(48);
     let sweeps = 8;
     let machine = temporal_blocking::topology::detect::detect();
-    let base = PipelineConfig::for_machine(&machine, 1, 1);
 
-    // One persistent worker team for the whole tuning sweep: dozens of
-    // measured solves (plus the calibration) share these pinned threads
-    // instead of respawning them per configuration. Calibration needs a
-    // full cache group, so grow past the pipeline layout if required.
+    // One persistent worker team for the whole tuning session: every
+    // measured trial (plus the calibration, which needs a full cache
+    // group) shares these workers. `tuning_runtime` grows the pinned
+    // layout when needed instead of degrading to unpinned threads —
+    // keeping the layout's placement and any carved-out comm core.
+    let base = PipelineConfig::for_machine(&machine, 1, 1);
     let layout = base
         .layout
         .clone()
         .unwrap_or_else(|| TeamLayout::new(&machine, base.team_size, base.n_teams));
-    let rt = if layout.threads() >= machine.cores_per_socket() {
-        Runtime::new(&layout)
-    } else {
-        Runtime::with_threads(base.threads().max(machine.cores_per_socket()))
-    };
+    let rt = tuning_runtime(&machine, &layout, machine.cores_per_socket());
 
-    println!("autotuning pipelined temporal blocking on {dims} ({sweeps} sweeps)");
+    println!("autotuning {dims} ({sweeps} sweeps) on {}", machine.name);
     println!(
         "persistent runtime: {} pinned workers shared by every trial",
         rt.threads()
     );
-
-    // Calibrate the host so the diagnostic model has real bandwidths —
-    // on the same workers that later run the solves.
-    let params = membench::calibrate_host_on(&rt, &machine, membench::CalibrationProfile::quick());
-    println!(
-        "calibrated: Ms,1 = {:.1} GB/s, Ms = {:.1} GB/s, Mc = {:.1} GB/s",
-        params.ms1 / 1e9,
-        params.ms / 1e9,
-        params.mc / 1e9
-    );
+    println!("plan cache: {}", PlanCache::default_path().display());
 
     let initial = grid::init::random::<f64>(dims, 1);
-    let mut best: Option<(f64, String)> = None;
+    let opts = TuneOptions::default();
+    let (_, stats, tuned) = solve_tuned_on(&rt, initial.clone(), sweeps, &opts).unwrap();
 
-    println!(
-        "\n{:>3} {:>16} {:>6} {:>12} {:>14}",
-        "T", "block", "d_u", "MLUP/s", "model speedup"
-    );
-    for updates in [1usize, 2, 4] {
-        for block in [[dims.nx, 16, 16], [120, 20, 20], [64, 16, 16], [32, 8, 8]] {
-            for du in [1u64, 4] {
-                let mut cfg = base.clone();
-                cfg.updates_per_thread = updates;
-                cfg.block = block;
-                cfg.sync = SyncMode::Relaxed { dl: 1, du, dt: 0 };
-                if cfg.validate(dims).is_err() {
-                    continue;
-                }
-                let label = format!("T={updates} block={block:?} du={du}");
-                let (_, stats) =
-                    solve_on(&rt, initial.clone(), sweeps, Method::Pipelined(cfg.clone())).unwrap();
-                let predicted =
-                    model::pipeline_speedup(&params, cfg.team_size * cfg.n_teams, updates);
-                println!(
-                    "{:>3} {:>16} {:>6} {:>12.1} {:>14.2}",
-                    updates,
-                    format!("{:?}", block),
-                    du,
-                    stats.mlups(),
-                    predicted
-                );
-                if best
-                    .as_ref()
-                    .map(|(m, _)| stats.mlups() > *m)
-                    .unwrap_or(true)
-                {
-                    best = Some((stats.mlups(), label));
-                }
-            }
-        }
+    if tuned.cache_hit {
+        println!("\nwarm hit: replayed cached plan with zero measurements");
+        println!("plan: {}", tuned.plan.label());
+        println!("solve: {:.1} MLUP/s", stats.mlups());
+        println!("(delete the cache file or set force_retune to tune afresh)");
+        return;
     }
 
-    // Diamond trials: two knobs now — width, and the MWD sub-team size
-    // (threads per tile). Larger sub-teams mean fewer concurrent tile
-    // working sets, which the model rewards with a larger cached width;
-    // trial both together. The model column is the diamond Eq. 5
-    // analogue for direct comparison with the pipelined predictions.
-    let team = base.threads().min(rt.threads());
+    let report = tuned.report.as_ref().expect("cold tune reports");
     println!(
-        "\n{:>9} {:>6} {:>4} {:>12} {:>14}",
-        "width", "team", "tpt", "MLUP/s", "model speedup"
+        "\ncold tune: {} candidates enumerated, {} measured (pruning ratio {:.2})",
+        report.enumerated,
+        report.measured,
+        report.pruning_ratio()
     );
-    for tpt in [1usize, 2, 4] {
-        if tpt > team || team % tpt != 0 {
-            continue;
-        }
-        let w_cache =
-            model::max_cached_width_mwd::<f64, _>(&params, &Jacobi6, dims.nx, dims.ny, team, tpt);
-        let mut widths = vec![4usize, 8, 16, 32, w_cache];
-        widths.sort_unstable();
-        widths.dedup();
-        for width in widths {
-            let cfg = DiamondConfig {
-                threads: team,
-                width,
-                threads_per_tile: tpt,
-                audit: false,
-            };
-            if cfg.validate(dims, 1).is_err() {
-                continue;
-            }
-            let label = format!("diamond width={width} team={team} tpt={tpt}");
-            let (_, stats) =
-                solve_on(&rt, initial.clone(), sweeps, Method::Diamond(cfg.clone())).unwrap();
-            let predicted = model::diamond_speedup(&params, width, 1);
-            println!(
-                "{:>9} {:>6} {:>4} {:>12.1} {:>14.2}",
-                width,
-                team,
-                tpt,
-                stats.mlups(),
-                predicted
-            );
-            if best
-                .as_ref()
-                .map(|(m, _)| stats.mlups() > *m)
-                .unwrap_or(true)
-            {
-                best = Some((stats.mlups(), label));
-            }
-        }
+    if tuned.calibrated {
+        println!("calibrated the host with membench (cached for next time)");
     }
 
-    let (mlups, label) = best.expect("at least one valid configuration");
-    println!("\nbest configuration: {label} at {mlups:.1} MLUP/s");
+    println!(
+        "\n{:>44} {:>12} {:>12}",
+        "candidate", "model MLUP/s", "MLUP/s"
+    );
+    let fmt_row = |r: &TuneRow| {
+        let measured = match r.measured_mlups {
+            Some(m) => format!("{m:.1}"),
+            None => "pruned".to_string(),
+        };
+        println!(
+            "{:>44} {:>12.1} {:>12}{}",
+            r.plan.label(),
+            r.predicted_mlups,
+            measured,
+            if r.incumbent { "  (default)" } else { "" }
+        );
+    };
+    for row in &report.rows {
+        fmt_row(row);
+    }
+    if let Some(err) = report.mean_model_error() {
+        println!("\nmean model error over measured rows: {:.0}%", err * 100.0);
+    }
+
+    println!(
+        "\nwinner: {} at {:.1} MLUP/s",
+        tuned.plan.label(),
+        stats.mlups()
+    );
+    if let (Some(win), Some(inc)) = (report.winner(), report.incumbent()) {
+        let speedup = win.measured_mlups.unwrap_or(0.0) / inc.measured_mlups.unwrap_or(1.0);
+        println!("tuned vs default ({}): {speedup:.2}x", inc.plan.label());
+    }
+    println!("the winner is persisted — rerun this example for a zero-measurement warm hit");
     println!("(the paper's optimum on Nehalem EP was T=2, blocks ~120x20x20, d_u in 1..4 — §1.5)");
 }

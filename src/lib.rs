@@ -74,6 +74,7 @@ pub use tb_grid as grid;
 pub use tb_membench as membench;
 pub use tb_model as model;
 pub use tb_net as net;
+pub use tb_plan as plan;
 pub use tb_runtime as runtime;
 pub use tb_stencil as stencil;
 pub use tb_sync as sync;
@@ -93,9 +94,13 @@ use tb_stencil::{baseline, diamond, pipeline, wavefront};
 
 /// Everything an application typically needs.
 pub mod prelude {
-    pub use crate::{solve, solve_on, solve_with, solve_with_on, Method};
+    pub use crate::{
+        solve, solve_on, solve_tuned_on, solve_tuned_with_on, solve_with, solve_with_on, Method,
+        TuneOptions, TunedSolve,
+    };
     pub use tb_grid::{self as grid, Dims3, Grid3, GridPair, Real, Region3};
     pub use tb_model::MachineParams;
+    pub use tb_plan::{MethodFamily, Plan, PlanCache};
     pub use tb_runtime::Runtime;
     pub use tb_stencil::{
         Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, ScalarPath, StencilOp,
@@ -308,6 +313,272 @@ pub fn cube_for_memory_budget(mib: usize) -> Dims3 {
     let cells = bytes / (2 * 8);
     let edge = (cells as f64).cbrt() as usize;
     Dims3::cube(edge.max(8))
+}
+
+/// The persistent runtime for a tuning session: the layout's pinned
+/// workers when they already cover `min_threads` (e.g. a full cache
+/// group for calibration), otherwise the pin list grown with the
+/// machine's remaining CPUs — keeping the layout's placement *and* its
+/// carved-out comm core, instead of degrading to unpinned threads with
+/// no comm worker.
+pub fn tuning_runtime(
+    machine: &topology::Machine,
+    layout: &topology::TeamLayout,
+    min_threads: usize,
+) -> Runtime {
+    if layout.threads() >= min_threads {
+        return Runtime::new(layout);
+    }
+    let mut cpus = layout.cpus.clone();
+    let mut used: std::collections::HashSet<usize> = cpus.iter().flatten().copied().collect();
+    if let Some(c) = layout.comm_core {
+        used.insert(c);
+    }
+    for socket in &machine.sockets {
+        for &cpu in &socket.cpus {
+            if cpus.len() >= min_threads {
+                break;
+            }
+            if used.insert(cpu) {
+                cpus.push(Some(cpu));
+            }
+        }
+    }
+    while cpus.len() < min_threads {
+        cpus.push(None); // machine smaller than the request: unpinned tail
+    }
+    Runtime::from_cpus(cpus, layout.comm_core.map(Some))
+}
+
+/// Translate a [`tb_plan::Plan`]'s method into the facade [`Method`].
+/// The SIMD flag is *not* encoded here — [`run_plan_on`] applies it by
+/// wrapping the operator in [`ScalarPath`].
+pub fn method_for_plan(plan: &tb_plan::Plan) -> Method {
+    use tb_plan::PlanMethod;
+    match &plan.method {
+        PlanMethod::Parallel {
+            threads,
+            streaming_stores,
+        } => Method::Parallel {
+            threads: *threads,
+            streaming_stores: *streaming_stores,
+        },
+        PlanMethod::Pipelined(_) => Method::Pipelined(plan.pipeline_config().unwrap()),
+        PlanMethod::Compressed(_) => Method::PipelinedCompressed(plan.pipeline_config().unwrap()),
+        PlanMethod::Wavefront { threads } => Method::Wavefront { threads: *threads },
+        PlanMethod::Diamond { .. } => Method::Diamond(plan.diamond_config().unwrap()),
+    }
+}
+
+/// Execute one reified [`tb_plan::Plan`] on a persistent runtime.
+/// `simd: false` routes through [`ScalarPath`] — bitwise identical
+/// results, scalar row kernels.
+pub fn run_plan_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
+    op: &Op,
+    plan: &tb_plan::Plan,
+    initial: Grid3<T>,
+    sweeps: usize,
+) -> Result<(Grid3<T>, RunStats), String> {
+    let method = method_for_plan(plan);
+    if plan.simd {
+        solve_with_on(rt, op, initial, sweeps, method)
+    } else {
+        solve_with_on(rt, &ScalarPath(op.clone()), initial, sweeps, method)
+    }
+}
+
+/// Options for [`solve_tuned_on`] / [`solve_tuned_with_on`].
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Cache file; `None` uses [`tb_plan::PlanCache::default_path`]
+    /// (`$TB_PLAN_CACHE` overrides).
+    pub cache_path: Option<std::path::PathBuf>,
+    /// Measure at most this many model-ranked candidates on a cold tune.
+    pub top_k: usize,
+    /// Ignore any cached plan and tune afresh (the result still lands in
+    /// the cache).
+    pub force_retune: bool,
+    /// Skip membench calibration and fingerprint with these parameters —
+    /// for tests/benches and for hosts calibrated out of band.
+    pub params: Option<MachineParams>,
+    /// Restrict the candidate space to these families; empty means all.
+    pub families: Vec<tb_plan::MethodFamily>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            cache_path: None,
+            top_k: tb_plan::TuneConfig::default().top_k,
+            force_retune: false,
+            params: None,
+            families: Vec::new(),
+        }
+    }
+}
+
+/// How a tuned solve obtained its plan.
+#[derive(Clone, Debug)]
+pub struct TunedSolve {
+    /// The plan that produced the returned grid.
+    pub plan: tb_plan::Plan,
+    /// `true` when the plan was replayed from the persistent cache —
+    /// by contract such a solve performs **zero** measurements.
+    pub cache_hit: bool,
+    /// `true` when membench calibration ran (cold cache, no stored
+    /// calibration, no [`TuneOptions::params`] override).
+    pub calibrated: bool,
+    /// Candidate measurements performed (0 on a warm hit).
+    pub measurements: usize,
+    /// The ranked tuning report (cold tunes only).
+    pub report: Option<tb_plan::TuneReport>,
+}
+
+use tb_model::MachineParams;
+
+/// [`solve_with_on`] with the method chosen by the plan-cache autotuner:
+/// load the persistent cache, replay the stored winner when the
+/// [`tb_plan::PlanKey`] matches (no measurement of any kind — the
+/// calibration that feeds the fingerprint is itself cached), otherwise
+/// enumerate candidates, score them with the `tb-model` predictions,
+/// measure only the top-K plus the library default, persist the winner,
+/// and solve with it.
+pub fn solve_tuned_with_on<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
+    op: &Op,
+    initial: Grid3<T>,
+    sweeps: usize,
+    opts: &TuneOptions,
+) -> Result<(Grid3<T>, RunStats, TunedSolve), String> {
+    use tb_plan::{CacheEntry, MachineFingerprint, PlanCache, PlanKey, TuneConfig};
+
+    let dims = initial.dims();
+    let machine = topology::detect::detect();
+    let signature = machine.signature();
+    let mut cache = match &opts.cache_path {
+        Some(p) => PlanCache::load(p.clone()),
+        None => PlanCache::load_default(),
+    };
+
+    // Machine parameters: explicit override, then the cached calibration
+    // for this topology, then one membench run (cached for next time).
+    let mut calibrated = false;
+    let params = match opts.params {
+        Some(p) => p,
+        None => match cache.calibration(&signature) {
+            Some(p) => p,
+            None => {
+                let group = machine.cores_per_socket().max(1);
+                let profile = membench::CalibrationProfile::quick();
+                let p = if rt.threads() >= group {
+                    membench::calibrate_host_on(rt, &machine, profile)
+                } else {
+                    let layout = topology::TeamLayout::new(&machine, group, 1);
+                    let cal_rt = tuning_runtime(&machine, &layout, group);
+                    membench::calibrate_host_on(&cal_rt, &machine, profile)
+                };
+                calibrated = true;
+                cache.store_calibration(&signature, p);
+                p
+            }
+        },
+    };
+
+    let fingerprint = MachineFingerprint::new(&machine, &params);
+    let key = PlanKey::new::<T>(fingerprint, op.name(), dims, sweeps);
+
+    // Warm path: replay the stored winner. The entry re-validates
+    // against the current dims, and must fit this runtime's workers.
+    if !opts.force_retune {
+        if let Some(entry) = cache.lookup(&key, dims, Op::RADIUS) {
+            if entry.plan.method.threads() <= rt.threads() {
+                let plan = entry.plan.clone();
+                if calibrated {
+                    cache.save().map_err(|e| format!("plan cache save: {e}"))?;
+                }
+                let (out, stats) = run_plan_on(rt, op, &plan, initial, sweeps)?;
+                return Ok((
+                    out,
+                    stats,
+                    TunedSolve {
+                        plan,
+                        cache_hit: true,
+                        calibrated,
+                        measurements: 0,
+                        report: None,
+                    },
+                ));
+            }
+        }
+    }
+
+    // Cold path: enumerate, score, measure top-K + incumbent.
+    let team = rt.threads().max(1);
+    let families: &[tb_plan::MethodFamily] = if opts.families.is_empty() {
+        &tb_plan::MethodFamily::ALL
+    } else {
+        &opts.families
+    };
+    let candidates: Vec<tb_plan::Plan> = families
+        .iter()
+        .flat_map(|&f| tb_plan::enumerate_family::<T, Op>(f, &params, op, dims, team))
+        .collect();
+    let incumbent = tb_plan::default_plan(
+        if families.len() == 1 {
+            families[0]
+        } else {
+            tb_plan::MethodFamily::Parallel
+        },
+        team,
+    );
+    let report = tb_plan::tune(
+        &params,
+        op,
+        dims,
+        candidates,
+        incumbent,
+        &TuneConfig { top_k: opts.top_k },
+        |plan| run_plan_on(rt, op, plan, initial.clone(), sweeps).map(|(_, stats)| stats.mlups()),
+    );
+    let winner = report
+        .winner()
+        .ok_or("tuning failed: no candidate could be measured")?;
+    let plan = winner.plan.clone();
+    cache.store(
+        &key,
+        CacheEntry {
+            plan: plan.clone(),
+            dims: [dims.nx, dims.ny, dims.nz],
+            measured_mlups: winner.measured_mlups.unwrap_or(0.0),
+            predicted_mlups: winner.predicted_mlups,
+        },
+    );
+    cache.save().map_err(|e| format!("plan cache save: {e}"))?;
+
+    let measurements = report.measured;
+    let (out, stats) = run_plan_on(rt, op, &plan, initial, sweeps)?;
+    Ok((
+        out,
+        stats,
+        TunedSolve {
+            plan,
+            cache_hit: false,
+            calibrated,
+            measurements,
+            report: Some(report),
+        },
+    ))
+}
+
+/// [`solve_tuned_with_on`] specialized to the classic 6-point Jacobi.
+pub fn solve_tuned_on<T: Real>(
+    rt: &Runtime,
+    initial: Grid3<T>,
+    sweeps: usize,
+    opts: &TuneOptions,
+) -> Result<(Grid3<T>, RunStats, TunedSolve), String> {
+    solve_tuned_with_on(rt, &Jacobi6, initial, sweeps, opts)
 }
 
 #[cfg(test)]
