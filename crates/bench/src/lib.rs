@@ -84,6 +84,40 @@ pub fn warmed_best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> RunStats
     best_of(reps, f)
 }
 
+/// The `p`-th percentile (0 ≤ p ≤ 100) of `samples` with linear
+/// interpolation between closest ranks (the R-7/NumPy default): the
+/// rank is `p/100 · (n−1)`, fractional ranks interpolate between the
+/// two neighboring order statistics. Input order does not matter.
+///
+/// # Panics
+/// Panics on an empty sample set or `p` outside `[0, 100]`.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0,100]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN sample"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median: [`percentile`] at 50.
+pub fn p50(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// [`percentile`] at 95.
+pub fn p95(samples: &[f64]) -> f64 {
+    percentile(samples, 95.0)
+}
+
+/// Tail latency: [`percentile`] at 99.
+pub fn p99(samples: &[f64]) -> f64 {
+    percentile(samples, 99.0)
+}
+
 /// The standard random problem used by all measurement binaries.
 pub fn problem(edge: usize, seed: u64) -> Grid3<f64> {
     init::random(Dims3::cube(edge), seed)
@@ -138,6 +172,42 @@ mod tests {
             RunStats::new(1000, Duration::from_millis(times.next().unwrap()))
         });
         assert_eq!(s.elapsed, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn percentiles_of_known_distributions() {
+        // 1..=100 uniform: interpolated ranks are exact and well known.
+        let mut uniform: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(p50(&uniform), 50.5);
+        assert_eq!(percentile(&uniform, 0.0), 1.0);
+        assert_eq!(percentile(&uniform, 100.0), 100.0);
+        assert!((p95(&uniform) - 95.05).abs() < 1e-9);
+        assert!((p99(&uniform) - 99.01).abs() < 1e-9);
+        // Order independence: a shuffled copy gives the same answers.
+        uniform.reverse();
+        assert_eq!(p50(&uniform), 50.5);
+        assert!((p99(&uniform) - 99.01).abs() < 1e-9);
+
+        // A single sample is every percentile.
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(p50(&[7.5]), 7.5);
+        assert_eq!(p99(&[7.5]), 7.5);
+
+        // Two samples interpolate linearly.
+        assert_eq!(p50(&[10.0, 20.0]), 15.0);
+        assert_eq!(percentile(&[10.0, 20.0], 25.0), 12.5);
+
+        // A heavy-tailed set: the tail percentile sits in the outlier
+        // gap, the median ignores it.
+        let tail = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1000.0];
+        assert_eq!(p50(&tail), 1.0);
+        assert!((percentile(&tail, 90.0) - 100.9).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_rejects_empty_input() {
+        let _ = percentile(&[], 50.0);
     }
 
     #[test]

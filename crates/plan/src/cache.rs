@@ -10,8 +10,10 @@
 //! with the request are rejected — the caller then re-tunes and the
 //! store heals itself on the next save.
 
+use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use tb_grid::Dims3;
 use tb_model::MachineParams;
@@ -300,6 +302,116 @@ impl PlanCache {
     }
 }
 
+/// One in-process store per cache file, shared by every thread.
+///
+/// [`PlanCache`]'s plain load-modify-save flow is single-writer: two
+/// scheduler workers tuning the same key concurrently would each load
+/// the file, tune, and save — the slower writer silently dropping the
+/// faster one's entry, and the shared `path.json.tmp` staging file
+/// racing the rename. [`SharedPlanCache`] fixes both by interning one
+/// shared store per (absolutized) path in a process-global registry:
+/// every open of the same file yields the same store, all mutations and
+/// saves serialize on its lock, and a winner stored by one thread is
+/// immediately visible to every other thread *without* a reload.
+///
+/// External edits are still honored: the store remembers the file's
+/// (mtime, length) at its last load/save and reloads before any access
+/// when they changed — hand-edited plans, cleared files, and schema
+/// bumps take effect in a long-lived server process, not just at the
+/// next restart. Cross-*process* writers otherwise race at the file
+/// level (last atomic rename wins, never a torn file).
+#[derive(Clone)]
+pub struct SharedPlanCache {
+    inner: Arc<Mutex<SharedState>>,
+}
+
+struct SharedState {
+    cache: PlanCache,
+    /// (mtime, len) of the backing file as of the last load or save;
+    /// `None` when the file did not exist.
+    disk: Option<(std::time::SystemTime, u64)>,
+}
+
+fn disk_state(path: Option<&Path>) -> Option<(std::time::SystemTime, u64)> {
+    let meta = std::fs::metadata(path?).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+impl SharedState {
+    fn load(path: PathBuf) -> SharedState {
+        let cache = PlanCache::load(path);
+        let disk = disk_state(cache.path());
+        SharedState { cache, disk }
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<PathBuf, Arc<Mutex<SharedState>>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<SharedState>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl SharedPlanCache {
+    /// The shared store for `path`: loaded from disk on the first open
+    /// in this process, the same in-memory store on every later open
+    /// (different relative/absolute spellings of the same file unify).
+    pub fn open(path: impl Into<PathBuf>) -> SharedPlanCache {
+        let path = path.into();
+        let key = std::path::absolute(&path).unwrap_or_else(|_| path.clone());
+        let inner = Arc::clone(
+            registry()
+                .lock()
+                .expect("plan-cache registry poisoned")
+                .entry(key)
+                .or_insert_with(|| Arc::new(Mutex::new(SharedState::load(path)))),
+        );
+        SharedPlanCache { inner }
+    }
+
+    /// [`SharedPlanCache::open`] on [`PlanCache::default_path`].
+    pub fn open_default() -> SharedPlanCache {
+        SharedPlanCache::open(PlanCache::default_path())
+    }
+
+    /// Run `f` with exclusive access to the underlying store. Everything
+    /// `f` mutates stays in memory; call [`PlanCache::save`] inside `f`
+    /// (still under the lock) to persist atomically with the mutation.
+    /// If the backing file changed on disk since the store last touched
+    /// it, the store reloads first.
+    pub fn with<R>(&self, f: impl FnOnce(&mut PlanCache) -> R) -> R {
+        let mut guard = self.inner.lock().expect("plan cache store poisoned");
+        let now = disk_state(guard.cache.path());
+        if now != guard.disk {
+            let path = guard
+                .cache
+                .path()
+                .expect("pathless caches never change on disk");
+            guard.cache = PlanCache::load(path.to_path_buf());
+        }
+        let r = f(&mut guard.cache);
+        guard.disk = disk_state(guard.cache.path());
+        r
+    }
+
+    /// Stored calibration for a topology signature.
+    pub fn calibration(&self, topology: &str) -> Option<MachineParams> {
+        self.with(|c| c.calibration(topology))
+    }
+
+    /// A warm hit, cloned out of the store (see [`PlanCache::lookup`]).
+    pub fn lookup(&self, key: &PlanKey, dims: Dims3, radius: usize) -> Option<CacheEntry> {
+        self.with(|c| c.lookup(key, dims, radius).cloned())
+    }
+
+    /// Insert the winner for `key` and persist, atomically with respect
+    /// to every other thread sharing this store.
+    pub fn store_and_save(&self, key: &PlanKey, entry: CacheEntry) -> io::Result<()> {
+        self.with(|c| {
+            c.store(key, entry);
+            c.save()
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +522,44 @@ mod tests {
         c.evict(&key(dims));
         assert!(c.is_empty());
         assert!(c.save().is_ok(), "in-memory save is a no-op");
+    }
+
+    #[test]
+    fn shared_store_is_interned_per_path() {
+        let path = tmp("shared-intern.json");
+        let dims = Dims3::cube(48);
+        let a = SharedPlanCache::open(&path);
+        let b = SharedPlanCache::open(&path);
+        a.with(|c| c.store(&key(dims), entry(dims)));
+        // The second handle sees the first handle's store without any
+        // reload: one in-process store per path.
+        assert_eq!(b.lookup(&key(dims), dims, 1), Some(entry(dims)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_store_and_save_yields_one_entry_and_a_parseable_file() {
+        let path = tmp("shared-concurrent.json");
+        std::fs::remove_file(&path).ok();
+        let dims = Dims3::cube(40);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let cache = SharedPlanCache::open(&path);
+                    cache.store_and_save(&key(dims), entry(dims)).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // All eight writers landed on the same key: one entry, and the
+        // file on disk is valid JSON holding exactly that entry.
+        let on_disk = PlanCache::load(&path);
+        assert_eq!(on_disk.len(), 1);
+        assert_eq!(on_disk.lookup(&key(dims), dims, 1), Some(&entry(dims)));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod json;
 pub mod key;
 pub mod tuner;
 
-pub use cache::{CacheEntry, PlanCache, SCHEMA_VERSION};
+pub use cache::{CacheEntry, PlanCache, SharedPlanCache, SCHEMA_VERSION};
 pub use ir::{ExchangeIr, MethodFamily, PipeParams, Plan, PlanMethod};
 pub use json::Json;
 pub use key::{bandwidth_band, element_name, sweeps_class, MachineFingerprint, PlanKey};

@@ -63,5 +63,5 @@
 mod pool;
 mod team;
 
-pub use pool::{GridPool, PooledGrid};
+pub use pool::{GridPool, PooledGrid, DEFAULT_POOL_CAPACITY};
 pub use team::{CommHandle, Runtime};

@@ -19,23 +19,40 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use tb_grid::{Dims3, Grid3, Real};
 
-/// Most grids a pool parks before evicting the oldest: long-running
-/// services solving many distinct problem shapes must not accumulate
-/// dead allocations without bound. Large enough for every concurrent
-/// consumer in this workspace (a NUMA node run parks two grids per
-/// team).
-const MAX_FREE_GRIDS: usize = 8;
+/// Default number of grids a pool parks before evicting the oldest:
+/// long-running services solving many distinct problem shapes must not
+/// accumulate dead allocations without bound. Large enough for every
+/// concurrent consumer in this workspace (a NUMA node run parks two
+/// grids per team). Long-lived per-tenant runtimes serving a wide
+/// problem mix raise it with [`GridPool::with_capacity`] /
+/// [`crate::Runtime::with_pool_capacity`].
+pub const DEFAULT_POOL_CAPACITY: usize = 8;
 
 /// A pool of same-typed grids, keyed by their dimensions.
 pub struct GridPool<T: Real> {
     free: Mutex<Vec<Grid3<T>>>,
+    capacity: usize,
 }
 
 impl<T: Real> GridPool<T> {
+    /// A pool with the default capacity ([`DEFAULT_POOL_CAPACITY`]).
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_POOL_CAPACITY)
+    }
+
+    /// A pool parking at most `capacity` grids (≥ 1); beyond that,
+    /// [`GridPool::release`] evicts the oldest parked grid.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a grid pool needs capacity >= 1");
         Self {
             free: Mutex::new(Vec::new()),
+            capacity,
         }
+    }
+
+    /// The eviction bound this pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Take a grid of exactly `dims`: a recycled one when available
@@ -52,11 +69,11 @@ impl<T: Real> GridPool<T> {
     }
 
     /// Return a grid for later reuse. The oldest parked grid is dropped
-    /// when the pool is already full (`MAX_FREE_GRIDS`), so a pool
+    /// when the pool is already full ([`GridPool::capacity`]), so a pool
     /// shared across many problem shapes stays bounded.
     pub fn release(&self, grid: Grid3<T>) {
         let mut free = self.free.lock();
-        if free.len() >= MAX_FREE_GRIDS {
+        if free.len() >= self.capacity {
             free.remove(0);
         }
         free.push(grid);
@@ -150,15 +167,43 @@ mod tests {
     #[test]
     fn release_evicts_the_oldest_beyond_the_cap() {
         let pool: GridPool<f64> = GridPool::new();
-        for edge in 3..(3 + MAX_FREE_GRIDS + 2) {
+        assert_eq!(pool.capacity(), DEFAULT_POOL_CAPACITY);
+        for edge in 3..(3 + DEFAULT_POOL_CAPACITY + 2) {
             pool.release(Grid3::zeroed(Dims3::cube(edge)));
         }
-        assert_eq!(pool.free_grids(), MAX_FREE_GRIDS);
+        assert_eq!(pool.free_grids(), DEFAULT_POOL_CAPACITY);
         // The two oldest (smallest) grids were evicted: acquiring their
         // dims allocates fresh zeroed storage instead of reusing.
         let g = pool.acquire(Dims3::cube(3));
         assert_eq!(g.dims(), Dims3::cube(3));
-        assert_eq!(pool.free_grids(), MAX_FREE_GRIDS, "cube(3) was not parked");
+        assert_eq!(
+            pool.free_grids(),
+            DEFAULT_POOL_CAPACITY,
+            "cube(3) was not parked"
+        );
+    }
+
+    #[test]
+    fn custom_capacity_bounds_eviction() {
+        // Small and large capacities both honor the knob exactly.
+        for cap in [1usize, 3, 32] {
+            let pool: GridPool<f64> = GridPool::with_capacity(cap);
+            assert_eq!(pool.capacity(), cap);
+            for edge in 3..(3 + cap + 4) {
+                pool.release(Grid3::zeroed(Dims3::cube(edge)));
+            }
+            assert_eq!(pool.free_grids(), cap, "capacity {cap}");
+            // The survivors are the youngest `cap` releases.
+            let youngest = Dims3::cube(3 + cap + 3);
+            pool.acquire(youngest);
+            assert_eq!(pool.free_grids(), cap - 1, "youngest was parked");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = GridPool::<f64>::with_capacity(0);
     }
 
     #[test]

@@ -202,6 +202,7 @@ pub struct Runtime {
     comm_worker: Option<JoinHandle<()>>,
     comm_core: Option<usize>,
     pools: Mutex<HashMap<TypeId, Box<dyn Any + Send>>>,
+    pool_capacity: usize,
 }
 
 impl Runtime {
@@ -267,7 +268,29 @@ impl Runtime {
             comm_worker,
             comm_core,
             pools: Mutex::new(HashMap::new()),
+            pool_capacity: crate::pool::DEFAULT_POOL_CAPACITY,
         }
+    }
+
+    /// Set the eviction bound of every [`GridPool`] this runtime creates
+    /// (builder style, before the first [`Runtime::grid_pool`] call).
+    /// Long-lived runtimes serving many tenants and problem shapes — the
+    /// job scheduler keeps one runtime per machine slice alive across
+    /// jobs — want more than the default
+    /// [`DEFAULT_POOL_CAPACITY`](crate::DEFAULT_POOL_CAPACITY) parked
+    /// grids so a diverse job mix keeps hitting the pool.
+    ///
+    /// Pools already created keep their old capacity: the capacity is
+    /// baked in at pool construction (first use per element type).
+    pub fn with_pool_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "a grid pool needs capacity >= 1");
+        self.pool_capacity = capacity;
+        self
+    }
+
+    /// The capacity future [`Runtime::grid_pool`] pools are built with.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool_capacity
     }
 
     /// Number of compute workers (the communication worker not included).
@@ -376,9 +399,9 @@ impl Runtime {
     /// runtime; see [`GridPool`] for the reuse contract.
     pub fn grid_pool<T: Real>(&self) -> Arc<GridPool<T>> {
         let mut pools = self.pools.lock();
-        let entry = pools
-            .entry(TypeId::of::<T>())
-            .or_insert_with(|| Box::new(Arc::new(GridPool::<T>::new())));
+        let entry = pools.entry(TypeId::of::<T>()).or_insert_with(|| {
+            Box::new(Arc::new(GridPool::<T>::with_capacity(self.pool_capacity)))
+        });
         entry
             .downcast_ref::<Arc<GridPool<T>>>()
             .expect("pool registered under its own TypeId")
@@ -583,6 +606,24 @@ mod tests {
         let plain = Runtime::new(&TeamLayout::new(&m, 2, 2));
         assert_eq!(plain.threads(), 4);
         assert!(!plain.has_comm_worker());
+    }
+
+    #[test]
+    fn pool_capacity_knob_reaches_created_pools() {
+        let rt = Runtime::with_threads(1).with_pool_capacity(3);
+        assert_eq!(rt.pool_capacity(), 3);
+        let pool = rt.grid_pool::<f64>();
+        assert_eq!(pool.capacity(), 3);
+        for edge in 4..12 {
+            pool.release(tb_grid::Grid3::zeroed(tb_grid::Dims3::cube(edge)));
+        }
+        assert_eq!(pool.free_grids(), 3, "runtime-configured bound holds");
+        // Default runtimes keep the historical capacity.
+        let plain = Runtime::with_threads(1);
+        assert_eq!(
+            plain.grid_pool::<f64>().capacity(),
+            crate::pool::DEFAULT_POOL_CAPACITY
+        );
     }
 
     #[test]

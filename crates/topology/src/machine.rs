@@ -92,6 +92,47 @@ impl Machine {
         }
     }
 
+    /// The sub-machine containing exactly the listed logical CPUs:
+    /// sockets keep their ids but lose every CPU outside `cores`, and
+    /// sockets left empty disappear. The cache hierarchy is inherited —
+    /// a slice of a socket still sits behind that socket's shared cache.
+    ///
+    /// This is how a multi-tenant scheduler hands each tenant a disjoint
+    /// core set: slicing along [`Machine::cache_groups`] boundaries
+    /// yields sub-machines whose [`Machine::signature`] is identical for
+    /// identical slices, so plans tuned on one slice replay warm on any
+    /// other slice of the same shape.
+    ///
+    /// # Panics
+    /// Panics when no listed core exists on this machine (an empty
+    /// machine cannot host a team).
+    pub fn restrict(&self, cores: &[usize]) -> Machine {
+        let keep: std::collections::HashSet<usize> = cores.iter().copied().collect();
+        let sockets: Vec<Socket> = self
+            .sockets
+            .iter()
+            .filter_map(|s| {
+                let cpus: Vec<usize> = s
+                    .cpus
+                    .iter()
+                    .copied()
+                    .filter(|c| keep.contains(c))
+                    .collect();
+                (!cpus.is_empty()).then_some(Socket { id: s.id, cpus })
+            })
+            .collect();
+        assert!(
+            !sockets.is_empty(),
+            "Machine::restrict: none of {cores:?} exists on {}",
+            self.name
+        );
+        Machine {
+            name: format!("{}[{} cores]", self.name, cores.len()),
+            sockets,
+            caches: self.caches.clone(),
+        }
+    }
+
     /// The paper's test system: dual-socket Intel Nehalem EP (Xeon 5550),
     /// 4 cores/socket @ 2.66 GHz, shared 8 MB L3 per socket, 256 kB L2 and
     /// 32 kB L1D per core (§1.1).
@@ -218,6 +259,46 @@ mod tests {
         let mut bare = Machine::flat(3);
         bare.caches.clear();
         assert_eq!(bare.signature(), "1x3+nocache");
+    }
+
+    #[test]
+    fn restrict_keeps_only_listed_cores() {
+        let m = Machine::nehalem_ep();
+        let sub = m.restrict(&[4, 5, 6, 7]);
+        assert_eq!(sub.num_sockets(), 1);
+        assert_eq!(sub.sockets[0].id, 1);
+        assert_eq!(sub.sockets[0].cpus, vec![4, 5, 6, 7]);
+        assert_eq!(sub.shared_cache(), m.shared_cache());
+        assert_eq!(sub.cache_groups(), vec![vec![4, 5, 6, 7]]);
+    }
+
+    #[test]
+    fn identical_slices_share_a_signature() {
+        // The scheduler's warm-plan transfer depends on this: two slices
+        // of the same shape fingerprint identically.
+        let m = Machine::nehalem_ep();
+        let a = m.restrict(&[0, 1, 2, 3]);
+        let b = m.restrict(&[4, 5, 6, 7]);
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.signature(), "1x4+L3:8388608");
+        // A different shape is a different signature.
+        assert_ne!(m.restrict(&[0, 1]).signature(), a.signature());
+    }
+
+    #[test]
+    fn restrict_can_straddle_sockets() {
+        let m = Machine::nehalem_ep();
+        let sub = m.restrict(&[2, 3, 4, 5]);
+        assert_eq!(sub.num_sockets(), 2);
+        assert_eq!(sub.sockets[0].cpus, vec![2, 3]);
+        assert_eq!(sub.sockets[1].cpus, vec![4, 5]);
+        assert_eq!(sub.cache_groups(), vec![vec![2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Machine::restrict")]
+    fn restrict_to_unknown_cores_panics() {
+        let _ = Machine::flat(2).restrict(&[7, 9]);
     }
 
     #[test]

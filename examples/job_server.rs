@@ -1,0 +1,138 @@
+//! Solver-as-a-service: stand up a [`Server`], let it slice the machine
+//! along cache-group boundaries, and push a mixed tenant workload
+//! through it — fixed-method jobs, tuned jobs (cold then warm), and a
+//! rejected burst demonstrating admission control.
+//!
+//! ```sh
+//! cargo run --release --example job_server
+//! ```
+
+use std::time::Duration;
+
+use temporal_blocking::grid::init;
+use temporal_blocking::prelude::*;
+use temporal_blocking::{topology, Method, TuneOptions};
+
+fn main() {
+    let machine = topology::detect::detect();
+    let server = Server::new(
+        &machine,
+        ServerConfig {
+            queue_capacity: 32,
+            ..ServerConfig::default()
+        },
+    );
+    println!("machine: {} ({})", machine.name, machine.signature());
+    for s in server.slices() {
+        println!(
+            "  slice {}: cores {:?} → {} pinned workers, plan key {}",
+            s.index, s.cores, s.threads, s.signature
+        );
+    }
+
+    // A tenant mix: each job names its operator, grid, sweeps, and
+    // either a fixed method or `Tuned` (the server keys the plan cache
+    // by the executing slice's sub-machine, so identical slices share
+    // warm plans).
+    let tuned = TuneOptions {
+        params: Some(MachineParams::nehalem_ep()), // skip calibration here
+        top_k: 2,
+        families: vec![MethodFamily::Parallel],
+        ..TuneOptions::default()
+    };
+    let dims = Dims3::cube(24);
+    let jobs = vec![
+        (
+            "jacobi6 / sequential",
+            JobSpec::new(
+                JobOp::Jacobi6,
+                JobPayload::F64(init::random(dims, 1)),
+                4,
+                JobMethod::Fixed(Method::Sequential),
+            ),
+        ),
+        (
+            "heat step / parallel",
+            JobSpec::new(
+                JobOp::Jacobi7Heat(0.1),
+                JobPayload::F64(init::random(dims, 2)),
+                4,
+                JobMethod::Fixed(Method::Parallel {
+                    threads: server.slices()[0].threads,
+                    streaming_stores: false,
+                }),
+            ),
+        ),
+        (
+            "var-coeff / tuned (cold)",
+            JobSpec::new(
+                JobOp::VarCoeff7Banded,
+                JobPayload::F32(init::random(dims, 3)),
+                4,
+                JobMethod::Tuned(tuned.clone()),
+            ),
+        ),
+        (
+            "var-coeff / tuned (warm)",
+            JobSpec::new(
+                JobOp::VarCoeff7Banded,
+                JobPayload::F32(init::random(dims, 4)),
+                4,
+                JobMethod::Tuned(tuned),
+            ),
+        ),
+    ];
+
+    println!(
+        "\n{:<26} {:>9} {:>10} {:>9}  notes",
+        "job", "queue µs", "service ms", "MLUP/s"
+    );
+    for (label, spec) in jobs {
+        let handle = server
+            .submit_blocking(spec, Duration::from_secs(60))
+            .expect("admitted");
+        let (_, report) = handle.wait().expect("job succeeds");
+        let notes = match &report.tuned {
+            Some(t) if t.cache_hit => format!("warm plan: {} (0 measurements)", t.plan),
+            Some(t) => format!("cold tune: {} ({} measurements)", t.plan, t.measurements),
+            None => format!("verify hash {:016x}", report.verify_hash),
+        };
+        println!(
+            "{label:<26} {:>9.0} {:>10.2} {:>9.1}  {notes}",
+            report.queue_wait.as_secs_f64() * 1e6,
+            report.service.as_secs_f64() * 1e3,
+            report.mlups,
+        );
+    }
+
+    // Admission control: a paused server's queue fills deterministically
+    // and pushes back instead of buffering without bound.
+    let mut paused = Server::new_paused(
+        &machine,
+        ServerConfig {
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let burst = |seed| {
+        JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(12), seed)),
+            2,
+            JobMethod::Fixed(Method::Sequential),
+        )
+    };
+    let admitted: Vec<JobHandle> = (0..2).map(|s| paused.submit(burst(s)).unwrap()).collect();
+    match paused.submit(burst(9)) {
+        Err(Rejected::Full(spec)) => println!(
+            "\nburst job #3 rejected (queue full at capacity 2) — spec returned, dims {}",
+            spec.payload.dims()
+        ),
+        _ => unreachable!("capacity-2 queue must reject the third job"),
+    }
+    paused.start();
+    for h in admitted {
+        h.wait().expect("admitted burst jobs are served");
+    }
+    println!("admitted burst jobs served after start()");
+}

@@ -38,6 +38,10 @@
 //! pipelined, compressed, wavefront, diamond, distributed/hybrid)
 //! against its own sequential oracle.
 //!
+//! For serving many tenants' solves concurrently on one machine —
+//! disjoint cache-group slices, admission control, warm plans per
+//! slice shape — see the [`serve`] module.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -92,8 +96,14 @@ use tb_stencil::config::GridScheme;
 use tb_stencil::kernel::StoreMode;
 use tb_stencil::{baseline, diamond, pipeline, wavefront};
 
+pub mod serve;
+
 /// Everything an application typically needs.
 pub mod prelude {
+    pub use crate::serve::{
+        JobError, JobHandle, JobMethod, JobOp, JobPayload, JobReport, JobSpec, Rejected,
+        SchedPolicy, Server, ServerConfig, SlicePolicy,
+    };
     pub use crate::{
         solve, solve_on, solve_tuned_on, solve_tuned_with_on, solve_with, solve_with_on, Method,
         TuneOptions, TunedSolve,
@@ -404,6 +414,12 @@ pub struct TuneOptions {
     pub params: Option<MachineParams>,
     /// Restrict the candidate space to these families; empty means all.
     pub families: Vec<tb_plan::MethodFamily>,
+    /// Tune for this machine (or sub-machine) instead of the detected
+    /// host. The job scheduler passes each slice's
+    /// [`Machine::restrict`](topology::Machine::restrict) sub-machine
+    /// here, so plans are keyed per sub-machine fingerprint — identical
+    /// slices share warm plans, different slice shapes never collide.
+    pub machine: Option<topology::Machine>,
 }
 
 impl Default for TuneOptions {
@@ -414,6 +430,7 @@ impl Default for TuneOptions {
             force_retune: false,
             params: None,
             families: Vec::new(),
+            machine: None,
         }
     }
 }
@@ -438,12 +455,13 @@ pub struct TunedSolve {
 use tb_model::MachineParams;
 
 /// [`solve_with_on`] with the method chosen by the plan-cache autotuner:
-/// load the persistent cache, replay the stored winner when the
-/// [`tb_plan::PlanKey`] matches (no measurement of any kind — the
-/// calibration that feeds the fingerprint is itself cached), otherwise
-/// enumerate candidates, score them with the `tb-model` predictions,
-/// measure only the top-K plus the library default, persist the winner,
-/// and solve with it.
+/// open the persistent cache (one shared in-process store per cache
+/// file, so concurrent tenants never race the load-modify-save cycle),
+/// replay the stored winner when the [`tb_plan::PlanKey`] matches (no
+/// measurement of any kind — the calibration that feeds the fingerprint
+/// is itself cached), otherwise enumerate candidates, score them with
+/// the `tb-model` predictions, measure only the top-K plus the library
+/// default, persist the winner, and solve with it.
 pub fn solve_tuned_with_on<T: Real, Op: StencilOp<T>>(
     rt: &Runtime,
     op: &Op,
@@ -451,14 +469,17 @@ pub fn solve_tuned_with_on<T: Real, Op: StencilOp<T>>(
     sweeps: usize,
     opts: &TuneOptions,
 ) -> Result<(Grid3<T>, RunStats, TunedSolve), String> {
-    use tb_plan::{CacheEntry, MachineFingerprint, PlanCache, PlanKey, TuneConfig};
+    use tb_plan::{CacheEntry, MachineFingerprint, PlanKey, SharedPlanCache, TuneConfig};
 
     let dims = initial.dims();
-    let machine = topology::detect::detect();
+    let machine = match &opts.machine {
+        Some(m) => m.clone(),
+        None => topology::detect::detect(),
+    };
     let signature = machine.signature();
-    let mut cache = match &opts.cache_path {
-        Some(p) => PlanCache::load(p.clone()),
-        None => PlanCache::load_default(),
+    let cache = match &opts.cache_path {
+        Some(p) => SharedPlanCache::open(p.clone()),
+        None => SharedPlanCache::open_default(),
     };
 
     // Machine parameters: explicit override, then the cached calibration
@@ -479,7 +500,12 @@ pub fn solve_tuned_with_on<T: Real, Op: StencilOp<T>>(
                     membench::calibrate_host_on(&cal_rt, &machine, profile)
                 };
                 calibrated = true;
-                cache.store_calibration(&signature, p);
+                cache
+                    .with(|c| {
+                        c.store_calibration(&signature, p);
+                        c.save()
+                    })
+                    .map_err(|e| format!("plan cache save: {e}"))?;
                 p
             }
         },
@@ -493,10 +519,7 @@ pub fn solve_tuned_with_on<T: Real, Op: StencilOp<T>>(
     if !opts.force_retune {
         if let Some(entry) = cache.lookup(&key, dims, Op::RADIUS) {
             if entry.plan.method.threads() <= rt.threads() {
-                let plan = entry.plan.clone();
-                if calibrated {
-                    cache.save().map_err(|e| format!("plan cache save: {e}"))?;
-                }
+                let plan = entry.plan;
                 let (out, stats) = run_plan_on(rt, op, &plan, initial, sweeps)?;
                 return Ok((
                     out,
@@ -545,16 +568,17 @@ pub fn solve_tuned_with_on<T: Real, Op: StencilOp<T>>(
         .winner()
         .ok_or("tuning failed: no candidate could be measured")?;
     let plan = winner.plan.clone();
-    cache.store(
-        &key,
-        CacheEntry {
-            plan: plan.clone(),
-            dims: [dims.nx, dims.ny, dims.nz],
-            measured_mlups: winner.measured_mlups.unwrap_or(0.0),
-            predicted_mlups: winner.predicted_mlups,
-        },
-    );
-    cache.save().map_err(|e| format!("plan cache save: {e}"))?;
+    cache
+        .store_and_save(
+            &key,
+            CacheEntry {
+                plan: plan.clone(),
+                dims: [dims.nx, dims.ny, dims.nz],
+                measured_mlups: winner.measured_mlups.unwrap_or(0.0),
+                predicted_mlups: winner.predicted_mlups,
+            },
+        )
+        .map_err(|e| format!("plan cache save: {e}"))?;
 
     let measurements = report.measured;
     let (out, stats) = run_plan_on(rt, op, &plan, initial, sweeps)?;

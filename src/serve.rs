@@ -1,0 +1,1025 @@
+//! # Multi-tenant solve scheduler — solver-as-a-service
+//!
+//! The paper's follow-on work (arXiv:1006.3148) makes explicit what
+//! §1.3 implies: thread groups pinned to *distinct shared caches* run
+//! independently without interfering. This module turns that into a
+//! serving layer where **jobs/sec** is the headline metric: a machine
+//! with several cache groups no longer runs one solve at a time —
+//! disjoint core-set *slices* each serve their own stream of jobs.
+//!
+//! ```text
+//!            submit / submit_blocking (admission control)
+//!  clients ────────────────► [ JobQueue, bounded ]
+//!                                   │ pop (policy: biggest-first | FIFO)
+//!             ┌─────────────────────┼─────────────────────┐
+//!             ▼                     ▼                     ▼
+//!       slice 0 thread        slice 1 thread        slice N thread
+//!       Machine::restrict     Machine::restrict     Machine::restrict
+//!       (cache group 0)       (cache group 1)       (cache group N)
+//!       persistent Runtime    persistent Runtime    persistent Runtime
+//!       + GridPool            + GridPool            + GridPool
+//!             │                     │                     │
+//!             └────────── JobHandle::wait → JobReport ────┘
+//! ```
+//!
+//! - **Admission control**: the [`JobQueue`] is bounded. [`Server::submit`]
+//!   returns [`Rejected::Full`] (the spec comes back to the caller) when
+//!   the queue is at capacity; [`Server::submit_blocking`] waits for
+//!   space up to a deadline instead (backpressure).
+//! - **Slices**: the machine is partitioned into disjoint core sets
+//!   along [`Machine::cache_groups`] boundaries
+//!   ([`Machine::restrict`]). Each slice keeps one persistent
+//!   [`Runtime`] (workers pinned to the slice's cores) and its
+//!   [`GridPool`](tb_runtime::GridPool) alive across jobs, so tenants
+//!   pay neither spawn-per-job nor allocation-per-job.
+//! - **Packing policy**: a free slice takes the biggest queued job
+//!   first ([`SchedPolicy::BiggestFirst`], throughput — big jobs don't
+//!   convoy behind the tail) or the oldest ([`SchedPolicy::Fifo`],
+//!   latency).
+//! - **Warm plans**: [`JobMethod::Tuned`] jobs tune through the plan
+//!   cache keyed by the *executing slice's* sub-machine fingerprint.
+//!   Identical slices share one fingerprint, so after the first cold
+//!   tune every slice replays the winner with **zero** measurements.
+//! - **Isolation**: a job that panics fails *its own* [`JobHandle`]
+//!   with [`JobError`]; the slice's runtime survives and keeps serving
+//!   (worker panics are caught and re-raised per dispatch, not poison).
+//!
+//! Every job returns a [`JobReport`] with queue-wait, service time,
+//! MLUP/s, and an order-independent verification hash of the result
+//! grid, so a serving deployment can spot-check any job against the
+//! sequential oracle.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tb_grid::{norm, Dims3, Grid3, Real, Region3};
+use tb_runtime::Runtime;
+use tb_stencil::{Avg27, Jacobi6, Jacobi7, RunStats, StencilOp, VarCoeff7};
+use tb_topology::{Machine, TeamLayout};
+
+use crate::{solve_tuned_with_on, solve_with_on, Method, TuneOptions};
+
+// ---------------------------------------------------------------------
+// The bounded queue
+// ---------------------------------------------------------------------
+
+/// Why a submission was turned away. The item always comes back to the
+/// caller, untouched — admission control never consumes rejected work.
+#[derive(Debug)]
+pub enum Rejected<I> {
+    /// The bounded queue is at capacity (and stayed there for the whole
+    /// deadline, for the blocking form).
+    Full(I),
+    /// The queue is closed for new work (server shutting down).
+    Closed(I),
+}
+
+impl<I> Rejected<I> {
+    /// The rejected item, whatever the reason.
+    pub fn into_inner(self) -> I {
+        match self {
+            Rejected::Full(i) | Rejected::Closed(i) => i,
+        }
+    }
+}
+
+struct QueueState<I> {
+    items: VecDeque<I>,
+    closed: bool,
+}
+
+/// A bounded MPMC job queue with admission control: producers are
+/// rejected (or block up to a deadline) when the queue is full,
+/// consumers pick items under a caller-supplied selection policy and
+/// block while it is empty. Closing wakes everyone; consumers drain the
+/// remaining items before seeing `None`.
+pub struct JobQueue<I> {
+    capacity: usize,
+    state: Mutex<QueueState<I>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<I> JobQueue<I> {
+    /// A queue admitting at most `capacity` (≥ 1) waiting items. Items
+    /// being *executed* by a consumer no longer count against the bound.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a job queue needs capacity >= 1");
+        Self {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently waiting (not the ones being executed).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<I>> {
+        self.state.lock().expect("job queue poisoned")
+    }
+
+    /// Admit `item` iff there is room right now.
+    pub fn try_push(&self, item: I) -> Result<(), Rejected<I>> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(Rejected::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(Rejected::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Admit `item`, waiting up to `timeout` for room (backpressure).
+    pub fn push_deadline(&self, item: I, timeout: Duration) -> Result<(), Rejected<I>> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.lock();
+        loop {
+            if s.closed {
+                return Err(Rejected::Closed(item));
+            }
+            if s.items.len() < self.capacity {
+                s.items.push_back(item);
+                drop(s);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Rejected::Full(item));
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(s, deadline - now)
+                .expect("job queue poisoned");
+            s = guard;
+        }
+    }
+
+    /// Take one item, chosen by `pick` from the current queue contents
+    /// (`pick` returns an index into the `VecDeque`, front = oldest).
+    /// Blocks while the queue is empty; returns `None` once it is
+    /// closed *and* drained.
+    pub fn pop_select(&self, pick: impl Fn(&VecDeque<I>) -> usize) -> Option<I> {
+        let mut s = self.lock();
+        loop {
+            if !s.items.is_empty() {
+                let idx = pick(&s.items).min(s.items.len() - 1);
+                let item = s.items.remove(idx).expect("index bounded above");
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("job queue poisoned");
+        }
+    }
+
+    /// Close for new submissions and wake every waiter. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Remove and return everything still waiting (used by the server
+    /// to cancel jobs that no slice will ever pick up).
+    pub fn drain(&self) -> Vec<I> {
+        self.lock().items.drain(..).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job specification
+// ---------------------------------------------------------------------
+
+/// The operator a job applies — the same four operators the rest of the
+/// workspace verifies bitwise, instantiable for either element type.
+// Not `#[non_exhaustive]`: the hidden variant is a test hook, and
+// callers are expected to match the four real operators exhaustively.
+#[allow(clippy::manual_non_exhaustive)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JobOp {
+    /// The paper's Eq. 1 six-point Jacobi average.
+    Jacobi6,
+    /// Explicit-Euler heat step with the given diffusion number.
+    Jacobi7Heat(f64),
+    /// Seven-point variable-coefficient diffusion over the deterministic
+    /// banded coefficient field ([`VarCoeff7::banded`]).
+    VarCoeff7Banded,
+    /// Dense 27-point average.
+    Avg27,
+    /// Test-only: panics inside the slice worker, to prove that one
+    /// job's failure cannot poison other slices.
+    #[doc(hidden)]
+    PanicForTest,
+}
+
+impl JobOp {
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobOp::Jacobi6 => "jacobi6",
+            JobOp::Jacobi7Heat(_) => "jacobi7",
+            JobOp::VarCoeff7Banded => "varcoeff7",
+            JobOp::Avg27 => "avg27",
+            JobOp::PanicForTest => "panic-for-test",
+        }
+    }
+}
+
+/// The initial grid, carrying the element type with it.
+#[derive(Clone, Debug)]
+pub enum JobPayload {
+    F64(Grid3<f64>),
+    F32(Grid3<f32>),
+}
+
+impl JobPayload {
+    pub fn dims(&self) -> Dims3 {
+        match self {
+            JobPayload::F64(g) => g.dims(),
+            JobPayload::F32(g) => g.dims(),
+        }
+    }
+
+    pub fn element(&self) -> &'static str {
+        match self {
+            JobPayload::F64(_) => "f64",
+            JobPayload::F32(_) => "f32",
+        }
+    }
+
+    /// Order-independent checksum of the grid ([`norm::fingerprint`]
+    /// over the whole region) — compare a job's [`JobReport::verify_hash`]
+    /// against the oracle's payload to verify without keeping both grids.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            JobPayload::F64(g) => norm::fingerprint(g, &Region3::whole(g.dims())),
+            JobPayload::F32(g) => norm::fingerprint(g, &Region3::whole(g.dims())),
+        }
+    }
+}
+
+/// How a job picks its execution strategy.
+#[derive(Clone, Debug)]
+pub enum JobMethod {
+    /// Run exactly this method (its thread count must fit the slice).
+    Fixed(Method),
+    /// Let the plan-cache autotuner choose; the server overrides
+    /// [`TuneOptions::machine`] with the executing slice's sub-machine,
+    /// so the plan is keyed per sub-machine fingerprint and warm jobs
+    /// replay with zero measurements on every identical slice.
+    Tuned(TuneOptions),
+}
+
+/// One solve job: operator, initial grid, sweep count, strategy.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub op: JobOp,
+    pub payload: JobPayload,
+    pub sweeps: usize,
+    pub method: JobMethod,
+    /// Caller correlation id, copied into the report verbatim.
+    pub tag: u64,
+}
+
+impl JobSpec {
+    /// A fixed-method job with `tag = 0`.
+    pub fn new(op: JobOp, payload: JobPayload, sweeps: usize, method: JobMethod) -> Self {
+        Self {
+            op,
+            payload,
+            sweeps,
+            method,
+            tag: 0,
+        }
+    }
+
+    /// Scheduling weight: total cell updates requested. The
+    /// biggest-first policy orders the queue by this.
+    pub fn weight(&self) -> u64 {
+        let d = self.payload.dims();
+        (d.nx * d.ny * d.nz * self.sweeps.max(1)) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// Tuning facts of a [`JobMethod::Tuned`] job.
+#[derive(Clone, Debug)]
+pub struct TunedJob {
+    /// `true` when the plan was replayed from the cache — by contract
+    /// such a job performed **zero** measurements.
+    pub cache_hit: bool,
+    /// Candidate measurements performed (0 on a warm hit).
+    pub measurements: usize,
+    /// Label of the plan that ran.
+    pub plan: String,
+}
+
+/// What every finished job reports.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    pub job_id: u64,
+    pub tag: u64,
+    /// Index of the slice that served the job.
+    pub slice: usize,
+    pub op: &'static str,
+    pub dims: Dims3,
+    pub sweeps: usize,
+    /// Admission → a slice picking the job up.
+    pub queue_wait: Duration,
+    /// Solve wall time on the slice (tuning included for cold tunes).
+    pub service: Duration,
+    pub mlups: f64,
+    pub cell_updates: u64,
+    /// Order-independent checksum of the result grid; equal to the
+    /// sequential oracle's [`JobPayload::fingerprint`] iff the solve is
+    /// bitwise-correct.
+    pub verify_hash: u64,
+    /// Present on tuned jobs.
+    pub tuned: Option<TunedJob>,
+}
+
+impl JobReport {
+    /// Queue wait + service: what the submitting client experienced.
+    pub fn latency(&self) -> Duration {
+        self.queue_wait + self.service
+    }
+}
+
+/// A failed job. Failures are per-job: the slice that ran it survives.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    pub job_id: u64,
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {}: {}", self.job_id, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Result grid (same element type as submitted) plus the report.
+pub type JobOutcome = Result<(JobPayload, JobReport), JobError>;
+
+struct JobState {
+    done: Mutex<Option<JobOutcome>>,
+    cv: Condvar,
+}
+
+impl JobState {
+    fn new() -> Arc<Self> {
+        Arc::new(JobState {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, outcome: JobOutcome) {
+        *self.done.lock().expect("job state poisoned") = Some(outcome);
+        self.cv.notify_all();
+    }
+}
+
+/// Ticket for a submitted job; [`JobHandle::wait`] blocks until a slice
+/// finished it.
+pub struct JobHandle {
+    id: u64,
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Non-blocking: has the job finished?
+    pub fn is_done(&self) -> bool {
+        self.state
+            .done
+            .lock()
+            .expect("job state poisoned")
+            .is_some()
+    }
+
+    /// Block until the job finished and take its outcome.
+    pub fn wait(self) -> JobOutcome {
+        let mut done = self.state.done.lock().expect("job state poisoned");
+        loop {
+            if let Some(outcome) = done.take() {
+                return outcome;
+            }
+            done = self.state.cv.wait(done).expect("job state poisoned");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// Queue-pop order when a slice frees up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Oldest first: minimizes p50 latency.
+    Fifo,
+    /// Biggest requested work ([`JobSpec::weight`]) first: maximizes
+    /// packing/throughput — long jobs start early instead of convoying
+    /// behind the tail (ties break toward the oldest).
+    #[default]
+    BiggestFirst,
+}
+
+/// How the machine is partitioned into slices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum SlicePolicy {
+    /// One slice per cache group — the paper's thread-group boundary,
+    /// and the right default: groups behind distinct shared caches do
+    /// not interfere.
+    #[default]
+    PerCacheGroup,
+    /// Exactly `n` slices of near-equal core counts, carved
+    /// contiguously from the cache groups in order (group boundaries
+    /// are respected whenever the counts divide evenly). Useful to
+    /// sub-split one big cache group, or to merge groups for jobs that
+    /// need wider teams.
+    Fixed(usize),
+}
+
+/// Knobs for [`Server::new`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bound of the admission queue (jobs waiting, not running).
+    pub queue_capacity: usize,
+    /// Latency-vs-throughput packing knob.
+    pub policy: SchedPolicy,
+    /// [`Runtime::with_pool_capacity`] for every slice runtime: a
+    /// long-lived multi-tenant slice serves many problem shapes, so it
+    /// parks more staging grids than the single-solve default.
+    pub pool_capacity: usize,
+    /// Machine partitioning.
+    pub slices: SlicePolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 64,
+            policy: SchedPolicy::default(),
+            pool_capacity: 16,
+            slices: SlicePolicy::default(),
+        }
+    }
+}
+
+/// Static description of one slice.
+#[derive(Clone, Debug)]
+pub struct SliceInfo {
+    pub index: usize,
+    /// The disjoint core set this slice owns.
+    pub cores: Vec<usize>,
+    /// Compute workers of the slice runtime (== `cores.len()`).
+    pub threads: usize,
+    /// [`Machine::signature`] of the slice's sub-machine — the machine
+    /// half of its plan-cache fingerprint.
+    pub signature: String,
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    enqueued: Instant,
+    weight: u64,
+    state: Arc<JobState>,
+}
+
+/// The multi-tenant solve server. See the module docs for the shape.
+///
+/// Dropping the server closes the queue, lets every slice drain the
+/// remaining admitted jobs, joins the slice threads, and fails any job
+/// that never started (possible only for a paused server) with a
+/// cancellation [`JobError`].
+pub struct Server {
+    queue: Arc<JobQueue<QueuedJob>>,
+    slices: Vec<SliceInfo>,
+    sub_machines: Vec<Machine>,
+    threads: Vec<JoinHandle<()>>,
+    policy: SchedPolicy,
+    pool_capacity: usize,
+    next_id: AtomicU64,
+}
+
+/// Partition the machine's CPUs into disjoint slices per `policy`.
+fn partition(machine: &Machine, policy: &SlicePolicy) -> Vec<Vec<usize>> {
+    let groups = machine.cache_groups();
+    match policy {
+        SlicePolicy::PerCacheGroup => groups,
+        SlicePolicy::Fixed(n) => {
+            let all: Vec<usize> = groups.into_iter().flatten().collect();
+            let n = (*n).clamp(1, all.len());
+            let base = all.len() / n;
+            let extra = all.len() % n;
+            let mut out = Vec::with_capacity(n);
+            let mut start = 0;
+            for i in 0..n {
+                let len = base + usize::from(i < extra);
+                out.push(all[start..start + len].to_vec());
+                start += len;
+            }
+            out
+        }
+    }
+}
+
+impl Server {
+    /// Partition `machine` per the config and start one service thread
+    /// (with its persistent pinned runtime) per slice.
+    pub fn new(machine: &Machine, cfg: ServerConfig) -> Server {
+        let mut s = Server::new_paused(machine, cfg);
+        s.start();
+        s
+    }
+
+    /// Like [`Server::new`], but without starting the slice threads:
+    /// submissions are admitted (and rejected) by the queue alone until
+    /// [`Server::start`]. Deterministic admission-control tests use
+    /// this; production code wants [`Server::new`].
+    pub fn new_paused(machine: &Machine, cfg: ServerConfig) -> Server {
+        let parts = partition(machine, &cfg.slices);
+        assert!(!parts.is_empty(), "machine has no cores to slice");
+        let sub_machines: Vec<Machine> = parts.iter().map(|p| machine.restrict(p)).collect();
+        let slices = parts
+            .iter()
+            .zip(&sub_machines)
+            .enumerate()
+            .map(|(index, (cores, sub))| SliceInfo {
+                index,
+                cores: cores.clone(),
+                threads: sub.num_cpus(),
+                signature: sub.signature(),
+            })
+            .collect();
+        Server {
+            queue: Arc::new(JobQueue::bounded(cfg.queue_capacity)),
+            slices,
+            sub_machines,
+            threads: Vec::new(),
+            policy: cfg.policy,
+            pool_capacity: cfg.pool_capacity,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Start the slice threads (idempotent).
+    pub fn start(&mut self) {
+        if !self.threads.is_empty() {
+            return;
+        }
+        for (index, sub) in self.sub_machines.iter().enumerate() {
+            let queue = Arc::clone(&self.queue);
+            let sub = sub.clone();
+            let policy = self.policy;
+            let pool_capacity = self.pool_capacity;
+            let handle = std::thread::Builder::new()
+                .name(format!("tb-serve-s{index}"))
+                .spawn(move || slice_loop(queue, sub, index, policy, pool_capacity))
+                .expect("spawn slice thread");
+            self.threads.push(handle);
+        }
+    }
+
+    /// The slices this server schedules onto.
+    pub fn slices(&self) -> &[SliceInfo] {
+        &self.slices
+    }
+
+    /// Jobs admitted but not yet picked up by a slice.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    // `Rejected` hands the (large) spec back by design — admission
+    // control must return the rejected job for resubmission.
+    #[allow(clippy::result_large_err)]
+    fn enqueue(
+        &self,
+        spec: JobSpec,
+        push: impl FnOnce(QueuedJob) -> Result<(), Rejected<QueuedJob>>,
+    ) -> Result<JobHandle, Rejected<JobSpec>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = JobState::new();
+        let job = QueuedJob {
+            id,
+            weight: spec.weight(),
+            spec,
+            enqueued: Instant::now(),
+            state: Arc::clone(&state),
+        };
+        match push(job) {
+            Ok(()) => Ok(JobHandle { id, state }),
+            Err(Rejected::Full(j)) => Err(Rejected::Full(j.spec)),
+            Err(Rejected::Closed(j)) => Err(Rejected::Closed(j.spec)),
+        }
+    }
+
+    /// Admit a job iff the queue has room **right now**; a full queue
+    /// returns [`Rejected::Full`] with the spec, untouched.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, Rejected<JobSpec>> {
+        self.enqueue(spec, |j| self.queue.try_push(j))
+    }
+
+    /// Admit a job, blocking up to `timeout` for queue space
+    /// (backpressure for closed-loop clients).
+    #[allow(clippy::result_large_err)]
+    pub fn submit_blocking(
+        &self,
+        spec: JobSpec,
+        timeout: Duration,
+    ) -> Result<JobHandle, Rejected<JobSpec>> {
+        self.enqueue(spec, |j| self.queue.push_deadline(j, timeout))
+    }
+
+    /// Graceful shutdown: stop admitting, serve everything already
+    /// admitted, join the slices. (Dropping does the same.)
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.close();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Only a never-started server can still hold admitted jobs.
+        for job in self.queue.drain() {
+            job.state.complete(Err(JobError {
+                job_id: job.id,
+                message: "server dropped before the job was scheduled".into(),
+            }));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice execution
+// ---------------------------------------------------------------------
+
+fn slice_loop(
+    queue: Arc<JobQueue<QueuedJob>>,
+    sub: Machine,
+    index: usize,
+    policy: SchedPolicy,
+    pool_capacity: usize,
+) {
+    // One persistent runtime per slice, workers pinned to the slice's
+    // cores, alive across every job this slice ever serves.
+    let layout = TeamLayout::new(&sub, sub.num_cpus(), 1);
+    let rt = Runtime::new(&layout).with_pool_capacity(pool_capacity);
+    let pick = |items: &VecDeque<QueuedJob>| -> usize {
+        match policy {
+            SchedPolicy::Fifo => 0,
+            SchedPolicy::BiggestFirst => items
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| a.weight.cmp(&b.weight).then(ib.cmp(ia)))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        }
+    };
+    while let Some(job) = queue.pop_select(pick) {
+        let picked = Instant::now();
+        let queue_wait = picked.duration_since(job.enqueued);
+        let QueuedJob {
+            id, spec, state, ..
+        } = job;
+        let tag = spec.tag;
+        let op_name = spec.op.name();
+        let dims = spec.payload.dims();
+        let sweeps = spec.sweeps;
+        // A panicking job fails its own handle; the slice (and its
+        // runtime, which already survives worker panics) keeps serving.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(&rt, &sub, spec)));
+        let service = picked.elapsed();
+        let outcome = match result {
+            Ok(Ok(exec)) => Ok((
+                exec.payload,
+                JobReport {
+                    job_id: id,
+                    tag,
+                    slice: index,
+                    op: op_name,
+                    dims,
+                    sweeps,
+                    queue_wait,
+                    service,
+                    mlups: exec.mlups,
+                    cell_updates: exec.cell_updates,
+                    verify_hash: exec.verify_hash,
+                    tuned: exec.tuned,
+                },
+            )),
+            Ok(Err(message)) => Err(JobError {
+                job_id: id,
+                message,
+            }),
+            Err(panic) => Err(JobError {
+                job_id: id,
+                message: format!("job panicked: {}", panic_message(&panic)),
+            }),
+        };
+        state.complete(outcome);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+struct Executed {
+    payload: JobPayload,
+    mlups: f64,
+    cell_updates: u64,
+    verify_hash: u64,
+    tuned: Option<TunedJob>,
+}
+
+fn execute(rt: &Runtime, sub: &Machine, spec: JobSpec) -> Result<Executed, String> {
+    let JobSpec {
+        op,
+        payload,
+        sweeps,
+        method,
+        ..
+    } = spec;
+    match payload {
+        JobPayload::F64(grid) => run_typed(rt, sub, &op, grid, sweeps, &method)
+            .map(|(g, stats, tuned)| pack(JobPayload::F64(g), stats, tuned)),
+        JobPayload::F32(grid) => run_typed(rt, sub, &op, grid, sweeps, &method)
+            .map(|(g, stats, tuned)| pack(JobPayload::F32(g), stats, tuned)),
+    }
+}
+
+fn pack(payload: JobPayload, stats: RunStats, tuned: Option<TunedJob>) -> Executed {
+    Executed {
+        verify_hash: payload.fingerprint(),
+        mlups: stats.mlups(),
+        cell_updates: stats.cell_updates,
+        payload,
+        tuned,
+    }
+}
+
+fn run_typed<T: Real>(
+    rt: &Runtime,
+    sub: &Machine,
+    op: &JobOp,
+    grid: Grid3<T>,
+    sweeps: usize,
+    method: &JobMethod,
+) -> Result<(Grid3<T>, RunStats, Option<TunedJob>), String> {
+    match op {
+        JobOp::Jacobi6 => run_op(rt, sub, &Jacobi6, grid, sweeps, method),
+        JobOp::Jacobi7Heat(k) => run_op(rt, sub, &Jacobi7::heat(*k), grid, sweeps, method),
+        JobOp::VarCoeff7Banded => {
+            let op = VarCoeff7::<T>::banded(grid.dims());
+            run_op(rt, sub, &op, grid, sweeps, method)
+        }
+        JobOp::Avg27 => run_op(rt, sub, &Avg27, grid, sweeps, method),
+        JobOp::PanicForTest => panic!("poison-pill job"),
+    }
+}
+
+fn run_op<T: Real, Op: StencilOp<T>>(
+    rt: &Runtime,
+    sub: &Machine,
+    op: &Op,
+    grid: Grid3<T>,
+    sweeps: usize,
+    method: &JobMethod,
+) -> Result<(Grid3<T>, RunStats, Option<TunedJob>), String> {
+    match method {
+        JobMethod::Fixed(m) => {
+            solve_with_on(rt, op, grid, sweeps, m.clone()).map(|(g, s)| (g, s, None))
+        }
+        JobMethod::Tuned(opts) => {
+            // Key the tune by THIS slice's sub-machine fingerprint:
+            // identical slices share warm plans, different shapes don't.
+            let mut opts = opts.clone();
+            opts.machine = Some(sub.clone());
+            solve_tuned_with_on(rt, op, grid, sweeps, &opts).map(|(g, s, t)| {
+                (
+                    g,
+                    s,
+                    Some(TunedJob {
+                        cache_hit: t.cache_hit,
+                        measurements: t.measurements,
+                        plan: t.plan.label(),
+                    }),
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_grid::init;
+
+    #[test]
+    fn queue_admits_up_to_capacity_then_rejects() {
+        let q: JobQueue<u32> = JobQueue::bounded(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(Rejected::Full(item)) => assert_eq!(item, 3, "the item comes back"),
+            other => panic!("expected Full rejection, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert_eq!(q.pop_select(|_| 0), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn push_deadline_times_out_on_a_full_queue() {
+        let q: JobQueue<u32> = JobQueue::bounded(1);
+        q.try_push(1).unwrap();
+        let t0 = Instant::now();
+        match q.push_deadline(2, Duration::from_millis(30)) {
+            Err(Rejected::Full(2)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(25), "really waited");
+    }
+
+    #[test]
+    fn push_deadline_succeeds_when_a_consumer_frees_space() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::bounded(1));
+        q.try_push(1).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.pop_select(|_| 0)
+            })
+        };
+        assert!(q.push_deadline(2, Duration::from_secs(10)).is_ok());
+        assert_eq!(consumer.join().unwrap(), Some(1));
+        assert_eq!(q.pop_select(|_| 0), Some(2));
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_drains() {
+        let q: JobQueue<u32> = JobQueue::bounded(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(Rejected::Closed(8))));
+        assert!(matches!(
+            q.push_deadline(9, Duration::from_millis(5)),
+            Err(Rejected::Closed(9))
+        ));
+        // Consumers still drain admitted items, then see None.
+        assert_eq!(q.pop_select(|_| 0), Some(7));
+        assert_eq!(q.pop_select(|_| 0), None);
+    }
+
+    #[test]
+    fn partition_follows_cache_groups() {
+        let m = Machine::nehalem_ep();
+        assert_eq!(
+            partition(&m, &SlicePolicy::PerCacheGroup),
+            vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]
+        );
+        // Forced split: contiguous near-equal chunks.
+        assert_eq!(
+            partition(&m, &SlicePolicy::Fixed(4)),
+            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]
+        );
+        let uneven = partition(&m, &SlicePolicy::Fixed(3));
+        assert_eq!(uneven.iter().map(Vec::len).sum::<usize>(), 8);
+        assert_eq!(uneven.len(), 3);
+        // More slices than cores clamps to one core per slice.
+        assert_eq!(
+            partition(&Machine::flat(2), &SlicePolicy::Fixed(5)).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn server_serves_a_job_and_verifies_against_the_oracle() {
+        let m = Machine::flat(2);
+        let server = Server::new(&m, ServerConfig::default());
+        assert_eq!(server.slices().len(), 1);
+        let initial: Grid3<f64> = init::random(Dims3::cube(12), 42);
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(initial.clone()),
+            3,
+            JobMethod::Fixed(Method::Parallel {
+                threads: 2,
+                streaming_stores: false,
+            }),
+        );
+        let (payload, report) = server.submit(spec).unwrap().wait().expect("job succeeds");
+        let (oracle, _) = crate::solve(initial, 3, Method::Sequential).unwrap();
+        assert_eq!(
+            report.verify_hash,
+            JobPayload::F64(oracle.clone()).fingerprint()
+        );
+        match payload {
+            JobPayload::F64(g) => norm::assert_grids_identical(
+                &oracle,
+                &g,
+                &Region3::whole(oracle.dims()),
+                "served vs oracle",
+            ),
+            _ => panic!("element type preserved"),
+        }
+        assert!(report.mlups > 0.0);
+        assert_eq!(
+            report.cell_updates,
+            (3 * Dims3::cube(12).interior_len()) as u64
+        );
+    }
+
+    #[test]
+    fn biggest_first_picks_the_heaviest_queued_job() {
+        // Paused server: jobs stack up; on start, the single slice must
+        // serve the biggest job first (after the tiny head-of-line job
+        // it grabs immediately).
+        let m = Machine::flat(1);
+        let mut server = Server::new_paused(
+            &m,
+            ServerConfig {
+                policy: SchedPolicy::BiggestFirst,
+                ..ServerConfig::default()
+            },
+        );
+        let job = |edge: usize, tag: u64| {
+            let mut spec = JobSpec::new(
+                JobOp::Jacobi6,
+                JobPayload::F64(init::random(Dims3::cube(edge), tag)),
+                2,
+                JobMethod::Fixed(Method::Sequential),
+            );
+            spec.tag = tag;
+            spec
+        };
+        let small = server.submit(job(8, 1)).unwrap();
+        let big = server.submit(job(16, 2)).unwrap();
+        let medium = server.submit(job(12, 3)).unwrap();
+        server.start();
+        let reports: Vec<JobReport> = [small, big, medium]
+            .into_iter()
+            .map(|h| h.wait().expect("jobs succeed").1)
+            .collect();
+        // Queue order on start: [small, big, medium]; biggest-first
+        // serves big before medium. (small may or may not go first
+        // depending on when the slice wakes; order big < medium is the
+        // policy's invariant.)
+        let end_of = |tag: u64| {
+            let r = reports.iter().find(|r| r.tag == tag).unwrap();
+            r.queue_wait + r.service
+        };
+        assert!(
+            end_of(2) < end_of(3),
+            "biggest job must finish before the medium one"
+        );
+    }
+}

@@ -232,3 +232,60 @@ fn family_restriction_and_force_retune_are_honored() {
     assert!(!retuned.cache_hit, "force_retune bypasses the cache");
     assert!(retuned.measurements > 0);
 }
+
+#[test]
+fn concurrent_tuned_solves_share_one_cache_entry_and_never_corrupt_the_file() {
+    // N tenants tuning the same problem against the same cache file at
+    // once (the job server does exactly this from its slices) must end
+    // with ONE winner entry and a parseable file — the shared in-process
+    // store serializes the load-modify-save cycle that a per-caller
+    // `PlanCache` used to race.
+    let path = tmp_cache("concurrent.json");
+    let dims = Dims3::cube(12);
+    let initial: Grid3<f64> = grid::init::random(dims, 5);
+    let opts = TuneOptions {
+        cache_path: Some(path.clone()),
+        top_k: 1,
+        params: Some(MachineParams::nehalem_ep()),
+        families: vec![MethodFamily::Parallel],
+        ..TuneOptions::default()
+    };
+
+    let (want, _) = solve_with(&Jacobi6, initial.clone(), 3, Method::Sequential).unwrap();
+    let threads: Vec<_> = (0..6)
+        .map(|_| {
+            let (initial, opts, want) = (initial.clone(), opts.clone(), want.clone());
+            std::thread::spawn(move || {
+                let rt = Runtime::with_threads(2);
+                let (got, _, tuned) = solve_tuned_on(&rt, initial, 3, &opts).unwrap();
+                grid::norm::assert_grids_identical(
+                    &want,
+                    &got,
+                    &Region3::whole(dims),
+                    "concurrent tuned solve",
+                );
+                tuned.cache_hit
+            })
+        })
+        .collect();
+    let hits = threads
+        .into_iter()
+        .map(|t| t.join().expect("no tuner thread may panic"))
+        .filter(|hit| *hit)
+        .count();
+
+    // Exactly one entry made it to disk, and the file parses cleanly.
+    let on_disk = PlanCache::load(&path);
+    assert_eq!(
+        on_disk.len(),
+        1,
+        "six racing tuners must collapse to one winner entry"
+    );
+    // Every thread either tuned or hit the single shared entry; a rerun
+    // is now warm for everyone.
+    let rt = Runtime::with_threads(2);
+    let (_, _, tuned) = solve_tuned_on(&rt, initial, 3, &opts).unwrap();
+    assert!(tuned.cache_hit, "after the race the cache must be warm");
+    assert_eq!(tuned.measurements, 0);
+    let _ = hits; // any count 0..=5 is legal; ordering is the OS's call
+}

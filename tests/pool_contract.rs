@@ -190,3 +190,42 @@ fn pooled_grids_return_on_drop_and_outlive_the_runtime() {
     drop(rt);
     assert_eq!(p.get(1, 2, 3), 9.0, "stale contents survive the runtime");
 }
+
+#[test]
+fn pool_capacity_knob_rebounds_eviction_per_runtime() {
+    // The 8-grid default is a policy, not a law: a long-lived server
+    // slice cycling through many tenant problem shapes asks for more
+    // parking via `Runtime::with_pool_capacity`, and every pool the
+    // runtime creates afterwards honors the new bound — in both
+    // directions, and per element type.
+    for cap in [1usize, 3, MAX_FREE_GRIDS + 4] {
+        let rt = Runtime::with_threads(1).with_pool_capacity(cap);
+        assert_eq!(rt.pool_capacity(), cap);
+        let pool = rt.grid_pool::<f64>();
+        for k in 0..cap + 3 {
+            pool.release(Grid3::zeroed(Dims3::cube(3 + k)));
+        }
+        assert_eq!(
+            pool.free_grids(),
+            cap,
+            "capacity {cap}: overflow must evict down to the bound"
+        );
+        // Eviction stays FIFO under the custom bound: the 3 oldest
+        // shapes are gone, the newest `cap` are recycled verbatim.
+        let fresh = pool.acquire(Dims3::cube(3));
+        assert!(fresh.as_slice().iter().all(|v| *v == 0.0));
+        // The knob also reaches the other element type's pool.
+        let p32 = rt.grid_pool::<f32>();
+        for k in 0..cap + 1 {
+            p32.release(Grid3::zeroed(Dims3::cube(3 + k)));
+        }
+        assert_eq!(p32.free_grids(), cap);
+    }
+    // Untouched runtimes keep the documented default.
+    let rt = Runtime::with_threads(1);
+    assert_eq!(rt.pool_capacity(), MAX_FREE_GRIDS);
+    assert_eq!(
+        temporal_blocking::runtime::DEFAULT_POOL_CAPACITY,
+        MAX_FREE_GRIDS
+    );
+}

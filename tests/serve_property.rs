@@ -1,0 +1,292 @@
+//! Contract of the multi-tenant solve server (`temporal_blocking::serve`):
+//!
+//! 1. **Isolation is bitwise** — K jobs running concurrently on disjoint
+//!    core-set slices return exactly the grids the sequential oracle
+//!    produces one at a time. Randomized over operators, dims, element
+//!    types, methods, sweep counts and slice counts.
+//! 2. **Admission control is deterministic** — a full bounded queue
+//!    rejects with the spec returned to the caller; the blocking form
+//!    really waits out its deadline; everything admitted is served.
+//! 3. **Failures don't spread** — a job that panics fails its own
+//!    handle; every other job (including ones submitted afterwards)
+//!    completes and verifies, on every slice.
+//! 4. **Warm plans transfer** — a tuned job repeated on the same server
+//!    replays the cached plan with zero measurements.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use temporal_blocking::grid::{init, norm, Dims3, Grid3, Region3};
+use temporal_blocking::prelude::*;
+use temporal_blocking::topology::Machine;
+use temporal_blocking::{solve_with, Method, TuneOptions};
+
+/// A fixed method that fits a 2-core slice.
+fn method_for(kind: u8) -> Method {
+    match kind % 4 {
+        0 => Method::Sequential,
+        1 => Method::Parallel {
+            threads: 1,
+            streaming_stores: false,
+        },
+        2 => Method::Parallel {
+            threads: 2,
+            streaming_stores: true,
+        },
+        _ => Method::Wavefront { threads: 2 },
+    }
+}
+
+fn op_pool() -> Vec<JobOp> {
+    vec![
+        JobOp::Jacobi6,
+        JobOp::Jacobi7Heat(0.1),
+        JobOp::VarCoeff7Banded,
+        JobOp::Avg27,
+    ]
+}
+
+/// The sequential oracle for a spec, run completely outside the server.
+fn oracle(op: JobOp, payload: &JobPayload, sweeps: usize) -> JobPayload {
+    fn run<T: temporal_blocking::grid::Real>(op: JobOp, g: Grid3<T>, sweeps: usize) -> Grid3<T> {
+        match op {
+            JobOp::Jacobi6 => solve_with(&Jacobi6, g, sweeps, Method::Sequential),
+            JobOp::Jacobi7Heat(k) => solve_with(&Jacobi7::heat(k), g, sweeps, Method::Sequential),
+            JobOp::VarCoeff7Banded => {
+                let dims = g.dims();
+                solve_with(&VarCoeff7::<T>::banded(dims), g, sweeps, Method::Sequential)
+            }
+            _ => solve_with(&Avg27, g, sweeps, Method::Sequential),
+        }
+        .unwrap()
+        .0
+    }
+    match payload {
+        JobPayload::F64(g) => JobPayload::F64(run(op, g.clone(), sweeps)),
+        JobPayload::F32(g) => JobPayload::F32(run(op, g.clone(), sweeps)),
+    }
+}
+
+fn assert_payload_identical(want: &JobPayload, got: &JobPayload, ctx: &str) {
+    match (want, got) {
+        (JobPayload::F64(a), JobPayload::F64(b)) => {
+            norm::assert_grids_identical(a, b, &Region3::whole(a.dims()), ctx)
+        }
+        (JobPayload::F32(a), JobPayload::F32(b)) => {
+            norm::assert_grids_identical(a, b, &Region3::whole(a.dims()), ctx)
+        }
+        _ => panic!("{ctx}: element type changed in flight"),
+    }
+}
+
+/// Deterministic per-job parameter stream (the vendored proptest has no
+/// collection strategies, so jobs derive from one drawn master seed).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// K concurrent jobs on disjoint slices == K serial oracle runs,
+    /// bitwise, with the verify hash agreeing in every case.
+    #[test]
+    fn concurrent_jobs_on_disjoint_slices_match_serial_runs_bitwise(
+        slices in 1usize..4,
+        njobs in 3usize..8,
+        master in any::<u64>(),
+    ) {
+        // Two cores per slice so every method in `method_for` fits.
+        let machine = Machine::flat(2 * slices);
+        let server = Server::new(&machine, ServerConfig {
+            slices: SlicePolicy::Fixed(slices),
+            ..ServerConfig::default()
+        });
+        prop_assert_eq!(server.slices().len(), slices);
+
+        let ops = op_pool();
+        let mut rng = master;
+        let specs: Vec<JobSpec> = (0..njobs)
+            .map(|_| {
+                let op = ops[(splitmix(&mut rng) % 4) as usize];
+                let dims = Dims3::cube(8 + (splitmix(&mut rng) % 9) as usize); // 8..=16
+                let sweeps = 1 + (splitmix(&mut rng) % 4) as usize;            // 1..=4
+                let kind = splitmix(&mut rng) as u8;
+                let seed = splitmix(&mut rng);
+                let payload = if splitmix(&mut rng) & 1 == 1 {
+                    JobPayload::F32(init::random(dims, seed))
+                } else {
+                    JobPayload::F64(init::random(dims, seed))
+                };
+                JobSpec::new(op, payload, sweeps, JobMethod::Fixed(method_for(kind)))
+            })
+            .collect();
+
+        // Submit everything up front: the slices race over the queue.
+        let handles: Vec<JobHandle> = specs
+            .iter()
+            .map(|s| {
+                server
+                    .submit_blocking(s.clone(), Duration::from_secs(60))
+                    .expect("queue capacity outlasts the test")
+            })
+            .collect();
+
+        for (spec, handle) in specs.into_iter().zip(handles) {
+            let (got, report) = handle.wait().expect("job must succeed");
+            let want = oracle(spec.op, &spec.payload, spec.sweeps);
+            assert_payload_identical(&want, &got, spec.op.name());
+            prop_assert_eq!(report.verify_hash, want.fingerprint());
+            prop_assert!(report.slice < slices);
+            prop_assert_eq!(report.dims, spec.payload.dims());
+        }
+    }
+}
+
+#[test]
+fn full_queue_rejects_and_returns_the_spec() {
+    // Paused server: no slice drains the queue, so admission is exact.
+    let machine = Machine::flat(1);
+    let mut server = Server::new_paused(
+        &machine,
+        ServerConfig {
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let spec = |seed| {
+        JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(8), seed)),
+            1,
+            JobMethod::Fixed(Method::Sequential),
+        )
+    };
+    let h1 = server.submit(spec(1)).expect("slot 1");
+    let h2 = server.submit(spec(2)).expect("slot 2");
+    let back = match server.submit(spec(3)) {
+        Err(Rejected::Full(s)) => s,
+        other => panic!("third submit must be rejected, got {:?}", other.is_ok()),
+    };
+    // The spec comes back intact — resubmittable once there is room.
+    assert_eq!(back.payload.dims(), Dims3::cube(8));
+    // The blocking form really waits its deadline out, then gives up.
+    let t0 = std::time::Instant::now();
+    assert!(matches!(
+        server.submit_blocking(back, Duration::from_millis(30)),
+        Err(Rejected::Full(_))
+    ));
+    assert!(t0.elapsed() >= Duration::from_millis(25));
+    assert_eq!(server.queue_len(), 2);
+
+    // Starting the slices drains and serves exactly what was admitted.
+    server.start();
+    for h in [h1, h2] {
+        h.wait().expect("admitted jobs are served");
+    }
+}
+
+#[test]
+fn a_panicking_job_fails_alone_and_slices_keep_serving() {
+    let machine = Machine::flat(2);
+    let server = Server::new(
+        &machine,
+        ServerConfig {
+            slices: SlicePolicy::Fixed(2),
+            ..ServerConfig::default()
+        },
+    );
+    assert_eq!(server.slices().len(), 2);
+    let good = |seed| {
+        JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(10), seed)),
+            2,
+            JobMethod::Fixed(Method::Sequential),
+        )
+    };
+    let poison = JobSpec::new(
+        JobOp::PanicForTest,
+        JobPayload::F64(init::random(Dims3::cube(8), 0)),
+        1,
+        JobMethod::Fixed(Method::Sequential),
+    );
+
+    // Interleave: good, poison, good — then, after the poison has
+    // certainly failed, more good jobs (they land on whichever slice is
+    // free, including the one that caught the panic).
+    let h1 = server.submit(good(1)).unwrap();
+    let hp = server.submit(poison).unwrap();
+    let h2 = server.submit(good(2)).unwrap();
+    let err = hp.wait().expect_err("the poison job must fail");
+    assert!(err.message.contains("panicked"), "got: {}", err.message);
+    let late: Vec<JobHandle> = (3..7).map(|s| server.submit(good(s)).unwrap()).collect();
+
+    for (i, h) in [h1, h2].into_iter().chain(late).enumerate() {
+        let (payload, report) = h.wait().unwrap_or_else(|e| panic!("good job {i}: {e}"));
+        assert_eq!(
+            report.verify_hash,
+            payload.fingerprint(),
+            "good job {i}: report hash must describe the returned grid"
+        );
+    }
+    // One more job *after* everything, verified fully bitwise: the
+    // server is still a correct solver once the dust settles.
+    let (payload, _) = server.submit(good(1)).unwrap().wait().unwrap();
+    let (want, _) =
+        temporal_blocking::solve::<f64>(init::random(Dims3::cube(10), 1), 2, Method::Sequential)
+            .unwrap();
+    assert_payload_identical(&JobPayload::F64(want), &payload, "post-panic solve");
+}
+
+#[test]
+fn warm_tuned_jobs_replay_with_zero_measurements() {
+    let dir = std::env::temp_dir().join(format!("tb-serve-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache: PathBuf = dir.join("serve_warm.json");
+    std::fs::remove_file(&cache).ok();
+
+    let machine = Machine::flat(2);
+    let server = Server::new(&machine, ServerConfig::default());
+    let tuned = TuneOptions {
+        cache_path: Some(cache),
+        top_k: 1,
+        params: Some(MachineParams::nehalem_ep()),
+        families: vec![MethodFamily::Parallel],
+        ..TuneOptions::default()
+    };
+    let spec = || {
+        JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(12), 9)),
+            2,
+            JobMethod::Tuned(tuned.clone()),
+        )
+    };
+    let (_, cold) = server.submit(spec()).unwrap().wait().expect("cold tune");
+    let cold = cold.tuned.expect("tuned jobs report tuning facts");
+    assert!(!cold.cache_hit);
+    assert!(cold.measurements > 0, "a cold tune measures candidates");
+
+    let (warm_payload, warm) = server.submit(spec()).unwrap().wait().expect("warm replay");
+    let warm_facts = warm.tuned.expect("tuned jobs report tuning facts");
+    assert!(
+        warm_facts.cache_hit,
+        "second identical job must hit the cache"
+    );
+    assert_eq!(warm_facts.measurements, 0, "a warm job measures nothing");
+    assert_eq!(
+        warm_facts.plan, cold.plan,
+        "the replayed plan is the winner"
+    );
+
+    // And the replay is still bitwise-correct.
+    let want = oracle(JobOp::Jacobi6, &spec().payload, 2);
+    assert_payload_identical(&want, &warm_payload, "warm tuned job");
+    assert_eq!(warm.verify_hash, want.fingerprint());
+}
