@@ -5,8 +5,13 @@
 //! same problem on one persistent runtime, each both through the
 //! explicitly vectorized row kernels (`simd: on`) and pinned to the
 //! scalar path via [`ScalarPath`] (`simd: off`); every run is bitwise-
-//! verified against the sequential oracle before its MLUP/s number is
-//! trusted. The diamond cells honor `--threads-per-tile` (MWD: that
+//! verified against its own sequential oracle before its MLUP/s number
+//! is trusted. The problem *scales with the team*: `--size` is the
+//! one-worker edge and team `t` runs edge `≈ (size³·t)^(1/3)` — fixed
+//! work per worker, so the sweep measures scheme scaling instead of
+//! strong-scaling a problem that starves wider teams of tiles (the
+//! artifact the fixed-size sweep showed as throughput *falling* with
+//! teams). The diamond cells honor `--threads-per-tile` (MWD: that
 //! many workers cooperate inside each tile) wherever it divides the
 //! team. Emits `BENCH_diamond.json`, including per-team flags for
 //! where diamond matches or beats the wavefront comparator and the
@@ -30,10 +35,17 @@ use tb_stencil::{
 
 struct Row {
     team: usize,
+    edge: usize,
     method: String,
     simd: bool,
     mlups: f64,
     verified: bool,
+}
+
+/// Edge for `team` workers holding the per-worker cell count at the
+/// one-worker `base` edge: `(base³ · team)^(1/3)`, rounded.
+fn scaled_edge(base: usize, team: usize) -> usize {
+    ((base as f64).powi(3) * team as f64).cbrt().round() as usize
 }
 
 fn pipeline_cfg(team: usize) -> PipelineConfig {
@@ -72,6 +84,7 @@ fn run_cell(
     let verified = norm::first_mismatch(oracle, &grid, &Region3::whole(oracle.dims())).is_none();
     Row {
         team,
+        edge: initial.dims().nx,
         method: method.to_string(),
         simd,
         mlups: stats.mlups(),
@@ -132,8 +145,9 @@ fn run_schemes<Op: StencilOp<f64>>(
     ));
     for r in rows.iter().skip(rows.len() - 3) {
         println!(
-            "{:>5} {:<12} {:>5} {:>4} {:>10.1} {:>9}",
+            "{:>5} {:>6} {:<12} {:>5} {:>4} {:>10.1} {:>9}",
             r.team,
+            r.edge,
             r.method,
             if r.simd { "on" } else { "off" },
             tpt,
@@ -153,22 +167,26 @@ fn main() {
     let tpt = args.get_usize("--threads-per-tile", 1);
     let teams: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4] };
 
-    let initial = problem(edge, 0xD1A);
-    let mut oracle_pair = GridPair::from_initial(initial.clone());
-    baseline::seq_sweeps(&mut oracle_pair, sweeps);
-    let oracle = oracle_pair.current(sweeps).clone();
-
     println!(
-        "diamond vs pipelined vs wavefront — {edge}^3, {sweeps} sweeps, \
-         best of {reps}, diamond width {width}, threads/tile {tpt}\n"
+        "diamond vs pipelined vs wavefront — {edge}^3 per worker (edge scales \
+         with team), {sweeps} sweeps, best of {reps}, diamond width {width}, \
+         threads/tile {tpt}\n"
     );
     println!(
-        "{:>5} {:<12} {:>5} {:>4} {:>10} {:>9}",
-        "team", "method", "simd", "tpt", "MLUP/s", "verified"
+        "{:>5} {:>6} {:<12} {:>5} {:>4} {:>10} {:>9}",
+        "team", "edge", "method", "simd", "tpt", "MLUP/s", "verified"
     );
 
     let mut rows: Vec<Row> = Vec::new();
     for &team in &teams {
+        // Fixed work per worker: each team size gets its own problem
+        // (and its own sequential oracle, since the grids differ).
+        let team_edge = scaled_edge(edge, team);
+        let initial = problem(team_edge, 0xD1A);
+        let mut oracle_pair = GridPair::from_initial(initial.clone());
+        baseline::seq_sweeps(&mut oracle_pair, sweeps);
+        let oracle = oracle_pair.current(sweeps).clone();
+
         let rt = Runtime::with_threads(team);
         // MWD sub-teams must divide the team; fall back to 1 elsewhere.
         let team_tpt = if team.is_multiple_of(tpt) { tpt } else { 1 };
@@ -214,7 +232,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"edge\": {edge},\n  \"sweeps\": {sweeps},\n  \"reps\": {reps},\n  \
+        "{{\n  \"edge_per_worker\": {edge},\n  \"scaling\": \"fixed-work-per-team\",\n  \
+         \"sweeps\": {sweeps},\n  \"reps\": {reps},\n  \
          \"width\": {width},\n  \"threads_per_tile\": {tpt},\n  \"teams\": {teams:?},\n  \
          \"diamond_ge_wavefront_teams\": {diamond_ge_wavefront:?},\n  \
          \"simd_speedup_team1\": {simd_speedup_team1:.3},\n  \
@@ -222,9 +241,10 @@ fn main() {
         rows.iter()
             .map(|r| {
                 format!(
-                    "    {{\"team\": {}, \"method\": \"{}\", \"simd\": \"{}\", \
+                    "    {{\"team\": {}, \"edge\": {}, \"method\": \"{}\", \"simd\": \"{}\", \
                      \"mlups\": {:.2}, \"verified\": {}}}",
                     r.team,
+                    r.edge,
                     r.method,
                     if r.simd { "on" } else { "off" },
                     r.mlups,

@@ -110,6 +110,11 @@ struct ModeResult {
     /// Tuning measurements performed across the whole run (must be 0
     /// after warmup: every tuned job replays a warm plan).
     tuning_measurements: usize,
+    /// Fresh pool allocations across all jobs (0 on a warm single-slice
+    /// server: the placement contract's allocation half).
+    pool_fresh: u64,
+    /// Mean per-job ingest + egress copy time (0 under client-pages).
+    copy_ms_mean: f64,
 }
 
 /// Run the pre-built job mix through the server in one mode; verify
@@ -185,11 +190,17 @@ fn drive(
         .iter()
         .map(|r| r.latency().as_secs_f64() * 1e3)
         .collect();
+    let copy_ms: f64 = reports
+        .iter()
+        .map(|r| (r.ingest + r.egress).as_secs_f64() * 1e3)
+        .sum();
     ModeResult {
         jobs_per_sec: njobs as f64 / wall,
         p50_ms: p50(&lat_ms),
         p99_ms: p99(&lat_ms),
         tuning_measurements,
+        pool_fresh: reports.iter().map(|r| r.pool_fresh).sum(),
+        copy_ms_mean: copy_ms / njobs as f64,
     }
 }
 
@@ -261,10 +272,10 @@ fn main() {
         warm.tuning_measurements
     );
 
-    let best = |window: usize| -> ModeResult {
+    let best = |server: &Server, window: usize| -> ModeResult {
         let mut best: Option<ModeResult> = None;
         for _ in 0..reps {
-            let r = drive(&server, &specs, &oracles, window, true);
+            let r = drive(server, &specs, &oracles, window, true);
             if best
                 .as_ref()
                 .map(|b| r.jobs_per_sec > b.jobs_per_sec)
@@ -275,8 +286,8 @@ fn main() {
         }
         best.unwrap()
     };
-    let serial = best(1);
-    let concurrent = best(window);
+    let serial = best(&server, 1);
+    let concurrent = best(&server, window);
     let ratio = concurrent.jobs_per_sec / serial.jobs_per_sec;
 
     println!(
@@ -298,6 +309,18 @@ fn main() {
         0,
         "warm-plan jobs must perform zero tuning measurements"
     );
+    // Warm-path allocation contract: after the warmup pass a single
+    // slice has seen every job shape, so no later job may allocate.
+    // (Multiple slices race over the queue, so which slice first sees a
+    // shape is nondeterministic — the single-slice case is the one that
+    // can be held exactly.)
+    if slices == 1 {
+        assert_eq!(
+            serial.pool_fresh + concurrent.pool_fresh,
+            0,
+            "warm single-slice server must serve without fresh grid allocations"
+        );
+    }
     // Throughput contract (full runs only; smoke runs on noisy CI
     // runners check correctness and warm-plan economics, not speed).
     // With >= 2 cache groups the slices really run in parallel and
@@ -323,6 +346,75 @@ fn main() {
         }
     }
 
+    // ----------------------------------------------------------------
+    // Placement ablation: the same concurrent mix through two fresh
+    // servers that differ only in page placement. Worker-first-touch
+    // ingests every payload into slice-local pooled pages; client-pages
+    // computes directly on the grids the client allocated. The policies
+    // are NOT forced: this measures what a production server does, and
+    // on a single-node machine the server downgrades worker-first-touch
+    // to zero-copy (the copy cannot improve locality there).
+    // ----------------------------------------------------------------
+    let numa_nodes = machine.num_numa_nodes();
+    let ablate = |placement: Placement| -> ModeResult {
+        let server = Server::new(
+            &machine,
+            ServerConfig {
+                queue_capacity: njobs.max(16),
+                placement,
+                ..ServerConfig::default()
+            },
+        );
+        // Same warmup economics as the main server: cold-fault pools,
+        // replay the (already tuned) plans warm. Not measured.
+        let _ = drive(&server, &specs, &oracles, window, false);
+        best(&server, window)
+    };
+    let placed = ablate(Placement::WorkerFirstTouch);
+    let client = ablate(Placement::ClientPages);
+    let placement_ratio = placed.jobs_per_sec / client.jobs_per_sec;
+
+    println!("\nplacement ablation ({numa_nodes} NUMA node(s)), concurrent window {window}:");
+    println!(
+        "{:<20} {:>10} {:>10} {:>12}",
+        "placement", "jobs/s", "p50 ms", "copy ms/job"
+    );
+    for (name, r) in [
+        (Placement::WorkerFirstTouch.name(), &placed),
+        (Placement::ClientPages.name(), &client),
+    ] {
+        println!(
+            "{:<20} {:>10.1} {:>10.2} {:>12.3}",
+            name, r.jobs_per_sec, r.p50_ms, r.copy_ms_mean
+        );
+    }
+    println!("worker-first-touch/client-pages throughput: {placement_ratio:.3}x");
+
+    // Placement contract (full runs only). On >= 2 NUMA nodes the
+    // ingest copy moves every page onto the serving slice's domain and
+    // must win outright. On one node there is nothing to win, the
+    // server runs both policies through the identical zero-copy path,
+    // and the ratio must be a tie within scheduler noise.
+    if !smoke {
+        if numa_nodes >= 2 {
+            assert!(
+                placement_ratio > 1.0,
+                "with {numa_nodes} NUMA nodes worker-first-touch ({:.1} jobs/s) must beat \
+                 client-pages ({:.1} jobs/s)",
+                placed.jobs_per_sec,
+                client.jobs_per_sec
+            );
+        } else {
+            assert!(
+                placement_ratio >= 0.9,
+                "single-node worker-first-touch ({:.1} jobs/s) fell past a tie with \
+                 client-pages ({:.1} jobs/s)",
+                placed.jobs_per_sec,
+                client.jobs_per_sec
+            );
+        }
+    }
+
     let json = format!(
         "{{\n  \"machine\": \"{sig}\",\n  \"cache_groups\": {cache_groups},\n  \
          \"slices\": {slices},\n  \"jobs\": {njobs},\n  \"reps\": {reps},\n  \
@@ -330,6 +422,11 @@ fn main() {
          \"serial\": {{\"jobs_per_sec\": {sj:.2}, \"p50_ms\": {sp50:.3}, \"p99_ms\": {sp99:.3}}},\n  \
          \"concurrent\": {{\"jobs_per_sec\": {cj:.2}, \"p50_ms\": {cp50:.3}, \"p99_ms\": {cp99:.3}}},\n  \
          \"concurrent_over_serial\": {ratio:.3},\n  \
+         \"numa_nodes\": {numa_nodes},\n  \
+         \"placement\": {{\n    \
+         \"worker_first_touch\": {{\"jobs_per_sec\": {pj:.2}, \"p50_ms\": {pp50:.3}, \"copy_ms_mean\": {pcopy:.4}}},\n    \
+         \"client_pages\": {{\"jobs_per_sec\": {nj:.2}, \"p50_ms\": {np50:.3}, \"copy_ms_mean\": {ncopy:.4}}},\n    \
+         \"worker_over_client\": {placement_ratio:.3}\n  }},\n  \
          \"cold_tuning_measurements\": {cold},\n  \
          \"warm_tuning_measurements\": 0,\n  \
          \"all_jobs_verified\": true\n}}\n",
@@ -341,6 +438,12 @@ fn main() {
         cj = concurrent.jobs_per_sec,
         cp50 = concurrent.p50_ms,
         cp99 = concurrent.p99_ms,
+        pj = placed.jobs_per_sec,
+        pp50 = placed.p50_ms,
+        pcopy = placed.copy_ms_mean,
+        nj = client.jobs_per_sec,
+        np50 = client.p50_ms,
+        ncopy = client.copy_ms_mean,
         cold = warm.tuning_measurements,
     );
     let out = args.get("--out").unwrap_or("BENCH_jobs.json");

@@ -22,6 +22,13 @@
 //! [`RunStats::cell_updates`] here *includes* (unlike
 //! [`crate::DistJacobi`]) so the ablation binary can report both the
 //! raw and the useful rate.
+//!
+//! The same first-touch lever is available generically — outside this
+//! decomposed solver — through `tb_runtime::placement`: any runtime
+//! set to `Placement::WorkerFirstTouch` hands out pool grids whose
+//! z-slabs its pinned workers zeroed/copied in their own compute
+//! partitions, and the serve layer's ingest stage uses it to relocate
+//! client payloads onto the executing slice's domain.
 
 use std::time::Instant;
 

@@ -57,5 +57,7 @@ pub use halo::{
 pub use machine::MachineParams;
 pub use network::NetworkParams;
 pub use pipeline::{pipeline_speedup, team_block_time, team_block_time_op, wavefront_speedup};
-pub use roofline::{jacobi_roofline_lups, op_roofline_lups, roofline_lups};
+pub use roofline::{
+    jacobi_roofline_lups, op_roofline_lups, placed_bandwidth, placed_roofline_lups, roofline_lups,
+};
 pub use scaling::{ScalingConfig, ScalingMode, ScalingPoint};

@@ -59,9 +59,22 @@
 //! ([`Runtime::grid_pool`]). Reused grids keep their stale contents; every
 //! consumer in this workspace writes a region before reading it, which
 //! the bitwise verification suites hold them to.
+//!
+//! ## ccNUMA page placement
+//!
+//! Pages commit on the NUMA domain of the thread that first *writes*
+//! them. [`Runtime::acquire_grid`] and [`Runtime::place_copy`] apply a
+//! [`Placement`] policy: under [`Placement::WorkerFirstTouch`] the
+//! pinned workers zero fresh grids (and carry bulk copies) in their own
+//! contiguous z-band partitions, so a team's grids live on the memory
+//! controllers next to the cores that compute on them — the §3/
+//! arXiv:1006.3148 concern, available to every runtime consumer. See
+//! the [`placement`] module.
 
+pub mod placement;
 mod pool;
 mod team;
 
+pub use placement::Placement;
 pub use pool::{GridPool, PooledGrid, DEFAULT_POOL_CAPACITY};
 pub use team::{CommHandle, Runtime};

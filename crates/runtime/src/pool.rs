@@ -14,6 +14,7 @@
 //! the initial state — and the bitwise verification suites hold them to
 //! that, so no zeroing pass is spent per acquire.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -32,6 +33,10 @@ pub const DEFAULT_POOL_CAPACITY: usize = 8;
 pub struct GridPool<T: Real> {
     free: Mutex<Vec<Grid3<T>>>,
     capacity: usize,
+    /// Fresh `Grid3::zeroed` allocations performed by [`GridPool::acquire`]
+    /// misses over the pool's lifetime — the observable half of the
+    /// "warm paths allocate nothing" contract.
+    fresh: AtomicU64,
 }
 
 impl<T: Real> GridPool<T> {
@@ -47,6 +52,7 @@ impl<T: Real> GridPool<T> {
         Self {
             free: Mutex::new(Vec::new()),
             capacity,
+            fresh: AtomicU64::new(0),
         }
     }
 
@@ -59,13 +65,39 @@ impl<T: Real> GridPool<T> {
     /// (stale contents — see the module docs), else a fresh zeroed
     /// allocation.
     pub fn acquire(&self, dims: Dims3) -> Grid3<T> {
-        let mut free = self.free.lock();
-        if let Some(i) = free.iter().position(|g| g.dims() == dims) {
-            free.swap_remove(i)
-        } else {
-            drop(free);
-            Grid3::zeroed(dims)
+        match self.try_acquire(dims) {
+            Some(g) => g,
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Grid3::zeroed(dims)
+            }
         }
+    }
+
+    /// The pool-hit half of [`GridPool::acquire`]: a recycled grid of
+    /// exactly `dims` (stale contents), or `None` without allocating.
+    /// Placement-aware callers ([`crate::Runtime::acquire_grid`]) use
+    /// this to tell a reuse (pages already placed by a previous life)
+    /// from a miss that needs a first-touch pass.
+    pub fn try_acquire(&self, dims: Dims3) -> Option<Grid3<T>> {
+        let mut free = self.free.lock();
+        free.iter()
+            .position(|g| g.dims() == dims)
+            .map(|i| free.swap_remove(i))
+    }
+
+    /// Fresh allocations performed by acquire misses since the pool was
+    /// built. A warm serving path holds this flat across jobs.
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Count `n` externally performed fresh allocations against this
+    /// pool's [`GridPool::fresh_allocations`] ledger (used by
+    /// [`crate::Runtime::acquire_grid`], which allocates outside the
+    /// pool lock so it can first-touch before anyone sees the grid).
+    pub(crate) fn note_fresh(&self, n: u64) {
+        self.fresh.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Return a grid for later reuse. The oldest parked grid is dropped
@@ -204,6 +236,23 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_is_rejected() {
         let _ = GridPool::<f64>::with_capacity(0);
+    }
+
+    #[test]
+    fn fresh_allocations_count_misses_only() {
+        let pool: GridPool<f64> = GridPool::new();
+        assert_eq!(pool.fresh_allocations(), 0);
+        let g = pool.acquire(Dims3::cube(5)); // miss
+        assert_eq!(pool.fresh_allocations(), 1);
+        pool.release(g);
+        let g = pool.acquire(Dims3::cube(5)); // hit
+        assert_eq!(pool.fresh_allocations(), 1);
+        assert!(pool.try_acquire(Dims3::cube(5)).is_none(), "no allocation");
+        assert_eq!(pool.fresh_allocations(), 1);
+        pool.release(g);
+        assert!(pool.try_acquire(Dims3::cube(5)).is_some());
+        let _ = pool.acquire(Dims3::cube(9)); // miss again
+        assert_eq!(pool.fresh_allocations(), 2);
     }
 
     #[test]

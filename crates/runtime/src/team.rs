@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use tb_grid::Real;
 use tb_topology::{affinity, TeamLayout};
 
+use crate::placement::{first_touch_zero, parallel_copy, Placement};
 use crate::pool::GridPool;
 
 /// Lifetime-erased broadcast task; valid only while its dispatcher
@@ -203,6 +204,7 @@ pub struct Runtime {
     comm_core: Option<usize>,
     pools: Mutex<HashMap<TypeId, Box<dyn Any + Send>>>,
     pool_capacity: usize,
+    placement: Placement,
 }
 
 impl Runtime {
@@ -269,6 +271,7 @@ impl Runtime {
             comm_core,
             pools: Mutex::new(HashMap::new()),
             pool_capacity: crate::pool::DEFAULT_POOL_CAPACITY,
+            placement: Placement::default(),
         }
     }
 
@@ -291,6 +294,60 @@ impl Runtime {
     /// The capacity future [`Runtime::grid_pool`] pools are built with.
     pub fn pool_capacity(&self) -> usize {
         self.pool_capacity
+    }
+
+    /// Set the page-placement policy for grids this runtime hands out
+    /// through [`Runtime::acquire_grid`] / [`Runtime::place_copy`]
+    /// (builder style). [`Placement::WorkerFirstTouch`] makes the
+    /// pinned workers first-touch fresh grids and carry bulk copies, so
+    /// pages live on the NUMA domains that compute on them; the default
+    /// [`Placement::ClientPages`] keeps the historical caller-placed
+    /// behaviour. See [`crate::placement`].
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The page-placement policy this runtime applies.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// A grid of exactly `dims` from this runtime's pool, placement
+    /// applied: a pool hit returns the recycled grid as-is (its pages
+    /// were placed in a previous life — stale contents, see
+    /// [`GridPool`]); a miss allocates lazily-committed zero pages and,
+    /// under [`Placement::WorkerFirstTouch`], dispatches the pinned
+    /// workers to zero their own contiguous z-band partitions — the
+    /// real first touch, committing each page on its computing domain.
+    ///
+    /// Counted against [`GridPool::fresh_allocations`] exactly like a
+    /// plain [`GridPool::acquire`] miss.
+    pub fn acquire_grid<T: Real>(&self, dims: tb_grid::Dims3) -> tb_grid::Grid3<T> {
+        let pool = self.grid_pool::<T>();
+        if let Some(g) = pool.try_acquire(dims) {
+            return g;
+        }
+        pool.note_fresh(1);
+        let mut g = tb_grid::Grid3::zeroed(dims);
+        if self.placement == Placement::WorkerFirstTouch {
+            first_touch_zero(self, &mut g);
+        }
+        g
+    }
+
+    /// Copy `src` into `dst` under the placement policy: the workers
+    /// carry the copy in their own partitions under
+    /// [`Placement::WorkerFirstTouch`] (writing pages from the threads
+    /// that own them — and performing the first touch if `dst` is
+    /// fresh), a plain single-thread copy under
+    /// [`Placement::ClientPages`]. Bitwise either way.
+    pub fn place_copy<T: Real>(&self, dst: &mut [T], src: &[T]) {
+        if self.placement == Placement::WorkerFirstTouch && self.threads() > 0 {
+            parallel_copy(self, dst, src);
+        } else {
+            dst.copy_from_slice(src);
+        }
     }
 
     /// Number of compute workers (the communication worker not included).
@@ -624,6 +681,40 @@ mod tests {
             plain.grid_pool::<f64>().capacity(),
             crate::pool::DEFAULT_POOL_CAPACITY
         );
+    }
+
+    #[test]
+    fn acquire_grid_first_touches_misses_and_reuses_hits() {
+        use tb_grid::{Dims3, Grid3};
+        for placement in [Placement::ClientPages, Placement::WorkerFirstTouch] {
+            let rt = Runtime::with_threads(2).with_placement(placement);
+            assert_eq!(rt.placement(), placement);
+            let pool = rt.grid_pool::<f64>();
+
+            // Miss: fresh zeroed grid, counted on the pool's ledger.
+            let g: Grid3<f64> = rt.acquire_grid(Dims3::new(6, 5, 4));
+            assert!(g.as_slice().iter().all(|v| *v == 0.0), "{placement:?}");
+            assert_eq!(pool.fresh_allocations(), 1);
+
+            // Hit: recycled storage, stale contents, no new allocation.
+            let mut g = g;
+            g.set(1, 1, 1, 42.0);
+            pool.release(g);
+            let g: Grid3<f64> = rt.acquire_grid(Dims3::new(6, 5, 4));
+            assert_eq!(g.get(1, 1, 1), 42.0, "reuse keeps stale contents");
+            assert_eq!(pool.fresh_allocations(), 1, "warm path allocates nothing");
+        }
+    }
+
+    #[test]
+    fn place_copy_is_bitwise_under_both_policies() {
+        let src: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
+        for placement in [Placement::ClientPages, Placement::WorkerFirstTouch] {
+            let rt = Runtime::with_threads(3).with_placement(placement);
+            let mut dst = vec![0.0f64; src.len()];
+            rt.place_copy(&mut dst, &src);
+            assert_eq!(dst, src, "{placement:?}");
+        }
     }
 
     #[test]

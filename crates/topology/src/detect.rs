@@ -11,11 +11,13 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
-use crate::machine::{CacheLevel, CacheScope, Machine, Socket};
+use crate::machine::{CacheLevel, CacheScope, Machine, NumaDomain, Socket};
 
 /// Detect the host machine; never fails.
 pub fn detect() -> Machine {
-    detect_from_sysfs(Path::new("/sys/devices/system/cpu")).unwrap_or_else(fallback)
+    let mut m = detect_from_sysfs(Path::new("/sys/devices/system/cpu")).unwrap_or_else(fallback);
+    m.numa = detect_numa_from_sysfs(Path::new("/sys/devices/system/node"));
+    m
 }
 
 /// Portable fallback: one socket holding every logical CPU.
@@ -61,7 +63,69 @@ pub fn detect_from_sysfs(root: &Path) -> Option<Machine> {
             .map(|(id, cpus)| Socket { id, cpus })
             .collect(),
         caches,
+        numa: Vec::new(),
     })
+}
+
+/// Parse the ccNUMA domains from a `/sys/devices/system/node`-shaped
+/// tree (`node<N>/cpulist` holds range syntax like `0-3,8-11`). Returns
+/// an empty list when the tree is missing or unparsable — the
+/// sockets-as-nodes fallback in [`Machine::numa_nodes`] then applies.
+pub fn detect_numa_from_sysfs(root: &Path) -> Vec<NumaDomain> {
+    let mut nodes: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let Ok(entries) = fs::read_dir(root) else {
+        return Vec::new();
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(node_id) = name
+            .strip_prefix("node")
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let Some(cpus) = fs::read_to_string(entry.path().join("cpulist"))
+            .ok()
+            .and_then(|s| parse_cpu_list(s.trim()))
+        else {
+            continue;
+        };
+        if !cpus.is_empty() {
+            nodes.insert(node_id, cpus);
+        }
+    }
+    nodes
+        .into_iter()
+        .map(|(id, cpus)| NumaDomain { id, cpus })
+        .collect()
+}
+
+/// Parse sysfs cpulist syntax: comma-separated single ids and
+/// inclusive ranges, e.g. `"0-3,8-11"` or `"0"`. `None` on any
+/// malformed piece (detection degrades to the fallback, never panics).
+fn parse_cpu_list(s: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for piece in s.split(',') {
+        let piece = piece.trim();
+        match piece.split_once('-') {
+            Some((lo, hi)) => {
+                let lo = lo.trim().parse::<usize>().ok()?;
+                let hi = hi.trim().parse::<usize>().ok()?;
+                if hi < lo {
+                    return None;
+                }
+                out.extend(lo..=hi);
+            }
+            None => out.push(piece.parse::<usize>().ok()?),
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
 }
 
 fn detect_caches(cache_dir: &Path) -> Vec<CacheLevel> {
@@ -180,5 +244,41 @@ mod tests {
     #[test]
     fn missing_dir_returns_none() {
         assert!(detect_from_sysfs(Path::new("/nonexistent-tb-test")).is_none());
+    }
+
+    #[test]
+    fn parse_cpu_lists() {
+        assert_eq!(parse_cpu_list("0"), Some(vec![0]));
+        assert_eq!(parse_cpu_list("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(parse_cpu_list("0-2,8-9,4"), Some(vec![0, 1, 2, 4, 8, 9]));
+        assert_eq!(parse_cpu_list(""), Some(vec![]));
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list("x"), None);
+    }
+
+    #[test]
+    fn synthetic_numa_sysfs_is_parsed() {
+        let dir = std::env::temp_dir().join(format!("tb-numa-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        for (node, list) in [(0, "0-1,4\n"), (1, "2-3,5\n")] {
+            let d = dir.join(format!("node{node}"));
+            fs::create_dir_all(&d).unwrap();
+            fs::write(d.join("cpulist"), list).unwrap();
+        }
+        // Noise entries must be ignored.
+        fs::create_dir_all(dir.join("possible")).unwrap();
+        let nodes = detect_numa_from_sysfs(&dir);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].id, 0);
+        assert_eq!(nodes[0].cpus, vec![0, 1, 4]);
+        assert_eq!(nodes[1].cpus, vec![2, 3, 5]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_numa_tree_yields_the_fallback() {
+        assert!(detect_numa_from_sysfs(Path::new("/nonexistent-tb-numa")).is_empty());
+        // And on the live host, detect() always reports >= 1 node.
+        assert!(detect().num_numa_nodes() >= 1);
     }
 }

@@ -19,5 +19,5 @@ pub mod detect;
 pub mod machine;
 pub mod team;
 
-pub use machine::{CacheLevel, CacheScope, Machine, Socket};
+pub use machine::{CacheLevel, CacheScope, Machine, NumaDomain, Socket};
 pub use team::TeamLayout;

@@ -25,12 +25,27 @@ pub struct Socket {
     pub cpus: Vec<usize>,
 }
 
+/// One ccNUMA locality domain: the set of logical CPUs whose memory
+/// controller owns pages first-touched by threads running on them.
+/// Usually one per socket, but sub-NUMA clustering (and some AMD parts)
+/// split a socket into several domains — which is why the machine model
+/// carries them separately from [`Socket`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NumaDomain {
+    pub id: usize,
+    pub cpus: Vec<usize>,
+}
+
 /// A shared-memory node.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Machine {
     pub name: String,
     pub sockets: Vec<Socket>,
     pub caches: Vec<CacheLevel>,
+    /// Detected ccNUMA domains; empty means "not detected", in which
+    /// case [`Machine::numa_nodes`] falls back to sockets-as-nodes (the
+    /// right model for every machine the paper considers).
+    pub numa: Vec<NumaDomain>,
 }
 
 impl Machine {
@@ -74,21 +89,61 @@ impl Machine {
         }
     }
 
+    /// The machine's ccNUMA locality domains: the detected domains when
+    /// available, else one domain per socket (sockets-as-nodes — the
+    /// model of the paper's Nehalem EP testbed, where each socket owns
+    /// its memory controller).
+    pub fn numa_nodes(&self) -> Vec<NumaDomain> {
+        if !self.numa.is_empty() {
+            return self.numa.clone();
+        }
+        self.sockets
+            .iter()
+            .map(|s| NumaDomain {
+                id: s.id,
+                cpus: s.cpus.clone(),
+            })
+            .collect()
+    }
+
+    /// Number of ccNUMA locality domains (≥ 1 on any machine with CPUs).
+    pub fn num_numa_nodes(&self) -> usize {
+        if self.numa.is_empty() {
+            self.sockets.len()
+        } else {
+            self.numa.len()
+        }
+    }
+
+    /// The NUMA domain id owning logical CPU `cpu`, if it exists here.
+    pub fn numa_node_of(&self, cpu: usize) -> Option<usize> {
+        self.numa_nodes()
+            .iter()
+            .find(|d| d.cpus.contains(&cpu))
+            .map(|d| d.id)
+    }
+
     /// Compact, stable description of the topology: socket count, cores
-    /// per socket, and the outermost shared cache. This is the machine
-    /// half of a plan-cache fingerprint (`tb-plan`), so it must be
-    /// deterministic across detect runs on the same host and must change
-    /// whenever the team geometry or cache capacity the tuner saw does.
+    /// per socket, the outermost shared cache, and the NUMA-domain
+    /// count. This is the machine half of a plan-cache fingerprint
+    /// (`tb-plan`), so it must be deterministic across detect runs on
+    /// the same host and must change whenever the team geometry, cache
+    /// capacity, or page-placement landscape the tuner saw does.
     pub fn signature(&self) -> String {
+        let numa = self.num_numa_nodes();
         match self.shared_cache() {
             Some(c) => format!(
-                "{}x{}+L{}:{}",
+                "{}x{}+L{}:{}+n{numa}",
                 self.num_sockets(),
                 self.cores_per_socket(),
                 c.level,
                 c.size_bytes
             ),
-            None => format!("{}x{}+nocache", self.num_sockets(), self.cores_per_socket()),
+            None => format!(
+                "{}x{}+nocache+n{numa}",
+                self.num_sockets(),
+                self.cores_per_socket()
+            ),
         }
     }
 
@@ -126,10 +181,27 @@ impl Machine {
             "Machine::restrict: none of {cores:?} exists on {}",
             self.name
         );
+        // Detected NUMA domains shrink with the slice (domains left
+        // without CPUs disappear); an empty list stays empty, so the
+        // sockets-as-nodes fallback keeps tracking the kept sockets.
+        let numa: Vec<NumaDomain> = self
+            .numa
+            .iter()
+            .filter_map(|d| {
+                let cpus: Vec<usize> = d
+                    .cpus
+                    .iter()
+                    .copied()
+                    .filter(|c| keep.contains(c))
+                    .collect();
+                (!cpus.is_empty()).then_some(NumaDomain { id: d.id, cpus })
+            })
+            .collect();
         Machine {
             name: format!("{}[{} cores]", self.name, cores.len()),
             sockets,
             caches: self.caches.clone(),
+            numa,
         }
     }
 
@@ -166,6 +238,7 @@ impl Machine {
                     scope: CacheScope::PerSocket,
                 },
             ],
+            numa: Vec::new(),
         }
     }
 
@@ -198,6 +271,7 @@ impl Machine {
                     scope: CacheScope::PerSocket,
                 },
             ],
+            numa: Vec::new(),
         }
     }
 
@@ -215,6 +289,7 @@ impl Machine {
                 size_bytes: 8 * 1024 * 1024,
                 scope: CacheScope::PerSocket,
             }],
+            numa: Vec::new(),
         }
     }
 }
@@ -253,12 +328,12 @@ mod tests {
     #[test]
     fn signature_is_stable_and_discriminating() {
         let m = Machine::nehalem_ep();
-        assert_eq!(m.signature(), "2x4+L3:8388608");
+        assert_eq!(m.signature(), "2x4+L3:8388608+n2");
         assert_eq!(m.signature(), Machine::nehalem_ep().signature());
         assert_ne!(m.signature(), Machine::core2_quad().signature());
         let mut bare = Machine::flat(3);
         bare.caches.clear();
-        assert_eq!(bare.signature(), "1x3+nocache");
+        assert_eq!(bare.signature(), "1x3+nocache+n1");
     }
 
     #[test]
@@ -280,7 +355,7 @@ mod tests {
         let a = m.restrict(&[0, 1, 2, 3]);
         let b = m.restrict(&[4, 5, 6, 7]);
         assert_eq!(a.signature(), b.signature());
-        assert_eq!(a.signature(), "1x4+L3:8388608");
+        assert_eq!(a.signature(), "1x4+L3:8388608+n1");
         // A different shape is a different signature.
         assert_ne!(m.restrict(&[0, 1]).signature(), a.signature());
     }
@@ -299,6 +374,74 @@ mod tests {
     #[should_panic(expected = "Machine::restrict")]
     fn restrict_to_unknown_cores_panics() {
         let _ = Machine::flat(2).restrict(&[7, 9]);
+    }
+
+    #[test]
+    fn numa_fallback_is_sockets_as_nodes() {
+        let m = Machine::nehalem_ep();
+        assert!(m.numa.is_empty(), "presets carry no detected domains");
+        assert_eq!(m.num_numa_nodes(), 2);
+        let nodes = m.numa_nodes();
+        assert_eq!(nodes[0].cpus, vec![0, 1, 2, 3]);
+        assert_eq!(nodes[1].cpus, vec![4, 5, 6, 7]);
+        assert_eq!(m.numa_node_of(5), Some(1));
+        assert_eq!(m.numa_node_of(99), None);
+        assert_eq!(Machine::flat(6).num_numa_nodes(), 1);
+    }
+
+    #[test]
+    fn detected_numa_domains_override_the_fallback() {
+        // Sub-NUMA clustering: one socket, two locality domains.
+        let mut m = Machine::flat(8);
+        m.numa = vec![
+            NumaDomain {
+                id: 0,
+                cpus: vec![0, 1, 2, 3],
+            },
+            NumaDomain {
+                id: 1,
+                cpus: vec![4, 5, 6, 7],
+            },
+        ];
+        assert_eq!(m.num_numa_nodes(), 2);
+        assert_eq!(m.numa_node_of(6), Some(1));
+        // And the signature discriminates on the node count.
+        assert_ne!(m.signature(), Machine::flat(8).signature());
+        assert!(m.signature().ends_with("+n2"));
+    }
+
+    #[test]
+    fn restrict_keeps_only_the_slices_numa_nodes() {
+        let m = Machine::nehalem_ep();
+        // Fallback domains track the kept sockets.
+        let sub = m.restrict(&[4, 5]);
+        assert_eq!(sub.num_numa_nodes(), 1);
+        assert_eq!(sub.numa_nodes()[0].id, 1);
+        assert_eq!(sub.numa_nodes()[0].cpus, vec![4, 5]);
+        assert_eq!(sub.numa_node_of(4), Some(1));
+        assert_eq!(sub.numa_node_of(0), None);
+        // Detected domains shrink the same way, empties dropped.
+        let mut d = Machine::nehalem_ep();
+        d.numa = vec![
+            NumaDomain {
+                id: 0,
+                cpus: (0..4).collect(),
+            },
+            NumaDomain {
+                id: 1,
+                cpus: (4..8).collect(),
+            },
+        ];
+        let sub = d.restrict(&[2, 3]);
+        assert_eq!(
+            sub.numa,
+            vec![NumaDomain {
+                id: 0,
+                cpus: vec![2, 3]
+            }]
+        );
+        let straddle = d.restrict(&[3, 4]);
+        assert_eq!(straddle.num_numa_nodes(), 2);
     }
 
     #[test]

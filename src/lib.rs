@@ -84,7 +84,7 @@ pub use tb_stencil as stencil;
 pub use tb_sync as sync;
 pub use tb_topology as topology;
 
-pub use tb_runtime::Runtime;
+pub use tb_runtime::{Placement, Runtime};
 pub use tb_stencil::{
     Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, ScalarPath, StencilOp,
     SyncMode, VarCoeff7,
@@ -111,7 +111,7 @@ pub mod prelude {
     pub use tb_grid::{self as grid, Dims3, Grid3, GridPair, Real, Region3};
     pub use tb_model::MachineParams;
     pub use tb_plan::{MethodFamily, Plan, PlanCache};
-    pub use tb_runtime::Runtime;
+    pub use tb_runtime::{Placement, Runtime};
     pub use tb_stencil::{
         Avg27, DiamondConfig, Jacobi6, Jacobi7, PipelineConfig, RunStats, ScalarPath, StencilOp,
         SyncMode, VarCoeff7,
@@ -157,10 +157,13 @@ pub fn solve_with_on<T: Real, Op: StencilOp<T>>(
     method: Method,
 ) -> Result<(Grid3<T>, RunStats), String> {
     /// Pair the initial grid with a pooled B buffer (a full copy, so
-    /// boundary cells are right in both buffers).
-    fn pooled_pair<T: Real>(pool: &GridPool<T>, initial: Grid3<T>) -> GridPair<T> {
-        let mut b = pool.acquire(initial.dims());
-        b.as_mut_slice().copy_from_slice(initial.as_slice());
+    /// boundary cells are right in both buffers). The buffer comes from
+    /// [`Runtime::acquire_grid`] and is filled by [`Runtime::place_copy`],
+    /// so under [`Placement::WorkerFirstTouch`] its pages commit on the
+    /// workers that will compute on them.
+    fn pooled_pair<T: Real>(rt: &Runtime, initial: Grid3<T>) -> GridPair<T> {
+        let mut b = rt.acquire_grid(initial.dims());
+        rt.place_copy(b.as_mut_slice(), initial.as_slice());
         GridPair::from_parts(initial, b)
     }
     /// Keep the buffer holding the result, return the other to the pool.
@@ -195,14 +198,14 @@ pub fn solve_with_on<T: Real, Op: StencilOp<T>>(
             } else {
                 StoreMode::Normal
             };
-            let mut pair = pooled_pair(&pool, initial);
+            let mut pair = pooled_pair(rt, initial);
             let stats = baseline::par_sweeps_op_on(rt, op, &mut pair, sweeps, threads, store);
             Ok((split_result(&pool, pair, sweeps), stats))
         }
         Method::Pipelined(mut cfg) => {
             cfg.scheme = GridScheme::TwoGrid;
             cfg.validate(initial.dims())?;
-            let mut pair = pooled_pair(&pool, initial);
+            let mut pair = pooled_pair(rt, initial);
             let stats = pipeline::run_op_on(rt, op, &mut pair, &cfg, sweeps)?;
             Ok((split_result(&pool, pair, sweeps), stats))
         }
@@ -210,7 +213,8 @@ pub fn solve_with_on<T: Real, Op: StencilOp<T>>(
             cfg.scheme = GridScheme::Compressed;
             cfg.validate(initial.dims())?;
             let margin = cfg.stages();
-            let storage = pool.acquire(CompressedGrid::<T>::alloc_dims_for(initial.dims(), margin));
+            let storage =
+                rt.acquire_grid(CompressedGrid::<T>::alloc_dims_for(initial.dims(), margin));
             let mut cg = CompressedGrid::from_grid_in(&initial, margin, storage);
             let stats = pipeline::run_compressed_op_on(rt, op, &mut cg, &cfg, sweeps)?;
             let out = cg.to_grid();
@@ -218,12 +222,12 @@ pub fn solve_with_on<T: Real, Op: StencilOp<T>>(
             Ok((out, stats))
         }
         Method::Wavefront { threads } => {
-            let mut pair = pooled_pair(&pool, initial);
+            let mut pair = pooled_pair(rt, initial);
             let stats = wavefront::run_wavefront_op_on(rt, op, &mut pair, threads, sweeps)?;
             Ok((split_result(&pool, pair, sweeps), stats))
         }
         Method::Diamond(cfg) => {
-            let mut pair = pooled_pair(&pool, initial);
+            let mut pair = pooled_pair(rt, initial);
             let stats = diamond::run_diamond_op_on(rt, op, &mut pair, &cfg, sweeps)?;
             Ok((split_result(&pool, pair, sweeps), stats))
         }

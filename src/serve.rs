@@ -49,14 +49,15 @@
 //! grid, so a serving deployment can spot-check any job against the
 //! sequential oracle.
 
-use std::collections::VecDeque;
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tb_grid::{norm, Dims3, Grid3, Real, Region3};
-use tb_runtime::Runtime;
+use tb_runtime::{Placement, Runtime};
 use tb_stencil::{Avg27, Jacobi6, Jacobi7, RunStats, StencilOp, VarCoeff7};
 use tb_topology::{Machine, TeamLayout};
 
@@ -354,8 +355,20 @@ pub struct JobReport {
     pub sweeps: usize,
     /// Admission → a slice picking the job up.
     pub queue_wait: Duration,
-    /// Solve wall time on the slice (tuning included for cold tunes).
+    /// Solve wall time on the slice (tuning included for cold tunes,
+    /// ingest/egress included under worker-first-touch placement).
     pub service: Duration,
+    /// Copying the client payload into the slice-local grid (zero under
+    /// [`Placement::ClientPages`], including the single-node downgrade
+    /// — see [`ServerConfig::placement`]).
+    pub ingest: Duration,
+    /// Copying the result back into the client's grid (zero under
+    /// [`Placement::ClientPages`], including the single-node downgrade).
+    pub egress: Duration,
+    /// Fresh grid allocations this job caused in the slice's pool — 0
+    /// once the slice is warm for the job's shape, which is the
+    /// observable "warm path allocates nothing" contract.
+    pub pool_fresh: u64,
     pub mlups: f64,
     pub cell_updates: u64,
     /// Order-independent checksum of the result grid; equal to the
@@ -488,6 +501,26 @@ pub struct ServerConfig {
     pub pool_capacity: usize,
     /// Machine partitioning.
     pub slices: SlicePolicy,
+    /// Page placement for job grids. The default,
+    /// [`Placement::WorkerFirstTouch`], makes every slice *ingest* the
+    /// client's payload into a slice-local pooled grid (copied by the
+    /// slice's own pinned workers, so its pages live on the slice's
+    /// NUMA domain) and copy the result back out on completion;
+    /// [`JobReport::ingest`]/[`JobReport::egress`] report the cost.
+    /// [`Placement::ClientPages`] computes on the client's pages
+    /// directly — right on UMA hosts or when clients pre-place pages.
+    ///
+    /// On a machine reporting a **single NUMA node** every page is
+    /// already node-local, so the ingest/egress copies cannot improve
+    /// placement — the server downgrades to the zero-copy path
+    /// regardless of this field (see [`ServerConfig::force_placement`]).
+    pub placement: Placement,
+    /// Honor [`ServerConfig::placement`] verbatim even on single-node
+    /// machines, where the server would otherwise run zero-copy.
+    /// Placement tests and ablation benches set this to exercise the
+    /// ingest/egress machinery on hosts without real NUMA; production
+    /// code has no reason to.
+    pub force_placement: bool,
 }
 
 impl Default for ServerConfig {
@@ -497,6 +530,8 @@ impl Default for ServerConfig {
             policy: SchedPolicy::default(),
             pool_capacity: 16,
             slices: SlicePolicy::default(),
+            placement: Placement::WorkerFirstTouch,
+            force_placement: false,
         }
     }
 }
@@ -535,6 +570,7 @@ pub struct Server {
     threads: Vec<JoinHandle<()>>,
     policy: SchedPolicy,
     pool_capacity: usize,
+    placement: Placement,
     next_id: AtomicU64,
 }
 
@@ -576,6 +612,14 @@ impl Server {
     pub fn new_paused(machine: &Machine, cfg: ServerConfig) -> Server {
         let parts = partition(machine, &cfg.slices);
         assert!(!parts.is_empty(), "machine has no cores to slice");
+        // With one NUMA node the ingest/egress copies are pure overhead
+        // (every page is already node-local): run zero-copy unless a
+        // test/bench explicitly forces the requested policy through.
+        let placement = if cfg.force_placement || machine.num_numa_nodes() >= 2 {
+            cfg.placement
+        } else {
+            Placement::ClientPages
+        };
         let sub_machines: Vec<Machine> = parts.iter().map(|p| machine.restrict(p)).collect();
         let slices = parts
             .iter()
@@ -595,6 +639,7 @@ impl Server {
             threads: Vec::new(),
             policy: cfg.policy,
             pool_capacity: cfg.pool_capacity,
+            placement,
             next_id: AtomicU64::new(1),
         }
     }
@@ -609,9 +654,10 @@ impl Server {
             let sub = sub.clone();
             let policy = self.policy;
             let pool_capacity = self.pool_capacity;
+            let placement = self.placement;
             let handle = std::thread::Builder::new()
                 .name(format!("tb-serve-s{index}"))
-                .spawn(move || slice_loop(queue, sub, index, policy, pool_capacity))
+                .spawn(move || slice_loop(queue, sub, index, policy, pool_capacity, placement))
                 .expect("spawn slice thread");
             self.threads.push(handle);
         }
@@ -700,11 +746,18 @@ fn slice_loop(
     index: usize,
     policy: SchedPolicy,
     pool_capacity: usize,
+    placement: Placement,
 ) {
     // One persistent runtime per slice, workers pinned to the slice's
     // cores, alive across every job this slice ever serves.
     let layout = TeamLayout::new(&sub, sub.num_cpus(), 1);
-    let rt = Runtime::new(&layout).with_pool_capacity(pool_capacity);
+    let rt = Runtime::new(&layout)
+        .with_pool_capacity(pool_capacity)
+        .with_placement(placement);
+    // Constructed operators that own grids (the banded coefficient
+    // field) are cached per shape, so warm jobs skip that allocation
+    // too — see `banded_op`.
+    let mut op_cache: OpCache = HashMap::new();
     let pick = |items: &VecDeque<QueuedJob>| -> usize {
         match policy {
             SchedPolicy::Fifo => 0,
@@ -728,8 +781,9 @@ fn slice_loop(
         let sweeps = spec.sweeps;
         // A panicking job fails its own handle; the slice (and its
         // runtime, which already survives worker panics) keeps serving.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(&rt, &sub, spec)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&rt, &sub, spec, &mut op_cache)
+        }));
         let service = picked.elapsed();
         let outcome = match result {
             Ok(Ok(exec)) => Ok((
@@ -743,6 +797,9 @@ fn slice_loop(
                     sweeps,
                     queue_wait,
                     service,
+                    ingest: exec.ingest,
+                    egress: exec.egress,
+                    pool_fresh: exec.pool_fresh,
                     mlups: exec.mlups,
                     cell_updates: exec.cell_updates,
                     verify_hash: exec.verify_hash,
@@ -775,10 +832,38 @@ struct Executed {
     mlups: f64,
     cell_updates: u64,
     verify_hash: u64,
+    ingest: Duration,
+    egress: Duration,
+    pool_fresh: u64,
     tuned: Option<TunedJob>,
 }
 
-fn execute(rt: &Runtime, sub: &Machine, spec: JobSpec) -> Result<Executed, String> {
+/// Constructed operators that own grids (today: [`VarCoeff7::banded`]'s
+/// coefficient field), cached per element type and shape so a warm
+/// slice allocates nothing per job. Bounded: a shape mix wider than
+/// [`OP_CACHE_CAP`] distinct (type, dims) entries resets the cache.
+type OpCache = HashMap<(TypeId, Dims3), Box<dyn Any + Send>>;
+
+const OP_CACHE_CAP: usize = 32;
+
+fn banded_op<T: Real>(cache: &mut OpCache, dims: Dims3) -> &VarCoeff7<T> {
+    let key = (TypeId::of::<T>(), dims);
+    if !cache.contains_key(&key) && cache.len() >= OP_CACHE_CAP {
+        cache.clear();
+    }
+    cache
+        .entry(key)
+        .or_insert_with(|| Box::new(VarCoeff7::<T>::banded(dims)))
+        .downcast_ref::<VarCoeff7<T>>()
+        .expect("op cache entries are keyed by their TypeId")
+}
+
+fn execute(
+    rt: &Runtime,
+    sub: &Machine,
+    spec: JobSpec,
+    cache: &mut OpCache,
+) -> Result<Executed, String> {
     let JobSpec {
         op,
         payload,
@@ -787,20 +872,58 @@ fn execute(rt: &Runtime, sub: &Machine, spec: JobSpec) -> Result<Executed, Strin
         ..
     } = spec;
     match payload {
-        JobPayload::F64(grid) => run_typed(rt, sub, &op, grid, sweeps, &method)
-            .map(|(g, stats, tuned)| pack(JobPayload::F64(g), stats, tuned)),
-        JobPayload::F32(grid) => run_typed(rt, sub, &op, grid, sweeps, &method)
-            .map(|(g, stats, tuned)| pack(JobPayload::F32(g), stats, tuned)),
+        JobPayload::F64(grid) => {
+            run_typed(rt, sub, &op, grid, sweeps, &method, cache).map(Executed::from_f64)
+        }
+        JobPayload::F32(grid) => {
+            run_typed(rt, sub, &op, grid, sweeps, &method, cache).map(Executed::from_f32)
+        }
     }
 }
 
-fn pack(payload: JobPayload, stats: RunStats, tuned: Option<TunedJob>) -> Executed {
-    Executed {
-        verify_hash: payload.fingerprint(),
-        mlups: stats.mlups(),
-        cell_updates: stats.cell_updates,
-        payload,
-        tuned,
+/// What [`run_typed`] hands back before the payload is re-wrapped.
+struct TypedRun<T: Real> {
+    grid: Grid3<T>,
+    stats: RunStats,
+    tuned: Option<TunedJob>,
+    ingest: Duration,
+    egress: Duration,
+    pool_fresh: u64,
+}
+
+impl Executed {
+    fn from_f64(run: TypedRun<f64>) -> Executed {
+        Executed::pack(
+            JobPayload::F64(run.grid),
+            &run.stats,
+            run.tuned,
+            (run.ingest, run.egress, run.pool_fresh),
+        )
+    }
+    fn from_f32(run: TypedRun<f32>) -> Executed {
+        Executed::pack(
+            JobPayload::F32(run.grid),
+            &run.stats,
+            run.tuned,
+            (run.ingest, run.egress, run.pool_fresh),
+        )
+    }
+    fn pack(
+        payload: JobPayload,
+        stats: &RunStats,
+        tuned: Option<TunedJob>,
+        (ingest, egress, pool_fresh): (Duration, Duration, u64),
+    ) -> Executed {
+        Executed {
+            verify_hash: payload.fingerprint(),
+            mlups: stats.mlups(),
+            cell_updates: stats.cell_updates,
+            payload,
+            ingest,
+            egress,
+            pool_fresh,
+            tuned,
+        }
     }
 }
 
@@ -811,17 +934,57 @@ fn run_typed<T: Real>(
     grid: Grid3<T>,
     sweeps: usize,
     method: &JobMethod,
-) -> Result<(Grid3<T>, RunStats, Option<TunedJob>), String> {
-    match op {
-        JobOp::Jacobi6 => run_op(rt, sub, &Jacobi6, grid, sweeps, method),
-        JobOp::Jacobi7Heat(k) => run_op(rt, sub, &Jacobi7::heat(*k), grid, sweeps, method),
+    cache: &mut OpCache,
+) -> Result<TypedRun<T>, String> {
+    let pool = rt.grid_pool::<T>();
+    let fresh_before = pool.fresh_allocations();
+
+    // Ingest: under worker-first-touch, copy the client's payload into
+    // a slice-local pooled grid with the slice's own pinned workers —
+    // on a pool miss the acquire itself first-touches, so the copy
+    // writes pages the slice just placed. The client grid is kept
+    // aside to carry the result back out.
+    let (client, work, ingest) = if rt.placement() == Placement::WorkerFirstTouch {
+        let ingest_start = Instant::now();
+        let mut local = rt.acquire_grid(grid.dims());
+        rt.place_copy(local.as_mut_slice(), grid.as_slice());
+        (Some(grid), local, ingest_start.elapsed())
+    } else {
+        (None, grid, Duration::ZERO)
+    };
+
+    let (result, stats, tuned) = match op {
+        JobOp::Jacobi6 => run_op(rt, sub, &Jacobi6, work, sweeps, method),
+        JobOp::Jacobi7Heat(k) => run_op(rt, sub, &Jacobi7::heat(*k), work, sweeps, method),
         JobOp::VarCoeff7Banded => {
-            let op = VarCoeff7::<T>::banded(grid.dims());
-            run_op(rt, sub, &op, grid, sweeps, method)
+            let op = banded_op::<T>(cache, work.dims());
+            run_op(rt, sub, op, work, sweeps, method)
         }
-        JobOp::Avg27 => run_op(rt, sub, &Avg27, grid, sweeps, method),
+        JobOp::Avg27 => run_op(rt, sub, &Avg27, work, sweeps, method),
         JobOp::PanicForTest => panic!("poison-pill job"),
-    }
+    }?;
+
+    // Egress: copy the result back into the client's own grid (their
+    // pages, their element order) and park the slice-local grid for the
+    // next job of this shape.
+    let egress_start = Instant::now();
+    let (grid, egress) = match client {
+        Some(mut client) => {
+            rt.place_copy(client.as_mut_slice(), result.as_slice());
+            pool.release(result);
+            (client, egress_start.elapsed())
+        }
+        None => (result, Duration::ZERO),
+    };
+
+    Ok(TypedRun {
+        grid,
+        stats,
+        tuned,
+        ingest,
+        egress,
+        pool_fresh: pool.fresh_allocations() - fresh_before,
+    })
 }
 
 fn run_op<T: Real, Op: StencilOp<T>>(

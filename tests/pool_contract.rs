@@ -16,10 +16,19 @@
 //!    `grid_pool::<f64>()` are distinct pools on the same runtime;
 //!    dimensions are matched exactly within a pool.
 
+//! 4. **Placement** — grids acquired under
+//!    [`Placement::WorkerFirstTouch`] are bitwise-indistinguishable
+//!    from client-placed ones (first-touch decides *where pages live*,
+//!    never *what they hold*), the warm serving path allocates nothing,
+//!    and restricted sub-machines report the NUMA nodes their cores
+//!    actually span.
+
 use std::sync::Arc;
 
-use temporal_blocking::grid::{Dims3, Grid3};
-use temporal_blocking::runtime::{GridPool, Runtime};
+use temporal_blocking::grid::{init, norm, Dims3, Grid3, Region3};
+use temporal_blocking::prelude::*;
+use temporal_blocking::runtime::GridPool;
+use temporal_blocking::topology::NumaDomain;
 
 /// The documented parking bound: releasing beyond it evicts the oldest.
 const MAX_FREE_GRIDS: usize = 8;
@@ -228,4 +237,131 @@ fn pool_capacity_knob_rebounds_eviction_per_runtime() {
         temporal_blocking::runtime::DEFAULT_POOL_CAPACITY,
         MAX_FREE_GRIDS
     );
+}
+
+#[test]
+fn placement_policies_produce_bitwise_identical_results() {
+    // First-touch placement decides which NUMA domain a page commits
+    // on — never what the page holds. Every parallel method must
+    // produce the identical bit pattern under both policies, and both
+    // must match the sequential oracle. Odd sweep count on purpose:
+    // the result then lives in the pool-acquired (first-touched) B
+    // buffer, the buffer the policies actually treat differently.
+    let dims = Dims3::cube(18);
+    let initial: Grid3<f64> = init::random(dims, 0xFACE);
+    let sweeps = 3;
+    let (oracle, _) = solve(initial.clone(), sweeps, Method::Sequential).unwrap();
+    let methods = [
+        Method::Parallel {
+            threads: 2,
+            streaming_stores: false,
+        },
+        Method::Wavefront { threads: 2 },
+        Method::Pipelined(PipelineConfig::small()),
+    ];
+    for method in methods {
+        let mut results = Vec::new();
+        for placement in [Placement::WorkerFirstTouch, Placement::ClientPages] {
+            let rt = Runtime::with_threads(2).with_placement(placement);
+            let (got, _) =
+                solve_with_on(&rt, &Jacobi6, initial.clone(), sweeps, method.clone()).unwrap();
+            norm::assert_grids_identical(
+                &oracle,
+                &got,
+                &Region3::whole(dims),
+                &format!("{method:?} under {}", placement.name()),
+            );
+            results.push(got);
+        }
+        norm::assert_grids_identical(
+            &results[0],
+            &results[1],
+            &Region3::whole(dims),
+            &format!("{method:?}: worker-first-touch vs client-pages"),
+        );
+    }
+}
+
+#[test]
+fn warm_serve_path_allocates_no_grids() {
+    // A single-slice server (deterministic job→slice assignment) must
+    // allocate only on the first job of a shape; every later job of
+    // that shape runs entirely off recycled pool grids — under both
+    // placements, including the op-owned coefficient grid of
+    // VarCoeff7 (cached per shape in the slice loop).
+    for placement in [Placement::WorkerFirstTouch, Placement::ClientPages] {
+        let server = Server::new(
+            &Machine::flat(2),
+            // Forced so the ingest path runs even where a single NUMA
+            // node would downgrade the server to zero-copy.
+            ServerConfig {
+                placement,
+                force_placement: true,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(server.slices().len(), 1);
+        let submit = |seed: u64| {
+            let spec = JobSpec::new(
+                JobOp::VarCoeff7Banded,
+                JobPayload::F64(init::random(Dims3::cube(12), seed)),
+                2,
+                JobMethod::Fixed(Method::Parallel {
+                    threads: 2,
+                    streaming_stores: false,
+                }),
+            );
+            server.submit(spec).unwrap().wait().expect("job succeeds").1
+        };
+        let cold = submit(1);
+        assert!(
+            cold.pool_fresh > 0,
+            "{}: the first job of a shape must fault in pool grids",
+            placement.name()
+        );
+        for seed in 2..5 {
+            let warm = submit(seed);
+            assert_eq!(
+                warm.pool_fresh,
+                0,
+                "{}: warm job {seed} must not allocate",
+                placement.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn restricted_sub_machines_report_their_numa_nodes() {
+    // Fallback model: no detected NUMA tree → sockets are the locality
+    // domains, and restriction tracks the surviving sockets.
+    let m = Machine::nehalem_ep();
+    assert_eq!(m.num_numa_nodes(), 2);
+    let slice = m.restrict(&[0, 1, 2, 3]);
+    assert_eq!(slice.num_numa_nodes(), 1);
+    assert_eq!(slice.numa_nodes()[0].cpus, vec![0, 1, 2, 3]);
+
+    // Detected domains override the fallback and are filtered the same
+    // way: a slice straddling two domains keeps both, trimmed to its
+    // own cores — that count is what gates the strict placement-win
+    // assertions in the benches.
+    let mut detected = Machine::nehalem_ep();
+    detected.numa = vec![
+        NumaDomain {
+            id: 0,
+            cpus: vec![0, 1, 2, 3],
+        },
+        NumaDomain {
+            id: 1,
+            cpus: vec![4, 5, 6, 7],
+        },
+    ];
+    let straddling = detected.restrict(&[2, 3, 4, 5]);
+    assert_eq!(straddling.num_numa_nodes(), 2);
+    assert_eq!(straddling.numa_nodes()[0].cpus, vec![2, 3]);
+    assert_eq!(straddling.numa_nodes()[1].cpus, vec![4, 5]);
+    // The signature (the plan-cache key) carries the node count, so
+    // plans tuned on differently-sliced machines never collide.
+    assert!(straddling.signature().ends_with("+n2"));
+    assert!(slice.signature().ends_with("+n1"));
 }

@@ -12,6 +12,11 @@
 //!    completes and verifies, on every slice.
 //! 4. **Warm plans transfer** — a tuned job repeated on the same server
 //!    replays the cached plan with zero measurements.
+//! 5. **Ingest/egress round-trips bitwise** — the worker-first-touch
+//!    ingest copy (payload → slice-local grid) and egress copy (result
+//!    → client grid) are invisible in the result: every operator and
+//!    element type returns the exact oracle bits under both placement
+//!    policies, and client-pages jobs report zero copy time.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -144,6 +149,50 @@ proptest! {
             prop_assert_eq!(report.verify_hash, want.fingerprint());
             prop_assert!(report.slice < slices);
             prop_assert_eq!(report.dims, spec.payload.dims());
+        }
+    }
+
+    /// The ingest/egress stage is a pure page-relocation: for all four
+    /// operators, both element types and both placement policies, the
+    /// served grid is bitwise the oracle's, and the copy accounting
+    /// matches the policy (client-pages never copies).
+    #[test]
+    fn ingest_egress_round_trips_every_operator_bitwise(master in any::<u64>()) {
+        for placement in [Placement::WorkerFirstTouch, Placement::ClientPages] {
+            // force_placement: the copy path must be exercised even on
+            // hosts where a single NUMA node would downgrade the server
+            // to zero-copy.
+            let server = Server::new(&Machine::flat(2), ServerConfig {
+                placement,
+                force_placement: true,
+                ..ServerConfig::default()
+            });
+            let mut rng = master;
+            for op in op_pool() {
+                let dims = Dims3::cube(8 + (splitmix(&mut rng) % 7) as usize); // 8..=14
+                let sweeps = 1 + (splitmix(&mut rng) % 3) as usize;            // 1..=3
+                let seed = splitmix(&mut rng);
+                let payload = if splitmix(&mut rng) & 1 == 1 {
+                    JobPayload::F32(init::random(dims, seed))
+                } else {
+                    JobPayload::F64(init::random(dims, seed))
+                };
+                let method = JobMethod::Fixed(method_for(splitmix(&mut rng) as u8));
+                let spec = JobSpec::new(op, payload.clone(), sweeps, method);
+                let (got, report) = server
+                    .submit_blocking(spec, Duration::from_secs(60))
+                    .expect("admitted")
+                    .wait()
+                    .expect("job must succeed");
+                let want = oracle(op, &payload, sweeps);
+                let ctx = format!("{} under {}", op.name(), placement.name());
+                assert_payload_identical(&want, &got, &ctx);
+                prop_assert!(report.verify_hash == want.fingerprint(), "hash: {ctx}");
+                if placement == Placement::ClientPages {
+                    prop_assert!(report.ingest == Duration::ZERO, "ingest: {ctx}");
+                    prop_assert!(report.egress == Duration::ZERO, "egress: {ctx}");
+                }
+            }
         }
     }
 }
