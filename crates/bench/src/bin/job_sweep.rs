@@ -19,6 +19,14 @@
 //! on a single cache group the slices collapse to one and the two modes
 //! should tie).
 //!
+//! A **mixed-priority ablation** then overloads two fresh servers with
+//! the same burst — a pile of big `Batch` jobs followed by small
+//! `Latency` (deadline-bearing) and `Normal` jobs — differing only in
+//! packing policy (FIFO vs [`SchedPolicy::Deadline`]). EDF must cut the
+//! `Latency`-class p99 below FIFO's, with zero starved `Batch` jobs and
+//! every hash verified; an `Admission::Shed` demo counts infeasible
+//! submissions shed at the door.
+//!
 //! ```sh
 //! cargo run --release -p tb-bench --bin job_sweep -- --jobs 64 --reps 3
 //! cargo run --release -p tb-bench --bin job_sweep -- --smoke
@@ -33,6 +41,24 @@ use tb_grid::{init, Dims3, Grid3};
 use temporal_blocking::prelude::*;
 use temporal_blocking::topology;
 use temporal_blocking::{solve_with, Method, TuneOptions};
+
+// Every throughput assertion below compares warmed best-of-`--reps`
+// runs (never a single raw run: the warmup pass faults pools and tunes
+// plans cold, and `best` keeps the fastest rep), so a band only has to
+// absorb scheduler noise around a genuine tie — not cold-start noise.
+
+/// A "tie" between two modes that share one execution path may still
+/// jitter by scheduler luck; allow concurrent to trail serial by 5%.
+const TIE_BAND: f64 = 0.95;
+
+/// The single-NUMA-node placement tie additionally crosses two distinct
+/// servers (separate pools and plan caches), so allow 10%.
+const NUMA_TIE_BAND: f64 = 0.90;
+
+/// Smoke-mode ceiling for the EDF-vs-FIFO `Latency`-class p99 contract:
+/// on a noisy 2-core CI runner the structural gap can collapse, so only
+/// require EDF not to be *worse* than FIFO by more than 10%.
+const LATENCY_SMOKE_BAND: f64 = 1.10;
 
 /// The deterministic closed-loop job mix: index `i` always produces the
 /// same spec, so serial and concurrent mode serve identical work.
@@ -213,7 +239,9 @@ fn main() {
     let njobs = args.get_usize("--jobs", if smoke { 12 } else { 64 });
     let base = args.get_usize("--size", if smoke { 14 } else { 12 });
     let sweeps = args.get_usize("--sweeps", 2);
-    let reps = args.get_usize("--reps", if smoke { 1 } else { 3 });
+    // Even smoke runs take best-of-2: a single raw run has no defense
+    // against one unlucky scheduling quantum (see TIE_BAND above).
+    let reps = args.get_usize("--reps", if smoke { 2 } else { 3 });
 
     let machine = topology::detect::detect();
     let cache_groups = machine.cache_groups().len();
@@ -338,7 +366,7 @@ fn main() {
             );
         } else {
             assert!(
-                ratio >= 0.95,
+                ratio >= TIE_BAND,
                 "single-slice concurrent ({:.1} jobs/s) fell past a tie with serial ({:.1} jobs/s)",
                 concurrent.jobs_per_sec,
                 serial.jobs_per_sec
@@ -406,7 +434,7 @@ fn main() {
             );
         } else {
             assert!(
-                placement_ratio >= 0.9,
+                placement_ratio >= NUMA_TIE_BAND,
                 "single-node worker-first-touch ({:.1} jobs/s) fell past a tie with \
                  client-pages ({:.1} jobs/s)",
                 placed.jobs_per_sec,
@@ -414,6 +442,221 @@ fn main() {
             );
         }
     }
+
+    // ----------------------------------------------------------------
+    // Mixed-priority ablation: the same overloaded burst — a pile of
+    // big Batch jobs submitted first, then small Latency jobs (with
+    // deadlines) interleaved with Normal jobs — through two fresh
+    // servers differing ONLY in packing policy. Under FIFO the urgent
+    // work convoys behind the whole Batch pile; under EDF it jumps it,
+    // so the Latency-class p99 must drop. The gap is structural (pile
+    // length vs one in-flight job), not a timing accident.
+    // ----------------------------------------------------------------
+    let pjobs = args.get_usize("--priority-jobs", if smoke { 18 } else { 48 });
+    let batch_edge = if smoke { 20 } else { 28 };
+    let batch_sweeps = sweeps * 4;
+    let nbatch = (pjobs * 3) / 5; // ~60% of the burst is the Batch pile
+    let lat_deadline = Duration::from_millis(15);
+    let aging = Duration::from_millis(25);
+    let pspec = |i: usize| -> JobSpec {
+        let tag = 1_000 + i as u64;
+        let mut spec = if i < nbatch {
+            JobSpec::new(
+                JobOp::Jacobi6,
+                JobPayload::F64(init::random(Dims3::cube(batch_edge), tag)),
+                batch_sweeps,
+                JobMethod::Fixed(Method::Parallel {
+                    threads: slice_threads,
+                    streaming_stores: false,
+                }),
+            )
+            .with_priority(Priority::Batch)
+        } else if (i - nbatch).is_multiple_of(2) {
+            JobSpec::new(
+                JobOp::Jacobi7Heat(0.1),
+                JobPayload::F64(init::random(Dims3::cube(10), tag)),
+                1,
+                JobMethod::Fixed(Method::Sequential),
+            )
+            .with_priority(Priority::Latency)
+            .with_deadline(lat_deadline)
+        } else {
+            JobSpec::new(
+                JobOp::Avg27,
+                JobPayload::F32(init::random(Dims3::cube(10), tag)),
+                1,
+                JobMethod::Fixed(Method::Sequential),
+            )
+            .with_priority(Priority::Normal)
+        };
+        spec.tag = tag;
+        spec
+    };
+    let pspecs: Vec<JobSpec> = (0..pjobs).map(pspec).collect();
+    let poracles: HashMap<u64, u64> = pspecs.iter().map(|s| (s.tag, oracle_hash(s))).collect();
+
+    // One overloaded burst: everything submitted before anything is
+    // waited on, so the queue really holds the whole trace at once.
+    let burst = |server: &Server| -> Vec<JobReport> {
+        let handles: Vec<JobHandle> = pspecs
+            .iter()
+            .map(|s| {
+                server
+                    .submit_blocking(s.clone(), Duration::from_secs(600))
+                    .expect("priority burst admitted")
+            })
+            .collect();
+        let reports: Vec<JobReport> = handles
+            .into_iter()
+            .map(|h| h.wait().expect("priority job must succeed").1)
+            .collect();
+        for r in &reports {
+            assert_eq!(
+                r.verify_hash, poracles[&r.tag],
+                "priority job {} ({} {:?}) diverged from the sequential oracle",
+                r.tag, r.op, r.dims
+            );
+        }
+        reports
+    };
+    let class_lat_ms = |reports: &[JobReport], p: Priority| -> Vec<f64> {
+        reports
+            .iter()
+            .filter(|r| r.priority == p)
+            .map(|r| r.latency().as_secs_f64() * 1e3)
+            .collect()
+    };
+    // Best-of-reps per policy, judged by the metric under test (the
+    // Latency-class p99) — the same warmed best-of discipline as every
+    // other assertion in this bench.
+    let run_policy = |policy: SchedPolicy| -> (Vec<JobReport>, ServerStats, Server) {
+        let server = Server::new(
+            &machine,
+            ServerConfig {
+                queue_capacity: pjobs.max(16),
+                policy,
+                aging,
+                ..ServerConfig::default()
+            },
+        );
+        let _ = burst(&server); // warmup: fault pools, park threads
+        let mut best: Option<Vec<JobReport>> = None;
+        for _ in 0..reps {
+            let r = burst(&server);
+            let p99_now = p99(&class_lat_ms(&r, Priority::Latency));
+            if best
+                .as_ref()
+                .map(|b| p99_now < p99(&class_lat_ms(b, Priority::Latency)))
+                .unwrap_or(true)
+            {
+                best = Some(r);
+            }
+        }
+        let reports = best.unwrap();
+        let stats = server.stats();
+        (reports, stats, server)
+    };
+    let (fifo_reports, fifo_stats, _fifo_server) = run_policy(SchedPolicy::Fifo);
+    let (edf_reports, edf_stats, _edf_server) = run_policy(SchedPolicy::Deadline);
+
+    println!("\nmixed-priority ablation: {pjobs} jobs/burst ({nbatch} batch), best of {reps}:");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "policy", "lat p50 ms", "lat p99 ms", "norm p99 ms", "batch p99 ms"
+    );
+    let mut table: HashMap<&str, [f64; 6]> = HashMap::new();
+    for (name, reports) in [("fifo", &fifo_reports), ("deadline", &edf_reports)] {
+        let lat = class_lat_ms(reports, Priority::Latency);
+        let nor = class_lat_ms(reports, Priority::Normal);
+        let bat = class_lat_ms(reports, Priority::Batch);
+        let misses = reports
+            .iter()
+            .filter(|r| r.deadline_met == Some(false))
+            .count() as f64;
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            name,
+            p50(&lat),
+            p99(&lat),
+            p99(&nor),
+            p99(&bat)
+        );
+        table.insert(
+            name,
+            [
+                p50(&lat),
+                p99(&lat),
+                p50(&nor),
+                p99(&nor),
+                p99(&bat),
+                misses,
+            ],
+        );
+    }
+    let fifo_lat_p99 = table["fifo"][1];
+    let edf_lat_p99 = table["deadline"][1];
+    let lat_p99_ratio = fifo_lat_p99 / edf_lat_p99;
+    println!("fifo/deadline Latency-class p99: {lat_p99_ratio:.2}x");
+
+    // Zero starved Batch jobs, either policy: every burst job was
+    // waited on above, so completion is already proven — cross-check
+    // the server's own books (completed = warmup + measured reps, no
+    // failures, no cancels).
+    let expected_batch = (nbatch * (reps + 1)) as u64;
+    for (name, stats) in [("fifo", &fifo_stats), ("deadline", &edf_stats)] {
+        let b = stats.class(Priority::Batch);
+        assert_eq!(
+            b.completed, expected_batch,
+            "{name}: every Batch job must complete (zero starved)"
+        );
+        assert_eq!(b.failed, 0, "{name}: no Batch job may fail");
+        assert_eq!(b.cancelled, 0, "{name}: no Batch job was cancelled");
+    }
+    // The headline deadline-scheduling contract: EDF cuts the
+    // Latency-class tail under overload. Strict in full runs; smoke
+    // holds a no-worse band (see LATENCY_SMOKE_BAND).
+    if !smoke {
+        assert!(
+            edf_lat_p99 < fifo_lat_p99,
+            "Deadline policy must cut Latency-class p99 below FIFO's \
+             ({edf_lat_p99:.2} ms vs {fifo_lat_p99:.2} ms)"
+        );
+    } else {
+        assert!(
+            edf_lat_p99 <= fifo_lat_p99 * LATENCY_SMOKE_BAND,
+            "smoke: Deadline Latency-class p99 ({edf_lat_p99:.2} ms) fell past \
+             FIFO's ({fifo_lat_p99:.2} ms) by more than the band"
+        );
+    }
+
+    // Admission-shedding demo: a server predicting from the tb-model
+    // cache-bandwidth floor rejects hopeless deadlines at the door.
+    let shed_server = Server::new(
+        &machine,
+        ServerConfig {
+            admission: Admission::Shed(MachineParams::nehalem_ep()),
+            ..ServerConfig::default()
+        },
+    );
+    for seed in 0..2u64 {
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(48), seed)),
+            8,
+            JobMethod::Fixed(Method::Sequential),
+        )
+        .with_deadline(Duration::from_micros(1));
+        match shed_server.submit(spec) {
+            Err(Rejected::Infeasible(_, floor)) => {
+                assert!(floor > Duration::from_micros(1));
+            }
+            Ok(_) => panic!("an infeasible deadline was admitted"),
+            Err(_) => panic!("expected Infeasible"),
+        }
+    }
+    let sheds = shed_server.stats().sheds;
+    assert_eq!(sheds, 2, "both hopeless submissions must be shed");
+    println!("admission shedding: {sheds}/2 infeasible deadlines rejected at submission");
 
     let json = format!(
         "{{\n  \"machine\": \"{sig}\",\n  \"cache_groups\": {cache_groups},\n  \
@@ -427,11 +670,33 @@ fn main() {
          \"worker_first_touch\": {{\"jobs_per_sec\": {pj:.2}, \"p50_ms\": {pp50:.3}, \"copy_ms_mean\": {pcopy:.4}}},\n    \
          \"client_pages\": {{\"jobs_per_sec\": {nj:.2}, \"p50_ms\": {np50:.3}, \"copy_ms_mean\": {ncopy:.4}}},\n    \
          \"worker_over_client\": {placement_ratio:.3}\n  }},\n  \
+         \"priority\": {{\n    \
+         \"jobs\": {pjobs}, \"batch_jobs\": {nbatch}, \"batch_edge\": {batch_edge},\n    \
+         \"aging_ms\": {aging_ms}, \"latency_deadline_ms\": {lat_deadline_ms},\n    \
+         \"fifo\": {{\"latency_p50_ms\": {fl50:.3}, \"latency_p99_ms\": {fl99:.3}, \
+         \"normal_p99_ms\": {fn99:.3}, \"batch_p99_ms\": {fb99:.3}, \"deadline_misses\": {fmiss}}},\n    \
+         \"deadline\": {{\"latency_p50_ms\": {dl50:.3}, \"latency_p99_ms\": {dl99:.3}, \
+         \"normal_p99_ms\": {dn99:.3}, \"batch_p99_ms\": {db99:.3}, \"deadline_misses\": {dmiss}}},\n    \
+         \"fifo_over_deadline_latency_p99\": {lat_p99_ratio:.3},\n    \
+         \"batch_starved\": 0,\n    \
+         \"infeasible_sheds\": {sheds}\n  }},\n  \
          \"cold_tuning_measurements\": {cold},\n  \
          \"warm_tuning_measurements\": 0,\n  \
          \"all_jobs_verified\": true\n}}\n",
         sig = machine.signature(),
         edges = mix.edges,
+        aging_ms = aging.as_millis(),
+        lat_deadline_ms = lat_deadline.as_millis(),
+        fl50 = table["fifo"][0],
+        fl99 = table["fifo"][1],
+        fn99 = table["fifo"][3],
+        fb99 = table["fifo"][4],
+        fmiss = table["fifo"][5] as u64,
+        dl50 = table["deadline"][0],
+        dl99 = table["deadline"][1],
+        dn99 = table["deadline"][3],
+        db99 = table["deadline"][4],
+        dmiss = table["deadline"][5] as u64,
         sj = serial.jobs_per_sec,
         sp50 = serial.p50_ms,
         sp99 = serial.p99_ms,

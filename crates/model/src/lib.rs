@@ -59,5 +59,6 @@ pub use network::NetworkParams;
 pub use pipeline::{pipeline_speedup, team_block_time, team_block_time_op, wavefront_speedup};
 pub use roofline::{
     jacobi_roofline_lups, op_roofline_lups, placed_bandwidth, placed_roofline_lups, roofline_lups,
+    service_floor_seconds,
 };
 pub use scaling::{ScalingConfig, ScalingMode, ScalingPoint};

@@ -88,6 +88,30 @@ pub fn placed_roofline_lups(
     placed_bandwidth(machine, remote_fraction, remote_penalty) / bytes_per_lup
 }
 
+/// Optimistic service-time **floor** in seconds for a job of
+/// `cell_updates` lattice-site updates with code balance `bytes_per_lup`.
+///
+/// Even a perfectly temporally blocked schedule cannot stream data
+/// faster than the shared-cache bandwidth `M_c` — §1.4's asymptotic
+/// speedup `M_c/M_s` caps every method in this workspace — so no
+/// executor on this machine finishes the job sooner than
+/// `cell_updates · B_c / M_c`. That makes the floor the right
+/// admission-control test for deadline scheduling: a job whose deadline
+/// is tighter than its floor would miss **even starting immediately on
+/// an idle slice with the best possible plan**, so a server sheds it at
+/// submission instead of queueing doomed work (`Rejected::Infeasible`
+/// in `temporal_blocking::serve`). Callers pass the *streaming-store*
+/// code balance (the lowest-traffic variant) to keep the bound
+/// optimistic.
+pub fn service_floor_seconds(
+    machine: &MachineParams,
+    bytes_per_lup: f64,
+    cell_updates: u64,
+) -> f64 {
+    assert!(bytes_per_lup > 0.0);
+    cell_updates as f64 * bytes_per_lup / machine.mc
+}
+
 /// Naive code balance of the unblocked kernel in words/flop (paper §1.1:
 /// `B_c = 8/6 W/F` counting the RFO).
 pub fn naive_code_balance_words_per_flop() -> f64 {
@@ -185,5 +209,28 @@ mod tests {
     #[should_panic(expected = "remote penalty")]
     fn zero_penalty_rejected() {
         let _ = placed_bandwidth(&MachineParams::nehalem_ep(), 0.5, 0.0);
+    }
+
+    #[test]
+    fn service_floor_is_the_cache_bandwidth_bound() {
+        let m = MachineParams::nehalem_ep();
+        // 1e9 updates at the streaming Jacobi balance (16 B/LUP):
+        // 16 GB over Mc = 80 GB/s is exactly 0.2 s.
+        let floor = service_floor_seconds(&m, 16.0, 1_000_000_000);
+        assert!((floor - 0.2).abs() < 1e-12);
+        // The floor is below the memory roofline's time (Mc > Ms): a
+        // baseline sweep at Eq. 2 speed takes Mc/Ms times longer.
+        let roofline_time = 1e9 / roofline_lups(&m, 16.0);
+        assert!(floor < roofline_time);
+        assert!((roofline_time / floor - m.max_speedup()).abs() < 1e-9);
+        // Linear in work and in traffic.
+        assert_eq!(service_floor_seconds(&m, 16.0, 2_000_000_000), 2.0 * floor);
+        assert_eq!(service_floor_seconds(&m, 32.0, 1_000_000_000), 2.0 * floor);
+    }
+
+    #[test]
+    #[should_panic]
+    fn service_floor_rejects_zero_traffic() {
+        let _ = service_floor_seconds(&MachineParams::nehalem_ep(), 0.0, 1);
     }
 }

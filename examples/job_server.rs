@@ -1,7 +1,9 @@
 //! Solver-as-a-service: stand up a [`Server`], let it slice the machine
 //! along cache-group boundaries, and push a mixed tenant workload
-//! through it — fixed-method jobs, tuned jobs (cold then warm), and a
-//! rejected burst demonstrating admission control.
+//! through it — fixed-method jobs, tuned jobs (cold then warm), a
+//! rejected burst demonstrating admission control, and a
+//! priority/deadline mix under [`SchedPolicy::Deadline`] with
+//! infeasible-deadline shedding.
 //!
 //! ```sh
 //! cargo run --release --example job_server
@@ -135,4 +137,75 @@ fn main() {
         h.wait().expect("admitted burst jobs are served");
     }
     println!("admitted burst jobs served after start()");
+
+    // Priority/deadline scheduling: an EDF server with admission
+    // shedding. A Batch pile queues first; a deadline-bearing Latency
+    // job submitted after it jumps the pile, while a hopeless deadline
+    // is shed at the door instead of queueing doomed work.
+    let edf = Server::new(
+        &machine,
+        ServerConfig {
+            policy: SchedPolicy::Deadline,
+            admission: Admission::Shed(MachineParams::nehalem_ep()),
+            ..ServerConfig::default()
+        },
+    );
+    let batch: Vec<JobHandle> = (0..6)
+        .map(|s| {
+            edf.submit(
+                JobSpec::new(
+                    JobOp::Jacobi6,
+                    JobPayload::F64(init::random(Dims3::cube(28), 20 + s)),
+                    8,
+                    JobMethod::Fixed(Method::Sequential),
+                )
+                .with_priority(Priority::Batch),
+            )
+            .expect("batch pile admitted")
+        })
+        .collect();
+    let urgent = edf
+        .submit(
+            JobSpec::new(
+                JobOp::Jacobi7Heat(0.1),
+                JobPayload::F64(init::random(Dims3::cube(12), 30)),
+                2,
+                JobMethod::Fixed(Method::Sequential),
+            )
+            .with_priority(Priority::Latency)
+            .with_deadline(Duration::from_millis(50)),
+        )
+        .expect("a feasible deadline is admitted");
+    match edf.submit(
+        JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(48), 31)),
+            8,
+            JobMethod::Fixed(Method::Sequential),
+        )
+        .with_deadline(Duration::from_micros(1)),
+    ) {
+        Err(Rejected::Infeasible(_, floor)) => println!(
+            "\ninfeasible job shed at admission: 1 µs deadline vs {:.0} µs model floor",
+            floor.as_secs_f64() * 1e6
+        ),
+        _ => unreachable!("a 1 µs deadline on a 48³ solve cannot be feasible"),
+    }
+    let (_, report) = urgent.wait().expect("the urgent job succeeds");
+    println!(
+        "urgent job: latency {:.2} ms, deadline met: {}",
+        report.latency().as_secs_f64() * 1e3,
+        report.deadline_met.unwrap_or(false),
+    );
+    for h in batch {
+        h.wait()
+            .expect("batch jobs still complete (aging, no starvation)");
+    }
+    let stats = edf.stats();
+    println!(
+        "server stats: latency-class p99 {:.2} ms, batch completed {}/6, sheds {}",
+        stats.class(Priority::Latency).p99_ms,
+        stats.class(Priority::Batch).completed,
+        stats.sheds,
+    );
 }

@@ -101,8 +101,9 @@ pub mod serve;
 /// Everything an application typically needs.
 pub mod prelude {
     pub use crate::serve::{
-        JobError, JobHandle, JobMethod, JobOp, JobPayload, JobReport, JobSpec, Rejected,
-        SchedPolicy, Server, ServerConfig, SlicePolicy,
+        Admission, ClassStats, JobError, JobHandle, JobMethod, JobOp, JobPayload, JobReport,
+        JobSpec, PackPolicy, Priority, Rejected, SchedPolicy, Server, ServerConfig, ServerStats,
+        SlicePolicy,
     };
     pub use crate::{
         solve, solve_on, solve_tuned_on, solve_tuned_with_on, solve_with, solve_with_on, Method,

@@ -34,8 +34,26 @@
 //!   pay neither spawn-per-job nor allocation-per-job.
 //! - **Packing policy**: a free slice takes the biggest queued job
 //!   first ([`SchedPolicy::BiggestFirst`], throughput — big jobs don't
-//!   convoy behind the tail) or the oldest ([`SchedPolicy::Fifo`],
-//!   latency).
+//!   convoy behind the tail), the oldest ([`SchedPolicy::Fifo`],
+//!   latency), or the most urgent ([`SchedPolicy::Deadline`]:
+//!   earliest-deadline-first over [`Priority`] classes, with aging so
+//!   `Batch` jobs cannot starve — see [`deadline_pick`]).
+//! - **Deadlines**: a [`JobSpec`] may carry a client deadline. The
+//!   server predicts a service-time *floor* for the executing slice
+//!   (observed MLUP/s for the (operator, element) pair, else the
+//!   tb-model cache-bandwidth bound
+//!   [`tb_model::service_floor_seconds`]) and, under
+//!   [`Admission::Shed`], rejects jobs that would blow their deadline
+//!   even starting immediately ([`Rejected::Infeasible`]) instead of
+//!   queueing doomed work. [`JobReport::deadline_met`] records the
+//!   honest outcome — measured from *submission-call entry*, so time
+//!   blocked in [`Server::submit_blocking`] counts against the client
+//!   deadline ([`JobReport::admission_wait`]).
+//! - **Cancellation**: [`JobHandle::cancel`] removes a still-queued job
+//!   atomically — a cancelled job never executes.
+//! - **Accounting**: [`Server::stats`] aggregates per-[`Priority`]
+//!   completion counts, p50/p99 latency, deadline misses, sheds and
+//!   cancels ([`ServerStats`]).
 //! - **Warm plans**: [`JobMethod::Tuned`] jobs tune through the plan
 //!   cache keyed by the *executing slice's* sub-machine fingerprint.
 //!   Identical slices share one fingerprint, so after the first cold
@@ -57,6 +75,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tb_grid::{norm, Dims3, Grid3, Real, Region3};
+use tb_model::MachineParams;
 use tb_runtime::{Placement, Runtime};
 use tb_stencil::{Avg27, Jacobi6, Jacobi7, RunStats, StencilOp, VarCoeff7};
 use tb_topology::{Machine, TeamLayout};
@@ -76,13 +95,18 @@ pub enum Rejected<I> {
     Full(I),
     /// The queue is closed for new work (server shutting down).
     Closed(I),
+    /// Admission control predicts the job cannot meet its deadline even
+    /// starting immediately on an idle slice: the optimistic service
+    /// floor (second field) already exceeds the requested deadline.
+    /// Only servers running [`Admission::Shed`] produce this.
+    Infeasible(I, Duration),
 }
 
 impl<I> Rejected<I> {
     /// The rejected item, whatever the reason.
     pub fn into_inner(self) -> I {
         match self {
-            Rejected::Full(i) | Rejected::Closed(i) => i,
+            Rejected::Full(i) | Rejected::Closed(i) | Rejected::Infeasible(i, _) => i,
         }
     }
 }
@@ -154,6 +178,20 @@ impl<I> JobQueue<I> {
 
     /// Admit `item`, waiting up to `timeout` for room (backpressure).
     pub fn push_deadline(&self, item: I, timeout: Duration) -> Result<(), Rejected<I>> {
+        self.push_deadline_with(item, timeout, |_| {})
+    }
+
+    /// [`JobQueue::push_deadline`] with an admission hook: `on_admit`
+    /// runs on the item under the queue lock immediately before it
+    /// becomes visible to consumers. The server stamps the admission
+    /// instant here — a consumer can pick the item the moment the lock
+    /// drops, so stamping after `push_deadline` returns would race.
+    pub fn push_deadline_with(
+        &self,
+        mut item: I,
+        timeout: Duration,
+        on_admit: impl FnOnce(&mut I),
+    ) -> Result<(), Rejected<I>> {
         let deadline = Instant::now() + timeout;
         let mut s = self.lock();
         loop {
@@ -161,6 +199,7 @@ impl<I> JobQueue<I> {
                 return Err(Rejected::Closed(item));
             }
             if s.items.len() < self.capacity {
+                on_admit(&mut item);
                 s.items.push_back(item);
                 drop(s);
                 self.not_empty.notify_one();
@@ -182,11 +221,24 @@ impl<I> JobQueue<I> {
     /// (`pick` returns an index into the `VecDeque`, front = oldest).
     /// Blocks while the queue is empty; returns `None` once it is
     /// closed *and* drained.
+    ///
+    /// # Picker contract
+    /// `pick` is called with a non-empty queue and must return an index
+    /// `< len`. An out-of-range index is a scheduler-policy bug: debug
+    /// builds panic on it; release builds clamp to the newest item
+    /// (index `len - 1`) so a buggy policy degrades to serving the tail
+    /// instead of crashing the slice thread.
     pub fn pop_select(&self, pick: impl Fn(&VecDeque<I>) -> usize) -> Option<I> {
         let mut s = self.lock();
         loop {
             if !s.items.is_empty() {
-                let idx = pick(&s.items).min(s.items.len() - 1);
+                let idx = pick(&s.items);
+                debug_assert!(
+                    idx < s.items.len(),
+                    "picker returned out-of-range index {idx} for a queue of {}",
+                    s.items.len()
+                );
+                let idx = idx.min(s.items.len() - 1);
                 let item = s.items.remove(idx).expect("index bounded above");
                 drop(s);
                 self.not_full.notify_one();
@@ -197,6 +249,20 @@ impl<I> JobQueue<I> {
             }
             s = self.not_empty.wait(s).expect("job queue poisoned");
         }
+    }
+
+    /// Remove and return the first queued item matching `pred`, if any —
+    /// the cancellation primitive. Removal is atomic with respect to
+    /// consumers: an item removed here was never observed by
+    /// [`JobQueue::pop_select`] and never will be. Frees a capacity slot
+    /// (blocked producers are woken).
+    pub fn remove_where(&self, pred: impl Fn(&I) -> bool) -> Option<I> {
+        let mut s = self.lock();
+        let idx = s.items.iter().position(pred)?;
+        let item = s.items.remove(idx).expect("position is in range");
+        drop(s);
+        self.not_full.notify_one();
+        Some(item)
     }
 
     /// Close for new submissions and wake every waiter. Idempotent.
@@ -249,6 +315,21 @@ impl JobOp {
             JobOp::PanicForTest => "panic-for-test",
         }
     }
+
+    /// Streaming-store code balance (bytes/LUP) at the given element
+    /// width — mirrors [`StencilOp::bytes_per_lup`] without constructing
+    /// the operator ([`VarCoeff7::banded`] would allocate its whole
+    /// coefficient grid just to answer). Streaming is the lowest-traffic
+    /// store mode, which keeps the admission service-floor prediction
+    /// optimistic (see [`tb_model::service_floor_seconds`]).
+    pub fn streaming_bytes_per_lup(&self, element_bytes: usize) -> f64 {
+        // Read + write streams; VarCoeff7 adds one coefficient read.
+        let streams = match self {
+            JobOp::VarCoeff7Banded => 3.0,
+            _ => 2.0,
+        };
+        streams * element_bytes as f64
+    }
 }
 
 /// The initial grid, carrying the element type with it.
@@ -270,6 +351,14 @@ impl JobPayload {
         match self {
             JobPayload::F64(_) => "f64",
             JobPayload::F32(_) => "f32",
+        }
+    }
+
+    /// Bytes per grid element (8 for `f64`, 4 for `f32`).
+    pub fn element_bytes(&self) -> usize {
+        match self {
+            JobPayload::F64(_) => 8,
+            JobPayload::F32(_) => 4,
         }
     }
 
@@ -296,6 +385,51 @@ pub enum JobMethod {
     Tuned(TuneOptions),
 }
 
+/// Scheduling class of a job, from most to least urgent. Under
+/// [`SchedPolicy::Deadline`] the class sets the *virtual deadline* of
+/// jobs that don't carry a real one (see [`deadline_pick`]); the other
+/// policies ignore it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Interactive: serve as soon as possible.
+    Latency,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Throughput work that tolerates waiting — but never starves: aging
+    /// promotes it ahead of everything submitted after its grace period.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, most urgent first — indexable by [`Priority::index`].
+    pub const ALL: [Priority; 3] = [Priority::Latency, Priority::Normal, Priority::Batch];
+
+    /// Dense index for per-class tables (`Latency` = 0 … `Batch` = 2).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Latency => "latency",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Aging-quantum multiplier for the class's virtual deadline:
+    /// a deadline-less job behaves as if due `factor × aging` after
+    /// submission.
+    fn aging_factor(self) -> u32 {
+        match self {
+            Priority::Latency => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 4,
+        }
+    }
+}
+
 /// One solve job: operator, initial grid, sweep count, strategy.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
@@ -305,10 +439,19 @@ pub struct JobSpec {
     pub method: JobMethod,
     /// Caller correlation id, copied into the report verbatim.
     pub tag: u64,
+    /// Scheduling class (see [`Priority`]); `Normal` by default.
+    pub priority: Priority,
+    /// Client deadline, relative to the *submission-call entry* (so time
+    /// blocked inside [`Server::submit_blocking`] counts against it).
+    /// Under [`SchedPolicy::Deadline`] it drives EDF picking; under
+    /// [`Admission::Shed`] an infeasible deadline is rejected up front.
+    /// Every deadline job's outcome lands in
+    /// [`JobReport::deadline_met`].
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
-    /// A fixed-method job with `tag = 0`.
+    /// A fixed-method job with `tag = 0`, `Normal` priority, no deadline.
     pub fn new(op: JobOp, payload: JobPayload, sweeps: usize, method: JobMethod) -> Self {
         Self {
             op,
@@ -316,7 +459,21 @@ impl JobSpec {
             sweeps,
             method,
             tag: 0,
+            priority: Priority::Normal,
+            deadline: None,
         }
+    }
+
+    /// Builder form: set the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder form: set the client deadline (relative to submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Scheduling weight: total cell updates requested. The
@@ -353,6 +510,14 @@ pub struct JobReport {
     pub op: &'static str,
     pub dims: Dims3,
     pub sweeps: usize,
+    /// Scheduling class the job ran under.
+    pub priority: Priority,
+    /// Submission-call entry → admission into the queue: the time the
+    /// client spent blocked in [`Server::submit_blocking`] waiting for a
+    /// queue slot (zero for the non-blocking [`Server::submit`]). Kept
+    /// separate from [`JobReport::queue_wait`] so backpressure is
+    /// visible instead of silently vanishing from the accounting.
+    pub admission_wait: Duration,
     /// Admission → a slice picking the job up.
     pub queue_wait: Duration,
     /// Solve wall time on the slice (tuning included for cold tunes,
@@ -375,14 +540,25 @@ pub struct JobReport {
     /// sequential oracle's [`JobPayload::fingerprint`] iff the solve is
     /// bitwise-correct.
     pub verify_hash: u64,
+    /// For deadline jobs: whether the job finished within
+    /// [`JobSpec::deadline`], measured from submission-call entry (so
+    /// admission blocking counts). `None` when no deadline was set.
+    pub deadline_met: Option<bool>,
+    /// The admission predictor's optimistic service-time floor for this
+    /// job — observed MLUP/s for the (operator, element) pair when this
+    /// server has served one, else the tb-model cache-bandwidth bound
+    /// (only under [`Admission::Shed`]). `None` when no estimate was
+    /// available at submission.
+    pub predicted_service: Option<Duration>,
     /// Present on tuned jobs.
     pub tuned: Option<TunedJob>,
 }
 
 impl JobReport {
-    /// Queue wait + service: what the submitting client experienced.
+    /// Admission wait + queue wait + service: what the submitting client
+    /// experienced from submission-call entry to completion.
     pub fn latency(&self) -> Duration {
-        self.queue_wait + self.service
+        self.admission_wait + self.queue_wait + self.service
     }
 }
 
@@ -424,15 +600,44 @@ impl JobState {
 }
 
 /// Ticket for a submitted job; [`JobHandle::wait`] blocks until a slice
-/// finished it.
+/// finished it, [`JobHandle::cancel`] pulls it back out of the queue.
 pub struct JobHandle {
     id: u64,
     state: Arc<JobState>,
+    queue: std::sync::Weak<JobQueue<QueuedJob>>,
+    stats: std::sync::Weak<Mutex<StatsInner>>,
 }
 
 impl JobHandle {
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Remove the job from the queue if no slice has picked it up yet.
+    /// Removal is atomic with the slices' queue pops, so a job cancelled
+    /// here **never executes**; [`JobHandle::wait`] then returns a
+    /// cancellation [`JobError`]. Returns `false` (and changes nothing)
+    /// when the job already started executing or finished.
+    pub fn cancel(&self) -> bool {
+        let Some(queue) = self.queue.upgrade() else {
+            return false;
+        };
+        let id = self.id;
+        match queue.remove_where(|j| j.id == id) {
+            Some(job) => {
+                if let Some(stats) = self.stats.upgrade() {
+                    let mut s = stats.lock().expect("server stats poisoned");
+                    s.cancels += 1;
+                    s.classes[job.priority.index()].cancelled += 1;
+                }
+                job.state.complete(Err(JobError {
+                    job_id: job.id,
+                    message: "cancelled before execution".into(),
+                }));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Non-blocking: has the job finished?
@@ -470,7 +675,191 @@ pub enum SchedPolicy {
     /// behind the tail (ties break toward the oldest).
     #[default]
     BiggestFirst,
+    /// Earliest (virtual) deadline first over [`Priority`] classes, with
+    /// aging so `Batch` never starves — see [`deadline_pick`] for the
+    /// exact discipline and its starvation bound.
+    Deadline,
 }
+
+/// Alias for [`SchedPolicy`]: the policy *packs* jobs onto freed slices.
+pub type PackPolicy = SchedPolicy;
+
+/// One queued job's scheduling facts, as the deadline policy sees them.
+/// Public so policy properties (EDF optimality, aging bounds) can be
+/// tested against [`deadline_pick`] on synthetic traces without running
+/// a real server.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedFacts {
+    pub priority: Priority,
+    /// Absolute client deadline, if the job carries one.
+    pub deadline: Option<Instant>,
+    /// Submission-call entry (aging counts from here, so admission
+    /// blocking ages a job too).
+    pub submitted: Instant,
+}
+
+impl SchedFacts {
+    /// The job's virtual deadline: its real deadline when it has one,
+    /// else `submitted + aging_factor(priority) · aging`.
+    fn virtual_deadline(&self, aging: Duration) -> Instant {
+        self.deadline
+            .unwrap_or_else(|| self.submitted + aging * self.priority.aging_factor())
+    }
+}
+
+/// The [`SchedPolicy::Deadline`] picker: earliest *virtual* deadline
+/// first, ties broken toward the oldest submission (then the frontmost
+/// queue position).
+///
+/// A job's virtual deadline is its client deadline when it has one;
+/// deadline-less jobs get `submitted + factor·aging` with `factor` 0
+/// (`Latency`), 1 (`Normal`) or 4 (`Batch`). Two properties follow:
+///
+/// * **EDF**: among deadline-bearing jobs this is exact
+///   earliest-deadline-first, so for a single slice and simultaneous
+///   submission it minimizes maximum lateness (Jackson's rule): if any
+///   order meets every deadline, this one does.
+/// * **Aging bounds `Batch` wait**: any job submitted after a `Batch`
+///   job's virtual deadline `S + 4·aging` has a virtual deadline
+///   *later* than it (real deadlines are ≥ their own submission
+///   instant), so only the finitely many jobs already submitted before
+///   that grace period expires can be served ahead of it — `Batch`
+///   cannot starve under a continuous stream of urgent work.
+///
+/// `aging = 0` collapses every deadline-less job's virtual deadline to
+/// its submission instant: plain FIFO with deadline jobs interleaved by
+/// EDF. `items` must be non-empty; the returned index is `< len`.
+pub fn deadline_pick(items: &[SchedFacts], aging: Duration) -> usize {
+    assert!(!items.is_empty(), "deadline_pick needs a non-empty queue");
+    items
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.virtual_deadline(aging)
+                .cmp(&b.virtual_deadline(aging))
+                .then(a.submitted.cmp(&b.submitted))
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty queue")
+}
+
+/// What besides queue capacity can turn a submission away.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Admission {
+    /// Admit anything the bounded queue accepts (the legacy behavior).
+    #[default]
+    QueueOnly,
+    /// Additionally shed deadline jobs that are provably infeasible:
+    /// when the *optimistic* service-time floor — the best observed
+    /// MLUP/s for the (operator, element) pair on this server, else the
+    /// tb-model shared-cache bandwidth bound
+    /// ([`tb_model::service_floor_seconds`]) on these machine
+    /// parameters — already exceeds the deadline, the job is rejected
+    /// with [`Rejected::Infeasible`] instead of queueing work that is
+    /// doomed to miss.
+    Shed(MachineParams),
+}
+
+// ---------------------------------------------------------------------
+// Server statistics
+// ---------------------------------------------------------------------
+
+/// Completed-job latencies kept per class for the percentile estimates —
+/// a sliding window so a long-lived server reports *recent* tail
+/// latency, not its whole history.
+const STATS_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct ClassAccum {
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    deadlines: u64,
+    deadline_misses: u64,
+    latencies_ms: VecDeque<f64>,
+    max_latency: Duration,
+}
+
+impl ClassAccum {
+    fn record_latency(&mut self, latency: Duration) {
+        if self.latencies_ms.len() >= STATS_WINDOW {
+            self.latencies_ms.pop_front();
+        }
+        self.latencies_ms.push_back(latency.as_secs_f64() * 1e3);
+        self.max_latency = self.max_latency.max(latency);
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    classes: [ClassAccum; 3],
+    sheds: u64,
+    cancels: u64,
+}
+
+/// Linear-interpolation percentile (R-7, matching `tb_bench::percentile`)
+/// over an *unsorted* sample; `0.0` on an empty one.
+fn percentile_ms(samples: &VecDeque<f64>, q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.iter().copied().collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Aggregates for one [`Priority`] class (a point-in-time snapshot).
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    /// Jobs admitted into the queue (includes still-queued/running).
+    pub admitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that failed in execution.
+    pub failed: u64,
+    /// Jobs cancelled before execution ([`JobHandle::cancel`] or server
+    /// drop).
+    pub cancelled: u64,
+    /// Completed jobs that carried a deadline.
+    pub deadlines: u64,
+    /// ... of which finished after it.
+    pub deadline_misses: u64,
+    /// Median client latency ([`JobReport::latency`]) over the most
+    /// recent 4096-job window, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile client latency over the same window, ms.
+    pub p99_ms: f64,
+    /// Worst client latency ever observed (not windowed).
+    pub max_ms: f64,
+}
+
+/// Point-in-time scheduling statistics ([`Server::stats`]).
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Per-class aggregates, indexed by [`Priority::index`]
+    /// (`Latency` = 0, `Normal` = 1, `Batch` = 2).
+    pub classes: [ClassStats; 3],
+    /// Submissions shed by admission control ([`Rejected::Infeasible`]).
+    pub sheds: u64,
+    /// Jobs cancelled before execution.
+    pub cancels: u64,
+}
+
+impl ServerStats {
+    /// The aggregates of one class.
+    pub fn class(&self, p: Priority) -> &ClassStats {
+        &self.classes[p.index()]
+    }
+}
+
+/// Best observed LUP/s per (operator name, element name) — the admission
+/// predictor's memory of what this server has actually achieved.
+type RateMap = HashMap<(&'static str, &'static str), f64>;
 
 /// How the machine is partitioned into slices.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -521,6 +910,14 @@ pub struct ServerConfig {
     /// ingest/egress machinery on hosts without real NUMA; production
     /// code has no reason to.
     pub force_placement: bool,
+    /// Aging quantum of [`SchedPolicy::Deadline`]: a deadline-less job is
+    /// scheduled as if due `aging_factor(priority) × aging` after
+    /// submission (0 / 1× / 4× for `Latency` / `Normal` / `Batch` — see
+    /// [`deadline_pick`]). Smaller values push deadline-less work ahead
+    /// sooner; `Duration::ZERO` degenerates to FIFO-with-EDF-interleave.
+    pub aging: Duration,
+    /// Deadline admission control (see [`Admission`]).
+    pub admission: Admission,
 }
 
 impl Default for ServerConfig {
@@ -532,6 +929,8 @@ impl Default for ServerConfig {
             slices: SlicePolicy::default(),
             placement: Placement::WorkerFirstTouch,
             force_placement: false,
+            aging: Duration::from_millis(100),
+            admission: Admission::QueueOnly,
         }
     }
 }
@@ -552,7 +951,18 @@ pub struct SliceInfo {
 struct QueuedJob {
     id: u64,
     spec: JobSpec,
-    enqueued: Instant,
+    /// Submission-call entry — before any admission blocking.
+    submitted: Instant,
+    /// Admission into the queue; stamped under the queue lock by the
+    /// blocking submit path ([`JobQueue::push_deadline_with`]), equal to
+    /// `submitted` for the non-blocking path. `admitted - submitted` is
+    /// the report's [`JobReport::admission_wait`].
+    admitted: Instant,
+    /// Absolute client deadline (`submitted + spec.deadline`).
+    deadline: Option<Instant>,
+    priority: Priority,
+    /// The admission predictor's service-floor estimate, if any.
+    predicted: Option<Duration>,
     weight: u64,
     state: Arc<JobState>,
 }
@@ -571,6 +981,10 @@ pub struct Server {
     policy: SchedPolicy,
     pool_capacity: usize,
     placement: Placement,
+    aging: Duration,
+    admission: Admission,
+    stats: Arc<Mutex<StatsInner>>,
+    rates: Arc<Mutex<RateMap>>,
     next_id: AtomicU64,
 }
 
@@ -640,6 +1054,10 @@ impl Server {
             policy: cfg.policy,
             pool_capacity: cfg.pool_capacity,
             placement,
+            aging: cfg.aging,
+            admission: cfg.admission,
+            stats: Arc::new(Mutex::new(StatsInner::default())),
+            rates: Arc::new(Mutex::new(RateMap::new())),
             next_id: AtomicU64::new(1),
         }
     }
@@ -650,14 +1068,20 @@ impl Server {
             return;
         }
         for (index, sub) in self.sub_machines.iter().enumerate() {
-            let queue = Arc::clone(&self.queue);
-            let sub = sub.clone();
-            let policy = self.policy;
-            let pool_capacity = self.pool_capacity;
-            let placement = self.placement;
+            let ctx = SliceCtx {
+                queue: Arc::clone(&self.queue),
+                sub: sub.clone(),
+                index,
+                policy: self.policy,
+                pool_capacity: self.pool_capacity,
+                placement: self.placement,
+                aging: self.aging,
+                stats: Arc::clone(&self.stats),
+                rates: Arc::clone(&self.rates),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("tb-serve-s{index}"))
-                .spawn(move || slice_loop(queue, sub, index, policy, pool_capacity, placement))
+                .spawn(move || slice_loop(ctx))
                 .expect("spawn slice thread");
             self.threads.push(handle);
         }
@@ -673,6 +1097,39 @@ impl Server {
         self.queue.len()
     }
 
+    /// The admission predictor's optimistic service-time floor for
+    /// `spec`: the best LUP/s this server has *observed* for the
+    /// (operator, element) pair when it has served one, else — only
+    /// under [`Admission::Shed`] — the tb-model shared-cache bandwidth
+    /// bound ([`tb_model::service_floor_seconds`]). Both are floors: the
+    /// observed rate is the server's best case, and no schedule beats
+    /// `M_c`. `None` when neither source applies.
+    fn predict_service(&self, spec: &JobSpec) -> Option<Duration> {
+        let weight = spec.weight();
+        let observed = {
+            let rates = self.rates.lock().expect("server rates poisoned");
+            rates
+                .get(&(spec.op.name(), spec.payload.element()))
+                .map(|lups| Duration::from_secs_f64(weight as f64 / lups))
+        };
+        let modeled = match &self.admission {
+            Admission::Shed(params) => {
+                Some(Duration::from_secs_f64(tb_model::service_floor_seconds(
+                    params,
+                    spec.op
+                        .streaming_bytes_per_lup(spec.payload.element_bytes()),
+                    weight,
+                )))
+            }
+            Admission::QueueOnly => None,
+        };
+        // Both are optimistic floors; take the tighter (larger) one.
+        match (observed, modeled) {
+            (Some(o), Some(m)) => Some(o.max(m)),
+            (o, m) => o.or(m),
+        }
+    }
+
     // `Rejected` hands the (large) spec back by design — admission
     // control must return the rejected job for resubmission.
     #[allow(clippy::result_large_err)]
@@ -681,19 +1138,48 @@ impl Server {
         spec: JobSpec,
         push: impl FnOnce(QueuedJob) -> Result<(), Rejected<QueuedJob>>,
     ) -> Result<JobHandle, Rejected<JobSpec>> {
+        // Stamp at submission-call entry: everything after this instant —
+        // admission blocking included — counts against the client.
+        let submitted = Instant::now();
+        let predicted = self.predict_service(&spec);
+        if let (Admission::Shed(_), Some(deadline), Some(floor)) =
+            (&self.admission, spec.deadline, predicted)
+        {
+            if floor > deadline {
+                let mut s = self.stats.lock().expect("server stats poisoned");
+                s.sheds += 1;
+                return Err(Rejected::Infeasible(spec, floor));
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let state = JobState::new();
+        let priority = spec.priority;
         let job = QueuedJob {
             id,
             weight: spec.weight(),
+            deadline: spec.deadline.map(|d| submitted + d),
+            priority,
+            predicted,
             spec,
-            enqueued: Instant::now(),
+            submitted,
+            admitted: submitted,
             state: Arc::clone(&state),
         };
         match push(job) {
-            Ok(()) => Ok(JobHandle { id, state }),
+            Ok(()) => {
+                self.stats.lock().expect("server stats poisoned").classes[priority.index()]
+                    .admitted += 1;
+                Ok(JobHandle {
+                    id,
+                    state,
+                    queue: Arc::downgrade(&self.queue),
+                    stats: Arc::downgrade(&self.stats),
+                })
+            }
             Err(Rejected::Full(j)) => Err(Rejected::Full(j.spec)),
             Err(Rejected::Closed(j)) => Err(Rejected::Closed(j.spec)),
+            // The queue itself never sheds; the arm exists for the match.
+            Err(Rejected::Infeasible(j, p)) => Err(Rejected::Infeasible(j.spec, p)),
         }
     }
 
@@ -705,14 +1191,47 @@ impl Server {
     }
 
     /// Admit a job, blocking up to `timeout` for queue space
-    /// (backpressure for closed-loop clients).
+    /// (backpressure for closed-loop clients). Time spent blocked here
+    /// is reported as [`JobReport::admission_wait`] — and counts against
+    /// the job's deadline, which is relative to the call's entry.
     #[allow(clippy::result_large_err)]
     pub fn submit_blocking(
         &self,
         spec: JobSpec,
         timeout: Duration,
     ) -> Result<JobHandle, Rejected<JobSpec>> {
-        self.enqueue(spec, |j| self.queue.push_deadline(j, timeout))
+        self.enqueue(spec, |j| {
+            // Stamp admission under the queue lock: a slice can pick the
+            // job the moment it becomes visible, so stamping after the
+            // push returns would race (and under-report queue wait).
+            self.queue
+                .push_deadline_with(j, timeout, |j| j.admitted = Instant::now())
+        })
+    }
+
+    /// Point-in-time scheduling statistics: per-class completion counts,
+    /// windowed p50/p99 client latency, deadline misses, sheds, cancels.
+    pub fn stats(&self) -> ServerStats {
+        let s = self.stats.lock().expect("server stats poisoned");
+        let mut out = ServerStats {
+            sheds: s.sheds,
+            cancels: s.cancels,
+            ..ServerStats::default()
+        };
+        for (accum, snap) in s.classes.iter().zip(out.classes.iter_mut()) {
+            *snap = ClassStats {
+                admitted: accum.admitted,
+                completed: accum.completed,
+                failed: accum.failed,
+                cancelled: accum.cancelled,
+                deadlines: accum.deadlines,
+                deadline_misses: accum.deadline_misses,
+                p50_ms: percentile_ms(&accum.latencies_ms, 0.50),
+                p99_ms: percentile_ms(&accum.latencies_ms, 0.99),
+                max_ms: accum.max_latency.as_secs_f64() * 1e3,
+            };
+        }
+        out
     }
 
     /// Graceful shutdown: stop admitting, serve everything already
@@ -728,6 +1247,11 @@ impl Drop for Server {
         }
         // Only a never-started server can still hold admitted jobs.
         for job in self.queue.drain() {
+            {
+                let mut s = self.stats.lock().expect("server stats poisoned");
+                s.cancels += 1;
+                s.classes[job.priority.index()].cancelled += 1;
+            }
             job.state.complete(Err(JobError {
                 job_id: job.id,
                 message: "server dropped before the job was scheduled".into(),
@@ -740,14 +1264,32 @@ impl Drop for Server {
 // Slice execution
 // ---------------------------------------------------------------------
 
-fn slice_loop(
+/// Everything one slice's service thread needs — bundled so the loop has
+/// one argument instead of nine.
+struct SliceCtx {
     queue: Arc<JobQueue<QueuedJob>>,
     sub: Machine,
     index: usize,
     policy: SchedPolicy,
     pool_capacity: usize,
     placement: Placement,
-) {
+    aging: Duration,
+    stats: Arc<Mutex<StatsInner>>,
+    rates: Arc<Mutex<RateMap>>,
+}
+
+fn slice_loop(ctx: SliceCtx) {
+    let SliceCtx {
+        queue,
+        sub,
+        index,
+        policy,
+        pool_capacity,
+        placement,
+        aging,
+        stats,
+        rates,
+    } = ctx;
     // One persistent runtime per slice, workers pinned to the slice's
     // cores, alive across every job this slice ever serves.
     let layout = TeamLayout::new(&sub, sub.num_cpus(), 1);
@@ -767,16 +1309,35 @@ fn slice_loop(
                 .max_by(|(ia, a), (ib, b)| a.weight.cmp(&b.weight).then(ib.cmp(ia)))
                 .map(|(i, _)| i)
                 .unwrap_or(0),
+            SchedPolicy::Deadline => {
+                let facts: Vec<SchedFacts> = items
+                    .iter()
+                    .map(|j| SchedFacts {
+                        priority: j.priority,
+                        deadline: j.deadline,
+                        submitted: j.submitted,
+                    })
+                    .collect();
+                deadline_pick(&facts, aging)
+            }
         }
     };
     while let Some(job) = queue.pop_select(pick) {
         let picked = Instant::now();
-        let queue_wait = picked.duration_since(job.enqueued);
+        let queue_wait = picked.duration_since(job.admitted);
+        let admission_wait = job.admitted.duration_since(job.submitted);
         let QueuedJob {
-            id, spec, state, ..
+            id,
+            spec,
+            state,
+            deadline,
+            priority,
+            predicted,
+            ..
         } = job;
         let tag = spec.tag;
         let op_name = spec.op.name();
+        let element = spec.payload.element();
         let dims = spec.payload.dims();
         let sweeps = spec.sweeps;
         // A panicking job fails its own handle; the slice (and its
@@ -785,27 +1346,42 @@ fn slice_loop(
             execute(&rt, &sub, spec, &mut op_cache)
         }));
         let service = picked.elapsed();
+        let deadline_met = deadline.map(|d| Instant::now() <= d);
         let outcome = match result {
-            Ok(Ok(exec)) => Ok((
-                exec.payload,
-                JobReport {
-                    job_id: id,
-                    tag,
-                    slice: index,
-                    op: op_name,
-                    dims,
-                    sweeps,
-                    queue_wait,
-                    service,
-                    ingest: exec.ingest,
-                    egress: exec.egress,
-                    pool_fresh: exec.pool_fresh,
-                    mlups: exec.mlups,
-                    cell_updates: exec.cell_updates,
-                    verify_hash: exec.verify_hash,
-                    tuned: exec.tuned,
-                },
-            )),
+            Ok(Ok(exec)) => {
+                // Feed the admission predictor: remember the best rate
+                // this server has achieved for the (op, element) pair.
+                if exec.mlups > 0.0 {
+                    let lups = exec.mlups * 1e6;
+                    let mut r = rates.lock().expect("server rates poisoned");
+                    let best = r.entry((op_name, element)).or_insert(lups);
+                    *best = best.max(lups);
+                }
+                Ok((
+                    exec.payload,
+                    JobReport {
+                        job_id: id,
+                        tag,
+                        slice: index,
+                        op: op_name,
+                        dims,
+                        sweeps,
+                        priority,
+                        admission_wait,
+                        queue_wait,
+                        service,
+                        ingest: exec.ingest,
+                        egress: exec.egress,
+                        pool_fresh: exec.pool_fresh,
+                        mlups: exec.mlups,
+                        cell_updates: exec.cell_updates,
+                        verify_hash: exec.verify_hash,
+                        deadline_met,
+                        predicted_service: predicted,
+                        tuned: exec.tuned,
+                    },
+                ))
+            }
             Ok(Err(message)) => Err(JobError {
                 job_id: id,
                 message,
@@ -815,6 +1391,23 @@ fn slice_loop(
                 message: format!("job panicked: {}", panic_message(&panic)),
             }),
         };
+        {
+            let mut s = stats.lock().expect("server stats poisoned");
+            let class = &mut s.classes[priority.index()];
+            match &outcome {
+                Ok((_, report)) => {
+                    class.completed += 1;
+                    class.record_latency(report.latency());
+                    if let Some(met) = deadline_met {
+                        class.deadlines += 1;
+                        if !met {
+                            class.deadline_misses += 1;
+                        }
+                    }
+                }
+                Err(_) => class.failed += 1,
+            }
+        }
         state.complete(outcome);
     }
 }
@@ -1184,5 +1777,278 @@ mod tests {
             end_of(2) < end_of(3),
             "biggest job must finish before the medium one"
         );
+    }
+
+    /// Satellite regression: an out-of-range picker index is a policy
+    /// bug — debug builds panic on it; release builds clamp to the
+    /// newest item instead of crashing the slice thread.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "picker returned out-of-range index")
+    )]
+    fn pop_select_out_of_range_picker_is_detected() {
+        let q: JobQueue<u32> = JobQueue::bounded(4);
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        // Index 99 is out of range for a 2-item queue: debug panics
+        // (the attribute above), release clamps to the newest (index 1).
+        let got = q.pop_select(|_| 99);
+        assert_eq!(got, Some(20), "release builds clamp to the newest item");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn deadline_pick_is_edf_with_aged_classes() {
+        let t0 = Instant::now();
+        let ms = Duration::from_millis;
+        let aging = ms(100);
+        let facts = |p: Priority, deadline: Option<Duration>, submitted: Duration| SchedFacts {
+            priority: p,
+            deadline: deadline.map(|d| t0 + d),
+            submitted: t0 + submitted,
+        };
+        // Pure EDF among deadline jobs: earliest absolute deadline wins
+        // regardless of class or queue position.
+        let q = [
+            facts(Priority::Batch, Some(ms(500)), ms(0)),
+            facts(Priority::Latency, Some(ms(300)), ms(10)),
+            facts(Priority::Normal, Some(ms(100)), ms(20)),
+        ];
+        assert_eq!(deadline_pick(&q, aging), 2);
+        // Deadline-less jobs order by class horizon: Latency (0×aging)
+        // beats Normal (1×) beats Batch (4×) at equal submission time.
+        let q = [
+            facts(Priority::Batch, None, ms(0)),
+            facts(Priority::Normal, None, ms(0)),
+            facts(Priority::Latency, None, ms(0)),
+        ];
+        assert_eq!(deadline_pick(&q, aging), 2);
+        // Aging promotes old Batch ahead of fresh deadline-less Normal:
+        // batch vd = 0 + 4·100 = 400ms < normal vd = 350 + 100 = 450ms.
+        let q = [
+            facts(Priority::Batch, None, ms(0)),
+            facts(Priority::Normal, None, ms(350)),
+        ];
+        assert_eq!(deadline_pick(&q, aging), 0);
+        // ... but not ahead of work submitted well inside its grace.
+        let q = [
+            facts(Priority::Batch, None, ms(0)),
+            facts(Priority::Normal, None, ms(100)),
+        ];
+        assert_eq!(deadline_pick(&q, aging), 1);
+        // Equal virtual deadlines tie toward the oldest submission, then
+        // the frontmost position.
+        let q = [
+            facts(Priority::Normal, Some(ms(200)), ms(50)),
+            facts(Priority::Normal, Some(ms(200)), ms(10)),
+        ];
+        assert_eq!(deadline_pick(&q, aging), 1);
+        let q = [
+            facts(Priority::Latency, None, ms(30)),
+            facts(Priority::Latency, None, ms(30)),
+        ];
+        assert_eq!(deadline_pick(&q, aging), 0);
+    }
+
+    #[test]
+    fn streaming_balance_matches_the_operators() {
+        use tb_stencil::kernel::StoreMode;
+        // The JobOp shortcut must agree with the real operators' code
+        // balance under streaming stores, for both element widths.
+        let v64: VarCoeff7<f64> = VarCoeff7::banded(Dims3::cube(4));
+        let v32: VarCoeff7<f32> = VarCoeff7::banded(Dims3::cube(4));
+        let cases: [(JobOp, f64, f64); 4] = [
+            (
+                JobOp::Jacobi6,
+                StencilOp::<f64>::bytes_per_lup(&Jacobi6, StoreMode::Streaming),
+                StencilOp::<f32>::bytes_per_lup(&Jacobi6, StoreMode::Streaming),
+            ),
+            (
+                JobOp::Jacobi7Heat(0.1),
+                StencilOp::<f64>::bytes_per_lup(&Jacobi7::heat(0.1), StoreMode::Streaming),
+                StencilOp::<f32>::bytes_per_lup(&Jacobi7::heat(0.1), StoreMode::Streaming),
+            ),
+            (
+                JobOp::VarCoeff7Banded,
+                v64.bytes_per_lup(StoreMode::Streaming),
+                v32.bytes_per_lup(StoreMode::Streaming),
+            ),
+            (
+                JobOp::Avg27,
+                StencilOp::<f64>::bytes_per_lup(&Avg27, StoreMode::Streaming),
+                StencilOp::<f32>::bytes_per_lup(&Avg27, StoreMode::Streaming),
+            ),
+        ];
+        for (op, want64, want32) in cases {
+            assert_eq!(op.streaming_bytes_per_lup(8), want64, "{op:?} f64");
+            assert_eq!(op.streaming_bytes_per_lup(4), want32, "{op:?} f32");
+        }
+    }
+
+    #[test]
+    fn cancel_removes_queued_jobs_and_counts_them() {
+        // Paused server: the job can never be picked up, so cancel must
+        // win the race deterministically.
+        let m = Machine::flat(1);
+        let server = Server::new_paused(&m, ServerConfig::default());
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(8), 7)),
+            1,
+            JobMethod::Fixed(Method::Sequential),
+        )
+        .with_priority(Priority::Batch);
+        let handle = server.submit(spec).unwrap();
+        assert!(handle.cancel(), "a queued job cancels");
+        assert_eq!(server.queue_len(), 0, "cancel frees the queue slot");
+        let err = handle.wait().expect_err("cancelled jobs fail their handle");
+        assert!(err.message.contains("cancelled"), "got: {}", err.message);
+        let stats = server.stats();
+        assert_eq!(stats.cancels, 1);
+        assert_eq!(stats.class(Priority::Batch).cancelled, 1);
+        assert_eq!(stats.class(Priority::Batch).admitted, 1);
+    }
+
+    #[test]
+    fn cancel_after_completion_is_a_no_op() {
+        let m = Machine::flat(1);
+        let server = Server::new(&m, ServerConfig::default());
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(8), 7)),
+            1,
+            JobMethod::Fixed(Method::Sequential),
+        );
+        let handle = server.submit(spec).unwrap();
+        // Wait for completion without consuming the handle.
+        while !handle.is_done() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!handle.cancel(), "a finished job cannot be cancelled");
+        assert!(handle.wait().is_ok(), "the real outcome is preserved");
+        assert_eq!(server.stats().cancels, 0);
+    }
+
+    #[test]
+    fn infeasible_deadline_is_shed_at_admission() {
+        let m = Machine::flat(1);
+        let server = Server::new_paused(
+            &m,
+            ServerConfig {
+                admission: Admission::Shed(MachineParams::nehalem_ep()),
+                ..ServerConfig::default()
+            },
+        );
+        // 64³ × 8 sweeps ≈ 2.1M updates: the Mc floor (16 B/LUP over
+        // 80 GB/s) is ~420 µs — a 1 ns deadline is hopeless.
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(64), 3)),
+            8,
+            JobMethod::Fixed(Method::Sequential),
+        )
+        .with_deadline(Duration::from_nanos(1));
+        match server.submit(spec) {
+            Err(Rejected::Infeasible(spec, floor)) => {
+                assert_eq!(spec.tag, 0, "the spec comes back untouched");
+                assert!(floor > Duration::from_nanos(1));
+                let want = tb_model::service_floor_seconds(
+                    &MachineParams::nehalem_ep(),
+                    16.0,
+                    spec.weight(),
+                );
+                assert_eq!(floor, Duration::from_secs_f64(want));
+            }
+            Ok(_) => panic!("expected Infeasible, got an admitted job"),
+            Err(other) => panic!("expected Infeasible, got {other:?}"),
+        }
+        assert_eq!(server.stats().sheds, 1);
+        // The same job with a generous deadline is admitted — and its
+        // report carries the predictor's floor.
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(64), 3)),
+            8,
+            JobMethod::Fixed(Method::Sequential),
+        )
+        .with_deadline(Duration::from_secs(60));
+        assert!(server.submit(spec).is_ok());
+        // QueueOnly servers never shed, however absurd the deadline.
+        let lenient = Server::new_paused(&m, ServerConfig::default());
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(init::random(Dims3::cube(64), 3)),
+            8,
+            JobMethod::Fixed(Method::Sequential),
+        )
+        .with_deadline(Duration::from_nanos(1));
+        assert!(lenient.submit(spec).is_ok());
+    }
+
+    /// Satellite regression: time blocked inside `submit_blocking` must
+    /// surface as `admission_wait`, not vanish (the old code stamped the
+    /// queue-wait clock at admission, hiding backpressure entirely).
+    #[test]
+    #[allow(clippy::result_large_err)] // the submitter closure returns the public submit type
+    fn blocked_admission_time_is_reported_separately() {
+        let m = Machine::flat(1);
+        let server = Server::new_paused(
+            &m,
+            ServerConfig {
+                queue_capacity: 1,
+                policy: SchedPolicy::Fifo,
+                ..ServerConfig::default()
+            },
+        );
+        let job = |tag: u64| {
+            let mut spec = JobSpec::new(
+                JobOp::Jacobi6,
+                JobPayload::F64(init::random(Dims3::cube(8), tag)),
+                1,
+                JobMethod::Fixed(Method::Sequential),
+            );
+            spec.tag = tag;
+            spec
+        };
+        // Fill the queue, then block a second submission on it.
+        let first = server.submit(job(1)).unwrap();
+        let server = Arc::new(server);
+        let submitter = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.submit_blocking(job(2), Duration::from_secs(30)))
+        };
+        // Give the submitter time to really block, then free the slot by
+        // serving the first job by hand (the server stays paused so the
+        // admission instants stay deterministic).
+        std::thread::sleep(Duration::from_millis(50));
+        let popped = server
+            .queue
+            .pop_select(|_| 0)
+            .expect("the first job is queued");
+        popped.state.complete(Err(JobError {
+            job_id: popped.id,
+            message: "served by hand".into(),
+        }));
+        let _ = first;
+        let handle = submitter
+            .join()
+            .expect("submitter thread")
+            .expect("admitted after the slot freed");
+        // The blocked submission waited ≥ ~50ms and that wait is stamped
+        // into the queued job as admission time.
+        let queued = server
+            .queue
+            .remove_where(|j| j.id == handle.id())
+            .expect("job 2 is still queued");
+        let admission_wait = queued.admitted.duration_since(queued.submitted);
+        assert!(
+            admission_wait >= Duration::from_millis(40),
+            "blocked admission must be visible, got {admission_wait:?}"
+        );
+        queued.state.complete(Err(JobError {
+            job_id: queued.id,
+            message: "served by hand".into(),
+        }));
     }
 }

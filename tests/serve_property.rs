@@ -17,13 +17,20 @@
 //!    → client grid) are invisible in the result: every operator and
 //!    element type returns the exact oracle bits under both placement
 //!    policies, and client-pages jobs report zero copy time.
+//! 6. **The deadline policy keeps its promises** — on synthetic traces
+//!    through [`deadline_pick`]: EDF meets every deadline FIFO meets
+//!    (Jackson's rule — it minimizes maximum lateness), aging bounds
+//!    how long a `Batch` job waits under a continuous urgent stream,
+//!    cancelled jobs never execute, and `Rejected::Infeasible` jobs
+//!    really would have missed their deadline.
 
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use temporal_blocking::grid::{init, norm, Dims3, Grid3, Region3};
 use temporal_blocking::prelude::*;
+use temporal_blocking::serve::{deadline_pick, SchedFacts};
 use temporal_blocking::topology::Machine;
 use temporal_blocking::{solve_with, Method, TuneOptions};
 
@@ -93,6 +100,31 @@ fn splitmix(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Run a single-server trace in the given static order; returns each
+/// job's lateness in seconds (negative = early) for jobs released
+/// simultaneously at `t0` with the given service times and deadlines.
+fn lateness_in_order(order: &[usize], service: &[Duration], deadline: &[Duration]) -> Vec<f64> {
+    let mut done = Duration::ZERO;
+    let mut lateness = vec![0.0; service.len()];
+    for &j in order {
+        done += service[j];
+        lateness[j] = done.as_secs_f64() - deadline[j].as_secs_f64();
+    }
+    lateness
+}
+
+/// The order `deadline_pick` serves a simultaneously-released queue in.
+fn edf_order(facts: &[SchedFacts], aging: Duration) -> Vec<usize> {
+    let mut remaining: Vec<(usize, SchedFacts)> = facts.iter().copied().enumerate().collect();
+    let mut order = Vec::with_capacity(facts.len());
+    while !remaining.is_empty() {
+        let queue: Vec<SchedFacts> = remaining.iter().map(|(_, f)| *f).collect();
+        let picked = deadline_pick(&queue, aging);
+        order.push(remaining.remove(picked).0);
+    }
+    order
 }
 
 proptest! {
@@ -195,6 +227,251 @@ proptest! {
             }
         }
     }
+
+    /// Jackson's rule on random traces: for a single server and
+    /// simultaneous release, EDF minimizes maximum lateness — so
+    /// whenever the FIFO order meets *every* deadline, the
+    /// `deadline_pick` order does too, and its worst lateness never
+    /// exceeds FIFO's. (The pointwise claim — EDF meets every deadline
+    /// FIFO meets, job by job — is false in general; max lateness is
+    /// the honest guarantee.)
+    #[test]
+    fn deadline_edf_never_misses_when_fifo_meets_all(
+        njobs in 2usize..12,
+        master in any::<u64>(),
+    ) {
+        let t0 = Instant::now();
+        let mut rng = master;
+        let mut service = Vec::with_capacity(njobs);
+        let mut deadline = Vec::with_capacity(njobs);
+        let mut facts = Vec::with_capacity(njobs);
+        for _ in 0..njobs {
+            // Service 1..=20 ms; deadlines anywhere from tight to lax.
+            let s = Duration::from_millis(1 + splitmix(&mut rng) % 20);
+            let d = Duration::from_millis(1 + splitmix(&mut rng) % 200);
+            service.push(s);
+            deadline.push(d);
+            facts.push(SchedFacts {
+                priority: Priority::Latency,
+                deadline: Some(t0 + d),
+                submitted: t0,
+            });
+        }
+        let aging = Duration::from_millis(10);
+        let fifo: Vec<usize> = (0..njobs).collect();
+        let edf = edf_order(&facts, aging);
+        let max = |l: &[f64]| l.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let fifo_late = lateness_in_order(&fifo, &service, &deadline);
+        let edf_late = lateness_in_order(&edf, &service, &deadline);
+        prop_assert!(
+            max(&edf_late) <= max(&fifo_late) + 1e-12,
+            "EDF max lateness {} > FIFO's {}",
+            max(&edf_late),
+            max(&fifo_late)
+        );
+        if max(&fifo_late) <= 0.0 {
+            prop_assert!(
+                edf_late.iter().all(|&l| l <= 1e-12),
+                "FIFO met every deadline but EDF missed one: {edf_late:?}"
+            );
+        }
+    }
+
+    /// Aging bounds `Batch` wait: under a continuous backlogged stream
+    /// of `Latency` work, a deadline-less `Batch` job is still served,
+    /// and everything served ahead of it was submitted within the
+    /// job's grace period (`4 × aging` after its submission) — the
+    /// starvation bound of the virtual-deadline discipline.
+    #[test]
+    fn deadline_aging_bounds_batch_wait_under_urgent_stream(
+        master in any::<u64>(),
+        gap_ms in 1u64..5,
+    ) {
+        let t0 = Instant::now();
+        let aging = Duration::from_millis(20);
+        let batch_grace = aging * 4;
+        let mut rng = master;
+        // Latency jobs arrive every gap_ms with service >= the gap, so
+        // the queue never drains: a policy without aging would starve
+        // the Batch job forever.
+        let nlat = 120usize;
+        let arrivals: Vec<Duration> = (0..nlat)
+            .map(|i| Duration::from_millis(gap_ms * i as u64))
+            .collect();
+        let services: Vec<Duration> = (0..nlat)
+            .map(|_| Duration::from_millis(gap_ms + splitmix(&mut rng) % 4))
+            .collect();
+        let batch = SchedFacts {
+            priority: Priority::Batch,
+            deadline: None,
+            submitted: t0,
+        };
+        // Event-driven single-server simulation over the virtual clock.
+        let mut now = Duration::ZERO;
+        let mut served_before_batch: Vec<usize> = Vec::new();
+        let mut batch_done = false;
+        let mut next = 0usize; // first latency job not yet arrived
+        let mut queued: Vec<usize> = Vec::new();
+        let mut backlog_at_batch = 0usize;
+        while !batch_done {
+            while next < nlat && arrivals[next] <= now {
+                queued.push(next);
+                next += 1;
+            }
+            let mut facts: Vec<SchedFacts> = queued
+                .iter()
+                .map(|&i| SchedFacts {
+                    priority: Priority::Latency,
+                    deadline: None,
+                    submitted: t0 + arrivals[i],
+                })
+                .collect();
+            facts.push(batch); // batch is always pending, at the back
+            let picked = deadline_pick(&facts, aging);
+            if picked == facts.len() - 1 {
+                batch_done = true;
+                backlog_at_batch = queued.len();
+            } else {
+                let job = queued.remove(picked);
+                served_before_batch.push(job);
+                now += services[job];
+            }
+        }
+        // Batch must have *won over* pending urgent work, not been
+        // served into an idle queue — otherwise the bound is vacuous.
+        prop_assert!(
+            backlog_at_batch > 0,
+            "Batch was served only because the urgent stream drained"
+        );
+        for &i in &served_before_batch {
+            prop_assert!(
+                arrivals[i] <= batch_grace,
+                "job arriving at {:?} (after the {:?} grace) ran before Batch",
+                arrivals[i],
+                batch_grace
+            );
+        }
+    }
+
+    /// Cancelled jobs never execute; everyone else still verifies
+    /// bitwise, and the server's books balance.
+    #[test]
+    fn cancel_random_subset_never_executes_rest_verifies(
+        njobs in 2usize..7,
+        master in any::<u64>(),
+    ) {
+        let machine = Machine::flat(2);
+        // Paused server: cancellation always beats the (not yet
+        // started) slices, so the outcome is deterministic.
+        let mut server = Server::new_paused(&machine, ServerConfig {
+            policy: SchedPolicy::Deadline,
+            ..ServerConfig::default()
+        });
+        let ops = op_pool();
+        let mut rng = master;
+        let mut jobs = Vec::new();
+        for _ in 0..njobs {
+            let op = ops[(splitmix(&mut rng) % 4) as usize];
+            let dims = Dims3::cube(8 + (splitmix(&mut rng) % 5) as usize);
+            let sweeps = 1 + (splitmix(&mut rng) % 3) as usize;
+            let seed = splitmix(&mut rng);
+            let payload = JobPayload::F64(init::random(dims, seed));
+            let priority = Priority::ALL[(splitmix(&mut rng) % 3) as usize];
+            let spec = JobSpec::new(op, payload, sweeps, JobMethod::Fixed(Method::Sequential))
+                .with_priority(priority);
+            let cancel_it = splitmix(&mut rng) & 1 == 1;
+            let handle = server.submit(spec.clone()).expect("capacity outlasts njobs");
+            jobs.push((spec, handle, cancel_it));
+        }
+        let mut expected_cancels = 0u64;
+        for (_, handle, cancel_it) in &jobs {
+            if *cancel_it {
+                prop_assert!(handle.cancel(), "queued jobs must cancel");
+                prop_assert!(!handle.cancel(), "double-cancel is a no-op");
+                expected_cancels += 1;
+            }
+        }
+        server.start();
+        for (spec, handle, cancelled) in jobs {
+            if cancelled {
+                let err = handle.wait().expect_err("cancelled jobs never run");
+                prop_assert!(err.message.contains("cancelled"), "got: {}", err.message);
+            } else {
+                let (got, report) = handle.wait().expect("surviving jobs run");
+                let want = oracle(spec.op, &spec.payload, spec.sweeps);
+                assert_payload_identical(&want, &got, spec.op.name());
+                prop_assert_eq!(report.verify_hash, want.fingerprint());
+                prop_assert_eq!(report.priority, spec.priority);
+            }
+        }
+        let stats = server.stats();
+        prop_assert_eq!(stats.cancels, expected_cancels);
+        let completed: u64 = stats.classes.iter().map(|c| c.completed).sum();
+        let cancelled: u64 = stats.classes.iter().map(|c| c.cancelled).sum();
+        let admitted: u64 = stats.classes.iter().map(|c| c.admitted).sum();
+        prop_assert_eq!(cancelled, expected_cancels);
+        prop_assert_eq!(completed, njobs as u64 - expected_cancels);
+        prop_assert_eq!(admitted, njobs as u64);
+    }
+}
+
+/// `Rejected::Infeasible` is honest: a job shed at admission, actually
+/// forced through a real solve, takes longer than the deadline it was
+/// shed for — the model floor under-estimates real service time.
+#[test]
+fn infeasible_shed_jobs_really_would_have_missed() {
+    let machine = Machine::flat(1);
+    let server = Server::new_paused(
+        &machine,
+        ServerConfig {
+            admission: Admission::Shed(MachineParams::nehalem_ep()),
+            ..ServerConfig::default()
+        },
+    );
+    let params = MachineParams::nehalem_ep();
+    for edge in [24usize, 26, 28] {
+        let grid: Grid3<f64> = init::random(Dims3::cube(edge), edge as u64);
+        let sweeps = 4;
+        let spec = JobSpec::new(
+            JobOp::Jacobi6,
+            JobPayload::F64(grid.clone()),
+            sweeps,
+            JobMethod::Fixed(Method::Sequential),
+        );
+        // Half the optimistic floor: certainly infeasible by the model.
+        let floor = Duration::from_secs_f64(temporal_blocking::model::service_floor_seconds(
+            &params,
+            spec.op
+                .streaming_bytes_per_lup(spec.payload.element_bytes()),
+            spec.weight(),
+        ));
+        let deadline = floor / 2;
+        let spec = spec.with_deadline(deadline);
+        match server.submit(spec) {
+            Err(Rejected::Infeasible(spec, predicted)) => {
+                assert!(predicted >= floor, "prediction at least the model floor");
+                // Ground truth: really run it (sequential, the fastest
+                // warm-free path available here) and time it.
+                let t0 = Instant::now();
+                let (got, _) = solve_with(&Jacobi6, grid.clone(), sweeps, Method::Sequential)
+                    .expect("the solve itself is fine");
+                let elapsed = t0.elapsed();
+                assert!(
+                    elapsed > deadline,
+                    "edge {edge}: shed job finished in {elapsed:?} <= deadline {deadline:?}"
+                );
+                // The spec really came back intact.
+                assert_eq!(spec.payload.dims(), Dims3::cube(edge));
+                let _ = got;
+            }
+            Ok(_) => panic!("edge {edge}: an infeasible job was admitted"),
+            Err(other) => panic!(
+                "edge {edge}: expected Infeasible, got {:?}",
+                other.into_inner().tag
+            ),
+        }
+    }
+    assert_eq!(server.stats().sheds, 3);
 }
 
 #[test]
